@@ -1,0 +1,20 @@
+"""Ablation (Section V.C in operation): a diurnal day of placement.
+
+Replays a double-peaked daily demand trace against the modern fleet
+under both placement policies and integrates energy: EP-aware
+placement must save energy over the day at identical served work.
+"""
+
+import pytest
+
+from repro.cluster.trace import compare_policies, daily_saving, diurnal_trace
+
+
+def test_ablation_diurnal_trace(corpus, benchmark):
+    fleet = list(corpus.by_hw_year_range(2014, 2016))
+    trace = diurnal_trace(steps_per_day=24, noise=0.0)
+    outcomes = benchmark(compare_policies, fleet, trace)
+    assert daily_saving(outcomes) > 0.01
+    assert outcomes["ep-aware"].served_gops == pytest.approx(
+        outcomes["pack-to-full"].served_gops, rel=1e-6
+    )

@@ -1,0 +1,24 @@
+"""Ablation: how much of EP is explained by idle power alone.
+
+DESIGN.md calls out the Eq. 2 mechanism as the corpus's backbone; this
+ablation refits Eq. 2 on era subsets and checks the relationship is
+stable across generations (the paper's claim that idle power is *the*
+driving force, not a cohort artifact).
+"""
+
+from repro.analysis.regression_study import idle_regression
+from repro.dataset.corpus import Corpus
+
+
+def test_ablation_idle_regression_stable_across_eras(corpus, benchmark):
+    def refit():
+        return {
+            "early": idle_regression(corpus.by_hw_year_range(2004, 2010)),
+            "late": idle_regression(corpus.by_hw_year_range(2011, 2016)),
+            "all": idle_regression(corpus),
+        }
+
+    fits = benchmark(refit)
+    for era, regression in fits.items():
+        assert regression.correlation < -0.75, era
+        assert regression.fit.r_squared > 0.7, era

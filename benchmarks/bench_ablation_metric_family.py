@@ -1,0 +1,22 @@
+"""Ablation (related work): the Hsu & Poole metric-family comparison.
+
+Ref. [16] compares EP against ER, IPR, and LD.  This bench computes the
+family's rank-correlation matrix over the corpus and checks the
+structural facts: EP and ER rank identically, IPR anti-correlates, and
+equal-EP pairs with different LD exist (the scalar conceals shape).
+"""
+
+import pytest
+
+from repro.analysis.metric_comparison import (
+    equal_ep_different_ld,
+    rank_correlation_matrix,
+)
+
+
+def test_ablation_metric_family(corpus, benchmark):
+    matrix = benchmark(rank_correlation_matrix, corpus)
+    assert matrix[("ep", "er")] == pytest.approx(1.0, abs=1e-9)
+    assert matrix[("ep", "ipr")] < -0.85
+    assert matrix[("ep", "pg_low")] < -0.7
+    assert len(equal_ep_different_ld(corpus)) >= 1

@@ -1,0 +1,25 @@
+"""Ablation: the Fig. 13 economies-of-scale mechanism from first
+principles.
+
+Rebuilds cluster-wide EP for node groups of one legacy server with and
+without the ability to power nodes off: the proportionality gain must
+come from consolidation, not from the node count itself.
+"""
+
+from repro.cluster.multinode import cluster_proportionality
+
+
+def test_ablation_multinode_power_off(corpus, benchmark):
+    node = min(corpus.by_hw_year(2008), key=lambda r: r.ep)
+
+    def sweep():
+        return {
+            (n, off): cluster_proportionality(node, n, can_power_off=off)
+            for n in (2, 4, 8, 16)
+            for off in (True, False)
+        }
+
+    results = benchmark(sweep)
+    for n in (2, 4, 8, 16):
+        assert results[(n, True)] > results[(n, False)]
+        assert results[(n, True)] > node.ep

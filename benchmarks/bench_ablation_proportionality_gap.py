@@ -1,0 +1,19 @@
+"""Ablation (related work): the low-utilization proportionality gap.
+
+Wong & Annavaram (refs. [17]/[48] of the paper) found that even as
+scalar EP improved, the 10-30% utilization region kept a significant
+proportionality gap.  This bench reproduces their per-level gap view
+on the corpus and checks both the improvement and the residual lag.
+"""
+
+from repro.analysis.gap import gap_trend, low_band_lag, mean_gap_profile
+
+
+def test_ablation_proportionality_gap(corpus, benchmark):
+    trend = benchmark(gap_trend, corpus)
+    by_year = dict(zip(trend.years, trend.low_band_gap))
+    assert by_year[2016] < by_year[2008] * 0.5  # the improvement ...
+    lag = low_band_lag(corpus)
+    assert lag["low_over_mid"] > 1.5            # ... and the residual lag
+    profile = mean_gap_profile(corpus)
+    assert profile[0.1] > profile[0.5] > profile[0.9]

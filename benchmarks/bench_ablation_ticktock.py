@@ -1,0 +1,15 @@
+"""Ablation (Section III.A): tick/tock attribution of the EP jumps.
+
+The paper credits both EP step-jumps (2008->2009, 2011->2012) to
+Intel "tock" transitions.  Along the server lineage, the mean EP gain
+of tocks must exceed that of ticks, and the two named tocks must be
+the largest single gains.
+"""
+
+
+def test_ablation_ticktock(corpus, benchmark):
+    from repro.analysis.ticktock import tick_tock_summary
+
+    summary = benchmark(tick_tock_summary, corpus)
+    assert summary["mean_tock_gain"] > summary["mean_tick_gain"]
+    assert summary["named_tocks_are_largest"]

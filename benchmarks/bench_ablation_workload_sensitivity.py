@@ -1,0 +1,21 @@
+"""Ablation (future work): EP under different workloads.
+
+Section VII plans to characterize EP/EE "under different workloads";
+the Section V.C caveat predicts a server exhibits different curves per
+application.  This bench characterizes server #4 under four workload
+personalities and checks the spread is material.
+"""
+
+from repro.hwexp.testbed import TESTBED
+from repro.hwexp.workloads import compare_workloads, ep_spread
+from repro.ssj.variants import VARIANTS
+
+
+def test_ablation_workload_sensitivity(benchmark):
+    results = benchmark(
+        compare_workloads, TESTBED[4], list(VARIANTS.values())
+    )
+    assert set(results) == set(VARIANTS)
+    assert ep_spread(results) > 0.02
+    for outcome in results.values():
+        assert 0.0 < outcome.ep < 2.0

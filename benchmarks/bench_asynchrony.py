@@ -1,0 +1,17 @@
+"""Section IV.B: EP/EE top-decile asynchrony.
+
+Paper: 91.7% of the top-10% EP servers are 2012 hardware (vs. a 27.4%
+population share); only 16.7% of the top-10% EE servers are; every
+2015-2016 server makes the top-10% EE list; the EP and EE top deciles
+overlap by only 14.6%.
+"""
+
+
+def test_asynchrony(record):
+    result = record("asynchrony")
+    report = result.series["report"]
+    assert report.top_ep_share_2012 > 0.6
+    assert report.ep_overrepresentation > 2.0
+    assert report.top_ee_share_2012 < 0.3
+    assert report.all_recent_in_top_ee
+    assert report.overlap_fraction < 0.4

@@ -1,0 +1,15 @@
+"""Harness: generating the calibrated 477-server corpus.
+
+Not a paper artifact: times the synthesis pipeline end to end and
+checks the invariants cheap enough to assert on every round.
+"""
+
+from repro.dataset.synthesis import generate_corpus
+
+
+def test_corpus_generation(benchmark):
+    corpus = benchmark(generate_corpus, 2016)
+    assert len(corpus) == 477
+    eps = corpus.eps()
+    assert 0.17 < min(eps) < 0.19
+    assert 1.04 < max(eps) < 1.06

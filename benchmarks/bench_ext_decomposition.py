@@ -1,0 +1,15 @@
+"""Extension (Section III.B, quantified): shift-share EP decomposition.
+
+The "specious stagnation" claim, as arithmetic: the 2012->2013 EP drop
+must decompose mostly into the mix term (which processors were adopted)
+rather than the within term (how proportional each design is).
+"""
+
+
+def test_ext_decomposition(corpus, benchmark):
+    from repro.analysis.decomposition import stagnation_decomposition
+
+    summary = benchmark(stagnation_decomposition, corpus)
+    dip = summary["dip_2012_2013"]
+    assert dip.total_change < 0.0
+    assert dip.mix_share > 0.5

@@ -1,0 +1,17 @@
+"""Extension (Wong ISCA'16 comparator): job-granular scheduling.
+
+Peak-spot-aware scheduling vs. first-fit-decreasing consolidation on a
+synthesized job batch: the spot-aware policy must place everything and
+draw less fleet power.
+"""
+
+
+def test_ext_job_scheduling(record):
+    result = record("jobs")
+    schedules = result.series["schedules"]
+    for schedule in schedules.values():
+        assert not schedule.unplaced
+    assert result.series["saving"] > 0.02
+    ffd = schedules["first-fit-decreasing"]
+    spot = schedules["peak-spot-aware"]
+    assert spot.servers_loaded >= ffd.servers_loaded

@@ -1,0 +1,15 @@
+"""Extension (Section I / conclusion): capacity planning.
+
+"A server with high peak energy efficiency is not essentially highly
+energy proportional" -- so buying the highest peak-EE model for a
+diurnal service wastes energy.  The plan must show the naive choice
+differing from the energy-best choice, at a measurable penalty.
+"""
+
+
+def test_ext_procurement(record):
+    result = record("procurement")
+    assert not result.series["naive_matches"]
+    assert result.series["naive_penalty"] > 0.10
+    controlled = result.series["controlled"]
+    assert controlled.best_by_energy.ep > controlled.best_by_peak_ee.ep

@@ -1,0 +1,18 @@
+"""Fig. 2: EP and EE evolution by hardware availability year.
+
+Paper: both metrics improve over 2004-2016, EP from ~0.3 to ~0.84 with
+visible scatter, EE monotonically into the five digits.
+"""
+
+
+def test_fig02_evolution(record):
+    result = record("fig2")
+    ep_points = result.series["ep_points"]
+    ee_points = result.series["ee_points"]
+    assert len(ep_points) == len(ee_points) == 477
+    early_ep = [ep for year, ep in ep_points if year <= 2008]
+    late_ep = [ep for year, ep in ep_points if year >= 2015]
+    assert sum(late_ep) / len(late_ep) > 2 * sum(early_ep) / len(early_ep)
+    early_ee = max(ee for year, ee in ee_points if year <= 2008)
+    late_ee = min(ee for year, ee in ee_points if year >= 2015)
+    assert late_ee > early_ee

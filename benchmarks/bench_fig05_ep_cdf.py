@@ -1,0 +1,17 @@
+"""Fig. 5: the EP CDF.
+
+Paper: 25.21% of servers in [0.6, 0.7), 17.44% in [0.8, 0.9), 99.58%
+below EP 1.0.
+"""
+
+import pytest
+
+
+def test_fig05_ep_cdf(record):
+    result = record("fig5")
+    landmarks = result.series["landmarks"]
+    assert landmarks["share_06_07"] == pytest.approx(0.2521, abs=0.05)
+    assert landmarks["share_08_09"] == pytest.approx(0.1744, abs=0.05)
+    assert landmarks["share_below_1"] == pytest.approx(0.9958, abs=0.003)
+    xs, F = result.series["x"], result.series["F"]
+    assert F == sorted(F) and xs == sorted(xs)

@@ -1,0 +1,15 @@
+"""Fig. 6: server counts by CPU microarchitecture family.
+
+Paper: Nehalem (152) and Sandy Bridge (137) dominate; Netburst and
+Skylake are niche (3 each).
+"""
+
+
+def test_fig06_microarch(record):
+    result = record("fig6")
+    series = result.series
+    assert series["Nehalem"]["count"] == 152
+    assert series["Sandy Bridge"]["count"] == 137
+    assert series["Netburst"]["count"] == 3
+    assert series["Skylake"]["count"] == 3
+    assert sum(entry["count"] for entry in series.values()) == 477

@@ -1,0 +1,27 @@
+"""Fig. 7: average EP per microarchitecture codename.
+
+Paper legend: Sandy Bridge EN 0.90 (best), Broadwell 0.87, Haswell
+0.81, Ivy Bridge 0.71 (a regression from Sandy Bridge 0.75 despite the
+finer node), Netburst 0.29 (worst).
+"""
+
+import pytest
+
+
+def test_fig07_codename_ep(record):
+    result = record("fig7")
+    codenames = result.series["codenames"]
+    expected = {
+        "Sandy Bridge EN": 0.90,
+        "Broadwell": 0.87,
+        "Haswell": 0.81,
+        "Sandy Bridge": 0.75,
+        "Ivy Bridge": 0.71,
+        "Westmere-EP": 0.65,
+        "Netburst": 0.29,
+    }
+    for name, target in expected.items():
+        assert codenames[name]["avg_ep"] == pytest.approx(target, abs=0.08), name
+    assert codenames["Ivy Bridge"]["avg_ep"] < codenames["Sandy Bridge"]["avg_ep"]
+    stagnation = result.series["stagnation"]
+    assert stagnation["observed_2013_2014"] < stagnation["counterfactual_2012_mix"]

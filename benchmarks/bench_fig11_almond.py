@@ -1,0 +1,20 @@
+"""Fig. 11: the almond chart (relative-efficiency envelope).
+
+Paper: every relative-EE curve sits between the least and most
+proportional servers' curves; the upper edge exceeds 1.0 mid-range.
+"""
+
+
+def test_fig11_almond(record, corpus):
+    result = record("fig11")
+    upper = result.series["upper"]
+    lower = result.series["lower"]
+    assert max(upper) > 1.0
+    assert max(lower) <= 1.0 + 1e-9
+    from repro.metrics.curves import ee_relative_curve
+
+    for server in corpus:
+        loads, powers = server.curve()
+        rel = ee_relative_curve(loads, powers)
+        for value, lo, hi in zip(rel, lower, upper):
+            assert lo - 1e-9 <= value <= hi + 1e-9

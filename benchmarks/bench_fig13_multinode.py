@@ -1,0 +1,17 @@
+"""Fig. 13: EP and EE vs. server node count.
+
+Paper: median EP rises monotonically with node count; average EP dips
+at 8 nodes but recovers at 16; efficiency also benefits from scale.
+"""
+
+
+def test_fig13_multinode(record):
+    result = record("fig13")
+    stats = result.series
+    nodes = sorted(stats)
+    assert nodes == [1, 2, 4, 8, 16]
+    medians = [stats[n]["median_ep"] for n in nodes]
+    assert medians == sorted(medians)
+    assert stats[8]["avg_ep"] < stats[4]["avg_ep"]
+    assert stats[16]["avg_ep"] > stats[8]["avg_ep"]
+    assert stats[16]["avg_ee"] > stats[1]["avg_ee"]

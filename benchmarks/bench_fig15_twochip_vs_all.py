@@ -1,0 +1,15 @@
+"""Fig. 15: 2-chip single-node servers vs. all servers (same year).
+
+Paper: +2.94% average EP, +4.13% average EE, +1.18% median EP, +6.26%
+median EE.
+"""
+
+import pytest
+
+
+def test_fig15_twochip(record):
+    result = record("fig15")
+    series = result.series
+    assert series["avg_ep_gain"] == pytest.approx(0.0294, abs=0.025)
+    assert series["avg_ee_gain"] == pytest.approx(0.0413, abs=0.05)
+    assert series["median_ee_gain"] > 0.0

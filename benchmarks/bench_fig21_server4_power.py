@@ -1,0 +1,24 @@
+"""Fig. 21: server #4 EE and peak power across frequency and memory.
+
+Paper: power rises with CPU frequency at fixed memory, and with memory
+at fixed frequency; ondemand consumes about the same as the top pin;
+efficiency rises with frequency.
+"""
+
+
+def test_fig21_server4_power(record):
+    result = record("fig21")
+    for label, points in result.series["ee"].items():
+        values = [v for _, v in points]
+        assert values == sorted(values), label
+    for label, points in result.series["peak_power"].items():
+        values = [v for _, v in points]
+        assert values == sorted(values), label
+    # Power also rises with installed memory at the top frequency.
+    top_power = {
+        label: points[-1][1]
+        for label, points in result.series["peak_power"].items()
+    }
+    ordered = [top_power[k] for k in sorted(top_power,
+               key=lambda s: float(s.split("=")[1]))]
+    assert ordered == sorted(ordered)

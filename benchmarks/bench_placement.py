@@ -1,0 +1,13 @@
+"""Section V.C: EP-aware placement vs. pack-to-full on a fixed fleet.
+
+Paper: keeping servers near their peak-efficiency spot instead of
+packing them to 100% saves power at the same throughput, and places
+more work under a fixed power budget.
+"""
+
+
+def test_placement(record):
+    result = record("placement")
+    series = result.series
+    assert series["aware_power_w"] < series["pack_power_w"]
+    assert series["saving"] > 0.02

@@ -1,0 +1,14 @@
+"""Table II: base configuration of the tested 2U servers."""
+
+
+def test_table2(record):
+    result = record("table2")
+    rows = result.series["rows"]
+    assert len(rows) == 4
+    names = [row[1] for row in rows]
+    assert names == ["Sugon A620r-G", "Sugon I620-G10",
+                     "ThinkServer RD640", "ThinkServer RD450"]
+    years = [row[2] for row in rows]
+    assert years == [2012, 2013, 2014, 2015]
+    cores = [row[4] for row in rows]
+    assert cores == [32, 4, 12, 12]

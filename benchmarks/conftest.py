@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper artifact, times it with
+pytest-benchmark, records the rendered rows under
+``benchmarks/output/``, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import Study
+from repro.dataset.synthesis import generate_corpus
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def study(corpus):
+    return Study(corpus=corpus)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def record(study, benchmark, output_dir):
+    """Benchmark one artifact and persist its rendered text."""
+
+    def run(figure_id: str):
+        result = benchmark(study.figure, figure_id)
+        path = output_dir / f"{figure_id}.txt"
+        path.write_text(f"== {result.title} ==\n{result.text}\n")
+        return result
+
+    return run

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Hardware tuning: find a server's best memory and frequency setup.
+
+Run with::
+
+    python examples/hardware_tuning.py
+
+Reproduces the paper's Section V methodology on the Table II testbed:
+sweep installed memory per core and CPU frequency, and read off the
+efficiency-optimal configuration -- then validate the analytic sweep
+against a full discrete-event benchmark run.
+"""
+
+from repro.hwexp import TESTBED, run_sweep
+from repro.power.governors import OndemandGovernor
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.runner import SsjRunner
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    server = TESTBED[4]  # ThinkServer RD450, the paper's Fig. 20/21 machine
+    print(f"tuning {server.name} ({server.cpu_model}, "
+          f"{server.total_cores} cores)")
+
+    sweep = run_sweep(server)
+    top = max(server.frequencies_ghz)
+
+    rows = []
+    for mpc in server.tested_memory_per_core:
+        cell = sweep.cell(mpc, top)
+        ondemand = sweep.cell(mpc, "ondemand")
+        rows.append(
+            [f"{mpc:g}", cell.overall_efficiency, ondemand.overall_efficiency,
+             cell.peak_power_w]
+        )
+    print(format_table(
+        ["GB/core", f"EE @{top:g}GHz", "EE @ondemand", "peak W"],
+        rows,
+        title="memory-per-core sweep",
+        float_format="{:.1f}",
+    ))
+    best = sweep.best_memory_per_core()
+    print(f"\nbest memory per core: {best:g} GB "
+          f"(the paper measured {server.profile.heap_demand_gb_per_core:g})")
+
+    # Cross-check the best cell with the event-driven benchmark.
+    runner = SsjRunner(
+        server=server.power_model(memory_gb=server.memory_gb_for(best)),
+        profile=server.profile_for(best),
+        governor=OndemandGovernor(),
+        plan=MeasurementPlan(interval_s=4.0, ramp_s=0.5),
+    )
+    report = runner.run()
+    analytic = sweep.cell(best, "ondemand").overall_efficiency
+    print(f"\ndiscrete-event benchmark at the best configuration:")
+    print(report.to_text())
+    print(f"\nanalytic sweep said {analytic:.1f} ops/W; the simulated run "
+          f"measured {report.overall_score():.1f} ops/W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: generate the corpus, reproduce the headline findings.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates the calibrated 477-server SPECpower corpus, computes the
+paper's headline numbers, and prints three of its figures.
+"""
+
+from repro import Study
+
+
+def main() -> None:
+    study = Study()
+    corpus = study.corpus
+
+    print(f"corpus: {len(corpus)} published SPECpower results, "
+          f"{corpus.hw_years()[0]}-{corpus.hw_years()[-1]}")
+
+    # Headline metric: energy proportionality of one server.
+    exemplar = max(corpus.by_hw_year(2016), key=lambda r: r.ep)
+    print(f"\nbest 2016 server: EP {exemplar.ep:.2f}, "
+          f"overall score {exemplar.overall_score:.0f} ops/W, "
+          f"idle at {exemplar.idle_fraction:.0%} of peak power")
+
+    # Three of the paper's artifacts.
+    for figure_id in ("fig3", "fig16", "eq2"):
+        result = study.figure(figure_id)
+        print(f"\n=== {figure_id}: {result.title} ===")
+        print(result.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP 660 editable
+installs (`pip install -e .` with build isolation) cannot build an
+editable wheel.  This shim keeps `python setup.py develop` and
+`pip install -e . --no-build-isolation` working offline.
+"""
+
+from setuptools import setup
+
+setup()

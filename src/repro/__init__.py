@@ -1,0 +1,43 @@
+"""Reproduction of "Energy Proportional Servers: Where Are We in 2016?".
+
+This package reproduces the ICDCS 2017 measurement study by Jiang et al.
+It contains:
+
+* :mod:`repro.metrics` -- energy-proportionality (EP) and energy-efficiency
+  (EE) metrics, curve analysis, correlation and regression tools.
+* :mod:`repro.power` -- component-level server power models (CPU with DVFS,
+  DRAM, disks, fans, PSU) and frequency governors.
+* :mod:`repro.ssj` -- a discrete-event SPECpower_ssj2008-style benchmark
+  simulator (calibration, graduated load levels, power metering, reports).
+* :mod:`repro.dataset` -- a calibrated synthetic corpus of 477 SPECpower
+  results matching the statistical shape of the published results the
+  paper analyses.
+* :mod:`repro.analysis` -- the paper's analyses: hardware-availability-year
+  reorganization, trend statistics, CDFs, grouping, peak-EE shifting,
+  asynchrony, and the idle-power regression (Eq. 2).
+* :mod:`repro.hwexp` -- models of the paper's 4-server testbed (Table II)
+  and the memory-per-core / DVFS sweep experiments (Figs. 18-21).
+* :mod:`repro.cluster` -- Section V operational guidance: optimal working
+  regions, logical clusters, and EP-aware workload placement.
+* :mod:`repro.core` -- the one-call study pipeline regenerating every
+  figure and table in the paper.
+"""
+
+from repro.core.study import FigureResult, Study
+from repro.dataset.corpus import Corpus
+from repro.dataset.synthesis import generate_corpus
+from repro.metrics.ee import overall_score, peak_efficiency
+from repro.metrics.ep import energy_proportionality
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "FigureResult",
+    "Study",
+    "__version__",
+    "energy_proportionality",
+    "generate_corpus",
+    "overall_score",
+    "peak_efficiency",
+]

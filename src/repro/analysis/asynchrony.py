@@ -1,0 +1,80 @@
+"""EP/EE top-decile divergence (Section IV.B).
+
+The paper's two asynchrony observations:
+
+1. *temporal*: the top-10% most proportional servers are overwhelmingly
+   2012 hardware (91.7%, against 2012's 27.4% population share), while
+   the top-10% most efficient are dominated by 2015-2016 hardware (all
+   of it qualifies) with only 16.7% from 2012;
+2. *per-server*: proportionality rank and efficiency rank barely
+   overlap -- only 14.6% of the top-10% EP servers also make the
+   top-10% EE list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dataset.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class AsynchronyReport:
+    """Quantified Section IV.B findings."""
+
+    decile_size: int
+    top_ep_share_2012: float
+    top_ee_share_2012: float
+    population_share_2012: float
+    overlap_fraction: float
+    recent_servers: int  # 2015-2016 population
+    recent_in_top_ee: int
+
+    @property
+    def ep_overrepresentation(self) -> float:
+        """How many times 2012 exceeds its population share in top EP."""
+        return self.top_ep_share_2012 / self.population_share_2012
+
+    @property
+    def all_recent_in_top_ee(self) -> bool:
+        return self.recent_in_top_ee == self.recent_servers
+
+
+def asynchrony_report(corpus: Corpus, fraction: float = 0.10) -> AsynchronyReport:
+    """Compute the Section IV.B report for any decile fraction."""
+    top_ep = corpus.top_fraction_by(lambda r: r.ep, fraction)
+    top_ee = corpus.top_fraction_by(lambda r: r.overall_score, fraction)
+    ids_ep = {result.result_id for result in top_ep}
+    ids_ee = {result.result_id for result in top_ee}
+    recent = corpus.filter(lambda r: r.hw_year >= 2015)
+    return AsynchronyReport(
+        decile_size=len(top_ep),
+        top_ep_share_2012=sum(1 for r in top_ep if r.hw_year == 2012) / len(top_ep),
+        top_ee_share_2012=sum(1 for r in top_ee if r.hw_year == 2012) / len(top_ee),
+        population_share_2012=len(corpus.by_hw_year(2012)) / len(corpus),
+        overlap_fraction=len(ids_ep & ids_ee) / len(ids_ep),
+        recent_servers=len(recent),
+        recent_in_top_ee=sum(1 for r in recent if r.result_id in ids_ee),
+    )
+
+
+def rank_correlation(corpus: Corpus) -> float:
+    """Spearman correlation between EP rank and EE rank."""
+    from repro.metrics.correlation import spearman
+
+    return spearman(corpus.eps(), corpus.scores())
+
+
+def year_share_in_top(
+    corpus: Corpus, key: str, fraction: float = 0.10
+) -> Dict[int, float]:
+    """Per-year composition of the top decile under 'ep' or 'score'."""
+    extractors = {"ep": lambda r: r.ep, "score": lambda r: r.overall_score}
+    if key not in extractors:
+        raise ValueError("key must be 'ep' or 'score'")
+    top = corpus.top_fraction_by(extractors[key], fraction)
+    shares: Dict[int, float] = {}
+    for result in top:
+        shares[result.hw_year] = shares.get(result.hw_year, 0.0) + 1.0
+    return {year: count / len(top) for year, count in sorted(shares.items())}

@@ -1,0 +1,71 @@
+"""The EP distribution (Fig. 5).
+
+The paper reads three landmarks off the CDF: 25.21% of servers fall in
+[0.6, 0.7), 17.44% in [0.8, 0.9), and 99.58% score below 1.0 (only two
+servers ever exceeded ideal proportionality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF over a finite sample."""
+
+    sorted_values: Tuple[float, ...]
+
+    def __call__(self, x: float) -> float:
+        """P(value <= x)."""
+        arr = np.asarray(self.sorted_values)
+        return float(np.searchsorted(arr, x, side="right")) / len(arr)
+
+    def share_in(self, low: float, high: float) -> float:
+        """P(low <= value < high)."""
+        arr = np.asarray(self.sorted_values)
+        below_high = float(np.searchsorted(arr, high, side="left"))
+        below_low = float(np.searchsorted(arr, low, side="left"))
+        return (below_high - below_low) / len(arr)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` of the sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        return float(np.quantile(np.asarray(self.sorted_values), q))
+
+    def series(self) -> Tuple[List[float], List[float]]:
+        """(x, F(x)) pairs for plotting."""
+        arr = list(self.sorted_values)
+        n = len(arr)
+        return arr, [(i + 1) / n for i in range(n)]
+
+
+def empirical_cdf(values: Sequence[float]) -> EmpiricalCdf:
+    """Build an empirical CDF from a finite sample."""
+    ordered = tuple(sorted(float(v) for v in values))
+    if not ordered:
+        raise ValueError("cannot build a CDF from an empty sample")
+    return EmpiricalCdf(sorted_values=ordered)
+
+
+def ep_cdf(corpus: Corpus) -> EmpiricalCdf:
+    """The Fig. 5 CDF: energy proportionality over the whole corpus."""
+    return empirical_cdf(corpus.eps())
+
+
+def decile_shares(cdf: EmpiricalCdf) -> dict:
+    """Share of the population in each 0.1-wide EP band."""
+    bands = {}
+    for i in range(0, 12):
+        low = round(0.1 * i, 1)
+        high = round(0.1 * (i + 1), 1)
+        share = cdf.share_in(low, high)
+        if share > 0.0:
+            bands[(low, high)] = share
+    return bands

@@ -1,0 +1,102 @@
+"""Mix-shift decomposition of the EP trend (Section III.B, rigorous).
+
+The paper argues the 2013-2014 EP dip is "mainly caused by the adoption
+of processors of specific microarchitecture" -- a composition effect,
+not a technology plateau.  The standard shift-share decomposition makes
+the argument quantitative.  For two years A -> B with codename shares
+``s`` and codename-mean EPs ``e``:
+
+    EP_B - EP_A = sum_c (s_B[c] - s_A[c]) * e_avg[c]     (mix term)
+                + sum_c s_avg[c] * (e_B[c] - e_A[c])     (within term)
+
+with ``e_avg``/``s_avg`` the two-year means (the symmetric Marshall-
+Edgeworth form, which makes the two terms sum exactly to the total).
+A codename absent from a year contributes through the other year's
+mean.  The paper's claim is precisely that the 2012 -> 2013/14 change
+is dominated by the *mix* term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.power.microarch import Codename
+
+
+@dataclass(frozen=True)
+class EpDecomposition:
+    """One year-pair's EP change, split into mix and within terms."""
+
+    year_a: int
+    year_b: int
+    total_change: float
+    mix_term: float
+    within_term: float
+
+    @property
+    def mix_share(self) -> float:
+        """Fraction of the change explained by composition."""
+        if self.total_change == 0.0:
+            return 0.0
+        return self.mix_term / self.total_change
+
+
+def _composition(corpus: Corpus, year: int):
+    members = corpus.by_hw_year(year)
+    if len(members) == 0:
+        raise ValueError(f"no results for year {year}")
+    shares: Dict[Codename, float] = {}
+    means: Dict[Codename, float] = {}
+    for codename in members.codenames():
+        sub = members.by_codename(codename)
+        shares[codename] = len(sub) / len(members)
+        means[codename] = float(np.mean(sub.eps()))
+    return shares, means
+
+
+def decompose_ep_change(corpus: Corpus, year_a: int, year_b: int) -> EpDecomposition:
+    """Shift-share decomposition of the EP change between two years."""
+    shares_a, means_a = _composition(corpus, year_a)
+    shares_b, means_b = _composition(corpus, year_b)
+    codenames = set(shares_a) | set(shares_b)
+
+    mix_term = 0.0
+    within_term = 0.0
+    for codename in codenames:
+        s_a = shares_a.get(codename, 0.0)
+        s_b = shares_b.get(codename, 0.0)
+        # A codename absent from a year has no own-year mean; use the
+        # other year's so the within term is zero for it.
+        e_a = means_a.get(codename, means_b.get(codename, 0.0))
+        e_b = means_b.get(codename, means_a.get(codename, 0.0))
+        mix_term += (s_b - s_a) * 0.5 * (e_a + e_b)
+        within_term += 0.5 * (s_a + s_b) * (e_b - e_a)
+
+    ep_a = float(np.mean(corpus.by_hw_year(year_a).eps()))
+    ep_b = float(np.mean(corpus.by_hw_year(year_b).eps()))
+    return EpDecomposition(
+        year_a=year_a,
+        year_b=year_b,
+        total_change=ep_b - ep_a,
+        mix_term=mix_term,
+        within_term=within_term,
+    )
+
+
+def stagnation_decomposition(corpus: Corpus) -> Dict[str, EpDecomposition]:
+    """The Section III.B year pairs: the dip into 2013 and the tocks.
+
+    The paper's attribution holds when the 2012->2013 *decrease* is
+    mix-dominated while the 2008->2009 and 2011->2012 *increases* carry
+    large within-architecture components too (new designs, not just new
+    shares).
+    """
+    return {
+        "dip_2012_2013": decompose_ep_change(corpus, 2012, 2013),
+        "tock_2008_2009": decompose_ep_change(corpus, 2008, 2009),
+        "tock_2011_2012": decompose_ep_change(corpus, 2011, 2012),
+    }

@@ -1,0 +1,120 @@
+"""Forward projections the paper closes with (Sections III.D and IV.A).
+
+Two forward-looking statements in the paper are quantitative enough to
+operationalize:
+
+1. *Idle-power headroom* (Section III.D): "if we decrease the idle
+   power percentage further, server energy proportionality can still
+   be improved exponentially.  For example, if the idle percentage is
+   5%, then the energy proportionality will be 1.17", with a
+   theoretical ceiling of ~1.297 at zero idle.  Given the fitted Eq. 2,
+   :func:`ep_headroom` projects the EP the fleet would reach at target
+   idle levels and how much of the ceiling is already banked.
+
+2. *Peak-spot drift* (Section IV.A): "We can expect the peak energy
+   efficiency at 50% or even 40% utilization in the near future."
+   :func:`spot_drift_forecast` fits the recent trend of the mean
+   peak-efficiency spot and projects when it reaches a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.regression_study import IdleRegression, idle_regression
+from repro.dataset.corpus import Corpus
+from repro.metrics.regression import linear_fit
+
+
+@dataclass(frozen=True)
+class HeadroomProjection:
+    """EP projections at hypothetical idle-power levels."""
+
+    fitted_ceiling: float
+    current_mean_ep: float
+    current_mean_idle: float
+    projections: Dict[float, float]  # idle fraction -> projected EP
+
+    @property
+    def banked_fraction(self) -> float:
+        """Share of the ceiling already achieved by the current fleet."""
+        return self.current_mean_ep / self.fitted_ceiling
+
+
+def ep_headroom(
+    corpus: Corpus,
+    idle_targets: Sequence[float] = (0.20, 0.10, 0.05, 0.02),
+    regression: IdleRegression = None,
+) -> HeadroomProjection:
+    """Project fleet EP at target idle-power percentages via Eq. 2."""
+    if regression is None:
+        regression = idle_regression(corpus)
+    for idle in idle_targets:
+        if not 0.0 <= idle < 1.0:
+            raise ValueError("idle targets must lie in [0, 1)")
+    projections = {
+        float(idle): regression.predicted_ep(idle) for idle in idle_targets
+    }
+    return HeadroomProjection(
+        fitted_ceiling=regression.ceiling,
+        current_mean_ep=float(np.mean(corpus.eps())),
+        current_mean_idle=float(np.mean(corpus.idle_fractions())),
+        projections=projections,
+    )
+
+
+@dataclass(frozen=True)
+class SpotDriftForecast:
+    """Linear forecast of the mean peak-efficiency spot."""
+
+    fit_years: Tuple[int, ...]
+    mean_spots: Tuple[float, ...]
+    slope_per_year: float
+    forecast: Dict[int, float]  # year -> projected mean spot
+
+    def year_reaching(self, target_spot: float) -> int:
+        """First projected year whose mean spot is at or below target."""
+        if self.slope_per_year >= 0.0:
+            raise ValueError("the spot is not drifting downward")
+        last_year = self.fit_years[-1]
+        last_value = self.mean_spots[-1]
+        years_needed = (target_spot - last_value) / self.slope_per_year
+        return int(np.ceil(last_year + max(0.0, years_needed)))
+
+
+def spot_drift_forecast(
+    corpus: Corpus,
+    fit_from: int = 2010,
+    horizon: int = 5,
+) -> SpotDriftForecast:
+    """Fit the post-2010 drift of the mean peak spot and extrapolate.
+
+    Fitting starts at the first diverse year (the paper: before 2010
+    everything pinned at 100%, so earlier years carry no signal).
+    """
+    years: List[int] = []
+    means: List[float] = []
+    for year in corpus.hw_years():
+        if year < fit_from:
+            continue
+        members = corpus.by_hw_year(year)
+        spots = [result.primary_peak_spot for result in members]
+        years.append(year)
+        means.append(float(np.mean(spots)))
+    if len(years) < 3:
+        raise ValueError("not enough years to fit a drift")
+    fit = linear_fit([float(y) for y in years], means)
+    last_year = years[-1]
+    forecast = {
+        year: max(0.1, float(fit.predict([float(year)])[0]))
+        for year in range(last_year + 1, last_year + 1 + horizon)
+    }
+    return SpotDriftForecast(
+        fit_years=tuple(years),
+        mean_spots=tuple(means),
+        slope_per_year=fit.slope,
+        forecast=forecast,
+    )

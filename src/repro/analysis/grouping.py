@@ -1,0 +1,135 @@
+"""Microarchitecture and configuration breakdowns (Figs. 6-8, 17, Table I).
+
+Section III.B explains the apparent EP stagnation of 2013-2014 by
+grouping the corpus by processor microarchitecture: the dip tracks the
+adoption of codenames (Ivy Bridge, early Haswell platforms) whose EP
+trails Sandy Bridge EN/EP, not a technology plateau.  Section V.A adds
+the memory-per-core view (Table I / Fig. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import Summary, summarize
+from repro.dataset.corpus import Corpus
+from repro.power.microarch import Codename, Family
+
+
+@dataclass(frozen=True)
+class GroupStat:
+    """One group's population and EP/EE summaries."""
+
+    label: str
+    count: int
+    ep: Summary
+    score: Summary
+
+
+def _group_stat(label: str, corpus: Corpus) -> GroupStat:
+    return GroupStat(
+        label=label,
+        count=len(corpus),
+        ep=summarize(corpus.eps()),
+        score=summarize(corpus.scores()),
+    )
+
+
+def family_counts(corpus: Corpus) -> Dict[Family, int]:
+    """Fig. 6: server counts per microarchitecture family."""
+    return corpus.count_by_family()
+
+
+def family_table(corpus: Corpus) -> List[GroupStat]:
+    """Fig. 6 with the per-family average EP annotations."""
+    table = []
+    for family in corpus.families():
+        table.append(_group_stat(family.value, corpus.by_family(family)))
+    table.sort(key=lambda stat: -stat.count)
+    return table
+
+
+def codename_ep_table(
+    corpus: Corpus, family: Optional[Family] = None
+) -> List[GroupStat]:
+    """Fig. 7: average EP per codename (optionally within one family)."""
+    scope = corpus if family is None else corpus.by_family(family)
+    table = []
+    for codename in scope.codenames():
+        table.append(_group_stat(codename.value, scope.by_codename(codename)))
+    table.sort(key=lambda stat: -stat.ep.mean)
+    return table
+
+
+def mix_by_year(
+    corpus: Corpus, first: int = 2012, last: int = 2016
+) -> Dict[int, Dict[Codename, int]]:
+    """Fig. 8: codename composition per year over [first, last]."""
+    mix: Dict[int, Dict[Codename, int]] = {}
+    for year in range(first, last + 1):
+        sub = corpus.by_hw_year(year)
+        if len(sub) == 0:
+            continue
+        mix[year] = sub.count_by_codename()
+    return mix
+
+
+def stagnation_explanation(corpus: Corpus) -> Dict[str, float]:
+    """Section III.B's argument, quantified.
+
+    Returns the average EP of the 2013-2014 servers, the average EP the
+    same years would have shown with 2012's microarchitecture mix (mix
+    counterfactual, using per-codename corpus-wide averages), and the
+    recovery years' average.  The stagnation is "specious" exactly when
+    the counterfactual is markedly higher than the observed dip.
+    """
+    dip = corpus.by_hw_year_range(2013, 2014)
+    recovery = corpus.by_hw_year_range(2015, 2016)
+    reference_mix = corpus.by_hw_year(2012).count_by_codename()
+    codename_ep = {
+        codename: float(np.mean(corpus.by_codename(codename).eps()))
+        for codename in corpus.codenames()
+    }
+    total = sum(reference_mix.values())
+    counterfactual = sum(
+        count * codename_ep[codename] for codename, count in reference_mix.items()
+    ) / total
+    return {
+        "observed_2013_2014": float(np.mean(dip.eps())),
+        "counterfactual_2012_mix": counterfactual,
+        "observed_2015_2016": float(np.mean(recovery.eps())),
+    }
+
+
+def memory_per_core_table(corpus: Corpus, min_count: int = 11) -> List[GroupStat]:
+    """Table I / Fig. 17: servers and EP/EE per memory-per-core bucket.
+
+    Buckets with fewer than ``min_count`` servers are omitted; the
+    default of 11 is Table I's own rule ("each ratio with more than 10
+    counts"), which keeps exactly the seven buckets covering 430 of the
+    477 servers.
+    """
+    buckets: Dict[float, List] = {}
+    for result in corpus:
+        ratio = round(result.memory_per_core_gb, 2)
+        buckets.setdefault(ratio, []).append(result)
+    table = []
+    for ratio in sorted(buckets):
+        members = buckets[ratio]
+        if len(members) < min_count:
+            continue
+        table.append(_group_stat(f"{ratio:g}", Corpus(members)))
+    return table
+
+
+def best_memory_per_core(corpus: Corpus) -> Dict[str, float]:
+    """Fig. 17 headline: the EP-best and EE-best ratios."""
+    table = memory_per_core_table(corpus)
+    if not table:
+        raise ValueError("no memory-per-core bucket has enough servers")
+    best_ep = max(table, key=lambda stat: stat.ep.mean)
+    best_ee = max(table, key=lambda stat: stat.score.mean)
+    return {"ep": float(best_ep.label), "ee": float(best_ee.label)}

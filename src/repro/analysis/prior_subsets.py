@@ -1,0 +1,117 @@
+"""What earlier studies would have concluded (Sections I and VI).
+
+The paper positions itself against three prior analyses of the same
+published data, each on an earlier (and differently filtered) subset:
+
+* **Hsu & Poole** (ICPE'15, ref. [16]): 459 results through June 2014,
+  including non-compliant submissions.  They computed corr(EP, overall
+  score) = 0.83; the paper re-computes 0.741 on all 477 valid results
+  and notes "with newer results published, the derived models and
+  conclusions from previous work pose greater errors".
+* **Wong & Annavaram** (MICRO'12, ref. [17]): 291 results, Nov 2007 -
+  Dec 2011.
+* **Wong** (ISCA'16, ref. [41]): 426 results through Sept 2015,
+  arguing highly proportional servers typically peak near 60%
+  utilization -- which the paper rebuts on the full population.
+
+This module carves the corresponding *published-year* subsets out of
+the corpus (prior work indexed by publication, which is the point) and
+recomputes the contested statistics, so the "conclusions drift with
+more data" claim is itself reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.metrics.correlation import pearson
+
+
+@dataclass(frozen=True)
+class SubsetComparison:
+    """A contested statistic on a prior subset vs. the full corpus."""
+
+    label: str
+    subset_size: int
+    subset_value: float
+    full_value: float
+
+    @property
+    def drift(self) -> float:
+        """How far the full-data value moved from the subset's."""
+        return self.full_value - self.subset_value
+
+
+def hsu_poole_subset(corpus: Corpus) -> Corpus:
+    """Results published through 2014 (the ICPE'15 study window)."""
+    return corpus.filter(lambda r: r.published_year <= 2014)
+
+
+def wong_2011_subset(corpus: Corpus) -> Corpus:
+    """Results published 2007-2011 (the MICRO'12 study window)."""
+    return corpus.filter(lambda r: 2007 <= r.published_year <= 2011)
+
+
+def wong_2015_subset(corpus: Corpus) -> Corpus:
+    """Results published through 2015 (the ISCA'16 study window)."""
+    return corpus.filter(lambda r: r.published_year <= 2015)
+
+
+def ep_score_correlation_drift(corpus: Corpus) -> SubsetComparison:
+    """The Hsu & Poole number: corr(EP, score) then vs. now.
+
+    The paper reports the correlation *decreasing* from 0.83 (459
+    partial results) to 0.741 (477 valid results) as the 2015-2016
+    high-efficiency / moderate-EP cohort arrived.
+    """
+    subset = hsu_poole_subset(corpus)
+    return SubsetComparison(
+        label="corr(EP, overall score)",
+        subset_size=len(subset),
+        subset_value=pearson(subset.eps(), subset.scores()),
+        full_value=pearson(corpus.eps(), corpus.scores()),
+    )
+
+
+def mean_ep_drift(corpus: Corpus) -> SubsetComparison:
+    """Fleet-average EP as seen in 2011 vs. the full record."""
+    subset = wong_2011_subset(corpus)
+    return SubsetComparison(
+        label="mean EP",
+        subset_size=len(subset),
+        subset_value=float(np.mean(subset.eps())),
+        full_value=float(np.mean(corpus.eps())),
+    )
+
+
+def high_ep_peak_spot_comparison(corpus: Corpus) -> Dict[str, float]:
+    """The Wong ISCA'16 dispute, on his window and on the full record.
+
+    Wong's claim: highly proportional servers typically peak near 60%
+    utilization.  The paper's rebuttal: on all published results only
+    ~2% peak at 60% (and ~69% still peak at 100%).  Both views are
+    computed here: the *share of high-EP servers* (EP >= 0.9) peaking
+    at or below 70%, per window.
+    """
+
+    def low_spot_share(population: Corpus) -> float:
+        high_ep = population.filter(lambda r: r.ep >= 0.9)
+        if len(high_ep) == 0:
+            return float("nan")
+        low = sum(1 for r in high_ep if r.primary_peak_spot <= 0.7)
+        return low / len(high_ep)
+
+    subset = wong_2015_subset(corpus)
+    return {
+        "window_size": float(len(subset)),
+        "high_ep_low_spot_share_window": low_spot_share(subset),
+        "high_ep_low_spot_share_full": low_spot_share(corpus),
+        "share_60_full": sum(
+            1 for r in corpus if abs(r.primary_peak_spot - 0.6) < 1e-9
+        )
+        / len(corpus),
+    }

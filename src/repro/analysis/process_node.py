@@ -1,0 +1,99 @@
+"""Lithography-node analysis (Section III.B's die-shrink discussion).
+
+The paper observes that "usually the servers with newer processor and
+finer manufacturing process have higher energy proportionality ...
+However, the server's energy proportionality maybe lower even if it is
+equipped with finer lithography process based processor" -- the Ivy
+Bridge (22 nm) regression below Sandy Bridge (32 nm) being the named
+counterexample.  This module quantifies both halves of the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.metrics.correlation import spearman
+from repro.power.microarch import CATALOG, Codename
+
+
+@dataclass(frozen=True)
+class NodeStat:
+    """EP summary of one lithography node."""
+
+    process_nm: int
+    count: int
+    avg_ep: float
+    codenames: Tuple[str, ...]
+
+
+def ep_by_process_node(corpus: Corpus) -> List[NodeStat]:
+    """Average EP per lithography node, finest node last."""
+    groups: Dict[int, List] = {}
+    names: Dict[int, set] = {}
+    for result in corpus:
+        if result.codename is Codename.UNKNOWN:
+            continue
+        nm = CATALOG[result.codename].process_nm
+        groups.setdefault(nm, []).append(result.ep)
+        names.setdefault(nm, set()).add(result.codename.value)
+    stats = [
+        NodeStat(
+            process_nm=nm,
+            count=len(values),
+            avg_ep=float(np.mean(values)),
+            codenames=tuple(sorted(names[nm])),
+        )
+        for nm, values in groups.items()
+    ]
+    stats.sort(key=lambda stat: -stat.process_nm)
+    return stats
+
+
+def node_ep_correlation(corpus: Corpus) -> float:
+    """Rank correlation between process fineness and EP (positive =
+    finer nodes are more proportional, the "usual" direction)."""
+    fineness = []
+    eps = []
+    for result in corpus:
+        if result.codename is Codename.UNKNOWN:
+            continue
+        fineness.append(-CATALOG[result.codename].process_nm)
+        eps.append(result.ep)
+    return spearman(fineness, eps)
+
+
+def shrink_regressions(corpus: Corpus) -> List[Tuple[str, str, float]]:
+    """Codename pairs where the finer-node successor has *lower* EP.
+
+    Each entry is (successor, predecessor, EP deficit).  The paper's
+    named case -- Ivy Bridge below Sandy Bridge -- must appear.
+    """
+    lineage = [
+        (Codename.IVY_BRIDGE, Codename.SANDY_BRIDGE),
+        (Codename.IVY_BRIDGE_EP, Codename.SANDY_BRIDGE_EP),
+        (Codename.SKYLAKE, Codename.BROADWELL),
+        (Codename.HASWELL, Codename.SANDY_BRIDGE_EN),
+        (Codename.BROADWELL, Codename.HASWELL),
+        (Codename.NEHALEM_EP, Codename.PENRYN),
+        (Codename.SANDY_BRIDGE, Codename.WESTMERE),
+    ]
+    regressions = []
+    for successor, predecessor in lineage:
+        new = corpus.by_codename(successor)
+        old = corpus.by_codename(predecessor)
+        if len(new) == 0 or len(old) == 0:
+            continue
+        new_nm = CATALOG[successor].process_nm
+        old_nm = CATALOG[predecessor].process_nm
+        if new_nm > old_nm:
+            continue  # not a shrink
+        deficit = float(np.mean(old.eps())) - float(np.mean(new.eps()))
+        if deficit > 0.0:
+            regressions.append(
+                (successor.value, predecessor.value, deficit)
+            )
+    return regressions

@@ -1,0 +1,54 @@
+"""Eq. 2 and the headline correlations (Sections I and III.D).
+
+* corr(EP, idle power percentage) = -0.92: the lower a server idles,
+  the more proportional it is;
+* EP = 1.2969 * exp(k * idle), R^2 = 0.892 (k ~= -2.06, recovered from
+  the paper's idle=5% => EP=1.17 example): proportionality improves
+  *exponentially* as idle power falls, with a theoretical ceiling of
+  1.297 at zero idle;
+* corr(EP, overall score) = 0.741 (the paper notes this is lower than
+  the 0.83 earlier work computed on a smaller, partly non-compliant
+  sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.corpus import Corpus
+from repro.metrics.correlation import pearson
+from repro.metrics.regression import ExponentialFit, exponential_fit
+
+
+@dataclass(frozen=True)
+class IdleRegression:
+    """The Section III.D study: Eq. 2 plus the idle correlation."""
+
+    fit: ExponentialFit
+    correlation: float
+    n: int
+
+    def predicted_ep(self, idle_fraction: float) -> float:
+        """EP the fitted Eq. 2 predicts for an idle power percentage."""
+        return float(self.fit.predict([idle_fraction])[0])
+
+    @property
+    def ceiling(self) -> float:
+        """Theoretical maximum EP (idle -> 0); the paper derives 1.297."""
+        return self.fit.amplitude
+
+
+def idle_regression(corpus: Corpus) -> IdleRegression:
+    """Fit Eq. 2 on the corpus and compute corr(EP, idle%)."""
+    eps = corpus.eps()
+    idles = corpus.idle_fractions()
+    return IdleRegression(
+        fit=exponential_fit(idles, eps),
+        correlation=pearson(eps, idles),
+        n=len(corpus),
+    )
+
+
+def ep_score_correlation(corpus: Corpus) -> float:
+    """corr(EP, overall SPECpower score); the paper reports 0.741."""
+    return pearson(corpus.eps(), corpus.scores())

@@ -1,0 +1,112 @@
+"""Economies of scale in nodes and chips (Figs. 13-15, Section III.E).
+
+The paper's findings:
+
+* multi-node systems get *more* proportional with node count -- median
+  EP rises monotonically from 1 through 16 nodes, though the average
+  dips at 8 nodes (a thin, bimodal group);
+* within single-node servers the benefit stops at 2 chips: 2-chip
+  boxes lead every EP/EE statistic except the median EP (1-chip wins
+  that one by a hair), and both metrics fall monotonically at 4 and 8
+  chips;
+* the 284 two-chip single-node servers beat the whole-corpus same-year
+  averages by +2.94% (EP) and +4.13% (EE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.stats import Summary, summarize
+from repro.dataset.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class ScaleStat:
+    """EP/EE summaries of one node-count or chip-count group."""
+
+    key: int
+    count: int
+    ep: Summary
+    score: Summary
+
+
+def node_scaling(corpus: Corpus, min_count: int = 3) -> List[ScaleStat]:
+    """Fig. 13: EP/EE per total node count (groups with >= min_count)."""
+    stats = []
+    for nodes in corpus.node_counts():
+        group = corpus.by_nodes(nodes)
+        if len(group) < min_count:
+            continue
+        stats.append(
+            ScaleStat(
+                key=nodes,
+                count=len(group),
+                ep=summarize(group.eps()),
+                score=summarize(group.scores()),
+            )
+        )
+    return stats
+
+
+def chip_scaling(corpus: Corpus) -> List[ScaleStat]:
+    """Fig. 14: EP/EE of single-node servers per chip count."""
+    single = corpus.single_node()
+    stats = []
+    for chips in single.chip_counts():
+        group = single.by_chips(chips)
+        stats.append(
+            ScaleStat(
+                key=chips,
+                count=len(group),
+                ep=summarize(group.eps()),
+                score=summarize(group.scores()),
+            )
+        )
+    return stats
+
+
+@dataclass(frozen=True)
+class TwoChipComparison:
+    """Fig. 15: 2-chip single-node servers vs. all servers, same-year."""
+
+    avg_ep_gain: float
+    avg_ee_gain: float
+    median_ep_gain: float
+    median_ee_gain: float
+    years_compared: int
+
+
+def two_chip_comparison(corpus: Corpus) -> TwoChipComparison:
+    """Same-hardware-availability-year comparison, weighted by the
+    number of 2-chip servers in each year (so thin years do not swamp
+    the estimate)."""
+    gains: Dict[str, float] = {"aep": 0.0, "aee": 0.0, "mep": 0.0, "mee": 0.0}
+    weight = 0
+    for year in corpus.hw_years():
+        everyone = corpus.by_hw_year(year)
+        two_chip = everyone.single_node().by_chips(2)
+        if len(two_chip) == 0:
+            continue
+        k = len(two_chip)
+        weight += k
+        all_ep, all_ee = np.asarray(everyone.eps()), np.asarray(everyone.scores())
+        two_ep, two_ee = np.asarray(two_chip.eps()), np.asarray(two_chip.scores())
+        gains["aep"] += k * (two_ep.mean() / all_ep.mean() - 1.0)
+        gains["aee"] += k * (two_ee.mean() / all_ee.mean() - 1.0)
+        gains["mep"] += k * (np.median(two_ep) / np.median(all_ep) - 1.0)
+        gains["mee"] += k * (np.median(two_ee) / np.median(all_ee) - 1.0)
+    if weight == 0:
+        raise ValueError("corpus has no 2-chip single-node servers")
+    return TwoChipComparison(
+        avg_ep_gain=gains["aep"] / weight,
+        avg_ee_gain=gains["aee"] / weight,
+        median_ep_gain=gains["mep"] / weight,
+        median_ee_gain=gains["mee"] / weight,
+        years_compared=len(
+            [y for y in corpus.hw_years() if len(corpus.by_hw_year(y).single_node().by_chips(2)) > 0]
+        ),
+    )

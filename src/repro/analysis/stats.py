@@ -1,0 +1,50 @@
+"""Summary-statistic primitives shared by the analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Min / max / mean / median of one statistic over a population."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+
+    def as_dict(self) -> dict:
+        """The summary as a plain mapping (keys: count/min/max/avg/median)."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "avg": self.mean,
+            "median": self.median,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary of a non-empty sequence."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+    )
+
+
+def relative_change(before: float, after: float) -> float:
+    """(after - before) / before; the paper's percent-change convention."""
+    if before == 0.0:
+        raise ValueError("relative change from zero is undefined")
+    return (after - before) / before

@@ -1,0 +1,100 @@
+"""Tick/tock attribution of the EP step-jumps (Section III.A).
+
+The paper: "From 2008 to 2009, the majority of the servers switch their
+processor microarchitecture from Core (Penryn) to Nehalem.  From 2011
+to 2012 ... from Nehalem (Westmere) to Sandy Bridge.  These two
+switches are called *tock* in Intel's tick-tock chip iteration model."
+This module tests the attribution directly: along the Intel server
+lineage, do new-microarchitecture steps (tocks) move EP more than
+die-shrink steps (ticks)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.power.microarch import CATALOG, Codename
+
+#: The Intel 2-socket server lineage, in succession order.
+SERVER_LINEAGE: Tuple[Codename, ...] = (
+    Codename.CORE,
+    Codename.PENRYN,
+    Codename.NEHALEM_EP,
+    Codename.WESTMERE_EP,
+    Codename.SANDY_BRIDGE_EP,
+    Codename.IVY_BRIDGE_EP,
+    Codename.HASWELL,
+    Codename.BROADWELL,
+    Codename.SKYLAKE,
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One generation step along the lineage."""
+
+    predecessor: Codename
+    successor: Codename
+    kind: str  # "tick" (die shrink) or "tock" (new microarchitecture)
+    ep_change: float
+    predecessor_ep: float
+    successor_ep: float
+
+
+def _kind(successor: Codename) -> str:
+    return "tock" if CATALOG[successor].is_tock else "tick"
+
+
+def lineage_transitions(corpus: Corpus) -> List[Transition]:
+    """EP change at every step of the server lineage, from the corpus."""
+    transitions: List[Transition] = []
+    for predecessor, successor in zip(SERVER_LINEAGE, SERVER_LINEAGE[1:]):
+        old = corpus.by_codename(predecessor)
+        new = corpus.by_codename(successor)
+        if len(old) == 0 or len(new) == 0:
+            continue
+        old_ep = float(np.mean(old.eps()))
+        new_ep = float(np.mean(new.eps()))
+        transitions.append(
+            Transition(
+                predecessor=predecessor,
+                successor=successor,
+                kind=_kind(successor),
+                ep_change=new_ep - old_ep,
+                predecessor_ep=old_ep,
+                successor_ep=new_ep,
+            )
+        )
+    return transitions
+
+
+def tick_tock_summary(corpus: Corpus) -> dict:
+    """Mean EP change per transition kind, plus the headline steps.
+
+    The paper's attribution holds when the mean tock gain exceeds the
+    mean tick gain and the two named tocks (Penryn -> Nehalem EP,
+    Westmere-EP -> Sandy Bridge EP) are the largest single gains.
+    """
+    transitions = lineage_transitions(corpus)
+    ticks = [t.ep_change for t in transitions if t.kind == "tick"]
+    tocks = [t.ep_change for t in transitions if t.kind == "tock"]
+    if not ticks or not tocks:
+        raise ValueError("corpus does not cover enough of the lineage")
+    named = {
+        (Codename.PENRYN, Codename.NEHALEM_EP),
+        (Codename.WESTMERE_EP, Codename.SANDY_BRIDGE_EP),
+    }
+    largest = sorted(transitions, key=lambda t: -t.ep_change)[:2]
+    return {
+        "transitions": transitions,
+        "mean_tick_gain": float(np.mean(ticks)),
+        "mean_tock_gain": float(np.mean(tocks)),
+        "named_tocks_are_largest": {
+            (t.predecessor, t.successor) for t in largest
+        }
+        == named,
+    }

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` -- enumerate the reproducible artifacts;
+* ``figure <id>`` -- regenerate one artifact and print it;
+* ``generate --out corpus.csv`` -- write the calibrated corpus to CSV;
+* ``validate <corpus.csv>`` -- lint a corpus for integrity problems;
+* ``report --out EXPERIMENTS.md`` -- write the paper-vs-measured report;
+* ``sweep <server#>`` -- run a Table II memory x frequency sweep;
+* ``run-all --output-dir DIR`` -- render every artifact to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.pipeline import build_experiments_report
+from repro.core.registry import REGISTRY
+from repro.core.study import Study
+from repro.dataset.io import save_corpus
+from repro.dataset.synthesis import generate_corpus
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Energy Proportional Servers: Where Are We "
+            "in 2016?' (ICDCS 2017)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2016, help="corpus generation seed"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="enumerate the reproducible artifacts")
+
+    figure = commands.add_parser("figure", help="regenerate one artifact")
+    figure.add_argument("figure_id", help="artifact id, e.g. fig3 or eq2")
+
+    generate = commands.add_parser("generate", help="write the corpus to CSV")
+    generate.add_argument("--out", default="corpus.csv", help="output path")
+
+    validate = commands.add_parser(
+        "validate", help="lint a corpus CSV for integrity problems"
+    )
+    validate.add_argument("path", help="corpus CSV to check")
+
+    report = commands.add_parser(
+        "report", help="write the paper-vs-measured report"
+    )
+    report.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+
+    sweep = commands.add_parser(
+        "sweep", help="run a Table II memory x frequency sweep"
+    )
+    sweep.add_argument(
+        "server", type=int, choices=(1, 2, 3, 4), help="testbed server number"
+    )
+
+    run_all = commands.add_parser(
+        "run-all", help="render every artifact to files"
+    )
+    run_all.add_argument(
+        "--output-dir", default="artifacts", help="directory for the renders"
+    )
+    return parser
+
+
+def _cmd_list(out) -> int:
+    width = max(len(figure_id) for figure_id in REGISTRY)
+    for figure_id, (_method, description) in REGISTRY.items():
+        print(f"{figure_id:<{width}}  {description}", file=out)
+    return 0
+
+
+def _cmd_figure(study: Study, figure_id: str, out) -> int:
+    if figure_id not in REGISTRY:
+        print(
+            f"unknown artifact {figure_id!r}; run 'repro list'", file=sys.stderr
+        )
+        return 2
+    result = study.figure(figure_id)
+    print(f"== {figure_id}: {result.title} ==", file=out)
+    print(result.text, file=out)
+    return 0
+
+
+def _cmd_generate(seed: int, path: str, out) -> int:
+    corpus = generate_corpus(seed)
+    save_corpus(corpus, path)
+    print(f"wrote {len(corpus)} results to {path}", file=out)
+    return 0
+
+
+def _cmd_validate(path: str, out) -> int:
+    from repro.dataset.io import load_corpus
+    from repro.dataset.validation import errors_only, validate_corpus
+
+    corpus = load_corpus(path)
+    findings = validate_corpus(corpus)
+    for finding in findings:
+        print(finding, file=out)
+    errors = errors_only(findings)
+    print(
+        f"{len(corpus)} results: {len(errors)} error(s), "
+        f"{len(findings) - len(errors)} warning(s)",
+        file=out,
+    )
+    return 1 if errors else 0
+
+
+def _cmd_report(study: Study, path: str, out) -> int:
+    Path(path).write_text(build_experiments_report(study))
+    print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_sweep(server_number: int, out) -> int:
+    from repro.hwexp.sweeps import run_sweep
+    from repro.hwexp.testbed import TESTBED
+    from repro.viz.tables import format_table
+
+    server = TESTBED[server_number]
+    sweep = run_sweep(server)
+    rows = []
+    for mpc in server.tested_memory_per_core:
+        for frequency in list(server.frequencies_ghz) + ["ondemand"]:
+            cell = sweep.cell(mpc, frequency)
+            rows.append(
+                [
+                    f"{mpc:g}",
+                    frequency if isinstance(frequency, str) else f"{frequency:g}",
+                    cell.overall_efficiency,
+                    cell.peak_power_w,
+                ]
+            )
+    print(
+        format_table(
+            ["GB/core", "freq (GHz)", "EE (ops/W)", "peak W"],
+            rows,
+            title=f"server #{server_number}: {server.name}",
+            float_format="{:.1f}",
+        ),
+        file=out,
+    )
+    print(f"best memory per core: {sweep.best_memory_per_core():g} GB", file=out)
+    return 0
+
+
+def _cmd_run_all(study: Study, output_dir: str, out) -> int:
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for figure_id, result in study.run_all().items():
+        (directory / f"{figure_id}.txt").write_text(
+            f"== {result.title} ==\n{result.text}\n"
+        )
+    print(f"wrote {len(REGISTRY)} artifacts to {directory}/", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = sys.stdout if out is None else out
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "generate":
+        return _cmd_generate(args.seed, args.out, out)
+    if args.command == "validate":
+        return _cmd_validate(args.path, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args.server, out)
+
+    study = Study(seed=args.seed)
+    if args.command == "figure":
+        return _cmd_figure(study, args.figure_id, out)
+    if args.command == "report":
+        return _cmd_report(study, args.out, out)
+    if args.command == "run-all":
+        return _cmd_run_all(study, args.output_dir, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,53 @@
+"""Section V.C operationalized: regions, logical clusters, placement.
+
+The paper's operational guidance: characterize each server's
+efficiency curve, group heterogeneous servers into *logical clusters*
+by proportionality and by their high-efficiency working regions, and
+place load so every active server sits inside its optimal region
+(~70-100% utilization for modern machines) instead of packing servers
+to 100%.
+
+* :mod:`repro.cluster.regions` -- optimal working regions from
+  efficiency curves;
+* :mod:`repro.cluster.logical_cluster` -- EP-based grouping with
+  overlapping-region computation;
+* :mod:`repro.cluster.placement` -- EP-aware placement vs. the
+  pack-to-full baseline, under throughput demand or a power cap;
+* :mod:`repro.cluster.multinode` -- cluster-wide proportionality of
+  node groups (the Fig. 13 economies-of-scale mechanism).
+"""
+
+from repro.cluster.logical_cluster import LogicalCluster, build_logical_clusters
+from repro.cluster.multinode import cluster_power_curve, cluster_proportionality
+from repro.cluster.placement import (
+    PlacementOutcome,
+    ep_aware_placement,
+    pack_to_full_placement,
+    max_throughput_under_cap,
+)
+from repro.cluster.regions import WorkingRegion, optimal_working_region
+from repro.cluster.trace import (
+    DemandTrace,
+    compare_policies,
+    daily_saving,
+    diurnal_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "LogicalCluster",
+    "PlacementOutcome",
+    "WorkingRegion",
+    "DemandTrace",
+    "compare_policies",
+    "daily_saving",
+    "diurnal_trace",
+    "replay_trace",
+    "build_logical_clusters",
+    "cluster_power_curve",
+    "cluster_proportionality",
+    "ep_aware_placement",
+    "max_throughput_under_cap",
+    "optimal_working_region",
+    "pack_to_full_placement",
+]

@@ -1,0 +1,113 @@
+"""Logical clusters of heterogeneous servers.
+
+Section V.C: "first group servers by their energy proportionality
+values, and then subdivide the servers by their energy efficiency
+curves by grouping the servers with the widest working region beyond
+the ideal energy efficiency curve into a logical cluster.  The optimal
+working region of this logical cluster is the overlapping best working
+region of its member servers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster.regions import (
+    WorkingRegion,
+    above_full_load_region,
+    optimal_working_region,
+)
+from repro.dataset.schema import SpecPowerResult
+
+
+@dataclass
+class LogicalCluster:
+    """A group of servers operated as one placement unit."""
+
+    ep_band: tuple
+    members: List[SpecPowerResult]
+    region: WorkingRegion
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def total_capacity_ops(self) -> float:
+        """Aggregate throughput at the region's upper edge."""
+        from repro.cluster.regions import throughput_at
+
+        return sum(
+            throughput_at(member, self.region.high) for member in self.members
+        )
+
+
+def _overlap(regions: Sequence[WorkingRegion]) -> WorkingRegion:
+    combined = regions[0]
+    for region in regions[1:]:
+        combined = combined.intersect(region)
+    return combined
+
+
+def build_logical_clusters(
+    servers: Sequence[SpecPowerResult],
+    ep_band_width: float = 0.1,
+    region_threshold: float = 0.95,
+    min_size: int = 1,
+    min_region_width: float = 0.1,
+) -> List[LogicalCluster]:
+    """Group servers into logical clusters per the Section V.C recipe.
+
+    Servers are bucketed into EP bands of ``ep_band_width``; within a
+    band, servers whose optimal regions mutually overlap are greedily
+    merged (widest above-full-load region first), and each cluster's
+    operating region is the intersection of its members' regions.  A
+    merge is rejected when it would squeeze the cluster's region below
+    ``min_region_width`` -- a one-point region is useless to operate in.
+    """
+    if not servers:
+        raise ValueError("no servers to cluster")
+    bands = {}
+    for server in servers:
+        index = int(server.ep / ep_band_width)
+        bands.setdefault(index, []).append(server)
+
+    clusters: List[LogicalCluster] = []
+    for index in sorted(bands):
+        members = sorted(
+            bands[index],
+            key=lambda server: -above_full_load_region(server).width,
+        )
+        remaining = list(members)
+        while remaining:
+            seed = remaining.pop(0)
+            group = [seed]
+            region = optimal_working_region(seed, region_threshold)
+            still_unplaced = []
+            for candidate in remaining:
+                candidate_region = optimal_working_region(
+                    candidate, region_threshold
+                )
+                try:
+                    merged = region.intersect(candidate_region)
+                except ValueError:
+                    still_unplaced.append(candidate)
+                    continue
+                if merged.width < min_region_width - 1e-12:
+                    still_unplaced.append(candidate)
+                    continue
+                group.append(candidate)
+                region = merged
+            remaining = still_unplaced
+            if len(group) >= min_size:
+                clusters.append(
+                    LogicalCluster(
+                        ep_band=(
+                            round(index * ep_band_width, 3),
+                            round((index + 1) * ep_band_width, 3),
+                        ),
+                        members=group,
+                        region=region,
+                    )
+                )
+    return clusters

@@ -1,0 +1,81 @@
+"""Cluster-wide proportionality of node groups.
+
+Fig. 13's mechanism, reproduced from first principles: a group of
+identical nodes behind an ideal load balancer can power nodes off when
+the aggregate load allows it, so the *group's* power-utilization curve
+hugs the ideal line far better than a single node's -- "grouping
+multiple identical nodes to work together on same workload is more
+energy proportional than letting individual identical server node work
+on different workloads".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.regions import power_at
+from repro.dataset.schema import SpecPowerResult
+from repro.metrics.ep import energy_proportionality
+
+
+def cluster_power_curve(
+    node: SpecPowerResult,
+    nodes: int,
+    utilization_grid: Sequence[float] = None,
+    can_power_off: bool = True,
+) -> Tuple[List[float], List[float]]:
+    """(utilization, power) of an ideally balanced n-node group.
+
+    At aggregate utilization ``u`` the balancer activates the fewest
+    nodes that can carry ``u * n`` node-loads without exceeding 100%
+    each, spreads the load evenly across them, and (optionally) powers
+    the rest off.  With ``can_power_off=False`` inactive nodes idle.
+    """
+    if nodes <= 0:
+        raise ValueError("node count must be positive")
+    if utilization_grid is None:
+        utilization_grid = [round(0.05 * i, 2) for i in range(21)]
+    idle_power = node.curve()[1][0]
+    powers = []
+    for u in utilization_grid:
+        if not 0.0 <= u <= 1.0:
+            raise ValueError("utilization must lie in [0, 1]")
+        total_load = u * nodes
+        active = max(1, int(np.ceil(total_load - 1e-9))) if total_load > 0 else 0
+        if active == 0:
+            power = 0.0 if can_power_off else idle_power * nodes
+            powers.append(power if power > 0 else idle_power)  # keep curve positive
+            continue
+        per_node = total_load / active
+        power = active * power_at(node, per_node)
+        if not can_power_off:
+            power += (nodes - active) * idle_power
+        powers.append(power)
+    return list(utilization_grid), powers
+
+
+def cluster_proportionality(
+    node: SpecPowerResult, nodes: int, can_power_off: bool = True
+) -> float:
+    """EP (Eq. 1) of the n-node group's aggregate curve."""
+    grid, powers = cluster_power_curve(node, nodes, can_power_off=can_power_off)
+    return energy_proportionality(grid, powers)
+
+
+def independent_vs_grouped(
+    node: SpecPowerResult, nodes: int, utilization: float
+) -> Tuple[float, float]:
+    """Power at one aggregate utilization: independent vs. grouped.
+
+    *Independent*: every node runs the same partial load (no
+    consolidation).  *Grouped*: the balancer concentrates load on the
+    fewest nodes.  Returns (independent_watts, grouped_watts).
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must lie in [0, 1]")
+    independent = nodes * power_at(node, utilization)
+    grid, powers = cluster_power_curve(node, nodes)
+    grouped = float(np.interp(utilization, grid, powers))
+    return independent, grouped

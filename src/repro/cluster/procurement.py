@@ -1,0 +1,194 @@
+"""Capacity planning: which server should the next rack buy?
+
+The paper's conclusion lists "system capacity planning" among the uses
+of its findings, and its central caution is that *peak* efficiency is
+the wrong buying criterion: "a server with high peak energy efficiency
+is not essentially highly energy proportional" (Section I).  This
+module makes that concrete:
+
+* :func:`fleet_for_demand` sizes a homogeneous fleet of one candidate
+  model to carry a peak demand;
+* :func:`evaluate_candidate` integrates that fleet's energy over a
+  demand trace (the duty cycle the fleet will actually see);
+* :func:`plan_procurement` ranks candidate models by trace energy and
+  reports how the ranking differs from a naive peak-EE ranking --
+  under a realistic diurnal duty cycle a more proportional server can
+  beat one with a higher headline efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.regions import power_at, throughput_at
+from repro.cluster.trace import DemandTrace, diurnal_trace
+from repro.dataset.schema import SpecPowerResult
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One candidate model sized and priced in energy terms."""
+
+    candidate: SpecPowerResult
+    servers_needed: int
+    daily_energy_kwh: float
+    peak_ee: float
+    ep: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.candidate.vendor} {self.candidate.model}"
+
+
+def fleet_for_demand(
+    candidate: SpecPowerResult,
+    peak_demand_ops: float,
+    headroom: float = 0.10,
+) -> int:
+    """Servers of this model needed to carry the peak with headroom."""
+    if peak_demand_ops <= 0.0:
+        raise ValueError("peak demand must be positive")
+    if not 0.0 <= headroom < 1.0:
+        raise ValueError("headroom must lie in [0, 1)")
+    per_server = throughput_at(candidate, 1.0) * (1.0 - headroom)
+    return max(1, math.ceil(peak_demand_ops / per_server))
+
+
+def evaluate_candidate(
+    candidate: SpecPowerResult,
+    peak_demand_ops: float,
+    trace: DemandTrace,
+    headroom: float = 0.10,
+) -> CandidateEvaluation:
+    """Daily energy of a homogeneous fleet of this model on the trace.
+
+    The fleet balances each step's demand evenly (homogeneous servers,
+    no power-off: the rack is provisioned for the peak).
+    """
+    count = fleet_for_demand(candidate, peak_demand_ops, headroom)
+    per_server_capacity = throughput_at(candidate, 1.0)
+    step_hours = 24.0 / trace.steps
+    energy_wh = 0.0
+    for fraction in trace.demand_fraction:
+        demand = fraction * peak_demand_ops
+        utilization = min(1.0, demand / (count * per_server_capacity))
+        energy_wh += count * power_at(candidate, utilization) * step_hours
+    return CandidateEvaluation(
+        candidate=candidate,
+        servers_needed=count,
+        daily_energy_kwh=energy_wh / 1000.0,
+        peak_ee=candidate.peak_ee,
+        ep=candidate.ep,
+    )
+
+
+@dataclass
+class ProcurementPlan:
+    """Ranked candidates plus the peak-EE-naive comparison."""
+
+    evaluations: List[CandidateEvaluation]
+
+    @property
+    def best_by_energy(self) -> CandidateEvaluation:
+        return min(self.evaluations, key=lambda e: e.daily_energy_kwh)
+
+    @property
+    def best_by_peak_ee(self) -> CandidateEvaluation:
+        return max(self.evaluations, key=lambda e: e.peak_ee)
+
+    @property
+    def naive_choice_matches(self) -> bool:
+        return (
+            self.best_by_energy.candidate.result_id
+            == self.best_by_peak_ee.candidate.result_id
+        )
+
+    @property
+    def naive_penalty(self) -> float:
+        """Extra daily energy of the peak-EE choice over the best."""
+        best = self.best_by_energy.daily_energy_kwh
+        naive = self.best_by_peak_ee.daily_energy_kwh
+        return naive / best - 1.0
+
+
+def build_controlled_candidates(
+    ee_at_full: float = 45.0,
+    peak_power_w: float = 300.0,
+    low_ep: float = 0.65,
+    high_ep: float = 0.95,
+    throughput_edge: float = 0.12,
+) -> List[SpecPowerResult]:
+    """Two candidate models isolating the paper's Section I caution.
+
+    The *throughput champion* carries ``throughput_edge`` more
+    efficiency at full load (and therefore the higher peak EE) but a
+    low EP; the *proportional* design gives up the headline number for
+    a high EP.  Everything else (peak power, measurement grid) is
+    identical, so a procurement comparison between them measures the
+    value of proportionality alone.
+    """
+    from repro.dataset.curve_family import solve_curve_with_fallback
+    from repro.dataset.schema import LoadLevel
+    from repro.metrics.ep import TARGET_LOADS_DESCENDING
+    from repro.power.microarch import Codename
+
+    def materialize(result_id: str, model: str, ep: float, spot: float,
+                    efficiency: float) -> SpecPowerResult:
+        idle = 0.5 * (2.0 - ep) - 0.35  # a mid-band idle consistent with EP
+        idle = min(max(idle, 0.06), 0.9 * (1.0 - ep / 2.0))
+        curve = solve_curve_with_fallback(ep, idle, spot)
+        grid = curve.grid_power()
+        max_ops = efficiency * peak_power_w
+        levels = [
+            LoadLevel(
+                target_load=load,
+                ssj_ops=max_ops * load,
+                average_power_w=peak_power_w * float(grid[int(round(load * 10))]),
+            )
+            for load in TARGET_LOADS_DESCENDING
+        ]
+        return SpecPowerResult(
+            result_id=result_id,
+            vendor="Controlled",
+            model=model,
+            form_factor="2U",
+            hw_year=2016,
+            published_year=2016,
+            codename=Codename.HASWELL,
+            nodes=1,
+            chips_per_node=2,
+            cores_per_chip=12,
+            memory_gb=64.0,
+            levels=levels,
+            active_idle_power_w=peak_power_w * float(grid[0]),
+        )
+
+    champion = materialize(
+        "ctrl-throughput", "Throughput champion", low_ep, 1.0,
+        ee_at_full * (1.0 + throughput_edge),
+    )
+    proportional = materialize(
+        "ctrl-proportional", "Proportional design", high_ep, 0.8, ee_at_full
+    )
+    return [champion, proportional]
+
+
+def plan_procurement(
+    candidates: Sequence[SpecPowerResult],
+    peak_demand_ops: float,
+    trace: Optional[DemandTrace] = None,
+    headroom: float = 0.10,
+) -> ProcurementPlan:
+    """Evaluate every candidate model on the duty cycle and rank."""
+    if not candidates:
+        raise ValueError("no candidate models to evaluate")
+    if trace is None:
+        trace = diurnal_trace(noise=0.0)
+    evaluations = [
+        evaluate_candidate(candidate, peak_demand_ops, trace, headroom)
+        for candidate in candidates
+    ]
+    evaluations.sort(key=lambda e: e.daily_energy_kwh)
+    return ProcurementPlan(evaluations=evaluations)

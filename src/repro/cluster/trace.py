@@ -1,0 +1,157 @@
+"""Trace-driven placement simulation.
+
+Section V.C frames its guidance for live operation -- heterogeneous
+servers, fluctuating demand, fixed racks.  This module closes the loop:
+generate a diurnal demand trace (the double-peaked day shape that
+motivates energy-proportional computing in the first place, per
+Barroso & Hoelzle), replay it against a fleet under each placement
+policy, and integrate energy over the day.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.placement import (
+    PlacementOutcome,
+    ep_aware_placement,
+    pack_to_full_placement,
+)
+from repro.dataset.schema import SpecPowerResult
+
+
+@dataclass(frozen=True)
+class DemandTrace:
+    """A demand time series, as fractions of fleet capacity."""
+
+    times_h: tuple
+    demand_fraction: tuple
+
+    def __post_init__(self):
+        if len(self.times_h) != len(self.demand_fraction) or not self.times_h:
+            raise ValueError("trace arrays must align and be non-empty")
+        if any(not 0.0 <= d <= 1.0 for d in self.demand_fraction):
+            raise ValueError("demand fractions must lie in [0, 1]")
+
+    @property
+    def steps(self) -> int:
+        return len(self.times_h)
+
+    def mean_demand(self) -> float:
+        """Average demand fraction over the trace."""
+        return float(np.mean(self.demand_fraction))
+
+
+def diurnal_trace(
+    steps_per_day: int = 48,
+    base: float = 0.25,
+    peak: float = 0.85,
+    peak_hour: float = 14.0,
+    secondary_peak_hour: float = 20.5,
+    noise: float = 0.02,
+    rng: Optional[np.random.Generator] = None,
+) -> DemandTrace:
+    """A double-peaked day: quiet night, afternoon peak, evening bump."""
+    if not 0.0 <= base < peak <= 1.0:
+        raise ValueError("need 0 <= base < peak <= 1")
+    if steps_per_day < 4:
+        raise ValueError("at least four steps per day")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    times = [24.0 * i / steps_per_day for i in range(steps_per_day)]
+    demands = []
+    for t in times:
+        main = math.exp(-((t - peak_hour) ** 2) / (2 * 3.5**2))
+        evening = 0.55 * math.exp(-((t - secondary_peak_hour) ** 2) / (2 * 1.8**2))
+        shape = min(1.0, main + evening)
+        level = base + (peak - base) * shape
+        level += float(rng.normal(0.0, noise))
+        demands.append(min(1.0, max(0.0, level)))
+    return DemandTrace(times_h=tuple(times), demand_fraction=tuple(demands))
+
+
+@dataclass
+class TraceOutcome:
+    """Energy accounting of one policy over one trace."""
+
+    policy: str
+    energy_kwh: float
+    served_gops: float
+    step_hours: float
+    unserved_steps: int
+
+    @property
+    def energy_per_gop(self) -> float:
+        if self.served_gops == 0.0:
+            return float("inf")
+        return self.energy_kwh / self.served_gops
+
+
+_POLICIES: Dict[str, Callable] = {
+    "pack-to-full": pack_to_full_placement,
+    "ep-aware": ep_aware_placement,
+}
+
+
+def replay_trace(
+    fleet: Sequence[SpecPowerResult],
+    trace: DemandTrace,
+    policy: str = "ep-aware",
+    power_off_unused: bool = False,
+) -> TraceOutcome:
+    """Integrate fleet energy while serving the trace under a policy."""
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}")
+    place = _POLICIES[policy]
+    capacity = sum(
+        level.ssj_ops
+        for server in fleet
+        for level in server.levels
+        if level.target_load == 1.0
+    )
+    step_hours = 24.0 / trace.steps
+    energy_wh = 0.0
+    served_ops_h = 0.0
+    unserved = 0
+    for fraction in trace.demand_fraction:
+        outcome: PlacementOutcome = place(
+            fleet, fraction * capacity, power_off_unused
+        )
+        if not outcome.satisfied():
+            unserved += 1
+        energy_wh += outcome.total_power_w * step_hours
+        served_ops_h += outcome.placed_ops * step_hours
+    return TraceOutcome(
+        policy=policy,
+        energy_kwh=energy_wh / 1000.0,
+        served_gops=served_ops_h * 3600.0 / 1e9,
+        step_hours=step_hours,
+        unserved_steps=unserved,
+    )
+
+
+def compare_policies(
+    fleet: Sequence[SpecPowerResult],
+    trace: Optional[DemandTrace] = None,
+    power_off_unused: bool = False,
+) -> Dict[str, TraceOutcome]:
+    """Replay the same trace under every policy."""
+    if trace is None:
+        trace = diurnal_trace()
+    return {
+        policy: replay_trace(fleet, trace, policy, power_off_unused)
+        for policy in _POLICIES
+    }
+
+
+def daily_saving(outcomes: Dict[str, TraceOutcome]) -> float:
+    """Relative daily energy saved by EP-aware placement over packing."""
+    packed = outcomes["pack-to-full"].energy_kwh
+    aware = outcomes["ep-aware"].energy_kwh
+    if packed <= 0.0:
+        raise ValueError("degenerate trace: no energy consumed")
+    return 1.0 - aware / packed

@@ -1,0 +1,13 @@
+"""The study pipeline: one call per paper figure or table.
+
+:class:`~repro.core.study.Study` owns a corpus (generated or supplied)
+and exposes a ``figure(id)`` / ``run_all()`` API whose results carry
+both the raw data series and a plain-text rendering.  The registry in
+:mod:`repro.core.registry` maps every artifact of the paper (Figs.
+1-21, Tables I-II, Eq. 2, and the scalar findings) to its builder.
+"""
+
+from repro.core.registry import FIGURE_IDS
+from repro.core.study import FigureResult, Study
+
+__all__ = ["FIGURE_IDS", "FigureResult", "Study"]

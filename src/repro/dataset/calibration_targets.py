@@ -1,0 +1,494 @@
+"""Calibration targets transcribed from the paper.
+
+Every constant in this module is a number the paper states (or a value
+reconstructed from percentages it states -- each such reconstruction is
+annotated).  The synthesis pipeline treats these tables as ground
+truth; the benchmark harness re-derives the paper's figures from the
+generated corpus and checks them against the same tables.
+
+Reconstruction notes
+--------------------
+* ``YEAR_COUNTS``: the paper gives 477 total, 27.4% (=> 131) made in
+  2012, 18 servers in 2016Q1-Q3, and peak-spot shares that pin the
+  2013-2016 interval at 56 servers (13/56 = 23.21%, 20/56 = 35.71%,
+  15/56 = 26.79% match Section IV.A exactly).  Within those anchors the
+  per-year split follows the published-results growth curve, with the
+  thin years (2004-2006, 2014) the paper calls out kept thin.
+* ``CODENAME_COUNTS``: Fig. 6/7 legends give Netburst 3, Sandy Bridge
+  EN 22, and family totals Nehalem 152 / Sandy Bridge 137; the
+  remaining splits are chosen to respect both the family totals and the
+  year anchors.  (The extraction of Fig. 6's remaining counts is
+  partially garbled; DESIGN.md records the choice.)
+* ``PEAK_SPOT_YEAR_COUNTS``: Section IV.A gives the global shares
+  (69.25% @100, 13.81% @70, 11.72% @80, 3.35% @90, 1.88% @60), the
+  2016 breakdown (3/10/5), the interval shares, and "before 2010 all
+  servers peak at 100%".  The table satisfies every one of those
+  constraints simultaneously (330/66/56/16/9 servers).
+* ``EQ2_RATE``: the PDF extraction drops Eq. 2's exponent; the paper's
+  worked example (idle 5% => EP 1.17) recovers k = -2.06, consistent
+  with the stated EP -> 1.297 asymptote at idle = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.power.microarch import Codename
+
+#: Total valid results analysed by the paper.
+TOTAL_SERVERS = 477
+
+#: Results whose published year differs from hardware availability
+#: (15.5% of 477).
+REORGANIZED_SERVERS = 74
+
+#: Eq. 2 constants: EP = EQ2_AMPLITUDE * exp(EQ2_RATE * idle_fraction).
+EQ2_AMPLITUDE = 1.2969
+EQ2_RATE = -2.06
+
+#: Paper-reported correlations.
+CORR_EP_IDLE = -0.92
+CORR_EP_SCORE = 0.741
+EQ2_R_SQUARED = 0.892
+
+#: Hardware-availability-year counts (reconstructed; see module notes).
+YEAR_COUNTS: Dict[int, int] = {
+    2004: 1,
+    2005: 2,
+    2006: 2,
+    2007: 20,
+    2008: 52,
+    2009: 62,
+    2010: 65,
+    2011: 86,
+    2012: 131,
+    2013: 20,
+    2014: 6,
+    2015: 12,
+    2016: 18,
+}
+
+#: Per-year (codename -> count) allocation.  Row sums equal
+#: ``YEAR_COUNTS``; column sums equal ``CODENAME_COUNTS``.
+YEAR_CODENAME_COUNTS: Dict[int, Dict[Codename, int]] = {
+    2004: {Codename.NETBURST: 1},
+    2005: {Codename.NETBURST: 2},
+    2006: {Codename.CORE: 2},
+    2007: {Codename.CORE: 18, Codename.UNKNOWN: 2},
+    2008: {
+        Codename.CORE: 2,
+        Codename.PENRYN: 34,
+        Codename.YORKFIELD: 10,
+        Codename.BARCELONA: 4,
+        Codename.UNKNOWN: 2,
+    },
+    2009: {
+        Codename.PENRYN: 6,
+        Codename.YORKFIELD: 6,
+        Codename.NEHALEM_EP: 30,
+        Codename.LYNNFIELD: 12,
+        Codename.ISTANBUL: 6,
+        Codename.UNKNOWN: 2,
+    },
+    2010: {
+        Codename.NEHALEM_EP: 12,
+        Codename.NEHALEM_EX: 8,
+        Codename.WESTMERE: 20,
+        Codename.WESTMERE_EP: 12,
+        Codename.MAGNY_COURS: 8,
+        Codename.UNKNOWN: 5,
+    },
+    2011: {
+        Codename.WESTMERE: 6,
+        Codename.WESTMERE_EP: 52,
+        Codename.SANDY_BRIDGE: 15,
+        Codename.INTERLAGOS: 9,
+        Codename.UNKNOWN: 4,
+    },
+    2012: {
+        Codename.SANDY_BRIDGE: 15,
+        Codename.SANDY_BRIDGE_EP: 50,
+        Codename.SANDY_BRIDGE_EN: 22,
+        Codename.IVY_BRIDGE: 21,
+        Codename.ABU_DHABI: 7,
+        Codename.SEOUL: 5,
+        Codename.UNKNOWN: 11,
+    },
+    2013: {
+        Codename.IVY_BRIDGE: 6,
+        Codename.IVY_BRIDGE_EP: 4,
+        Codename.HASWELL: 9,
+        Codename.UNKNOWN: 1,
+    },
+    2014: {Codename.IVY_BRIDGE_EP: 4, Codename.HASWELL: 2},
+    2015: {Codename.HASWELL: 9, Codename.BROADWELL: 2, Codename.SKYLAKE: 1},
+    2016: {
+        Codename.HASWELL: 10,
+        Codename.BROADWELL: 3,
+        Codename.SKYLAKE: 2,
+        Codename.UNKNOWN: 3,
+    },
+}
+
+#: Additive per-year EP drift on top of the codename mean.  Captures
+#: platform-level (not CPU-level) effects: later steppings and board
+#: revisions idle lower (Section III.B notes EP "recovers in 2015 and
+#: 2016"), early platforms of a codename idle higher.  The 2013/-0.025
+#: and 2014/+0.06 pair realizes the paper's Fig. 3 anomaly: average EP
+#: falls from 2012 through 2014 while the 2014 *median* still rises
+#: above 2013's.
+YEAR_EP_TWEAK: Dict[int, float] = {
+    2004: 0.16,
+    2006: 0.03,
+    2007: 0.03,
+    2008: 0.025,
+    2010: 0.035,
+    2012: 0.01,
+    2013: -0.025,
+    2014: 0.09,
+    2015: 0.0,
+    2016: 0.005,
+}
+
+#: Average overall SPECpower score per hardware-availability year
+#: (ssj_ops per watt).  Anchored to Fig. 4's range: low hundreds before
+#: 2008 and ~11-12k for 2016 (the Fig. 1 exemplar server scores 12212).
+YEAR_SCORE_BASE: Dict[int, float] = {
+    2004: 180.0,
+    2005: 220.0,
+    2006: 320.0,
+    2007: 500.0,
+    2008: 820.0,
+    2009: 1500.0,
+    2010: 2200.0,
+    2011: 3100.0,
+    2012: 4400.0,
+    2013: 5100.0,
+    2014: 5800.0,
+    2015: 9200.0,
+    2016: 11200.0,
+}
+
+#: Peak-efficiency-spot allocation per year: {year: {spot: count}}.
+#: Satisfies the Section IV.A constraints listed in the module notes.
+PEAK_SPOT_YEAR_COUNTS: Dict[int, Dict[float, int]] = {
+    2004: {1.0: 1},
+    2005: {1.0: 2},
+    2006: {1.0: 2},
+    2007: {1.0: 20},
+    2008: {1.0: 52},
+    2009: {1.0: 62},
+    2010: {1.0: 58, 0.9: 3, 0.8: 3, 0.7: 1},
+    2011: {1.0: 70, 0.9: 5, 0.8: 6, 0.7: 5},
+    2012: {1.0: 50, 0.9: 5, 0.8: 27, 0.7: 45, 0.6: 4},
+    2013: {1.0: 5, 0.9: 1, 0.8: 8, 0.7: 6},
+    2014: {1.0: 2, 0.8: 1, 0.7: 2, 0.6: 1},
+    2015: {1.0: 3, 0.9: 2, 0.8: 1, 0.7: 2, 0.6: 4},
+    2016: {1.0: 3, 0.8: 10, 0.7: 5},
+}
+
+#: Paper-stated global peak-spot shares (Section IV.A).
+PEAK_SPOT_SHARES = {1.0: 0.6925, 0.9: 0.0335, 0.8: 0.1172, 0.7: 0.1381, 0.6: 0.0188}
+
+#: Memory-per-core histogram of Table I (430 of the 477 servers).
+MEMORY_PER_CORE_COUNTS: Dict[float, int] = {
+    0.67: 15,
+    1.0: 153,
+    1.33: 32,
+    1.5: 68,
+    1.78: 13,
+    2.0: 123,
+    4.0: 26,
+}
+
+#: Ratios used for the 47 servers outside Table I's seven buckets.
+OTHER_MEMORY_PER_CORE: Tuple[float, ...] = (0.5, 2.67, 3.0, 5.33, 8.0)
+
+#: EP adjustment and EE factor by memory-per-core bucket (Fig. 17:
+#: EP peaks at 1.5 GB/core, EE at 1.78 GB/core).
+MPC_EP_ADJUST: Dict[float, float] = {
+    0.5: -0.07,
+    0.67: -0.06,
+    1.0: -0.02,
+    1.33: -0.01,
+    1.5: 0.045,
+    1.78: 0.01,
+    2.0: 0.0,
+    2.67: -0.01,
+    3.0: -0.02,
+    4.0: -0.03,
+    5.33: -0.04,
+    8.0: -0.05,
+}
+MPC_EE_FACTOR: Dict[float, float] = {
+    0.5: 0.80,
+    0.67: 0.84,
+    1.0: 0.96,
+    1.33: 0.97,
+    1.5: 1.00,
+    1.78: 1.09,
+    2.0: 1.00,
+    2.67: 0.97,
+    3.0: 0.95,
+    4.0: 0.90,
+    5.33: 0.86,
+    8.0: 0.82,
+}
+
+#: Single-node chip-count histogram (Section III.E: 403 single-node
+#: servers; 77/284/36/6 with 1/2/4/8 chips).
+SINGLE_NODE_CHIP_COUNTS: Dict[int, int] = {1: 77, 2: 284, 4: 36, 8: 6}
+
+#: EP adjustment and EE factor by chip count (Fig. 14: 2 chips best for
+#: EE and average EP; EP and EE fall monotonically beyond 2 chips).
+CHIP_EP_ADJUST: Dict[int, float] = {1: -0.022, 2: 0.022, 4: -0.05, 8: -0.10}
+CHIP_EE_FACTOR: Dict[int, float] = {1: 0.89, 2: 1.06, 4: 0.90, 8: 0.78}
+
+#: Multi-node population: 74 servers (477 - 403).
+MULTI_NODE_COUNTS: Dict[int, int] = {2: 40, 4: 20, 8: 6, 16: 8}
+
+#: EP bonus by node count (Fig. 13: economies of scale; median EP rises
+#: monotonically with nodes).
+NODE_EP_BONUS: Dict[int, float] = {1: 0.0, 2: 0.03, 4: 0.055, 8: 0.075, 16: 0.10}
+
+#: EE factor by node count (Fig. 13 also shows efficiency improving
+#: with scale: shared chassis, fans, and PSUs amortize better).
+NODE_EE_FACTOR: Dict[int, float] = {1: 1.0, 2: 1.10, 4: 1.22, 8: 1.30, 16: 1.38}
+
+#: Years the multi-node servers of each size were released in.  The
+#: 8-node group mixes two old Westmere clusters with four Haswell-era
+#: units so that the *average* EP dips at 8 nodes while the *median*
+#: stays above the 4-node value, exactly the Fig. 13 anomaly.  The
+#: 2-node group skews older than the 4-node group so the median EP
+#: climbs monotonically with node count.
+MULTI_NODE_YEAR_PLAN: Dict[int, List[int]] = {
+    2: [2010] * 6 + [2011] * 14 + [2012] * 14 + [2013] * 3 + [2015] + [2016] * 2,
+    4: [2011] * 10 + [2012] * 10,
+    8: [2010] * 2 + [2013] * 4,
+    16: [2012] * 8,
+}
+
+#: Publication-lag plan: how many of the 74 reorganized results were
+#: published N years after (or, for -1, before) hardware availability.
+PUBLICATION_LAG_COUNTS: Dict[int, int] = {1: 50, 2: 12, 3: 5, 4: 3, 5: 2, 6: 1, -1: 1}
+
+
+@dataclass(frozen=True)
+class PinnedServer:
+    """A specific exemplar the paper names (Figs. 1, 9-12, Section III).
+
+    ``power_curve`` overrides the family solve with explicit normalized
+    power at the eleven measurement points; only the Fig. 10 server
+    whose curve crosses the ideal line twice needs it.
+    """
+
+    key: str
+    hw_year: int
+    ep: float
+    peak_spot: float
+    codename: Codename
+    form_factor: str = "2U"
+    score: Optional[float] = None
+    idle_fraction: Optional[float] = None
+    tie_peak_spots: bool = False
+    power_curve: Optional[Tuple[float, ...]] = None
+    nodes: int = 1
+    chips_per_node: int = 2
+    cores_per_chip: Optional[int] = None
+
+
+#: The eleven normalized power points (idle, 10%..100%) of the 2014
+#: "1U server" in Fig. 10 whose EP curve crosses the ideal line twice
+#: (between 50-60% and 70-80% utilization).  The trapezoid area is
+#: exactly 0.57, i.e. EP = 0.86; the curve sits above the ideal line at
+#: 50% (+0.0575), below it at 60% and 70% (-0.015, -0.025), and above
+#: again at 80% (+0.025) -- hence the two crossings in the bands the
+#: paper describes.  Its relative efficiency peaks at 70% utilization.
+_DOUBLE_CROSSER: Tuple[float, ...] = (
+    0.185, 0.28, 0.355, 0.425, 0.49, 0.5575, 0.585, 0.675, 0.825, 0.915, 1.0
+)
+
+#: Exemplars pinned to exact EP values so the selected-curve figures
+#: (Figs. 10 and 12) and the envelope extremes (Figs. 9 and 11) land on
+#: the published numbers.
+PINNED_SERVERS: Tuple[PinnedServer, ...] = (
+    PinnedServer("min-2008", 2008, 0.18, 1.0, Codename.PENRYN, form_factor="4U",
+                 idle_fraction=0.88),
+    PinnedServer("sel-2005", 2005, 0.30, 1.0, Codename.NETBURST, form_factor="Tower"),
+    PinnedServer("sel-2009", 2009, 0.61, 1.0, Codename.NEHALEM_EP),
+    PinnedServer("sel-2011", 2011, 0.75, 0.9, Codename.WESTMERE_EP),
+    PinnedServer("tie-2011", 2011, 0.78, 0.8, Codename.WESTMERE_EP,
+                 tie_peak_spots=True),
+    PinnedServer("max-2012", 2012, 1.05, 0.7, Codename.SANDY_BRIDGE_EN,
+                 form_factor="1U"),
+    PinnedServer("sel-2014", 2014, 0.86, 0.7, Codename.IVY_BRIDGE_EP,
+                 form_factor="1U", power_curve=_DOUBLE_CROSSER),
+    PinnedServer("outlier-2014", 2014, 0.32, 1.0, Codename.HASWELL,
+                 form_factor="Tower", score=1469.0, nodes=1, chips_per_node=1,
+                 cores_per_chip=4),
+    PinnedServer("sel-2016-075", 2016, 0.75, 1.0, Codename.SKYLAKE),
+    PinnedServer("sel-2016-082", 2016, 0.82, 0.8, Codename.HASWELL),
+    PinnedServer("sel-2016-087", 2016, 0.87, 0.8, Codename.HASWELL),
+    PinnedServer("sel-2016-096", 2016, 0.96, 0.8, Codename.BROADWELL),
+    PinnedServer("fig1-2016", 2016, 1.02, 0.7, Codename.BROADWELL,
+                 score=12212.0),
+)
+
+#: Global EP extremes (Section III.A).
+EP_MIN = 0.18
+EP_MIN_YEAR = 2008
+EP_MAX = 1.05
+EP_MAX_YEAR = 2012
+EP_MIN_2016 = 0.73
+
+#: Year-over-year EP statistics the trend analysis must land on
+#: (Fig. 3 narrative: 0.30 in 2005, +48.65% in 2009, +24.24% in 2012,
+#: ~0.84 and seemingly stagnant by 2016).
+YEAR_EP_AVG_TARGETS: Dict[int, float] = {
+    2005: 0.30,
+    2008: 0.37,
+    2009: 0.55,
+    2011: 0.66,
+    2012: 0.82,
+    2016: 0.84,
+}
+YEAR_EP_MEDIAN_TARGETS: Dict[int, float] = {
+    2008: 0.37,
+    2009: 0.56,
+    2011: 0.67,
+    2012: 0.85,
+}
+
+#: CDF landmarks (Fig. 5).
+CDF_SHARE_06_07 = 0.2521
+CDF_SHARE_08_09 = 0.1744
+CDF_SHARE_BELOW_1 = 0.9958
+
+#: Fig. 15 landmarks: 2-chip single-node servers vs. all servers.
+TWO_CHIP_AVG_EP_GAIN = 0.0294
+TWO_CHIP_AVG_EE_GAIN = 0.0413
+TWO_CHIP_MEDIAN_EP_GAIN = 0.0118
+TWO_CHIP_MEDIAN_EE_GAIN = 0.0626
+
+#: Section IV.B asynchrony landmarks.
+TOP10_EP_FROM_2012 = 0.917
+TOP10_EE_FROM_2012 = 0.167
+TOP10_OVERLAP = 0.146
+
+
+#: Typical physical cores per chip for each codename (used for the
+#: memory-per-core bookkeeping and the wattage model).
+CORES_PER_CHIP: Dict[Codename, int] = {
+    Codename.NETBURST: 1,
+    Codename.CORE: 2,
+    Codename.PENRYN: 4,
+    Codename.YORKFIELD: 4,
+    Codename.NEHALEM_EP: 4,
+    Codename.LYNNFIELD: 4,
+    Codename.NEHALEM_EX: 8,
+    Codename.WESTMERE: 6,
+    Codename.WESTMERE_EP: 6,
+    Codename.SANDY_BRIDGE: 8,
+    Codename.SANDY_BRIDGE_EP: 8,
+    Codename.SANDY_BRIDGE_EN: 6,
+    Codename.IVY_BRIDGE: 10,
+    Codename.IVY_BRIDGE_EP: 10,
+    Codename.HASWELL: 12,
+    Codename.BROADWELL: 14,
+    Codename.SKYLAKE: 14,
+    Codename.BARCELONA: 4,
+    Codename.ISTANBUL: 6,
+    Codename.MAGNY_COURS: 12,
+    Codename.INTERLAGOS: 16,
+    Codename.ABU_DHABI: 16,
+    Codename.SEOUL: 8,
+    Codename.UNKNOWN: 6,
+}
+
+#: Full-load watts per core by hardware-availability year; the declining
+#: trend is what makes absolute wattage plausible per era.
+WATTS_PER_CORE: Dict[int, float] = {
+    2004: 14.0,
+    2005: 13.0,
+    2006: 12.0,
+    2007: 10.5,
+    2008: 9.5,
+    2009: 8.0,
+    2010: 7.0,
+    2011: 6.0,
+    2012: 5.2,
+    2013: 4.8,
+    2014: 4.5,
+    2015: 4.0,
+    2016: 3.6,
+}
+
+#: Per-year EP estimate used for codename-unknown results.
+YEAR_EP_ESTIMATE: Dict[int, float] = {
+    2004: 0.40,
+    2005: 0.30,
+    2006: 0.32,
+    2007: 0.33,
+    2008: 0.37,
+    2009: 0.55,
+    2010: 0.60,
+    2011: 0.66,
+    2012: 0.82,
+    2013: 0.77,
+    2014: 0.73,
+    2015: 0.80,
+    2016: 0.84,
+}
+
+#: Vendor brands used for synthetic identities.
+VENDOR_POOL: Tuple[Tuple[str, str], ...] = (
+    ("Acme Systems", "AS"),
+    ("BetaServ", "BS"),
+    ("Cirrus Compute", "CC"),
+    ("DataForge", "DF"),
+    ("Epsilon", "EP"),
+    ("FrameWorks", "FW"),
+    ("GridCore", "GC"),
+    ("HyperRack", "HR"),
+)
+
+#: Form factors weighted roughly like the published population.
+FORM_FACTORS: Tuple[str, ...] = ("1U", "2U", "2U", "1U", "4U", "Tower", "Blade")
+
+
+def validate_targets() -> None:
+    """Internal consistency checks of the target tables.
+
+    Runs at corpus-generation time so an editing slip in any table is
+    caught immediately rather than surfacing as a skewed statistic.
+    """
+    if sum(YEAR_COUNTS.values()) != TOTAL_SERVERS:
+        raise AssertionError("year counts do not sum to 477")
+    for year, allocation in YEAR_CODENAME_COUNTS.items():
+        if sum(allocation.values()) != YEAR_COUNTS[year]:
+            raise AssertionError(f"codename allocation mismatch in {year}")
+    for year, spots in PEAK_SPOT_YEAR_COUNTS.items():
+        if sum(spots.values()) != YEAR_COUNTS[year]:
+            raise AssertionError(f"peak-spot allocation mismatch in {year}")
+    spot_totals: Dict[float, int] = {}
+    for spots in PEAK_SPOT_YEAR_COUNTS.values():
+        for spot, count in spots.items():
+            spot_totals[spot] = spot_totals.get(spot, 0) + count
+    for spot, share in PEAK_SPOT_SHARES.items():
+        observed = spot_totals.get(spot, 0) / TOTAL_SERVERS
+        if abs(observed - share) > 0.01:
+            raise AssertionError(
+                f"peak-spot share at {spot:.0%}: {observed:.4f} vs {share:.4f}"
+            )
+    single_node = sum(SINGLE_NODE_CHIP_COUNTS.values())
+    multi_node = sum(MULTI_NODE_COUNTS.values())
+    if single_node + multi_node != TOTAL_SERVERS:
+        raise AssertionError("node/chip populations do not sum to 477")
+    for nodes, years in MULTI_NODE_YEAR_PLAN.items():
+        if len(years) != MULTI_NODE_COUNTS[nodes]:
+            raise AssertionError(f"multi-node year plan mismatch at {nodes} nodes")
+    if sum(MEMORY_PER_CORE_COUNTS.values()) != 430:
+        raise AssertionError("Table I memory-per-core counts must sum to 430")
+    if sum(PUBLICATION_LAG_COUNTS.values()) != REORGANIZED_SERVERS:
+        raise AssertionError("publication lag counts must sum to 74")

@@ -1,0 +1,90 @@
+"""Bridge: simulated benchmark runs become corpus-compatible results.
+
+The paper's two data sources -- published FDRs and its own testbed
+runs -- meet in its analysis tables.  This module performs the same
+join for the reproduction: a :class:`~repro.ssj.report.BenchmarkReport`
+produced by the simulator (for a Table II machine or any custom
+server) converts into a :class:`~repro.dataset.schema.SpecPowerResult`,
+so simulated hardware flows through every corpus analysis -- trends,
+grouping, envelopes, placement -- unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataset.schema import LoadLevel, SpecPowerResult
+from repro.hwexp.testbed import TestbedServer
+from repro.power.microarch import Codename
+from repro.ssj.report import BenchmarkReport
+
+#: Codename stand-ins for the Table II processors.
+_TESTBED_CODENAMES = {
+    1: Codename.INTERLAGOS,      # AMD Opteron 6272
+    2: Codename.SANDY_BRIDGE_EP,  # Xeon E5-2603
+    3: Codename.IVY_BRIDGE_EP,    # Xeon E5-2620 v2
+    4: Codename.HASWELL,          # Xeon E5-2620 v3
+}
+
+
+def result_from_report(
+    report: BenchmarkReport,
+    result_id: str,
+    vendor: str,
+    model: str,
+    hw_year: int,
+    codename: Codename,
+    nodes: int = 1,
+    chips_per_node: int = 2,
+    cores_per_chip: int = 8,
+    memory_gb: float = 64.0,
+    form_factor: str = "2U",
+    published_year: Optional[int] = None,
+) -> SpecPowerResult:
+    """Wrap a simulated benchmark run as a publishable result."""
+    levels = [
+        LoadLevel(
+            target_load=level.target_load,
+            ssj_ops=level.throughput_ops_per_s,
+            average_power_w=level.average_power_w,
+        )
+        for level in report.levels
+    ]
+    return SpecPowerResult(
+        result_id=result_id,
+        vendor=vendor,
+        model=model,
+        form_factor=form_factor,
+        hw_year=hw_year,
+        published_year=published_year if published_year is not None else hw_year,
+        codename=codename,
+        nodes=nodes,
+        chips_per_node=chips_per_node,
+        cores_per_chip=cores_per_chip,
+        memory_gb=memory_gb,
+        levels=levels,
+        active_idle_power_w=report.active_idle_power_w,
+    )
+
+
+def result_from_testbed_run(
+    server: TestbedServer,
+    report: BenchmarkReport,
+    result_id: Optional[str] = None,
+    memory_gb: Optional[float] = None,
+) -> SpecPowerResult:
+    """Wrap a Table II server's simulated run with its real identity."""
+    return result_from_report(
+        report,
+        result_id=result_id or f"testbed-{server.number}",
+        vendor=server.name.split()[0],
+        model=server.name,
+        hw_year=server.hw_year,
+        codename=_TESTBED_CODENAMES[server.number],
+        nodes=1,
+        chips_per_node=server.sockets,
+        cores_per_chip=server.cores_per_socket,
+        memory_gb=memory_gb if memory_gb is not None else server.stock_memory_gb,
+        form_factor="2U",
+        published_year=server.hw_year + 1,
+    )

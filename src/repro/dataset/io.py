@@ -1,0 +1,111 @@
+"""CSV persistence for the corpus.
+
+The on-disk layout is one wide row per result: identity and
+configuration columns followed by the eleven power readings and ten
+throughput readings.  The format round-trips exactly (validated by the
+I/O tests) and is convenient for inspection with standard tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.dataset.corpus import Corpus
+from repro.dataset.schema import LoadLevel, SpecPowerResult
+from repro.metrics.ep import TARGET_LOADS_DESCENDING
+from repro.power.microarch import Codename
+
+_IDENTITY_COLUMNS = [
+    "result_id",
+    "vendor",
+    "model",
+    "form_factor",
+    "hw_year",
+    "published_year",
+    "codename",
+    "nodes",
+    "chips_per_node",
+    "cores_per_chip",
+    "memory_gb",
+    "tie_peak_spots",
+]
+
+_LOAD_TAGS = [f"{int(round(load * 100)):03d}" for load in TARGET_LOADS_DESCENDING]
+
+
+def _header() -> List[str]:
+    columns = list(_IDENTITY_COLUMNS)
+    columns += [f"ops_{tag}" for tag in _LOAD_TAGS]
+    columns += [f"power_{tag}" for tag in _LOAD_TAGS]
+    columns.append("power_idle")
+    return columns
+
+
+def save_corpus(corpus: Corpus, path: Union[str, Path]) -> None:
+    """Write the corpus to ``path`` as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_header())
+        for result in corpus:
+            by_load = {level.target_load: level for level in result.levels}
+            ordered = [by_load[load] for load in TARGET_LOADS_DESCENDING]
+            row = [
+                result.result_id,
+                result.vendor,
+                result.model,
+                result.form_factor,
+                result.hw_year,
+                result.published_year,
+                result.codename.value,
+                result.nodes,
+                result.chips_per_node,
+                result.cores_per_chip,
+                repr(result.memory_gb),
+                int(result.tie_peak_spots),
+            ]
+            row += [repr(level.ssj_ops) for level in ordered]
+            row += [repr(level.average_power_w) for level in ordered]
+            row.append(repr(result.active_idle_power_w))
+            writer.writerow(row)
+
+
+def load_corpus(path: Union[str, Path]) -> Corpus:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    path = Path(path)
+    codename_by_value = {codename.value: codename for codename in Codename}
+    results = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _header():
+            raise ValueError(f"unexpected corpus CSV header in {path}")
+        for row in reader:
+            levels = [
+                LoadLevel(
+                    target_load=load,
+                    ssj_ops=float(row[f"ops_{tag}"]),
+                    average_power_w=float(row[f"power_{tag}"]),
+                )
+                for load, tag in zip(TARGET_LOADS_DESCENDING, _LOAD_TAGS)
+            ]
+            results.append(
+                SpecPowerResult(
+                    result_id=row["result_id"],
+                    vendor=row["vendor"],
+                    model=row["model"],
+                    form_factor=row["form_factor"],
+                    hw_year=int(row["hw_year"]),
+                    published_year=int(row["published_year"]),
+                    codename=codename_by_value[row["codename"]],
+                    nodes=int(row["nodes"]),
+                    chips_per_node=int(row["chips_per_node"]),
+                    cores_per_chip=int(row["cores_per_chip"]),
+                    memory_gb=float(row["memory_gb"]),
+                    levels=levels,
+                    active_idle_power_w=float(row["power_idle"]),
+                    tie_peak_spots=bool(int(row["tie_peak_spots"])),
+                )
+            )
+    return Corpus(results)

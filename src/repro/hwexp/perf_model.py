@@ -1,0 +1,104 @@
+"""Throughput model with frequency sublinearity and heap pressure.
+
+Two mechanisms, both cited by the paper:
+
+1. *Frequency sublinearity.*  Only the compute-bound fraction of a
+   transaction speeds up with the core clock; memory-bound cycles do
+   not (the roofline argument).  Per-core throughput is therefore
+
+       rate(f) = rate_max / (c * f_max / f + (1 - c))
+
+   with compute fraction ``c``.  Because wall power falls faster than
+   linearly in f (static power persists) while throughput falls like
+   this, *efficiency drops monotonically at lower frequency* -- the
+   Section V.B finding.
+
+2. *Heap pressure.*  ssj2008 is a JVM workload: when the heap per core
+   falls below the working-set demand, garbage-collection overhead
+   grows super-linearly and throughput collapses; above the demand,
+   extra memory buys (almost) nothing.  Combined with per-DIMM
+   background power this produces a best memory-per-core point for
+   efficiency -- the Section V.A finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerThroughputProfile:
+    """Performance side of one testbed server.
+
+    Parameters
+    ----------
+    ops_per_core_at_max:
+        Per-core ssj_ops/s fully fed, at the top frequency, with ample
+        memory.
+    max_frequency_ghz:
+        The top operating point the rate is calibrated at.
+    compute_fraction:
+        Share of per-transaction work that scales with frequency.
+    heap_demand_gb_per_core:
+        Working-set demand; memory per core below this triggers GC
+        overhead.
+    gc_steepness:
+        Super-linearity of the GC penalty (1.5-2.5 is realistic).
+    gc_weight:
+        Magnitude of the GC penalty at 2x heap pressure.
+    memory_per_core_gb:
+        The installed configuration this profile instance models.
+    """
+
+    ops_per_core_at_max: float
+    max_frequency_ghz: float
+    compute_fraction: float = 0.75
+    heap_demand_gb_per_core: float = 2.0
+    gc_steepness: float = 1.6
+    gc_weight: float = 0.55
+    memory_per_core_gb: float = 4.0
+
+    def __post_init__(self):
+        if self.ops_per_core_at_max <= 0.0:
+            raise ValueError("throughput must be positive")
+        if self.max_frequency_ghz <= 0.0:
+            raise ValueError("max frequency must be positive")
+        if not 0.0 < self.compute_fraction <= 1.0:
+            raise ValueError("compute fraction must lie in (0, 1]")
+        if self.heap_demand_gb_per_core <= 0.0 or self.memory_per_core_gb <= 0.0:
+            raise ValueError("memory figures must be positive")
+
+    def frequency_scaling(self, frequency_ghz: float) -> float:
+        """Throughput relative to the top frequency (1.0 at the top)."""
+        if frequency_ghz <= 0.0:
+            raise ValueError("frequency must be positive")
+        ratio = self.max_frequency_ghz / frequency_ghz
+        return 1.0 / (self.compute_fraction * ratio + (1.0 - self.compute_fraction))
+
+    def gc_factor(self) -> float:
+        """Throughput multiplier from heap pressure (<= 1.0)."""
+        pressure = self.heap_demand_gb_per_core / self.memory_per_core_gb
+        if pressure <= 1.0:
+            return 1.0
+        overhead = self.gc_weight * (pressure - 1.0) ** self.gc_steepness
+        return 1.0 / (1.0 + overhead)
+
+    def ops_per_second_per_core(self, frequency_ghz: float) -> float:
+        """The :class:`~repro.ssj.engine.ThroughputProfile` interface."""
+        return (
+            self.ops_per_core_at_max
+            * self.frequency_scaling(frequency_ghz)
+            * self.gc_factor()
+        )
+
+    def with_memory(self, memory_per_core_gb: float) -> "ServerThroughputProfile":
+        """Copy of the profile at a different memory configuration."""
+        return ServerThroughputProfile(
+            ops_per_core_at_max=self.ops_per_core_at_max,
+            max_frequency_ghz=self.max_frequency_ghz,
+            compute_fraction=self.compute_fraction,
+            heap_demand_gb_per_core=self.heap_demand_gb_per_core,
+            gc_steepness=self.gc_steepness,
+            gc_weight=self.gc_weight,
+            memory_per_core_gb=memory_per_core_gb,
+        )

@@ -1,0 +1,219 @@
+"""The four Table II rack servers, as component-model configurations.
+
+Base configurations straight from Table II:
+
+====  =============== ====== ==========================  =====  ======
+No.   Name            Year   CPU                         Cores  Memory
+====  =============== ====== ==========================  =====  ======
+#1    Sugon A620r-G   2012   2x AMD Opteron 6272 (115W)  32     64 GB DDR3
+#2    Sugon I620-G10  2013   1x Xeon E5-2603 (80W)       4      32 GB DDR3
+#3    ThinkServer     2014   2x Xeon E5-2620 v2 (80W)    12     160 GB DDR4
+      RD640
+#4    ThinkServer     2015   2x Xeon E5-2620 v3 (85W)    12     192 GB DDR4
+      RD450
+====  =============== ====== ==========================  =====  ======
+
+Each server's heap demand is the point the paper measured as its best
+memory-per-core configuration (Section V.A: 1.75 GB for #1, 4 GB for
+#2, 2.67 GB for #4), and the per-server efficiency scale is anchored so
+the simulated efficiency magnitudes sit in the same decade as
+Figs. 18-21 (tens of ops/W for the Bulldozer-era #1, ~1000 for the
+tiny-socket #2, hundreds for #4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hwexp.perf_model import ServerThroughputProfile
+from repro.power.components import SAS_10K, SATA_SSD, DiskPowerModel, FanPowerModel
+from repro.power.cpu import CpuPowerModel, default_voltage_curve
+from repro.power.memory import populate
+from repro.power.server import ServerPowerModel
+
+
+def _frequency_ladder(low: float, high: float, step: float = 0.1) -> Tuple[float, ...]:
+    count = int(round((high - low) / step)) + 1
+    return tuple(round(low + i * step, 2) for i in range(count))
+
+
+@dataclass(frozen=True)
+class TestbedServer:
+    """One Table II machine plus its calibrated performance profile."""
+
+    number: int
+    name: str
+    hw_year: int
+    cpu_model: str
+    sockets: int
+    cores_per_socket: int
+    tdp_w: float
+    frequencies_ghz: Tuple[float, ...]
+    memory_generation: str
+    dimm_size_gb: int
+    stock_memory_gb: int
+    disks: Tuple[DiskPowerModel, ...]
+    profile: ServerThroughputProfile
+    static_fraction: float
+    tested_memory_per_core: Tuple[float, ...]
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def power_model(self, memory_gb: int = None) -> ServerPowerModel:
+        """Build the server's power model at a memory configuration."""
+        capacity = self.stock_memory_gb if memory_gb is None else memory_gb
+        # Server parts run a narrow voltage band across P-states (the
+        # uncore rail barely scales), so package power falls roughly
+        # linearly -- not cubically -- with frequency.  Combined with
+        # the platform floor this is what makes efficiency *drop* at
+        # lower frequencies (Section V.B).
+        cpu = CpuPowerModel(
+            tdp_w=self.tdp_w,
+            cores=self.cores_per_socket,
+            operating_points=default_voltage_curve(
+                self.frequencies_ghz, v_min=1.10, v_max=1.25
+            ),
+            static_fraction=self.static_fraction,
+        )
+        memory = populate(
+            capacity, self.memory_generation, preferred_dimm_gb=self.dimm_size_gb
+        )
+        return ServerPowerModel(
+            cpus=[cpu] * self.sockets,
+            memory=memory,
+            disks=list(self.disks),
+            fans=FanPowerModel(base_w=10.0, max_w=36.0),
+            motherboard_w=30.0,
+        )
+
+    def profile_for(self, memory_per_core_gb: float) -> ServerThroughputProfile:
+        """The throughput profile at a memory configuration."""
+        return self.profile.with_memory(memory_per_core_gb)
+
+    def memory_gb_for(self, memory_per_core_gb: float) -> int:
+        """Installed capacity realizing a memory-per-core ratio.
+
+        Rounded to the nearest whole number of the smallest catalog
+        DIMM (4 GB) so every configuration is physically populatable
+        (e.g. 2.67 GB/core on 12 cores -> 32 GB).
+        """
+        raw = memory_per_core_gb * self.total_cores
+        return max(4, int(round(raw / 4.0) * 4))
+
+
+TESTBED: Dict[int, TestbedServer] = {
+    1: TestbedServer(
+        number=1,
+        name="Sugon A620r-G",
+        hw_year=2012,
+        cpu_model="2*AMD Opteron 6272",
+        sockets=2,
+        cores_per_socket=16,
+        tdp_w=115.0,
+        frequencies_ghz=(1.4, 1.5, 1.7, 1.9, 2.1),
+        memory_generation="DDR3",
+        dimm_size_gb=8,
+        stock_memory_gb=64,
+        disks=(SAS_10K,) * 4,
+        profile=ServerThroughputProfile(
+            ops_per_core_at_max=330.0,
+            max_frequency_ghz=2.1,
+            compute_fraction=0.86,
+            heap_demand_gb_per_core=1.75,
+            memory_per_core_gb=2.0,
+        ),
+        static_fraction=0.40,  # Bulldozer-era leakage
+        tested_memory_per_core=(1.25, 1.75, 2.0),
+    ),
+    2: TestbedServer(
+        number=2,
+        name="Sugon I620-G10",
+        hw_year=2013,
+        cpu_model="1*Intel Xeon E5-2603",
+        sockets=1,
+        cores_per_socket=4,
+        tdp_w=80.0,
+        frequencies_ghz=(1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8),
+        memory_generation="DDR3",
+        dimm_size_gb=4,
+        stock_memory_gb=32,
+        disks=(SAS_10K,),
+        profile=ServerThroughputProfile(
+            ops_per_core_at_max=52000.0,
+            max_frequency_ghz=1.8,
+            compute_fraction=0.78,
+            heap_demand_gb_per_core=4.0,
+            memory_per_core_gb=8.0,
+        ),
+        static_fraction=0.30,
+        tested_memory_per_core=(2.0, 4.0, 8.0),
+    ),
+    3: TestbedServer(
+        number=3,
+        name="ThinkServer RD640",
+        hw_year=2014,
+        cpu_model="2*Intel Xeon E5-2620 v2",
+        sockets=2,
+        cores_per_socket=6,
+        tdp_w=80.0,
+        frequencies_ghz=_frequency_ladder(1.2, 2.1),
+        memory_generation="DDR4",
+        dimm_size_gb=16,
+        stock_memory_gb=160,
+        disks=(SATA_SSD,),
+        profile=ServerThroughputProfile(
+            ops_per_core_at_max=9000.0,
+            max_frequency_ghz=2.1,
+            compute_fraction=0.86,
+            heap_demand_gb_per_core=2.67,
+            memory_per_core_gb=13.33,
+        ),
+        static_fraction=0.26,
+        tested_memory_per_core=(1.33, 2.67, 8.0, 13.33),
+    ),
+    4: TestbedServer(
+        number=4,
+        name="ThinkServer RD450",
+        hw_year=2015,
+        cpu_model="2*Intel Xeon E5-2620 v3",
+        sockets=2,
+        cores_per_socket=6,
+        tdp_w=85.0,
+        frequencies_ghz=_frequency_ladder(1.2, 2.4),
+        memory_generation="DDR4",
+        dimm_size_gb=16,
+        stock_memory_gb=192,
+        disks=(SATA_SSD,),
+        profile=ServerThroughputProfile(
+            ops_per_core_at_max=11000.0,
+            max_frequency_ghz=2.4,
+            compute_fraction=0.88,
+            heap_demand_gb_per_core=2.67,
+            memory_per_core_gb=16.0,
+        ),
+        static_fraction=0.24,
+        tested_memory_per_core=(1.33, 2.67, 8.0, 16.0),
+    ),
+}
+
+
+def testbed_table() -> List[List[object]]:
+    """Table II rows for rendering."""
+    rows = []
+    for server in TESTBED.values():
+        rows.append(
+            [
+                f"#{server.number}",
+                server.name,
+                server.hw_year,
+                server.cpu_model,
+                server.total_cores,
+                f"{server.tdp_w:.0f}",
+                f"{server.stock_memory_gb} ({server.memory_generation})",
+                ", ".join(disk.kind for disk in server.disks),
+            ]
+        )
+    return rows

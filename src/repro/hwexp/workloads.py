@@ -1,0 +1,133 @@
+"""Per-workload EP/EE characterization of a testbed server.
+
+Implements the paper's Section VII future-work agenda and the Section
+V.C caveat ("for specific applications, the server may exhibit energy
+proportionality and energy efficiency curve different from that of
+SPECpower workload"): the same physical server, driven by different
+workload variants (:mod:`repro.ssj.variants`), yields different
+power--utilization and efficiency curves and therefore different EP.
+
+The characterization can run analytically (deterministic model
+evaluation, the default) or through the full discrete-event benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.hwexp.testbed import TestbedServer
+from repro.metrics.ee import peak_efficiency_spots
+from repro.metrics.ep import TARGET_LOADS_DESCENDING, energy_proportionality
+from repro.power.governors import OndemandGovernor
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.runner import SsjRunner
+from repro.ssj.variants import WorkloadVariant
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """One (server, workload) energy characterization."""
+
+    server_name: str
+    workload: str
+    utilization: tuple
+    power_w: tuple
+    throughput_ops: tuple
+    active_idle_w: float
+    ep: float
+    overall_ee: float
+    peak_spots: tuple
+
+
+def _configured(server: TestbedServer, variant: WorkloadVariant):
+    """Power model and throughput profile tuned to the workload."""
+    power_model = server.power_model()
+    power_model.memory_intensity_ratio = variant.memory_intensity
+    profile = replace(server.profile, compute_fraction=variant.compute_fraction)
+    return power_model, profile
+
+
+def characterize(
+    server: TestbedServer,
+    variant: WorkloadVariant,
+    method: str = "analytic",
+    plan: Optional[MeasurementPlan] = None,
+    seed: int = 2016,
+) -> WorkloadCharacterization:
+    """Measure one server's EP/EE curves under one workload."""
+    if method not in ("analytic", "simulate"):
+        raise ValueError("method must be 'analytic' or 'simulate'")
+    power_model, profile = _configured(server, variant)
+    governor = OndemandGovernor()
+    cpu = power_model.cpus[0]
+
+    if method == "simulate":
+        runner = SsjRunner(
+            server=power_model,
+            profile=profile,
+            governor=governor,
+            plan=plan or MeasurementPlan(interval_s=3.0, ramp_s=0.5),
+            seed=seed,
+            mix=variant.mix,
+        )
+        report = runner.run()
+        loads = [0.0] + sorted(level.target_load for level in report.levels)
+        by_load = {level.target_load: level for level in report.levels}
+        powers = [report.active_idle_power_w] + [
+            by_load[load].average_power_w for load in loads[1:]
+        ]
+        ops = [by_load[load].throughput_ops_per_s for load in loads[1:]]
+        idle = report.active_idle_power_w
+        score = report.overall_score()
+        spots = report.peak_efficiency_spots(rtol=5e-3)
+    else:
+        cores = server.total_cores
+        top = governor.select_frequency(cpu, 1.0)
+        max_ops = cores * profile.ops_per_second_per_core(top)
+        loads = [0.0] + sorted(TARGET_LOADS_DESCENDING)
+        powers = []
+        ops = []
+        for load in loads:
+            frequency = governor.select_frequency(cpu, load)
+            capacity = cores * profile.ops_per_second_per_core(frequency)
+            achieved = min(load * max_ops, capacity)
+            utilization = min(1.0, (load * max_ops) / capacity)
+            powers.append(power_model.wall_power_w(utilization, frequency))
+            if load > 0.0:
+                ops.append(achieved)
+        idle = powers[0]
+        score = sum(ops) / sum(powers)
+        spots = peak_efficiency_spots(loads[1:], ops, powers[1:])
+
+    return WorkloadCharacterization(
+        server_name=server.name,
+        workload=variant.name,
+        utilization=tuple(loads),
+        power_w=tuple(powers),
+        throughput_ops=tuple(ops),
+        active_idle_w=idle,
+        ep=energy_proportionality(loads, powers),
+        overall_ee=score,
+        peak_spots=tuple(spots),
+    )
+
+
+def compare_workloads(
+    server: TestbedServer,
+    variants: Sequence[WorkloadVariant],
+    method: str = "analytic",
+) -> Dict[str, WorkloadCharacterization]:
+    """Characterize one server under several workloads."""
+    results: Dict[str, WorkloadCharacterization] = {}
+    for variant in variants:
+        results[variant.name] = characterize(server, variant, method=method)
+    return results
+
+
+def ep_spread(results: Dict[str, WorkloadCharacterization]) -> float:
+    """Largest EP difference across the characterized workloads."""
+    values: List[float] = [r.ep for r in results.values()]
+    if not values:
+        raise ValueError("no characterizations to compare")
+    return max(values) - min(values)

@@ -1,0 +1,72 @@
+"""Energy-proportionality and energy-efficiency metrics.
+
+The metric definitions follow Section II.B of the paper.  The central
+quantity is the *energy proportionality* (EP) of Ryckbosch et al. (ref.
+[14] of the paper), computed from a server's normalized
+power--utilization curve.  The module family also implements the
+companion metrics that prior work (Hsu & Poole, ref. [16]) compares EP
+against: idle-to-peak ratio (IPR), linear deviation (LD), and the
+energy ratio (ER), plus energy-efficiency aggregates used throughout
+the paper (overall score, peak efficiency, peak-efficiency spot).
+"""
+
+from repro.metrics.curves import (
+    above_ideal_zone,
+    ee_relative_curve,
+    first_crossing,
+    ideal_intersections,
+    normalize_power,
+)
+from repro.metrics.ee import (
+    efficiency_series,
+    overall_score,
+    peak_efficiency,
+    peak_efficiency_spots,
+    peak_over_full_ratio,
+)
+from repro.metrics.ep import (
+    UTILIZATION_LEVELS,
+    dynamic_range,
+    energy_proportionality,
+    ep_from_area,
+    idle_power_fraction,
+    proportionality_area,
+)
+from repro.metrics.gap import (
+    gap_at,
+    low_utilization_gap,
+    peak_gap,
+    proportionality_gap,
+)
+from repro.metrics.linearity import energy_ratio, idle_to_peak_ratio, linear_deviation
+from repro.metrics.correlation import pearson, spearman
+from repro.metrics.regression import exponential_fit, linear_fit
+
+__all__ = [
+    "UTILIZATION_LEVELS",
+    "above_ideal_zone",
+    "dynamic_range",
+    "ee_relative_curve",
+    "efficiency_series",
+    "energy_proportionality",
+    "energy_ratio",
+    "ep_from_area",
+    "exponential_fit",
+    "first_crossing",
+    "gap_at",
+    "ideal_intersections",
+    "idle_power_fraction",
+    "idle_to_peak_ratio",
+    "linear_deviation",
+    "linear_fit",
+    "low_utilization_gap",
+    "normalize_power",
+    "overall_score",
+    "peak_efficiency",
+    "peak_gap",
+    "peak_efficiency_spots",
+    "peak_over_full_ratio",
+    "pearson",
+    "proportionality_gap",
+    "spearman",
+]

@@ -1,0 +1,143 @@
+"""Curve-level analysis of power and efficiency curves.
+
+Section III.C of the paper studies the *shape* of the curves, not just
+their scalar summaries: where an EP curve intersects the ideal
+(strictly proportional) line, how early the relative-efficiency curve
+crosses the 0.8x and 1.0x marks, and which band (the "pencil head" /
+"almond" envelopes) all 477 curves fall into.  The helpers here operate
+on piecewise-linear curves sampled at the SPECpower measurement points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.metrics.ep import _as_curve
+
+
+def normalize_power(
+    utilization: Sequence[float], power: Sequence[float]
+) -> np.ndarray:
+    """Power normalized to the value at the highest measured utilization."""
+    _, p = _as_curve(utilization, power)
+    return p / p[-1]
+
+
+def ee_relative_curve(
+    utilization: Sequence[float], power: Sequence[float]
+) -> np.ndarray:
+    """Per-level efficiency normalized so that EE(100%) = 1.
+
+    Because SPECpower throughput tracks the target load, the relative
+    efficiency at utilization ``u`` reduces to ``u / p_norm(u)`` where
+    ``p_norm`` is the normalized power.  The u=0 point (active idle) is
+    reported as efficiency 0.
+    """
+    u, p = _as_curve(utilization, power)
+    p_norm = p / p[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(p_norm > 0.0, u / p_norm, 0.0)
+    return rel
+
+
+def ideal_intersections(
+    utilization: Sequence[float], power: Sequence[float]
+) -> List[float]:
+    """Utilizations where the normalized power curve crosses the ideal line.
+
+    The ideal energy-proportionality curve is ``power = utilization``.
+    A crossing inside an interval is located by linear interpolation;
+    touching the line exactly at a measured point also counts.  The
+    trivial contact at 100% utilization (both curves equal 1 there by
+    normalization) is excluded, matching the paper's discussion of
+    curves intersecting the ideal curve "before 100% utilization".
+    """
+    u, p = _as_curve(utilization, power)
+    p_norm = p / p[-1]
+    gap = p_norm - u
+    crossings: List[float] = []
+    for i in range(len(u) - 1):
+        left, right = gap[i], gap[i + 1]
+        if left == 0.0 and u[i] < 1.0:
+            crossings.append(float(u[i]))
+        if left * right < 0.0:
+            # Piecewise-linear root of gap(u) on this interval.
+            t = left / (left - right)
+            crossing = u[i] + t * (u[i + 1] - u[i])
+            if crossing < 1.0:
+                crossings.append(float(crossing))
+    # Deduplicate near-identical crossings produced by exact zeros.
+    unique: List[float] = []
+    for value in sorted(crossings):
+        if not unique or abs(value - unique[-1]) > 1e-12:
+            unique.append(value)
+    return unique
+
+
+def first_crossing(
+    utilization: Sequence[float],
+    power: Sequence[float],
+    threshold: float,
+) -> float:
+    """Earliest utilization whose relative efficiency reaches ``threshold``.
+
+    Section III.C: servers with EP > 1 reach 0.8x of their full-load
+    efficiency before 30% utilization and 1.0x before 40%.  Crossing
+    points between measurement levels are linearly interpolated.
+    Returns ``nan`` when the curve never reaches the threshold.
+    """
+    u, p = _as_curve(utilization, power)
+    rel = ee_relative_curve(u, p)
+    if rel[0] >= threshold:
+        return float(u[0])
+    for i in range(len(u) - 1):
+        if rel[i] < threshold <= rel[i + 1]:
+            t = (threshold - rel[i]) / (rel[i + 1] - rel[i])
+            return float(u[i] + t * (u[i + 1] - u[i]))
+    return float("nan")
+
+
+def above_ideal_zone(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """Width of the utilization band where relative efficiency exceeds 1.0.
+
+    This is the "high energy efficiency zone above 1.0" of Section
+    III.C -- the band the paper recommends keeping servers in.  The
+    width is measured in utilization units using linear interpolation
+    at the band edges; 0.0 when the curve never exceeds 1.0 before 100%.
+    """
+    u, p = _as_curve(utilization, power)
+    rel = ee_relative_curve(u, p)
+    above = rel > 1.0 + 1e-12
+    if not np.any(above):
+        return 0.0
+    width = 0.0
+    for i in range(len(u) - 1):
+        left_rel, right_rel = rel[i], rel[i + 1]
+        left_above = left_rel > 1.0
+        right_above = right_rel > 1.0
+        span = u[i + 1] - u[i]
+        if left_above and right_above:
+            width += span
+        elif left_above != right_above and right_rel != left_rel:
+            t = (1.0 - left_rel) / (right_rel - left_rel)
+            width += span * (1.0 - t) if right_above else span * t
+    return float(width)
+
+
+def envelope(curves: Sequence[Sequence[float]]) -> tuple:
+    """Pointwise (lower, upper) envelope of a family of aligned curves.
+
+    Used to draw the boundaries of the pencil-head chart (Fig. 9) and
+    the almond chart (Fig. 11).  All curves must be sampled at the same
+    utilization grid.
+    """
+    stack = np.asarray(curves, dtype=float)
+    if stack.ndim != 2:
+        raise ValueError("curves must be a 2-D family of aligned samples")
+    if stack.shape[0] == 0:
+        raise ValueError("at least one curve is required")
+    return stack.min(axis=0), stack.max(axis=0)

@@ -1,0 +1,162 @@
+"""Energy-efficiency metrics (performance-to-power ratios).
+
+SPECpower reports, for every target load, the *performance to power
+ratio* in ssj_ops per watt, and an overall score defined as the sum of
+throughput over all ten loads divided by the sum of average power over
+all eleven measurements (the ten loads plus active idle).  Section II.B
+of the paper builds on these:
+
+* *peak energy efficiency* -- the greatest per-level ratio;
+* *peak efficiency spot(s)* -- the utilization level(s) at which the
+  peak is reached (Section IV tracks how this spot shifted from 100%
+  toward 80%/70% over time; ties are possible and produce two spots,
+  which is how the paper arrives at 478 spots for 477 servers);
+* *peak over full ratio* -- peak efficiency relative to the efficiency
+  at 100% utilization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Two per-level efficiencies within this relative distance are treated
+#: as tied, mirroring the 2011 result the paper reports with peak
+#: efficiency at both 80% and 90% utilization.
+PEAK_TIE_RTOL = 1e-9
+
+
+def _validate(ops: Sequence[float], power: Sequence[float]):
+    o = np.asarray(ops, dtype=float)
+    p = np.asarray(power, dtype=float)
+    if o.ndim != 1 or p.ndim != 1:
+        raise ValueError("ops and power must be one-dimensional")
+    if o.shape != p.shape:
+        raise ValueError(
+            f"ops and power must have equal length, got {o.shape[0]} and {p.shape[0]}"
+        )
+    if o.shape[0] == 0:
+        raise ValueError("at least one load level is required")
+    if np.any(p <= 0.0):
+        raise ValueError("power must be positive at every level")
+    if np.any(o < 0.0):
+        raise ValueError("throughput cannot be negative")
+    return o, p
+
+
+def efficiency_series(ops: Sequence[float], power: Sequence[float]) -> np.ndarray:
+    """Per-level performance-to-power ratio (ssj_ops per watt)."""
+    o, p = _validate(ops, power)
+    return o / p
+
+
+def overall_score(
+    ops: Sequence[float],
+    power: Sequence[float],
+    active_idle_power: float,
+) -> float:
+    """The SPECpower overall score (server overall energy efficiency).
+
+    Parameters
+    ----------
+    ops:
+        Throughput at the ten target loads (any order).
+    power:
+        Average power at the same loads, in watts.
+    active_idle_power:
+        Average power at active idle, in watts; it contributes to the
+        denominator but adds no throughput.
+    """
+    o, p = _validate(ops, power)
+    if active_idle_power <= 0.0:
+        raise ValueError("active idle power must be positive")
+    return float(o.sum() / (p.sum() + active_idle_power))
+
+
+def peak_efficiency(ops: Sequence[float], power: Sequence[float]) -> float:
+    """The greatest per-level performance-to-power ratio."""
+    return float(efficiency_series(ops, power).max())
+
+
+def peak_efficiency_spots(
+    utilization: Sequence[float],
+    ops: Sequence[float],
+    power: Sequence[float],
+    rtol: float = PEAK_TIE_RTOL,
+) -> List[float]:
+    """Utilization level(s) at which the per-level efficiency peaks.
+
+    Returns every level whose efficiency is within ``rtol`` of the
+    maximum, sorted ascending.  Most servers yield a single spot; ties
+    yield several (the paper counts 478 spots over 477 servers).
+    """
+    u = np.asarray(utilization, dtype=float)
+    series = efficiency_series(ops, power)
+    if u.shape != series.shape:
+        raise ValueError("utilization must align with ops/power levels")
+    best = series.max()
+    spots = [float(level) for level, ee in zip(u, series) if ee >= best * (1.0 - rtol)]
+    return sorted(spots)
+
+
+def peak_over_full_ratio(
+    utilization: Sequence[float],
+    ops: Sequence[float],
+    power: Sequence[float],
+) -> float:
+    """Ratio of the peak efficiency to the efficiency at 100% utilization."""
+    u = np.asarray(utilization, dtype=float)
+    series = efficiency_series(ops, power)
+    if u.shape != series.shape:
+        raise ValueError("utilization must align with ops/power levels")
+    full_mask = np.isclose(u, 1.0)
+    if not np.any(full_mask):
+        raise ValueError("curve does not include the 100% utilization level")
+    full_ee = float(series[full_mask][0])
+    if full_ee <= 0.0:
+        raise ValueError("efficiency at 100% utilization must be positive")
+    return float(series.max() / full_ee)
+
+
+def peak_efficiency_offset(
+    utilization: Sequence[float],
+    ops: Sequence[float],
+    power: Sequence[float],
+) -> float:
+    """Distance of the (earliest) peak-efficiency spot from 100% utilization.
+
+    Zero for the servers that peak at full load; 0.3 for a server whose
+    efficiency peaks at 70%.  Section IV uses the spot's drift away from
+    100% as the signature of modern, more proportional servers.
+    """
+    spots = peak_efficiency_spots(utilization, ops, power)
+    return float(1.0 - spots[0])
+
+
+def high_efficiency_zone(
+    utilization: Sequence[float],
+    ops: Sequence[float],
+    power: Sequence[float],
+    threshold: float = 1.0,
+) -> Tuple[float, float]:
+    """The utilization range whose efficiency is >= threshold x EE(100%).
+
+    Section III.C observes that servers with EP > 1 enter their high
+    efficiency zone early (0.8x before 30% utilization, 1.0x before
+    40%) and that the zone above 1.0x is wider for higher-EP servers.
+    Returns ``(start, end)`` in utilization units; raises ``ValueError``
+    when no level qualifies.
+    """
+    u = np.asarray(utilization, dtype=float)
+    series = efficiency_series(ops, power)
+    if u.shape != series.shape:
+        raise ValueError("utilization must align with ops/power levels")
+    full_mask = np.isclose(u, 1.0)
+    if not np.any(full_mask):
+        raise ValueError("curve does not include the 100% utilization level")
+    reference = float(series[full_mask][0])
+    qualifying = u[series >= threshold * reference]
+    if qualifying.size == 0:
+        raise ValueError("no utilization level reaches the requested threshold")
+    return float(qualifying.min()), float(qualifying.max())

@@ -1,0 +1,155 @@
+"""Energy proportionality (EP) per Ryckbosch, Polfliet & Eeckhout.
+
+The paper (Section II.B, Eq. 1) adopts the EP metric of ref. [14]:
+with the power--utilization curve normalized so that power at 100%
+utilization equals 1, the metric compares the area under the actual
+curve against the area under the ideal (strictly proportional) curve:
+
+    EP = 1 - (A_actual - A_ideal) / A_ideal,  with  A_ideal = 1/2
+
+which simplifies to ``EP = 2 - 2 * A_actual``.  An ideally proportional
+server scores 1.0, a server drawing constant power scores 0.0, and the
+metric is bounded above by 2.0 (reached only by a hypothetical server
+that is free below peak).  The paper approximates the area with the
+trapezoid rule over the eleven measured points (active idle plus the
+ten 10%-spaced target loads), which is exactly what
+:func:`proportionality_area` does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: The eleven measured utilization points of a SPECpower run: active
+#: idle (0%) followed by target loads 10% .. 100%.
+UTILIZATION_LEVELS: tuple = tuple(round(0.1 * i, 1) for i in range(11))
+
+#: The ten non-idle target loads, highest first, in the order the
+#: benchmark visits them (100% down to 10%).
+TARGET_LOADS_DESCENDING: tuple = tuple(round(0.1 * i, 1) for i in range(10, 0, -1))
+
+
+def _as_curve(utilization: Sequence[float], power: Sequence[float]):
+    """Validate and return the curve as sorted numpy arrays."""
+    u = np.asarray(utilization, dtype=float)
+    p = np.asarray(power, dtype=float)
+    if u.ndim != 1 or p.ndim != 1:
+        raise ValueError("utilization and power must be one-dimensional")
+    if u.shape != p.shape:
+        raise ValueError(
+            f"utilization and power must have equal length, "
+            f"got {u.shape[0]} and {p.shape[0]}"
+        )
+    if u.shape[0] < 2:
+        raise ValueError("a power curve needs at least two points")
+    if np.any(p < 0.0):
+        raise ValueError("power values must be non-negative")
+    if np.any(u < 0.0) or np.any(u > 1.0):
+        raise ValueError("utilization values must lie in [0, 1]")
+    order = np.argsort(u)
+    u = u[order]
+    p = p[order]
+    if np.any(np.diff(u) <= 0.0):
+        raise ValueError("utilization values must be distinct")
+    return u, p
+
+
+def normalize_to_peak_power(
+    utilization: Sequence[float], power: Sequence[float]
+) -> np.ndarray:
+    """Return power normalized to the power at the highest utilization.
+
+    The highest measured utilization is taken as the reference point,
+    matching the paper's normalization "to its power at 100%
+    utilization" (Fig. 1).
+    """
+    u, p = _as_curve(utilization, power)
+    reference = p[-1]
+    if reference <= 0.0:
+        raise ValueError("power at peak utilization must be positive")
+    return p / reference
+
+
+def proportionality_area(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """Trapezoid area under the normalized power--utilization curve.
+
+    The curve is extended to utilization 0 and 1 by holding the end
+    values when those endpoints are not measured, which mirrors how the
+    paper's trapezoid construction treats the eleven measured points
+    (active idle supplies the u=0 endpoint).
+    """
+    u, p = _as_curve(utilization, power)
+    p = p / p[-1]
+    if u[0] > 0.0:
+        u = np.concatenate(([0.0], u))
+        p = np.concatenate(([p[0]], p))
+    if u[-1] < 1.0:
+        u = np.concatenate((u, [1.0]))
+        p = np.concatenate((p, [p[-1]]))
+    return float(np.trapezoid(p, u))
+
+
+def ep_from_area(area: float) -> float:
+    """Convert a normalized-curve area into the EP value of Eq. 1."""
+    if area < 0.0:
+        raise ValueError("area under a non-negative curve cannot be negative")
+    return 2.0 - 2.0 * float(area)
+
+
+def energy_proportionality(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """Energy proportionality (Eq. 1) of a measured power curve.
+
+    Parameters
+    ----------
+    utilization:
+        Measured utilization points in [0, 1].  A full SPECpower result
+        supplies :data:`UTILIZATION_LEVELS` (active idle plus ten loads).
+    power:
+        Average power at each point, in any consistent unit; the curve
+        is normalized internally to the power at peak utilization.
+
+    Returns
+    -------
+    float
+        EP value; 1.0 for an ideally proportional server, 0.0 for a
+        server whose power does not vary with load, and < 2.0 always.
+    """
+    return ep_from_area(proportionality_area(utilization, power))
+
+
+def idle_power_fraction(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """Idle power normalized to power at peak utilization.
+
+    Section III.D calls this the *idle power percentage*; it is the
+    regressor of Eq. 2 and correlates with EP at -0.92 in the paper.
+    """
+    u, p = _as_curve(utilization, power)
+    if u[0] > 0.0:
+        raise ValueError("curve does not include an active-idle (u=0) point")
+    return float(p[0] / p[-1])
+
+
+def dynamic_range(utilization: Sequence[float], power: Sequence[float]) -> float:
+    """Fraction of peak power that is load-dependent: (P_peak - P_idle)/P_peak.
+
+    A server with a high peak efficiency but a low dynamic range is not
+    energy proportional (Section I), which is why the paper tracks the
+    two properties separately.
+    """
+    return 1.0 - idle_power_fraction(utilization, power)
+
+
+def ideal_power(utilization: Sequence[float]) -> np.ndarray:
+    """The ideal (strictly proportional) normalized power curve."""
+    u = np.asarray(utilization, dtype=float)
+    if np.any(u < 0.0) or np.any(u > 1.0):
+        raise ValueError("utilization values must lie in [0, 1]")
+    return u.copy()

@@ -1,0 +1,73 @@
+"""The proportionality gap (PG) of Wong & Annavaram.
+
+Refs. [17]/[48] of the paper measure, per utilization level, how far a
+server's normalized power sits above the ideal proportional line:
+
+    PG(u) = P_norm(u) - u
+
+A perfectly proportional server has PG = 0 everywhere; the gap is
+largest at low utilization for real servers -- Wong & Annavaram's
+finding, quoted in the paper's related work, that "when servers are
+running at low utilization there appears significant proportionality
+gap" even as overall EP improved.  The corpus-level view of this
+metric lives in :mod:`repro.analysis.gap`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.ep import _as_curve
+
+
+def proportionality_gap(
+    utilization: Sequence[float], power: Sequence[float]
+) -> np.ndarray:
+    """PG at every measured point: normalized power minus utilization."""
+    u, p = _as_curve(utilization, power)
+    return p / p[-1] - u
+
+
+def gap_at(
+    utilization: Sequence[float], power: Sequence[float], at: float
+) -> float:
+    """PG at one utilization (linear interpolation between levels)."""
+    if not 0.0 <= at <= 1.0:
+        raise ValueError("utilization must lie in [0, 1]")
+    u, p = _as_curve(utilization, power)
+    return float(np.interp(at, u, p / p[-1]) - at)
+
+
+def peak_gap(
+    utilization: Sequence[float], power: Sequence[float]
+) -> Tuple[float, float]:
+    """(utilization, gap) of the largest proportionality gap."""
+    u, p = _as_curve(utilization, power)
+    gaps = p / p[-1] - u
+    index = int(np.argmax(gaps))
+    return float(u[index]), float(gaps[index])
+
+
+def low_utilization_gap(
+    utilization: Sequence[float],
+    power: Sequence[float],
+    band: Tuple[float, float] = (0.1, 0.3),
+) -> float:
+    """Mean PG over the low-utilization band (10-30% by default).
+
+    This is the region Wong & Annavaram single out: most production
+    servers actually operate there, so a large low-band gap means the
+    fleet runs far from proportional even when the scalar EP looks
+    respectable.
+    """
+    low, high = band
+    if not 0.0 <= low < high <= 1.0:
+        raise ValueError("band must satisfy 0 <= low < high <= 1")
+    u, p = _as_curve(utilization, power)
+    inside = (u >= low - 1e-12) & (u <= high + 1e-12)
+    if not np.any(inside):
+        raise ValueError("no measured levels inside the band")
+    gaps = p / p[-1] - u
+    return float(gaps[inside].mean())

@@ -1,0 +1,68 @@
+"""Companion proportionality metrics: IPR, LD, and ER.
+
+Hsu & Poole (ref. [16] of the paper) compare the EP metric against a
+family of alternative proportionality measures; the paper itself
+invokes *linear deviation* (LD) in Section III.C to explain why two
+servers with identical EP can have differently shaped curves.  All
+metrics operate on the normalized power--utilization curve.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.ep import _as_curve, proportionality_area
+
+
+def idle_to_peak_ratio(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """IPR: idle power divided by peak power (lower is better).
+
+    Equivalent to the idle power percentage of Section III.D.  An
+    ideally proportional server has IPR 0; a constant-power server has
+    IPR 1.
+    """
+    u, p = _as_curve(utilization, power)
+    if u[0] > 0.0:
+        raise ValueError("curve does not include an active-idle (u=0) point")
+    return float(p[0] / p[-1])
+
+
+def linear_deviation(
+    utilization: Sequence[float], power: Sequence[float]
+) -> float:
+    """LD: signed area between the power curve and its idle-to-peak chord.
+
+    The chord runs from (0, p_idle) to (1, 1) on the normalized curve.
+    A positive LD means the curve bows *above* the chord (power rises
+    early -- superlinear shape, worse at low load); a negative LD means
+    it bows below (power is deferred to high load -- the shape behind
+    EP values above ``1 - idle``).  Two servers with equal EP but
+    different LD have the differently shaped curves discussed around
+    Fig. 10.
+    """
+    u, p = _as_curve(utilization, power)
+    p_norm = p / p[-1]
+    if u[0] > 0.0:
+        u = np.concatenate(([0.0], u))
+        p_norm = np.concatenate(([p_norm[0]], p_norm))
+    idle = p_norm[0]
+    chord = idle + (1.0 - idle) * u
+    return float(np.trapezoid(p_norm - chord, u))
+
+
+def energy_ratio(utilization: Sequence[float], power: Sequence[float]) -> float:
+    """ER: area under the ideal curve over area under the actual curve.
+
+    ER is 1.0 for an ideally proportional server and approaches 0.5 for
+    a constant-power server.  It ranks servers consistently with EP
+    (both are monotone transforms of the same area) but compresses the
+    scale, which is why the paper standardizes on EP.
+    """
+    area = proportionality_area(utilization, power)
+    if area <= 0.0:
+        raise ValueError("degenerate curve: area under power curve is zero")
+    return float(0.5 / area)

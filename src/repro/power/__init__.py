@@ -1,0 +1,60 @@
+"""Component-level server power models and frequency governors.
+
+These models provide the physical substrate for both halves of the
+reproduction:
+
+* the :mod:`repro.ssj` benchmark simulator draws wall power from a
+  :class:`~repro.power.server.ServerPowerModel` while it replays the
+  graduated-load protocol, and
+* the :mod:`repro.hwexp` testbed experiments (Figs. 18-21) sweep the
+  CPU model's DVFS operating points and the memory model's DIMM
+  population.
+
+The microarchitecture catalog encodes the per-codename energy
+character (Fig. 7 of the paper) that drives the synthetic corpus.
+"""
+
+from repro.power.components import DiskPowerModel, FanPowerModel
+from repro.power.cpu import CpuPowerModel, OperatingPoint
+from repro.power.governors import (
+    FixedFrequencyGovernor,
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.power.memory import DimmPowerModel, MemoryPowerModel
+from repro.power.microarch import (
+    CATALOG,
+    Codename,
+    Family,
+    Microarchitecture,
+    Vendor,
+    codenames,
+    lookup,
+)
+from repro.power.psu import PsuModel
+from repro.power.server import ServerPowerModel
+
+__all__ = [
+    "CATALOG",
+    "Codename",
+    "CpuPowerModel",
+    "DimmPowerModel",
+    "DiskPowerModel",
+    "Family",
+    "FanPowerModel",
+    "FixedFrequencyGovernor",
+    "Governor",
+    "MemoryPowerModel",
+    "Microarchitecture",
+    "OndemandGovernor",
+    "OperatingPoint",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "PsuModel",
+    "ServerPowerModel",
+    "Vendor",
+    "codenames",
+    "lookup",
+]

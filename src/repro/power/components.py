@@ -1,0 +1,73 @@
+"""Non-CPU, non-memory component power models: disks and fans.
+
+SPECpower does not stress storage (Section V.A notes vendors therefore
+submit single-disk configurations), so disk power is essentially a
+constant background term that differs between spinning disks and SSDs.
+Fan power responds to thermal load; the cubic fan-affinity law is the
+standard first-order model and supplies the gentle superlinearity real
+servers show near full load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskPowerModel:
+    """One storage device.
+
+    ``idle_w`` is drawn whenever the device is powered (for an HDD this
+    is dominated by spindle rotation); ``active_w`` is the additional
+    draw under I/O, which SPECpower-style workloads barely exercise
+    (``io_intensity`` stays near zero).
+    """
+
+    kind: str
+    idle_w: float
+    active_w: float
+
+    def __post_init__(self):
+        if self.idle_w < 0.0 or self.active_w < 0.0:
+            raise ValueError("disk power terms cannot be negative")
+
+    def power_w(self, io_intensity: float = 0.0) -> float:
+        """Draw at an I/O intensity in [0, 1]."""
+        if not 0.0 <= io_intensity <= 1.0:
+            raise ValueError("I/O intensity must lie in [0, 1]")
+        return self.idle_w + self.active_w * io_intensity
+
+
+#: 10k-rpm SAS spinner vs. SATA SSD, per Table II's configurations.
+SAS_10K = DiskPowerModel(kind="SAS 10k", idle_w=5.8, active_w=3.0)
+SATA_SSD = DiskPowerModel(kind="SATA SSD", idle_w=1.2, active_w=2.2)
+
+
+@dataclass(frozen=True)
+class FanPowerModel:
+    """Chassis fan bank following the cubic fan-affinity law.
+
+    Fan speed rises with the thermal load (approximated by compute
+    utilization); power rises with the cube of speed.  ``base_w`` is
+    the floor draw at the minimum speed, ``max_w`` the draw at full
+    speed, and ``min_speed_fraction`` the idle speed floor.
+    """
+
+    base_w: float
+    max_w: float
+    min_speed_fraction: float = 0.4
+
+    def __post_init__(self):
+        if self.base_w < 0.0 or self.max_w < self.base_w:
+            raise ValueError("fan power bounds are inconsistent")
+        if not 0.0 < self.min_speed_fraction <= 1.0:
+            raise ValueError("minimum speed fraction must lie in (0, 1]")
+
+    def power_w(self, thermal_load: float) -> float:
+        """Fan power at a thermal load in [0, 1]."""
+        if not 0.0 <= thermal_load <= 1.0:
+            raise ValueError("thermal load must lie in [0, 1]")
+        speed = self.min_speed_fraction + (1.0 - self.min_speed_fraction) * thermal_load
+        floor = self.min_speed_fraction**3
+        normalized = (speed**3 - floor) / (1.0 - floor) if floor < 1.0 else 0.0
+        return self.base_w + (self.max_w - self.base_w) * normalized

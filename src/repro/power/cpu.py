@@ -1,0 +1,154 @@
+"""CPU power model with DVFS operating points and C-state idling.
+
+The model follows the standard CMOS decomposition the paper's DVFS
+discussion (Section V.B) relies on:
+
+    P_cpu = P_static(V) + P_dynamic,   P_dynamic = C_eff * V^2 * f * a
+
+where ``a`` is the activity factor (fraction of cycles doing work),
+``V`` scales roughly linearly with frequency across the DVFS range, and
+static (leakage) power scales with voltage but not activity.  Because
+the static share does not fall with frequency while throughput does,
+*lower frequency yields lower power but also lower energy efficiency* --
+the paper's headline DVFS observation -- and the model makes that
+emerge rather than asserting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS (frequency, voltage) pair."""
+
+    frequency_ghz: float
+    voltage_v: float
+
+    def __post_init__(self):
+        if self.frequency_ghz <= 0.0:
+            raise ValueError("frequency must be positive")
+        if self.voltage_v <= 0.0:
+            raise ValueError("voltage must be positive")
+
+
+def default_voltage_curve(
+    frequencies_ghz: Sequence[float],
+    v_min: float = 0.85,
+    v_max: float = 1.25,
+) -> List[OperatingPoint]:
+    """Build operating points with voltage linear in frequency.
+
+    Real parts ship a voltage/frequency table; a linear interpolation
+    between the minimum and maximum rail voltage is the conventional
+    first-order stand-in.
+    """
+    freqs = sorted(float(f) for f in frequencies_ghz)
+    if not freqs:
+        raise ValueError("at least one frequency is required")
+    f_min, f_max = freqs[0], freqs[-1]
+    points = []
+    for f in freqs:
+        if f_max == f_min:
+            v = v_max
+        else:
+            v = v_min + (v_max - v_min) * (f - f_min) / (f_max - f_min)
+        points.append(OperatingPoint(frequency_ghz=f, voltage_v=v))
+    return points
+
+
+@dataclass
+class CpuPowerModel:
+    """Power model of one CPU package.
+
+    Parameters
+    ----------
+    tdp_w:
+        Thermal design power; full-activity power at the top operating
+        point is calibrated to this value.
+    cores:
+        Physical core count of the package.
+    operating_points:
+        Available DVFS states, any order; sorted internally.
+    static_fraction:
+        Share of TDP that is static (leakage + uncore) at the top
+        operating point.  Newer processes idle deeper; the corpus uses
+        lower fractions for newer codenames.
+    idle_state_residency:
+        How much of the *static* power C-states eliminate when a core
+        is completely idle (package C-states, clock gating).  0 keeps
+        all static power at idle; 1 removes it entirely.
+    """
+
+    tdp_w: float
+    cores: int
+    operating_points: List[OperatingPoint] = field(default_factory=list)
+    static_fraction: float = 0.3
+    idle_state_residency: float = 0.5
+
+    def __post_init__(self):
+        if self.tdp_w <= 0.0:
+            raise ValueError("TDP must be positive")
+        if self.cores <= 0:
+            raise ValueError("core count must be positive")
+        if not self.operating_points:
+            self.operating_points = default_voltage_curve([2.0])
+        self.operating_points = sorted(
+            self.operating_points, key=lambda pt: pt.frequency_ghz
+        )
+        if not 0.0 <= self.static_fraction < 1.0:
+            raise ValueError("static fraction must be in [0, 1)")
+        if not 0.0 <= self.idle_state_residency <= 1.0:
+            raise ValueError("idle state residency must be in [0, 1]")
+
+    @property
+    def min_frequency_ghz(self) -> float:
+        return self.operating_points[0].frequency_ghz
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        return self.operating_points[-1].frequency_ghz
+
+    @property
+    def frequencies_ghz(self) -> Tuple[float, ...]:
+        return tuple(pt.frequency_ghz for pt in self.operating_points)
+
+    def operating_point(self, frequency_ghz: float) -> OperatingPoint:
+        """Snap a requested frequency to the nearest available P-state."""
+        return min(
+            self.operating_points,
+            key=lambda pt: abs(pt.frequency_ghz - frequency_ghz),
+        )
+
+    def _top(self) -> OperatingPoint:
+        return self.operating_points[-1]
+
+    def power_w(self, utilization: float, frequency_ghz: float) -> float:
+        """Package power at a core utilization and P-state.
+
+        ``utilization`` is the fraction of core-cycles doing work
+        (0 = all cores idle, 1 = all cores busy at the given P-state).
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must lie in [0, 1]")
+        point = self.operating_point(frequency_ghz)
+        top = self._top()
+        v_ratio_sq = (point.voltage_v / top.voltage_v) ** 2
+        f_ratio = point.frequency_ghz / top.frequency_ghz
+        dynamic_max = self.tdp_w * (1.0 - self.static_fraction)
+        dynamic = dynamic_max * v_ratio_sq * f_ratio * utilization
+        static = self.tdp_w * self.static_fraction * v_ratio_sq
+        # C-states peel off part of the static power in proportion to
+        # the idle share of the machine.
+        static *= 1.0 - self.idle_state_residency * (1.0 - utilization)
+        return dynamic + static
+
+    def idle_power_w(self, frequency_ghz: float) -> float:
+        """Package power with every core idle at the given P-state."""
+        return self.power_w(0.0, frequency_ghz)
+
+    def peak_power_w(self) -> float:
+        """Package power fully loaded at the top P-state (~TDP)."""
+        return self.power_w(1.0, self.max_frequency_ghz)

@@ -1,0 +1,110 @@
+"""DRAM power model: per-DIMM background power plus activity power.
+
+Section V.A of the paper shows that memory installation materially
+changes whole-server energy efficiency: every installed DIMM draws
+background power (refresh, registers, I/O termination) regardless of
+load, so over-provisioned memory depresses efficiency -- the mechanism
+behind the EE decline the paper measures at 8-16 GB/core.  Activity
+power scales with access intensity, which for the SPECpower-style
+workload tracks the load level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DimmPowerModel:
+    """Power characteristics of one DIMM of a given generation/size.
+
+    ``background_w`` is drawn whenever the DIMM is powered (self-refresh
+    savings at true idle are folded into the value); ``active_w`` is the
+    additional draw at full access intensity.
+    """
+
+    capacity_gb: int
+    generation: str
+    background_w: float
+    active_w: float
+
+    def __post_init__(self):
+        if self.capacity_gb <= 0:
+            raise ValueError("DIMM capacity must be positive")
+        if self.background_w < 0.0 or self.active_w < 0.0:
+            raise ValueError("DIMM power terms cannot be negative")
+
+    def power_w(self, access_intensity: float) -> float:
+        """Draw of this DIMM at an access intensity in [0, 1]."""
+        if not 0.0 <= access_intensity <= 1.0:
+            raise ValueError("access intensity must lie in [0, 1]")
+        return self.background_w + self.active_w * access_intensity
+
+
+#: Representative DIMM types for the two generations in the paper's
+#: testbed (Table II: DDR3-1600 on servers #1-#2, DDR4-2133 on #3-#4).
+#: DDR4 runs at a lower rail voltage (1.2 V vs 1.5 V), hence the lower
+#: background draw per gigabyte.
+DIMM_TYPES: Dict[str, DimmPowerModel] = {
+    "DDR3-4G": DimmPowerModel(4, "DDR3", background_w=2.1, active_w=3.2),
+    "DDR3-8G": DimmPowerModel(8, "DDR3", background_w=2.8, active_w=4.0),
+    "DDR3-16G": DimmPowerModel(16, "DDR3", background_w=3.8, active_w=5.0),
+    "DDR4-4G": DimmPowerModel(4, "DDR4", background_w=1.3, active_w=2.4),
+    "DDR4-8G": DimmPowerModel(8, "DDR4", background_w=1.8, active_w=3.0),
+    "DDR4-16G": DimmPowerModel(16, "DDR4", background_w=1.8, active_w=2.8),
+    "DDR4-32G": DimmPowerModel(32, "DDR4", background_w=3.4, active_w=4.8),
+}
+
+
+@dataclass
+class MemoryPowerModel:
+    """A populated memory subsystem: ``dimm_count`` identical DIMMs."""
+
+    dimm: DimmPowerModel
+    dimm_count: int
+
+    def __post_init__(self):
+        if self.dimm_count <= 0:
+            raise ValueError("at least one DIMM must be installed")
+
+    @property
+    def capacity_gb(self) -> int:
+        return self.dimm.capacity_gb * self.dimm_count
+
+    def power_w(self, access_intensity: float) -> float:
+        """Total memory power at an access intensity in [0, 1]."""
+        return self.dimm.power_w(access_intensity) * self.dimm_count
+
+    def background_power_w(self) -> float:
+        """Draw with zero access intensity (every DIMM still powered)."""
+        return self.dimm.background_w * self.dimm_count
+
+
+def populate(
+    capacity_gb: int, generation: str, preferred_dimm_gb: int = 16
+) -> MemoryPowerModel:
+    """Populate ``capacity_gb`` using identical DIMMs of one generation.
+
+    Picks the largest catalog DIMM size that divides the capacity, not
+    exceeding ``preferred_dimm_gb``; mirrors how the paper's testbed
+    configurations were built (e.g. 192 GB as 12 x 16 GB).
+    """
+    if capacity_gb <= 0:
+        raise ValueError("capacity must be positive")
+    candidates = sorted(
+        (d for d in DIMM_TYPES.values() if d.generation == generation),
+        key=lambda d: d.capacity_gb,
+        reverse=True,
+    )
+    if not candidates:
+        raise ValueError(f"unknown memory generation: {generation!r}")
+    for dimm in candidates:
+        if dimm.capacity_gb <= preferred_dimm_gb and capacity_gb % dimm.capacity_gb == 0:
+            return MemoryPowerModel(dimm=dimm, dimm_count=capacity_gb // dimm.capacity_gb)
+    smallest = candidates[-1]
+    if capacity_gb % smallest.capacity_gb != 0:
+        raise ValueError(
+            f"cannot populate {capacity_gb} GB with {generation} DIMMs"
+        )
+    return MemoryPowerModel(dimm=smallest, dimm_count=capacity_gb // smallest.capacity_gb)

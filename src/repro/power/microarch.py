@@ -1,0 +1,195 @@
+"""Processor microarchitecture catalog.
+
+Figures 6-8 of the paper group the 477 SPECpower servers by processor
+microarchitecture *family* (Netburst, Core, Nehalem, Sandy Bridge,
+Haswell, Skylake, AMD, unknown) and by *codename* within each family,
+and report the average EP of each codename.  This catalog encodes those
+published averages as calibration targets, together with process-node
+and release-window metadata used by the synthetic corpus.
+
+The per-codename EP averages come straight from Fig. 7's legend, e.g.
+Sandy Bridge EN 0.90 (the best observed), Broadwell 0.87, Haswell 0.81,
+Netburst 0.29 (the worst).  Pre-2011 AMD codenames are not legible in
+Fig. 7; their targets interpolate the era trend and are flagged
+``ep_published=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class Vendor(Enum):
+    """CPU vendor of a published SPECpower result."""
+
+    INTEL = "Intel"
+    AMD = "AMD"
+    UNKNOWN = "Unknown"
+
+
+class Family(Enum):
+    """Microarchitecture family as grouped in Fig. 6 of the paper."""
+
+    NETBURST = "Netburst"
+    CORE = "Core"
+    NEHALEM = "Nehalem"
+    SANDY_BRIDGE = "Sandy Bridge"
+    HASWELL = "Haswell"
+    SKYLAKE = "Skylake"
+    AMD = "AMD CPU"
+    UNKNOWN = "N/A"
+
+
+class Codename(Enum):
+    """Microarchitecture codename as broken out in Fig. 7 of the paper."""
+
+    NETBURST = "Netburst"
+    CORE = "Core"
+    PENRYN = "Penryn"
+    YORKFIELD = "Yorkfield"
+    NEHALEM_EP = "Nehalem EP"
+    NEHALEM_EX = "Nehalem EX"
+    LYNNFIELD = "Lynnfield"
+    WESTMERE = "Westmere"
+    WESTMERE_EP = "Westmere-EP"
+    SANDY_BRIDGE = "Sandy Bridge"
+    SANDY_BRIDGE_EP = "Sandy Bridge EP"
+    SANDY_BRIDGE_EN = "Sandy Bridge EN"
+    IVY_BRIDGE = "Ivy Bridge"
+    IVY_BRIDGE_EP = "Ivy Bridge EP"
+    HASWELL = "Haswell"
+    BROADWELL = "Broadwell"
+    SKYLAKE = "Skylake"
+    BARCELONA = "Barcelona"
+    ISTANBUL = "Istanbul"
+    MAGNY_COURS = "Magny-Cours"
+    INTERLAGOS = "Interlagos"
+    ABU_DHABI = "Abu Dhabi"
+    SEOUL = "Seoul"
+    UNKNOWN = "N/A"
+
+
+@dataclass(frozen=True)
+class Microarchitecture:
+    """Calibration record for one processor codename.
+
+    Attributes
+    ----------
+    codename / family / vendor:
+        Identity within the Fig. 6 / Fig. 7 taxonomy.
+    process_nm:
+        Lithography node; the paper notes finer nodes usually (but not
+        always -- Ivy Bridge regressed from Sandy Bridge) raise EP.
+    years:
+        Inclusive hardware-availability window in the corpus.
+    ep_mean:
+        Target mean EP of servers with this codename (Fig. 7 legend).
+    ep_spread:
+        One-sigma spread used when synthesizing individual servers.
+    ee_factor:
+        Relative energy-efficiency multiplier versus the era baseline;
+        captures that, e.g., Haswell-era parts dominate the top-10% EE
+        list (Section IV.B) even where their EP trails Sandy Bridge EN.
+    is_tock:
+        True for Intel "tock" designs (new microarchitecture on an
+        existing node) -- the paper attributes both EP step-jumps
+        (2008->2009, 2011->2012) to tocks.
+    ep_published:
+        Whether ``ep_mean`` is a number printed in the paper (Fig. 7)
+        or an interpolation (pre-2011 AMD parts).
+    """
+
+    codename: Codename
+    family: Family
+    vendor: Vendor
+    process_nm: int
+    years: Tuple[int, int]
+    ep_mean: float
+    ep_spread: float
+    ee_factor: float
+    is_tock: bool = False
+    ep_published: bool = True
+
+
+def _m(
+    codename: Codename,
+    family: Family,
+    vendor: Vendor,
+    process_nm: int,
+    years: Tuple[int, int],
+    ep_mean: float,
+    ee_factor: float,
+    ep_spread: float = 0.035,
+    is_tock: bool = False,
+    ep_published: bool = True,
+) -> Microarchitecture:
+    return Microarchitecture(
+        codename=codename,
+        family=family,
+        vendor=vendor,
+        process_nm=process_nm,
+        years=years,
+        ep_mean=ep_mean,
+        ep_spread=ep_spread,
+        ee_factor=ee_factor,
+        is_tock=is_tock,
+        ep_published=ep_published,
+    )
+
+
+#: The full catalog, keyed by codename.  EP means are Fig. 7 values.
+CATALOG: Dict[Codename, Microarchitecture] = {
+    m.codename: m
+    for m in [
+        _m(Codename.NETBURST, Family.NETBURST, Vendor.INTEL, 90, (2004, 2005), 0.29, 0.9),
+        _m(Codename.CORE, Family.CORE, Vendor.INTEL, 65, (2006, 2008), 0.30, 1.0, is_tock=True),
+        _m(Codename.PENRYN, Family.CORE, Vendor.INTEL, 45, (2008, 2009), 0.35, 1.05),
+        _m(Codename.YORKFIELD, Family.CORE, Vendor.INTEL, 45, (2008, 2009), 0.43, 1.0),
+        _m(Codename.NEHALEM_EP, Family.NEHALEM, Vendor.INTEL, 45, (2009, 2010), 0.59, 1.25, is_tock=True),
+        _m(Codename.LYNNFIELD, Family.NEHALEM, Vendor.INTEL, 45, (2009, 2009), 0.74, 1.1),
+        _m(Codename.NEHALEM_EX, Family.NEHALEM, Vendor.INTEL, 45, (2010, 2010), 0.44, 0.95),
+        _m(Codename.WESTMERE, Family.NEHALEM, Vendor.INTEL, 32, (2010, 2011), 0.54, 1.2),
+        _m(Codename.WESTMERE_EP, Family.NEHALEM, Vendor.INTEL, 32, (2010, 2011), 0.65, 1.3),
+        _m(Codename.SANDY_BRIDGE, Family.SANDY_BRIDGE, Vendor.INTEL, 32, (2011, 2012), 0.75, 1.35, is_tock=True),
+        _m(Codename.SANDY_BRIDGE_EP, Family.SANDY_BRIDGE, Vendor.INTEL, 32, (2012, 2012), 0.84, 1.45, is_tock=True),
+        _m(Codename.SANDY_BRIDGE_EN, Family.SANDY_BRIDGE, Vendor.INTEL, 32, (2012, 2012), 0.90, 1.35, ep_spread=0.06, is_tock=True),
+        _m(Codename.IVY_BRIDGE, Family.SANDY_BRIDGE, Vendor.INTEL, 22, (2012, 2013), 0.71, 1.45),
+        _m(Codename.IVY_BRIDGE_EP, Family.SANDY_BRIDGE, Vendor.INTEL, 22, (2013, 2014), 0.75, 1.55),
+        _m(Codename.HASWELL, Family.HASWELL, Vendor.INTEL, 22, (2013, 2016), 0.81, 1.75, is_tock=True),
+        _m(Codename.BROADWELL, Family.HASWELL, Vendor.INTEL, 14, (2015, 2016), 0.87, 2.0),
+        _m(Codename.SKYLAKE, Family.SKYLAKE, Vendor.INTEL, 14, (2015, 2016), 0.76, 1.95, is_tock=True),
+        _m(Codename.BARCELONA, Family.AMD, Vendor.AMD, 65, (2008, 2008), 0.33, 0.85, ep_published=False),
+        _m(Codename.ISTANBUL, Family.AMD, Vendor.AMD, 45, (2009, 2009), 0.45, 0.9, ep_published=False),
+        _m(Codename.MAGNY_COURS, Family.AMD, Vendor.AMD, 45, (2010, 2010), 0.52, 0.95, ep_published=False),
+        _m(Codename.INTERLAGOS, Family.AMD, Vendor.AMD, 32, (2011, 2012), 0.65, 1.0),
+        _m(Codename.ABU_DHABI, Family.AMD, Vendor.AMD, 32, (2012, 2013), 0.68, 1.05),
+        _m(Codename.SEOUL, Family.AMD, Vendor.AMD, 32, (2012, 2013), 0.62, 1.0),
+        _m(Codename.UNKNOWN, Family.UNKNOWN, Vendor.UNKNOWN, 45, (2007, 2016), 0.60, 1.0, ep_spread=0.08, ep_published=False),
+    ]
+}
+
+
+def lookup(codename: Codename) -> Microarchitecture:
+    """Return the catalog record for a codename."""
+    return CATALOG[codename]
+
+
+def codenames(
+    family: Optional[Family] = None, vendor: Optional[Vendor] = None
+) -> List[Codename]:
+    """List catalog codenames, optionally filtered by family or vendor."""
+    selected = []
+    for record in CATALOG.values():
+        if family is not None and record.family is not family:
+            continue
+        if vendor is not None and record.vendor is not vendor:
+            continue
+        selected.append(record.codename)
+    return selected
+
+
+def family_of(codename: Codename) -> Family:
+    """Family a codename belongs to in the Fig. 6 grouping."""
+    return CATALOG[codename].family

@@ -1,0 +1,65 @@
+"""Power supply unit efficiency model.
+
+Wall power exceeds the DC load by the PSU's conversion loss, and the
+loss fraction depends on the load point: 80 PLUS-class supplies peak
+around half load and degrade toward both extremes.  This curve matters
+for energy proportionality because a lightly loaded server sits on the
+inefficient left shoulder of its PSU -- one of the reasons idle power
+percentages stayed stubbornly high in the paper's older cohorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PsuModel:
+    """Quadratic-shoulder PSU efficiency curve.
+
+    Parameters
+    ----------
+    rated_w:
+        Nameplate DC output capacity.
+    peak_efficiency:
+        Conversion efficiency at the best load point (e.g. 0.94 for an
+        80 PLUS Platinum unit, 0.85 for an older Bronze-class unit).
+    best_load_fraction:
+        DC load fraction (of ``rated_w``) where efficiency peaks.
+    shoulder_drop:
+        Efficiency lost at a load fraction 0.5 away from the best point
+        (quadratic in the distance).
+    floor:
+        Lower bound on efficiency at extreme load points.
+    """
+
+    rated_w: float
+    peak_efficiency: float = 0.92
+    best_load_fraction: float = 0.5
+    shoulder_drop: float = 0.08
+    floor: float = 0.60
+
+    def __post_init__(self):
+        if self.rated_w <= 0.0:
+            raise ValueError("PSU rating must be positive")
+        if not 0.0 < self.peak_efficiency <= 1.0:
+            raise ValueError("peak efficiency must lie in (0, 1]")
+        if not 0.0 < self.best_load_fraction <= 1.0:
+            raise ValueError("best load fraction must lie in (0, 1]")
+        if not 0.0 < self.floor <= self.peak_efficiency:
+            raise ValueError("efficiency floor is inconsistent")
+
+    def efficiency(self, dc_load_w: float) -> float:
+        """Conversion efficiency at a DC load in watts."""
+        if dc_load_w < 0.0:
+            raise ValueError("DC load cannot be negative")
+        fraction = min(dc_load_w / self.rated_w, 1.2)
+        distance = (fraction - self.best_load_fraction) / 0.5
+        eff = self.peak_efficiency - self.shoulder_drop * distance * distance
+        return max(self.floor, min(self.peak_efficiency, eff))
+
+    def wall_power_w(self, dc_load_w: float) -> float:
+        """AC wall draw required to deliver ``dc_load_w`` of DC power."""
+        if dc_load_w == 0.0:
+            return 0.0
+        return dc_load_w / self.efficiency(dc_load_w)

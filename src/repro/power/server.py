@@ -1,0 +1,113 @@
+"""Whole-server power model: components composed behind a PSU.
+
+A :class:`ServerPowerModel` is the wall-socket view of a server that
+the SPECpower simulator's power meter samples: CPU packages, DIMMs,
+disks, fans, and a motherboard floor, summed on the DC side and pushed
+through the PSU efficiency curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.power.components import DiskPowerModel, FanPowerModel
+from repro.power.cpu import CpuPowerModel
+from repro.power.memory import MemoryPowerModel
+from repro.power.psu import PsuModel
+
+
+@dataclass
+class ServerPowerModel:
+    """Component composition of one physical server.
+
+    Parameters
+    ----------
+    cpus:
+        One :class:`CpuPowerModel` per socket.
+    memory:
+        The populated memory subsystem.
+    disks:
+        Installed storage devices.
+    fans:
+        The chassis fan bank.
+    psu:
+        The power supply; wall power is DC power divided by efficiency.
+    psu_count:
+        Installed (load-sharing) supplies.  Redundant configurations
+        (2 for 1+1) split the DC load, pushing each unit onto the
+        inefficient left shoulder of its curve at light load -- a real
+        and often-overlooked proportionality cost.
+    motherboard_w:
+        Chipset/VRM/BMC floor, drawn at all times.
+    memory_intensity_ratio:
+        How strongly memory access intensity tracks compute utilization
+        for the modeled workload (SPECpower is moderately memory
+        intensive; 0.7 by default).
+    """
+
+    cpus: List[CpuPowerModel]
+    memory: MemoryPowerModel
+    disks: List[DiskPowerModel] = field(default_factory=list)
+    fans: Optional[FanPowerModel] = None
+    psu: Optional[PsuModel] = None
+    psu_count: int = 1
+    motherboard_w: float = 25.0
+    memory_intensity_ratio: float = 0.7
+
+    def __post_init__(self):
+        if not self.cpus:
+            raise ValueError("a server needs at least one CPU")
+        if self.motherboard_w < 0.0:
+            raise ValueError("motherboard power cannot be negative")
+        if not 0.0 <= self.memory_intensity_ratio <= 1.0:
+            raise ValueError("memory intensity ratio must lie in [0, 1]")
+        if self.psu_count <= 0:
+            raise ValueError("at least one PSU is required")
+        if self.fans is None:
+            self.fans = FanPowerModel(base_w=8.0, max_w=30.0)
+        if self.psu is None:
+            self.psu = PsuModel(rated_w=self.nameplate_dc_w() * 1.4)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(cpu.cores for cpu in self.cpus)
+
+    def nameplate_dc_w(self) -> float:
+        """Rough full-load DC power, used to size the default PSU."""
+        total = sum(cpu.peak_power_w() for cpu in self.cpus)
+        total += self.memory.power_w(1.0)
+        total += sum(disk.power_w(1.0) for disk in self.disks)
+        total += self.motherboard_w + 30.0
+        return total
+
+    def dc_power_w(self, utilization: float, frequency_ghz: float) -> float:
+        """DC-side power at a compute utilization and CPU frequency."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must lie in [0, 1]")
+        power = sum(cpu.power_w(utilization, frequency_ghz) for cpu in self.cpus)
+        power += self.memory.power_w(self.memory_intensity_ratio * utilization)
+        power += sum(disk.power_w(0.0) for disk in self.disks)
+        power += self.fans.power_w(utilization)
+        power += self.motherboard_w
+        return power
+
+    def wall_power_w(self, utilization: float, frequency_ghz: float) -> float:
+        """AC wall power at a compute utilization and CPU frequency.
+
+        With multiple load-sharing PSUs the DC load splits evenly and
+        each unit converts its share at the corresponding efficiency.
+        """
+        dc = self.dc_power_w(utilization, frequency_ghz)
+        share = dc / self.psu_count
+        return self.psu_count * self.psu.wall_power_w(share)
+
+    def idle_wall_power_w(self, frequency_ghz: Optional[float] = None) -> float:
+        """Wall power with every core idle."""
+        if frequency_ghz is None:
+            frequency_ghz = self.cpus[0].min_frequency_ghz
+        return self.wall_power_w(0.0, frequency_ghz)
+
+    def peak_wall_power_w(self) -> float:
+        """Wall power fully loaded at the top P-state."""
+        return self.wall_power_w(1.0, self.cpus[0].max_frequency_ghz)

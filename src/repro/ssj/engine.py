@@ -1,0 +1,210 @@
+"""Discrete-event multi-core service engine.
+
+The engine is a c-server FIFO queue (one server per hardware core)
+processing the transaction stream: arrivals join the queue, an idle
+core picks up the head-of-line transaction, holds it for an
+exponentially distributed service time whose mean follows the
+transaction's work factor and the current CPU frequency, and retires
+its ssj_ops on completion.  The engine advances in *windows* so the
+frequency governor can resample between windows; service times are
+drawn at dispatch using the frequency then in force.
+
+Busy time is integrated exactly: between any two consecutive events the
+number of busy cores is constant, so the integral of busy cores over
+time accumulates in closed form at every event edge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.ssj.transactions import TransactionType
+
+#: ssj_ops retired by a unit-work transaction.
+OPS_PER_UNIT_WORK = 100.0
+
+
+class ThroughputProfile(Protocol):
+    """Performance side of a server: how fast one core retires work."""
+
+    def ops_per_second_per_core(self, frequency_ghz: float) -> float:
+        """Sustained ssj_ops/s of one core at the given frequency."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearThroughputProfile:
+    """Throughput proportional to frequency -- the simplest profile.
+
+    ``ops_at_1ghz`` is the per-core rate at 1 GHz.  Real servers scale
+    sublinearly with frequency (memory-bound cycles do not speed up);
+    :mod:`repro.hwexp.perf_model` provides that richer profile.
+    """
+
+    ops_at_1ghz: float
+
+    def ops_per_second_per_core(self, frequency_ghz: float) -> float:
+        """Per-core rate, proportional to the clock."""
+        if frequency_ghz <= 0.0:
+            raise ValueError("frequency must be positive")
+        return self.ops_at_1ghz * frequency_ghz
+
+
+@dataclass
+class EngineResult:
+    """Aggregate statistics of one simulated window."""
+
+    duration_s: float
+    cores: int = 1
+    completed_transactions: int = 0
+    completed_ops: float = 0.0
+    busy_core_seconds: float = 0.0
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        return self.completed_ops / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        denominator = self.cores * self.duration_s
+        return self.busy_core_seconds / denominator if denominator > 0 else 0.0
+
+    def merge(self, other: "EngineResult") -> "EngineResult":
+        """Combine two consecutive windows of the same engine."""
+        if other.cores != self.cores:
+            raise ValueError("cannot merge results from different core counts")
+        return EngineResult(
+            duration_s=self.duration_s + other.duration_s,
+            cores=self.cores,
+            completed_transactions=self.completed_transactions
+            + other.completed_transactions,
+            completed_ops=self.completed_ops + other.completed_ops,
+            busy_core_seconds=self.busy_core_seconds + other.busy_core_seconds,
+        )
+
+
+@dataclass(order=True)
+class _InService:
+    departure_time: float
+    sequence: int
+    ops: float = field(compare=False)
+
+
+@dataclass
+class ServiceEngine:
+    """Stateful c-server FIFO queue, advanced window by window."""
+
+    cores: int
+    profile: ThroughputProfile
+    rng: np.random.Generator
+    queue_capacity: Optional[int] = None
+
+    _clock: float = field(default=0.0, init=False, repr=False)
+    _queue: Deque[TransactionType] = field(default_factory=deque, init=False, repr=False)
+    _in_service: List[_InService] = field(default_factory=list, init=False, repr=False)
+    _sequence: int = field(default=0, init=False, repr=False)
+    _dropped: int = field(default=0, init=False, repr=False)
+    _busy_integral: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise ValueError("queue capacity cannot be negative")
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        """Transactions queued or in service right now."""
+        return len(self._queue) + len(self._in_service)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def _tick(self, now: float) -> None:
+        """Advance the clock, integrating busy cores over the gap."""
+        if now < self._clock:
+            raise ValueError("engine clock cannot move backwards")
+        self._busy_integral += len(self._in_service) * (now - self._clock)
+        self._clock = now
+
+    def _service_time(
+        self, transaction: TransactionType, frequency_ghz: float
+    ) -> Tuple[float, float]:
+        """Draw a service time; returns (seconds, ops retired)."""
+        rate = self.profile.ops_per_second_per_core(frequency_ghz)
+        if rate <= 0.0:
+            raise ValueError("throughput profile returned a non-positive rate")
+        ops = transaction.work_factor * OPS_PER_UNIT_WORK
+        mean_seconds = ops / rate
+        return float(self.rng.exponential(mean_seconds)), ops
+
+    def _dispatch(
+        self, transaction: TransactionType, now: float, frequency_ghz: float
+    ) -> None:
+        seconds, ops = self._service_time(transaction, frequency_ghz)
+        self._sequence += 1
+        heapq.heappush(
+            self._in_service,
+            _InService(departure_time=now + seconds, sequence=self._sequence, ops=ops),
+        )
+
+    def _drain_departures(
+        self, until: float, frequency_ghz: float, result: EngineResult
+    ) -> None:
+        """Retire every in-service transaction departing by ``until``."""
+        while self._in_service and self._in_service[0].departure_time <= until:
+            job = self._in_service[0]
+            self._tick(job.departure_time)
+            heapq.heappop(self._in_service)
+            result.completed_transactions += 1
+            result.completed_ops += job.ops
+            if self._queue:
+                self._dispatch(self._queue.popleft(), job.departure_time, frequency_ghz)
+
+    def advance(
+        self,
+        arrivals: Iterable[Tuple[float, TransactionType]],
+        until: float,
+        frequency_ghz: float,
+    ) -> EngineResult:
+        """Simulate up to time ``until`` with the given CPU frequency.
+
+        ``arrivals`` must yield (absolute_time, transaction) pairs with
+        non-decreasing times inside [clock, until].
+        """
+        if until < self._clock:
+            raise ValueError("cannot advance backwards in time")
+        window_start = self._clock
+        busy_at_start = self._busy_integral
+        result = EngineResult(duration_s=until - window_start, cores=self.cores)
+
+        for arrival_time, transaction in arrivals:
+            if arrival_time < window_start or arrival_time > until:
+                raise ValueError("arrival outside the advancing window")
+            self._drain_departures(arrival_time, frequency_ghz, result)
+            self._tick(arrival_time)
+            if len(self._in_service) < self.cores:
+                self._dispatch(transaction, arrival_time, frequency_ghz)
+            elif self.queue_capacity is None or len(self._queue) < self.queue_capacity:
+                self._queue.append(transaction)
+            else:
+                self._dropped += 1
+
+        self._drain_departures(until, frequency_ghz, result)
+        self._tick(until)
+        result.busy_core_seconds = self._busy_integral - busy_at_start
+        return result
+
+    def recent_load(self, result: EngineResult) -> float:
+        """Load estimate a governor would sample after a window."""
+        return min(1.0, result.utilization)

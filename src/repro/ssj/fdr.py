@@ -1,0 +1,69 @@
+"""FDR text parsing: the inverse of :meth:`BenchmarkReport.to_text`.
+
+Published SPECpower results circulate as human-readable tables; being
+able to parse them back closes the loop for users who archive runs as
+text.  The parser accepts exactly the layout ``to_text`` produces and
+round-trips the measured payload (throughputs, powers, active idle).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.ssj.report import BenchmarkReport, LevelMeasurement
+
+_ROW = re.compile(
+    r"^\s*(?P<load>\d+)%\s*\|\s*(?P<ops>[\d.]+)\s*\|\s*(?P<power>[\d.]+)\s*\|"
+)
+_IDLE_ROW = re.compile(r"^\s*idle\s*\|\s*[\d.]+\s*\|\s*(?P<power>[\d.]+)\s*\|")
+
+
+class FdrParseError(ValueError):
+    """Raised when the text does not contain a parseable FDR table."""
+
+
+def parse_fdr_text(text: str) -> BenchmarkReport:
+    """Parse a ``BenchmarkReport.to_text()`` rendering back to a report.
+
+    The parser is deliberately strict about the payload (every level row
+    must parse; the idle row must exist) and deliberately lax about
+    everything else (headers, separators, trailing summary lines).
+    """
+    levels: List[LevelMeasurement] = []
+    idle_power = None
+    for line in text.splitlines():
+        row = _ROW.match(line)
+        if row:
+            load = int(row.group("load")) / 100.0
+            ops = float(row.group("ops"))
+            power = float(row.group("power"))
+            levels.append(
+                LevelMeasurement(
+                    target_load=load,
+                    throughput_ops_per_s=ops,
+                    average_power_w=power,
+                    utilization=load,
+                )
+            )
+            continue
+        idle = _IDLE_ROW.match(line)
+        if idle:
+            idle_power = float(idle.group("power"))
+    if not levels:
+        raise FdrParseError("no measured load-level rows found")
+    if idle_power is None:
+        raise FdrParseError("no active-idle row found")
+    loads = [level.target_load for level in levels]
+    if len(set(loads)) != len(loads):
+        raise FdrParseError("duplicate load levels in the table")
+    calibrated = max(
+        level.throughput_ops_per_s / level.target_load for level in levels
+    )
+    return BenchmarkReport(
+        calibrated_max_ops_per_s=calibrated,
+        levels=levels,
+        active_idle_power_w=idle_power,
+        governor_name="parsed",
+        metadata={"source": "fdr-text"},
+    )

@@ -1,0 +1,68 @@
+"""The graduated measurement plan.
+
+A compliant ssj2008 run measures the calibrated maximum, then ten
+graduated target loads from 100% down to 10% in 10-point steps, then
+active idle, each over a fixed interval with ramp (pre-measurement)
+seconds discarded.  The plan object keeps those knobs in one place;
+the simulator defaults to shorter intervals than the real benchmark's
+240 s purely for run-time economy -- the protocol is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.metrics.ep import TARGET_LOADS_DESCENDING
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """Target loads and interval timing of one benchmark run.
+
+    Parameters
+    ----------
+    target_loads:
+        Load fractions measured, in run order (descending by default,
+        as the real benchmark schedules them).
+    interval_s:
+        Measured seconds per level.
+    ramp_s:
+        Settle seconds discarded before each measured interval.
+    governor_period_s:
+        How often the frequency governor resamples load during a level.
+    """
+
+    target_loads: Tuple[float, ...] = TARGET_LOADS_DESCENDING
+    interval_s: float = 8.0
+    ramp_s: float = 1.0
+    governor_period_s: float = 0.5
+
+    def __post_init__(self):
+        if not self.target_loads:
+            raise ValueError("a measurement plan needs at least one target load")
+        for load in self.target_loads:
+            if not 0.0 < load <= 1.0:
+                raise ValueError("target loads must lie in (0, 1]")
+        if self.interval_s <= 0.0 or self.ramp_s < 0.0:
+            raise ValueError("interval timing must be positive")
+        if self.governor_period_s <= 0.0 or self.governor_period_s > self.interval_s:
+            raise ValueError("governor period must fit inside the interval")
+
+    @property
+    def levels(self) -> int:
+        return len(self.target_loads)
+
+    def with_intervals(self, interval_s: float, ramp_s: float = None) -> "MeasurementPlan":
+        """Copy of the plan with different interval timing."""
+        return MeasurementPlan(
+            target_loads=self.target_loads,
+            interval_s=interval_s,
+            ramp_s=self.ramp_s if ramp_s is None else ramp_s,
+            governor_period_s=min(self.governor_period_s, interval_s),
+        )
+
+
+#: Interval lengths of the real benchmark, for users who want fidelity
+#: over speed.
+FULL_FIDELITY_PLAN = MeasurementPlan(interval_s=240.0, ramp_s=30.0)

@@ -1,0 +1,93 @@
+"""Multi-node benchmark runs: one SUT, several identical nodes.
+
+SPECpower supports multi-node systems under test: every node runs the
+same workload and the FDR reports *aggregate* throughput against
+*aggregate* power.  74 of the paper's 477 results are such systems
+(Section III.E).  :class:`MultiNodeRunner` reproduces the protocol:
+each node executes the full graduated-load run (its own arrival stream,
+its own metering noise), and the per-level measurements sum across
+nodes -- which is exactly why multi-node EP tends to beat the single
+node's: per-node noise and idle overheads average while the dynamic
+range adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.power.governors import Governor, PerformanceGovernor
+from repro.power.server import ServerPowerModel
+from repro.ssj.engine import ThroughputProfile
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.report import BenchmarkReport, LevelMeasurement
+from repro.ssj.runner import SsjRunner
+
+
+def aggregate_reports(reports: List[BenchmarkReport]) -> BenchmarkReport:
+    """Combine per-node reports into one SUT-level FDR.
+
+    Throughput and power sum per level; the calibrated maximum sums;
+    every node must have measured the same target loads.
+    """
+    if not reports:
+        raise ValueError("no node reports to aggregate")
+    reference_loads = sorted(level.target_load for level in reports[0].levels)
+    for report in reports[1:]:
+        if sorted(level.target_load for level in report.levels) != reference_loads:
+            raise ValueError("node reports measured different target loads")
+
+    levels: List[LevelMeasurement] = []
+    for load in reference_loads:
+        per_node = [
+            next(l for l in report.levels if l.target_load == load)
+            for report in reports
+        ]
+        levels.append(
+            LevelMeasurement(
+                target_load=load,
+                throughput_ops_per_s=sum(l.throughput_ops_per_s for l in per_node),
+                average_power_w=sum(l.average_power_w for l in per_node),
+                utilization=sum(l.utilization for l in per_node) / len(per_node),
+            )
+        )
+    return BenchmarkReport(
+        calibrated_max_ops_per_s=sum(r.calibrated_max_ops_per_s for r in reports),
+        levels=levels,
+        active_idle_power_w=sum(r.active_idle_power_w for r in reports),
+        governor_name=reports[0].governor_name,
+        metadata={
+            "nodes": len(reports),
+            "per_node_scores": [r.overall_score() for r in reports],
+        },
+    )
+
+
+@dataclass
+class MultiNodeRunner:
+    """Benchmark a SUT of ``nodes`` identical servers."""
+
+    server: ServerPowerModel
+    profile: ThroughputProfile
+    nodes: int
+    governor: Governor = field(default_factory=PerformanceGovernor)
+    plan: MeasurementPlan = field(default_factory=MeasurementPlan)
+    seed: int = 2016
+
+    def __post_init__(self):
+        if self.nodes <= 0:
+            raise ValueError("node count must be positive")
+
+    def run(self) -> BenchmarkReport:
+        """Run every node (independent streams) and aggregate."""
+        reports = [
+            SsjRunner(
+                server=self.server,
+                profile=self.profile,
+                governor=self.governor,
+                plan=self.plan,
+                seed=self.seed + node,
+            ).run()
+            for node in range(self.nodes)
+        ]
+        return aggregate_reports(reports)

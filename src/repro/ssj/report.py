@@ -1,0 +1,134 @@
+"""FDR-style benchmark result records.
+
+A published SPECpower result discloses, per measured level, the target
+load, the achieved throughput in ssj_ops, and the average power; the
+overall score is the ratio of summed throughput to summed power
+(active idle included in the denominator).  The report objects here
+carry exactly that payload and derive the paper's metrics from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.metrics.ee import (
+    overall_score,
+    peak_efficiency,
+    peak_efficiency_spots,
+)
+from repro.metrics.ep import energy_proportionality, idle_power_fraction
+
+
+@dataclass(frozen=True)
+class LevelMeasurement:
+    """One measured load level of a benchmark run."""
+
+    target_load: float
+    throughput_ops_per_s: float
+    average_power_w: float
+    utilization: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.target_load <= 1.0:
+            raise ValueError("target load must lie in [0, 1]")
+        if self.throughput_ops_per_s < 0.0:
+            raise ValueError("throughput cannot be negative")
+        if self.average_power_w <= 0.0:
+            raise ValueError("average power must be positive")
+        if not 0.0 <= self.utilization <= 1.0 + 1e-9:
+            raise ValueError("utilization must lie in [0, 1]")
+
+    @property
+    def efficiency(self) -> float:
+        """Performance-to-power ratio of this level (ssj_ops per watt)."""
+        return self.throughput_ops_per_s / self.average_power_w
+
+
+@dataclass
+class BenchmarkReport:
+    """A complete simulated run: calibrated max, levels, active idle."""
+
+    calibrated_max_ops_per_s: float
+    levels: List[LevelMeasurement]
+    active_idle_power_w: float
+    governor_name: str = "performance"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.calibrated_max_ops_per_s <= 0.0:
+            raise ValueError("calibrated maximum must be positive")
+        if not self.levels:
+            raise ValueError("a report needs at least one measured level")
+        if self.active_idle_power_w <= 0.0:
+            raise ValueError("active idle power must be positive")
+
+    # -- raw series ----------------------------------------------------------
+
+    def target_loads(self) -> List[float]:
+        """Measured target loads, run order."""
+        return [level.target_load for level in self.levels]
+
+    def throughputs(self) -> List[float]:
+        """Per-level throughput, run order."""
+        return [level.throughput_ops_per_s for level in self.levels]
+
+    def powers(self) -> List[float]:
+        """Per-level average power, run order."""
+        return [level.average_power_w for level in self.levels]
+
+    def curve(self) -> tuple:
+        """(utilization, power) series including the active-idle point."""
+        loads = [0.0] + sorted(self.target_loads())
+        by_load = {level.target_load: level for level in self.levels}
+        powers = [self.active_idle_power_w] + [
+            by_load[load].average_power_w for load in sorted(by_load)
+        ]
+        return loads, powers
+
+    # -- paper metrics ---------------------------------------------------------
+
+    def overall_score(self) -> float:
+        """Server overall energy efficiency (the SPECpower score)."""
+        return overall_score(self.throughputs(), self.powers(), self.active_idle_power_w)
+
+    def energy_proportionality(self) -> float:
+        """EP (Eq. 1) of the run's power-utilization curve."""
+        loads, powers = self.curve()
+        return energy_proportionality(loads, powers)
+
+    def idle_power_fraction(self) -> float:
+        """Active-idle power normalized to the 100%-load reading."""
+        loads, powers = self.curve()
+        return idle_power_fraction(loads, powers)
+
+    def peak_efficiency(self) -> float:
+        """Best per-level performance-to-power ratio."""
+        return peak_efficiency(self.throughputs(), self.powers())
+
+    def peak_efficiency_spots(self, rtol: float = 1e-3) -> List[float]:
+        """Utilization level(s) where efficiency peaks."""
+        return peak_efficiency_spots(
+            self.target_loads(), self.throughputs(), self.powers(), rtol=rtol
+        )
+
+    # -- presentation ----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render the run in the familiar FDR table layout."""
+        lines = [
+            "Target Load | ssj_ops/s | Avg Power (W) | ops/W",
+            "------------+-----------+---------------+--------",
+        ]
+        for level in sorted(self.levels, key=lambda l: -l.target_load):
+            lines.append(
+                f"{level.target_load:>10.0%} | {level.throughput_ops_per_s:>9.0f} "
+                f"| {level.average_power_w:>13.1f} | {level.efficiency:>6.1f}"
+            )
+        lines.append(
+            f"{'idle':>11} | {0:>9.0f} | {self.active_idle_power_w:>13.1f} | {'--':>6}"
+        )
+        lines.append("")
+        lines.append(f"overall score (sum ops / sum power): {self.overall_score():.1f}")
+        lines.append(f"energy proportionality (Eq. 1):      {self.energy_proportionality():.3f}")
+        return "\n".join(lines)

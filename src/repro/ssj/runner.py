@@ -1,0 +1,143 @@
+"""The benchmark director: calibrate, descend the loads, report.
+
+:class:`SsjRunner` plays the role of ssj2008's control-and-collect
+system: it calibrates the server, then for each target load drives the
+service engine with a Poisson transaction stream at the corresponding
+fraction of the calibrated maximum while the governor resamples the
+CPU frequency and the power meter integrates wall power, and finally
+measures active idle.  The output is a :class:`BenchmarkReport` whose
+payload matches a published FDR's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.power.governors import Governor, PerformanceGovernor
+from repro.power.server import ServerPowerModel
+from repro.ssj.calibration import calibrate
+from repro.ssj.engine import OPS_PER_UNIT_WORK, ServiceEngine, ThroughputProfile
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.power_meter import PowerMeter
+from repro.ssj.report import BenchmarkReport, LevelMeasurement
+from repro.ssj.transactions import SSJ_MIX, TransactionType, validate_mix
+from repro.ssj.workload import TransactionSource
+
+
+@dataclass
+class SsjRunner:
+    """One benchmark rig: a server, a governor, and a measurement plan.
+
+    ``mix`` selects the transaction workload; it defaults to the stock
+    SSJ mix, and :mod:`repro.ssj.variants` provides alternatives.
+    """
+
+    server: ServerPowerModel
+    profile: ThroughputProfile
+    governor: Governor = field(default_factory=PerformanceGovernor)
+    plan: MeasurementPlan = field(default_factory=MeasurementPlan)
+    seed: int = 2016
+    mix: Sequence[TransactionType] = SSJ_MIX
+
+    def __post_init__(self):
+        self.mix = validate_mix(self.mix)
+
+    def run(self) -> BenchmarkReport:
+        """Execute the full benchmark and return the report."""
+        rng = np.random.default_rng(self.seed)
+        cores = self.server.total_cores
+        cpu = self.server.cpus[0]
+
+        calibration = calibrate(
+            cores=cores,
+            profile=self.profile,
+            frequency_ghz=cpu.max_frequency_ghz,
+            rng=rng,
+            mix=self.mix,
+        )
+        max_ops = calibration.max_ops_per_s
+
+        levels: List[LevelMeasurement] = []
+        for target in self.plan.target_loads:
+            levels.append(self._measure_level(target, max_ops, rng))
+
+        idle_frequency = self.governor.select_frequency(cpu, 0.0)
+        meter = PowerMeter(rng=rng)
+        idle_power = meter.measure(
+            lambda _t: self.server.wall_power_w(0.0, idle_frequency),
+            0.0,
+            self.plan.interval_s,
+        )
+
+        return BenchmarkReport(
+            calibrated_max_ops_per_s=max_ops,
+            levels=levels,
+            active_idle_power_w=idle_power,
+            governor_name=self.governor.name,
+            metadata={
+                "cores": cores,
+                "analytic_max_ops_per_s": calibration.analytic_max_ops_per_s,
+                "plan_interval_s": self.plan.interval_s,
+            },
+        )
+
+    def _measure_level(
+        self, target: float, max_ops_per_s: float, rng: np.random.Generator
+    ) -> LevelMeasurement:
+        """Drive one target load and measure throughput and power."""
+        cores = self.server.total_cores
+        cpu = self.server.cpus[0]
+        engine = ServiceEngine(cores=cores, profile=self.profile, rng=rng)
+        tx_rate = target * max_ops_per_s / OPS_PER_UNIT_WORK
+        source = TransactionSource(rate_per_s=tx_rate, rng=rng, mix=self.mix)
+
+        total_span = self.plan.ramp_s + self.plan.interval_s
+        period = self.plan.governor_period_s
+
+        # Piecewise-constant wall power per governor window, collected
+        # so the meter can integrate the measured interval.
+        window_edges: List[float] = []
+        window_power: List[float] = []
+
+        load_estimate = target  # governor's first sample predicts the target
+        measured = None
+        clock = 0.0
+        while clock < total_span - 1e-9:
+            window_end = min(clock + period, total_span)
+            frequency = self.governor.select_frequency(cpu, load_estimate)
+            arrivals = [
+                (clock + offset, tx)
+                for offset, tx in source.arrivals(window_end - clock)
+            ]
+            result = engine.advance(arrivals, window_end, frequency)
+            load_estimate = engine.recent_load(result)
+            window_edges.append(window_end)
+            window_power.append(
+                self.server.wall_power_w(min(result.utilization, 1.0), frequency)
+            )
+            in_measurement = clock >= self.plan.ramp_s - 1e-9
+            if in_measurement:
+                measured = result if measured is None else measured.merge(result)
+            clock = window_end
+
+        if measured is None:
+            raise RuntimeError("measurement plan produced no measured windows")
+
+        def wall_power_at(t: float) -> float:
+            for edge, power in zip(window_edges, window_power):
+                if t < edge:
+                    return power
+            return window_power[-1]
+
+        meter = PowerMeter(rng=rng)
+        average_power = meter.measure(wall_power_at, self.plan.ramp_s, total_span)
+
+        return LevelMeasurement(
+            target_load=target,
+            throughput_ops_per_s=measured.throughput_ops_per_s,
+            average_power_w=average_power,
+            utilization=min(measured.utilization, 1.0),
+        )

@@ -1,0 +1,68 @@
+"""The SSJ workload transaction mix.
+
+ssj2008 models a wholesale supplier's order-processing backend; each
+unit of work is one of six transaction types drawn with fixed
+probabilities (the mix descends from TPC-C's profile, per the workload
+characterization in ref. [19] of the paper).  Each type carries a
+relative *work factor* -- how much compute a transaction costs compared
+with the mix average -- so that heavier transactions occupy a core for
+proportionally longer in the service simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TransactionType:
+    """One SSJ transaction type.
+
+    ``mix_weight`` values across a mix sum to 1; ``work_factor`` scales
+    the mean service demand relative to the mix average (the mix's
+    weighted work factor is normalized to 1 by :func:`validate_mix`).
+    """
+
+    name: str
+    mix_weight: float
+    work_factor: float
+
+    def __post_init__(self):
+        if not 0.0 < self.mix_weight <= 1.0:
+            raise ValueError("mix weight must lie in (0, 1]")
+        if self.work_factor <= 0.0:
+            raise ValueError("work factor must be positive")
+
+
+#: The six-transaction ssj2008 mix.  Weights follow the TPC-C-derived
+#: profile (new orders and payments dominate); work factors reflect
+#: that deliveries and customer reports touch many rows.
+SSJ_MIX: Tuple[TransactionType, ...] = (
+    TransactionType("NewOrder", mix_weight=0.305, work_factor=1.00),
+    TransactionType("Payment", mix_weight=0.305, work_factor=0.65),
+    TransactionType("OrderStatus", mix_weight=0.10, work_factor=0.55),
+    TransactionType("Delivery", mix_weight=0.10, work_factor=1.90),
+    TransactionType("StockLevel", mix_weight=0.10, work_factor=1.35),
+    TransactionType("CustomerReport", mix_weight=0.09, work_factor=1.50),
+)
+
+
+def validate_mix(mix: Sequence[TransactionType]) -> Tuple[TransactionType, ...]:
+    """Check the weights sum to 1 and normalize work factors to mean 1."""
+    if not mix:
+        raise ValueError("a transaction mix cannot be empty")
+    weights = np.array([t.mix_weight for t in mix])
+    if abs(float(weights.sum()) - 1.0) > 1e-9:
+        raise ValueError(f"mix weights must sum to 1, got {float(weights.sum()):.6f}")
+    mean_work = float(sum(t.mix_weight * t.work_factor for t in mix))
+    return tuple(
+        TransactionType(t.name, t.mix_weight, t.work_factor / mean_work) for t in mix
+    )
+
+
+def mean_work_factor(mix: Sequence[TransactionType]) -> float:
+    """Mix-weighted average work factor (1.0 for a normalized mix)."""
+    return float(sum(t.mix_weight * t.work_factor for t in mix))

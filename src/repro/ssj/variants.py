@@ -1,0 +1,120 @@
+"""Workload variants beyond the stock SSJ mix (the paper's future work).
+
+Section VII: "we plan to do more experiments to characterize the
+energy proportionality and energy efficiency variations on typical
+industrial servers under different workloads".  A workload variant is
+a transaction mix plus a memory-intensity coefficient (how strongly
+DRAM activity tracks compute load) and a compute-boundedness
+coefficient (how much of the work scales with core frequency); both
+feed the existing power and throughput models, so the same simulated
+server exhibits *different* EP/EE curves under different workloads --
+the effect the paper's Section V.C caveat anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ssj.transactions import SSJ_MIX, TransactionType, validate_mix
+
+
+@dataclass(frozen=True)
+class WorkloadVariant:
+    """One named workload personality.
+
+    Parameters
+    ----------
+    name:
+        Identifier (``ssj``, ``web``, ``batch``, ...).
+    mix:
+        Transaction mix driving the service engine.
+    memory_intensity:
+        How strongly memory access intensity tracks compute utilization
+        (the :class:`~repro.power.server.ServerPowerModel` coefficient).
+    compute_fraction:
+        Share of per-transaction work that scales with core frequency
+        (the :class:`~repro.hwexp.perf_model.ServerThroughputProfile`
+        coefficient).
+    """
+
+    name: str
+    mix: Tuple[TransactionType, ...]
+    memory_intensity: float
+    compute_fraction: float
+
+    def __post_init__(self):
+        validate_mix(self.mix)
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ValueError("memory intensity must lie in [0, 1]")
+        if not 0.0 < self.compute_fraction <= 1.0:
+            raise ValueError("compute fraction must lie in (0, 1]")
+
+
+def _mix(*entries: Tuple[str, float, float]) -> Tuple[TransactionType, ...]:
+    return tuple(
+        TransactionType(name, weight, work) for name, weight, work in entries
+    )
+
+
+#: The stock transactional workload the benchmark models.
+SSJ = WorkloadVariant(
+    name="ssj",
+    mix=SSJ_MIX,
+    memory_intensity=0.7,
+    compute_fraction=0.8,
+)
+
+#: Web serving: many small, cache-friendly requests with a long tail of
+#: heavier page builds; lightly memory bound, strongly compute bound.
+WEB = WorkloadVariant(
+    name="web",
+    mix=_mix(
+        ("StaticHit", 0.55, 0.25),
+        ("DynamicPage", 0.25, 1.0),
+        ("ApiCall", 0.12, 0.7),
+        ("Search", 0.05, 2.2),
+        ("Upload", 0.03, 3.0),
+    ),
+    memory_intensity=0.45,
+    compute_fraction=0.9,
+)
+
+#: Analytics/batch: few, very heavy scans; memory bandwidth bound.
+BATCH = WorkloadVariant(
+    name="batch",
+    mix=_mix(
+        ("Scan", 0.5, 1.6),
+        ("Join", 0.2, 2.4),
+        ("Aggregate", 0.2, 1.0),
+        ("Load", 0.1, 0.6),
+    ),
+    memory_intensity=0.95,
+    compute_fraction=0.55,
+)
+
+#: Key-value caching: tiny uniform operations, almost pure memory.
+CACHE = WorkloadVariant(
+    name="cache",
+    mix=_mix(
+        ("Get", 0.8, 0.3),
+        ("Set", 0.15, 0.5),
+        ("Evict", 0.05, 0.8),
+    ),
+    memory_intensity=0.9,
+    compute_fraction=0.65,
+)
+
+VARIANTS: Dict[str, WorkloadVariant] = {
+    variant.name: variant for variant in (SSJ, WEB, BATCH, CACHE)
+}
+
+
+def get_variant(name: str) -> WorkloadVariant:
+    """Look up a workload variant by name."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None

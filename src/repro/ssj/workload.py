@@ -1,0 +1,59 @@
+"""Open-loop Poisson transaction source.
+
+At every target load below 100%, ssj2008 schedules transaction batches
+at randomized arrival times so that the *offered* rate equals the
+target fraction of the calibrated maximum; the exponential
+inter-arrival spacing is what produces the partially idle intervals a
+server's low-utilization power behaviour is measured under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.ssj.transactions import SSJ_MIX, TransactionType, validate_mix
+
+
+@dataclass
+class TransactionSource:
+    """Generates (arrival_time, transaction_type) pairs.
+
+    Parameters
+    ----------
+    rate_per_s:
+        Offered transaction rate (mix total), transactions per second.
+    rng:
+        Numpy random generator; the source consumes it deterministically.
+    mix:
+        Transaction mix; defaults to :data:`~repro.ssj.transactions.SSJ_MIX`.
+    """
+
+    rate_per_s: float
+    rng: np.random.Generator
+    mix: Sequence[TransactionType] = SSJ_MIX
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0.0:
+            raise ValueError("arrival rate must be positive")
+        self.mix = validate_mix(self.mix)
+        self._weights = np.array([t.mix_weight for t in self.mix])
+
+    def arrivals(self, horizon_s: float) -> Iterator[Tuple[float, TransactionType]]:
+        """Yield arrivals with exponential spacing until the horizon."""
+        if horizon_s <= 0.0:
+            raise ValueError("horizon must be positive")
+        clock = 0.0
+        mix = tuple(self.mix)
+        while True:
+            clock += float(self.rng.exponential(1.0 / self.rate_per_s))
+            if clock >= horizon_s:
+                return
+            index = int(self.rng.choice(len(mix), p=self._weights))
+            yield clock, mix[index]
+
+    def expected_count(self, horizon_s: float) -> float:
+        """Expected number of arrivals over the horizon."""
+        return self.rate_per_s * horizon_s

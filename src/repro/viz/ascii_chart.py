@@ -1,0 +1,135 @@
+"""Character-canvas charts.
+
+Nothing fancy: a fixed-size canvas, linear axis mapping, one glyph per
+series, and an axis frame with min/max annotations.  Enough to eyeball
+every figure in the reproduction without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _canvas(width: int, height: int) -> List[List[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _bounds(values: Sequence[float], pad: float = 0.0) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo -= 0.5
+        hi += 0.5
+    span = hi - lo
+    return lo - pad * span, hi + pad * span
+
+
+def _render(
+    canvas: List[List[str]],
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+    title: str,
+    legend: Dict[str, str],
+) -> str:
+    height = len(canvas)
+    width = len(canvas[0])
+    lines = []
+    if title:
+        lines.append(title)
+    y_lo, y_hi = y_range
+    x_lo, x_hi = x_range
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{y_hi:>10.3g} |"
+        elif row_index == height - 1:
+            label = f"{y_lo:>10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11} {x_lo:<.3g}{'':{max(1, width - 12)}}{x_hi:>.3g}")
+    if legend:
+        lines.append("  ".join(f"{glyph}={name}" for name, glyph in legend.items()))
+    return "\n".join(lines)
+
+
+def _plot_points(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int,
+    height: int,
+    title: str,
+    connect: bool,
+) -> str:
+    all_x = [x for points in series.values() for x, _ in points]
+    all_y = [y for points in series.values() for _, y in points]
+    if not all_x:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi = _bounds(all_x)
+    y_lo, y_hi = _bounds(all_y, pad=0.05)
+    canvas = _canvas(width, height)
+    legend = {}
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y_hi - y) / (y_hi - y_lo) * (height - 1)))
+        col = min(max(col, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        canvas[row][col] = glyph
+
+    for index, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        legend[name] = glyph
+        ordered = sorted(points)
+        for x, y in ordered:
+            place(x, y, glyph)
+        if connect and len(ordered) > 1:
+            # Interpolate between consecutive points for a line feel.
+            for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+                steps = max(
+                    2, int(abs(x1 - x0) / (x_hi - x_lo) * width * 1.5)
+                )
+                for step in range(1, steps):
+                    t = step / steps
+                    place(x0 + t * (x1 - x0), y0 + t * (y1 - y0), glyph)
+    return _render(canvas, (x_lo, x_hi), (y_lo, y_hi), title, legend)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Multi-series line chart; each series is [(x, y), ...]."""
+    return _plot_points(series, width, height, title, connect=True)
+
+
+def scatter_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Multi-series scatter plot; each series is [(x, y), ...]."""
+    return _plot_points(series, width, height, title, connect=False)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 48,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart of labeled values."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        rendered = value_format.format(value)
+        lines.append(f"{str(label):>{label_width}} | {bar} {rendered}")
+    return "\n".join(lines)

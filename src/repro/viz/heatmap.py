@@ -1,0 +1,85 @@
+"""Character heatmaps for two-dimensional grids (the Fig. 18-21 sweeps)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Shade ramp from cold to hot.
+SHADES = " .:-=+*#%@"
+
+
+def heatmap(
+    grid: Dict[Tuple[float, float], float],
+    row_label: str = "y",
+    column_label: str = "x",
+    title: Optional[str] = None,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Render a {(row, column): value} grid as a shaded character map.
+
+    Rows and columns are sorted ascending; each cell shows the shade of
+    its value within the grid's range plus the formatted value.  Missing
+    cells render blank.
+    """
+    if not grid:
+        raise ValueError("nothing to render")
+    rows = sorted({key[0] for key in grid})
+    columns = sorted({key[1] for key in grid})
+    values = list(grid.values())
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+
+    def shade(value: float) -> str:
+        index = int((value - low) / span * (len(SHADES) - 1))
+        return SHADES[index]
+
+    cell_texts = {}
+    for key, value in grid.items():
+        cell_texts[key] = f"{shade(value)}{value_format.format(value)}"
+    cell_width = max(len(text) for text in cell_texts.values()) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * 10 + "".join(
+        f"{column:>{cell_width}g}" for column in columns
+    )
+    lines.append(f"{row_label:>9}\\{column_label}")
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for column in columns:
+            text = cell_texts.get((row, column), "")
+            cells.append(f"{text:>{cell_width}}")
+        lines.append(f"{row:>10g}" + "".join(cells))
+    lines.append(
+        f"range: {value_format.format(low)} (' ') .. "
+        f"{value_format.format(high)} ('@')"
+    )
+    return "\n".join(lines)
+
+
+def sweep_heatmap(sweep, metric: str = "ee", title: Optional[str] = None) -> str:
+    """Heatmap of a :class:`~repro.hwexp.sweeps.SweepResult` grid.
+
+    Rows are memory-per-core configurations, columns pinned frequencies;
+    ``metric`` is ``"ee"`` (overall efficiency) or ``"power"`` (peak
+    watts).  The ondemand column is omitted (it is not a frequency).
+    """
+    extract = {
+        "ee": lambda cell: cell.overall_efficiency,
+        "power": lambda cell: cell.peak_power_w,
+    }
+    if metric not in extract:
+        raise ValueError("metric must be 'ee' or 'power'")
+    grid = {
+        (cell.memory_per_core_gb, float(cell.frequency)): extract[metric](cell)
+        for cell in sweep.cells
+        if not cell.is_ondemand
+    }
+    if title is None:
+        title = (
+            f"{sweep.server.name}: "
+            f"{'efficiency (ops/W)' if metric == 'ee' else 'peak power (W)'}"
+        )
+    return heatmap(grid, row_label="GB/core", column_label="GHz", title=title)

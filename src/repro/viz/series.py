@@ -1,0 +1,53 @@
+"""Named data series and CSV export."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def from_xy(
+        cls, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> "Series":
+        if len(xs) != len(ys):
+            raise ValueError("x and y must have equal length")
+        return cls(name=name, points=tuple(zip(map(float, xs), map(float, ys))))
+
+    def xs(self) -> List[float]:
+        """The x coordinates."""
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[float]:
+        """The y coordinates."""
+        return [y for _, y in self.points]
+
+
+def to_csv(
+    series_list: Sequence[Series],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Export series in long form (series, x, y); returns the CSV text.
+
+    When ``path`` is given the CSV is also written to disk.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "x", "y"])
+    for series in series_list:
+        for x, y in series.points:
+            writer.writerow([series.name, repr(x), repr(y)])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

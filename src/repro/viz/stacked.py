@@ -1,0 +1,58 @@
+"""Stacked percentage bars (the native form of Figs. 8 and 16)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: Fill glyphs assigned to categories in order.
+FILL_GLYPHS = "#=+:*%o."
+
+
+def stacked_bars(
+    rows: Mapping[object, Mapping[object, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    category_order: Optional[Sequence[object]] = None,
+) -> str:
+    """Render {row: {category: value}} as 100%-stacked horizontal bars.
+
+    Each row is normalized to the bar width; the legend maps glyphs to
+    categories.  Zero rows render empty.
+    """
+    if not rows:
+        raise ValueError("nothing to render")
+    categories: list = []
+    if category_order is not None:
+        categories = list(category_order)
+    for row in rows.values():
+        for category in row:
+            if category not in categories:
+                categories.append(category)
+    glyphs = {
+        category: FILL_GLYPHS[i % len(FILL_GLYPHS)]
+        for i, category in enumerate(categories)
+    }
+    label_width = max(len(str(label)) for label in rows)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in rows.items():
+        total = sum(row.values())
+        if total <= 0.0:
+            lines.append(f"{str(label):>{label_width}} |")
+            continue
+        # Largest-remainder apportionment keeps the bar exactly `width`.
+        exact = {c: row.get(c, 0.0) / total * width for c in categories}
+        cells = {c: int(exact[c]) for c in categories}
+        shortfall = width - sum(cells.values())
+        for c in sorted(categories, key=lambda c: exact[c] - cells[c], reverse=True):
+            if shortfall <= 0:
+                break
+            cells[c] += 1
+            shortfall -= 1
+        bar = "".join(glyphs[c] * cells[c] for c in categories)
+        lines.append(f"{str(label):>{label_width}} |{bar}|")
+    legend = "  ".join(f"{glyphs[c]}={c}" for c in categories)
+    lines.append(legend)
+    return "\n".join(lines)

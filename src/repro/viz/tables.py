@@ -1,0 +1,55 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned table.
+
+    Floats are formatted with ``float_format``; everything else through
+    ``str``.  Columns are right-aligned except the first.
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(value) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(h).ljust(widths[i]) if i == 0 else str(h).rjust(widths[i])
+        for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(
+                v.ljust(widths[i]) if i == 0 else v.rjust(widths[i])
+                for i, v in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Shared fixtures: the calibrated corpus is expensive enough (~1.5 s
+plus cached derived metrics) that the whole suite shares one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import Study
+from repro.dataset.corpus import Corpus
+from repro.dataset.synthesis import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """The default-seed calibrated 477-server corpus."""
+    return generate_corpus(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def study(corpus) -> Study:
+    """A Study wrapping the shared corpus."""
+    return Study(corpus=corpus)
+
+
+@pytest.fixture()
+def ideal_curve():
+    """The ideal proportional curve at the eleven measurement points."""
+    from repro.metrics.ep import UTILIZATION_LEVELS
+
+    levels = list(UTILIZATION_LEVELS)
+    return levels, levels[:]

@@ -1,0 +1,118 @@
+"""Tests for the CDF analysis (Fig. 5) and the grouping analyses
+(Figs. 6-8, 17, Table I)."""
+
+import pytest
+
+from repro.analysis.cdf import decile_shares, empirical_cdf, ep_cdf
+from repro.analysis.grouping import (
+    best_memory_per_core,
+    codename_ep_table,
+    family_counts,
+    family_table,
+    memory_per_core_table,
+    mix_by_year,
+    stagnation_explanation,
+)
+from repro.power.microarch import Codename, Family
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_bounded(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+        xs = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+        values = [cdf(x) for x in xs]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+    def test_share_in_band(self):
+        cdf = empirical_cdf([0.1, 0.2, 0.3, 0.4])
+        assert cdf.share_in(0.15, 0.35) == pytest.approx(0.5)
+
+    def test_quantile(self):
+        cdf = empirical_cdf(list(range(101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+
+    def test_series_lengths(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        xs, ys = cdf.series()
+        assert len(xs) == len(ys) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestEpCdf:
+    def test_landmarks_match_paper(self, corpus):
+        cdf = ep_cdf(corpus)
+        assert cdf.share_in(0.6, 0.7) == pytest.approx(0.2521, abs=0.05)
+        assert cdf.share_in(0.8, 0.9) == pytest.approx(0.1744, abs=0.05)
+        assert cdf(1.0 - 1e-9) == pytest.approx(0.9958, abs=0.003)
+
+    def test_decile_shares_sum_to_one(self, corpus):
+        shares = decile_shares(ep_cdf(corpus))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_the_two_biggest_bands(self, corpus):
+        shares = decile_shares(ep_cdf(corpus))
+        ranked = sorted(shares, key=shares.get, reverse=True)
+        assert (0.6, 0.7) in ranked[:2]
+
+
+class TestFamilyGrouping:
+    def test_counts_match_corpus(self, corpus):
+        counts = family_counts(corpus)
+        assert sum(counts.values()) == 477
+
+    def test_table_sorted_by_count(self, corpus):
+        table = family_table(corpus)
+        counts = [stat.count for stat in table]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_nehalem_is_largest_family(self, corpus):
+        table = family_table(corpus)
+        assert table[0].label == Family.NEHALEM.value
+
+    def test_codename_table_sorted_by_ep(self, corpus):
+        table = codename_ep_table(corpus)
+        means = [stat.ep.mean for stat in table]
+        assert means == sorted(means, reverse=True)
+
+    def test_codename_table_scoped_to_family(self, corpus):
+        table = codename_ep_table(corpus, family=Family.CORE)
+        labels = {stat.label for stat in table}
+        assert labels == {"Core", "Penryn", "Yorkfield"}
+
+    def test_mix_by_year_covers_2012_2016(self, corpus):
+        mix = mix_by_year(corpus)
+        assert set(mix) == {2012, 2013, 2014, 2015, 2016}
+        assert mix[2016][Codename.HASWELL] == 10
+
+    def test_stagnation_is_specious(self, corpus):
+        """Section III.B: the 2013-14 dip is a mix artifact."""
+        explanation = stagnation_explanation(corpus)
+        assert explanation["observed_2013_2014"] < explanation[
+            "counterfactual_2012_mix"
+        ]
+        assert explanation["observed_2015_2016"] > explanation[
+            "observed_2013_2014"
+        ]
+
+
+class TestMemoryPerCore:
+    def test_table1_counts(self, corpus):
+        table = memory_per_core_table(corpus)
+        by_label = {stat.label: stat.count for stat in table}
+        assert by_label["1"] == 153
+        assert by_label["2"] == 123
+        assert by_label["1.5"] == 68
+
+    def test_min_count_excludes_thin_buckets(self, corpus):
+        table = memory_per_core_table(corpus, min_count=50)
+        assert all(stat.count >= 50 for stat in table)
+
+    def test_best_ratios_match_fig17(self, corpus):
+        best = best_memory_per_core(corpus)
+        assert best["ep"] == pytest.approx(1.5)
+        assert best["ee"] == pytest.approx(1.78)

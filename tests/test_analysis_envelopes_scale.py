@@ -1,0 +1,126 @@
+"""Tests for the envelope charts (Figs. 9-12) and economies of scale
+(Figs. 13-15)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.envelopes import (
+    curve_envelope,
+    intersection_ordering,
+    selected_curves,
+)
+from repro.analysis.scale import chip_scaling, node_scaling, two_chip_comparison
+from repro.metrics.curves import ee_relative_curve
+
+
+class TestPencilHead:
+    def test_every_curve_inside_the_envelope(self, corpus):
+        env = curve_envelope(corpus, "power")
+        for result in corpus:
+            loads, powers = result.curve()
+            peak = powers[-1]
+            assert env.contains([p / peak for p in powers])
+
+    def test_envelope_edges_are_extreme_ep_servers(self, corpus):
+        env = curve_envelope(corpus, "power")
+        upper_server = corpus.get(env.upper_id)
+        lower_server = corpus.get(env.lower_id)
+        # Upper power envelope = least proportional; lower = most.
+        assert upper_server.ep < 0.35
+        assert lower_server.ep > 0.95
+
+    def test_envelope_endpoints_pinched_at_full_load(self, corpus):
+        env = curve_envelope(corpus, "power")
+        assert env.lower[-1] == pytest.approx(1.0)
+        assert env.upper[-1] == pytest.approx(1.0)
+
+
+class TestAlmond:
+    def test_every_ee_curve_inside(self, corpus):
+        env = curve_envelope(corpus, "ee")
+        for result in corpus:
+            loads, powers = result.curve()
+            assert env.contains(list(ee_relative_curve(loads, powers)))
+
+    def test_upper_ee_envelope_exceeds_one(self, corpus):
+        env = curve_envelope(corpus, "ee")
+        assert max(env.upper) > 1.0
+
+
+class TestSelectedCurves:
+    def test_default_selection_returns_eleven(self, corpus):
+        curves = selected_curves(corpus)
+        assert len(curves) == 11
+
+    def test_selection_hits_the_paper_eps(self, corpus):
+        curves = selected_curves(corpus)
+        eps = sorted(round(c.ep, 2) for c in curves)
+        assert eps[0] == pytest.approx(0.18, abs=0.01)
+        assert eps[-1] == pytest.approx(1.05, abs=0.01)
+        assert any(abs(ep - 0.86) < 0.015 for ep in eps)
+
+    def test_unique_servers_selected(self, corpus):
+        curves = selected_curves(corpus)
+        ids = [c.result_id for c in curves]
+        assert len(set(ids)) == len(ids)
+
+    def test_intersection_ordering_is_monotone(self, corpus):
+        """Higher EP => first ideal-curve crossing farther from 100%."""
+        pairs = intersection_ordering(selected_curves(corpus))
+        assert len(pairs) >= 4
+        eps = [ep for ep, _ in pairs]
+        crossings = [x for _, x in pairs]
+        # Expect a strong negative rank relationship.
+        from repro.metrics.correlation import spearman
+
+        assert spearman(eps, crossings) < -0.6
+
+    def test_missing_year_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            selected_curves(corpus, targets={"2003": 0.5})
+
+
+class TestNodeScaling:
+    def test_median_ep_monotone_in_nodes(self, corpus):
+        stats = node_scaling(corpus)
+        medians = [s.ep.median for s in stats]
+        assert medians == sorted(medians)
+
+    def test_average_ep_dips_at_eight_nodes(self, corpus):
+        stats = {s.key: s for s in node_scaling(corpus)}
+        assert stats[8].ep.mean < stats[4].ep.mean
+        assert stats[16].ep.mean > stats[8].ep.mean
+
+    def test_average_ee_improves_with_nodes(self, corpus):
+        stats = {s.key: s for s in node_scaling(corpus)}
+        assert stats[2].score.mean > stats[1].score.mean
+        assert stats[16].score.mean > stats[1].score.mean
+
+    def test_min_count_filter(self, corpus):
+        stats = node_scaling(corpus, min_count=10)
+        assert all(s.count >= 10 for s in stats)
+
+
+class TestChipScaling:
+    def test_two_chips_lead_everything_but_median_ep(self, corpus):
+        stats = {s.key: s for s in chip_scaling(corpus)}
+        assert stats[2].ep.mean == max(s.ep.mean for s in stats.values())
+        assert stats[2].score.mean == max(s.score.mean for s in stats.values())
+        assert stats[1].ep.median > stats[2].ep.median  # the exception
+
+    def test_monotone_decline_beyond_two_chips(self, corpus):
+        stats = {s.key: s for s in chip_scaling(corpus)}
+        assert stats[2].ep.mean > stats[4].ep.mean > stats[8].ep.mean
+        assert stats[2].score.mean > stats[4].score.mean > stats[8].score.mean
+
+
+class TestTwoChipComparison:
+    def test_gains_match_fig15_direction(self, corpus):
+        comparison = two_chip_comparison(corpus)
+        assert comparison.avg_ep_gain == pytest.approx(0.0294, abs=0.025)
+        assert comparison.avg_ee_gain == pytest.approx(0.0413, abs=0.04)
+        assert comparison.median_ee_gain > 0.0
+
+    def test_weighting_covers_most_years(self, corpus):
+        comparison = two_chip_comparison(corpus)
+        assert comparison.years_compared >= 9

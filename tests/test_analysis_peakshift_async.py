@@ -1,0 +1,117 @@
+"""Tests for peak-spot shifting (Fig. 16), asynchrony (Section IV.B),
+and the regression study (Eq. 2)."""
+
+import pytest
+
+from repro.analysis.asynchrony import (
+    asynchrony_report,
+    rank_correlation,
+    year_share_in_top,
+)
+from repro.analysis.peak_shift import (
+    era_comparison,
+    first_diverse_year,
+    peak_spot_shares,
+    peak_spot_trend,
+    spot_counts,
+    total_spots,
+    wong_comparison,
+)
+from repro.analysis.regression_study import ep_score_correlation, idle_regression
+
+
+class TestPeakShift:
+    def test_total_spots(self, corpus):
+        assert total_spots(corpus) == 478
+
+    def test_shares_match_section_4a(self, corpus):
+        shares = peak_spot_shares(corpus)
+        assert shares[1.0] == pytest.approx(0.6925, abs=0.015)
+        assert shares[0.7] == pytest.approx(0.1381, abs=0.01)
+        assert shares[0.8] == pytest.approx(0.1172, abs=0.01)
+
+    def test_diversity_starts_2010(self, corpus):
+        assert first_diverse_year(corpus) == 2010
+
+    def test_trend_rows_normalized(self, corpus):
+        trend = peak_spot_trend(corpus)
+        for year, shares in trend.items():
+            assert sum(shares.values()) == pytest.approx(1.0, abs=0.05)
+
+    def test_era_comparison(self, corpus):
+        early, late = era_comparison(corpus)
+        assert early.servers == 421
+        assert late.servers == 56
+        assert early.shares[1.0] == pytest.approx(0.7571, abs=0.02)
+        assert late.shares[1.0] == pytest.approx(0.2321, abs=0.02)
+        assert late.shares[0.8] == pytest.approx(0.3571, abs=0.02)
+        assert late.shares[0.7] == pytest.approx(0.2679, abs=0.02)
+
+    def test_wong_rebuttal(self, corpus):
+        comparison = wong_comparison(corpus)
+        assert comparison["share_100"] > 0.6
+        assert comparison["share_60"] < 0.03
+        assert comparison["count_60"] == 9
+
+    def test_spot_counts_by_year_sum(self, corpus):
+        per_year = sum(
+            sum(spot_counts(corpus.by_hw_year(year)).values())
+            for year in corpus.hw_years()
+        )
+        assert per_year == total_spots(corpus)
+
+
+class TestAsynchrony:
+    def test_2012_dominates_top_ep(self, corpus):
+        report = asynchrony_report(corpus)
+        assert report.top_ep_share_2012 > 0.6
+        assert report.ep_overrepresentation > 2.0
+
+    def test_2012_minor_in_top_ee(self, corpus):
+        report = asynchrony_report(corpus)
+        assert report.top_ee_share_2012 < 0.3
+        assert report.top_ee_share_2012 < report.top_ep_share_2012
+
+    def test_small_overlap(self, corpus):
+        report = asynchrony_report(corpus)
+        assert report.overlap_fraction < 0.40
+
+    def test_all_recent_servers_in_top_ee(self, corpus):
+        report = asynchrony_report(corpus)
+        assert report.all_recent_in_top_ee
+        assert report.recent_servers == 30
+
+    def test_year_shares_sum_to_one(self, corpus):
+        shares = year_share_in_top(corpus, "ep")
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_unknown_key_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            year_share_in_top(corpus, "watts")
+
+    def test_rank_correlation_positive_but_imperfect(self, corpus):
+        value = rank_correlation(corpus)
+        assert 0.3 < value < 0.95
+
+
+class TestIdleRegression:
+    def test_strong_negative_correlation(self, corpus):
+        regression = idle_regression(corpus)
+        assert regression.correlation == pytest.approx(-0.92, abs=0.04)
+
+    def test_fit_near_eq2(self, corpus):
+        regression = idle_regression(corpus)
+        assert regression.fit.amplitude == pytest.approx(1.2969, abs=0.12)
+        assert regression.fit.rate == pytest.approx(-2.06, abs=0.35)
+        assert regression.fit.r_squared > 0.85
+
+    def test_prediction_at_five_percent_idle(self, corpus):
+        regression = idle_regression(corpus)
+        assert regression.predicted_ep(0.05) == pytest.approx(1.17, abs=0.08)
+
+    def test_ceiling_near_1297(self, corpus):
+        regression = idle_regression(corpus)
+        assert regression.ceiling == pytest.approx(1.297, abs=0.12)
+
+    def test_score_correlation(self, corpus):
+        assert ep_score_correlation(corpus) == pytest.approx(0.741, abs=0.08)

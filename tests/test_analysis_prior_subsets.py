@@ -1,0 +1,48 @@
+"""Tests for the prior-work subset comparisons (Sections I and VI)."""
+
+import pytest
+
+from repro.analysis.prior_subsets import (
+    ep_score_correlation_drift,
+    high_ep_peak_spot_comparison,
+    hsu_poole_subset,
+    mean_ep_drift,
+    wong_2011_subset,
+    wong_2015_subset,
+)
+
+
+class TestWindows:
+    def test_windows_nest(self, corpus):
+        w2011 = len(wong_2011_subset(corpus))
+        w2014 = len(hsu_poole_subset(corpus))
+        w2015 = len(wong_2015_subset(corpus))
+        assert w2011 < w2014 < w2015 < len(corpus)
+
+    def test_window_sizes_near_prior_work(self, corpus):
+        # Hsu & Poole analysed 459 results (incl. non-compliant ones we
+        # do not model) through June 2014; our valid-only window lands
+        # just below.  Wong's MICRO'12 window had 291.
+        assert len(hsu_poole_subset(corpus)) == pytest.approx(459, abs=25)
+        assert len(wong_2011_subset(corpus)) == pytest.approx(291, abs=25)
+
+
+class TestDrifts:
+    def test_correlation_decays_with_newer_data(self, corpus):
+        """Paper: 0.83 (Hsu & Poole, <=2014) -> 0.741 (all 477)."""
+        drift = ep_score_correlation_drift(corpus)
+        assert drift.subset_value == pytest.approx(0.83, abs=0.06)
+        assert drift.full_value == pytest.approx(0.741, abs=0.08)
+        assert drift.drift < -0.04  # it *decreases*, the paper's point
+
+    def test_mean_ep_rises_after_2011(self, corpus):
+        drift = mean_ep_drift(corpus)
+        assert drift.subset_value < 0.6
+        assert drift.drift > 0.05
+
+    def test_wong_dispute_both_views(self, corpus):
+        comparison = high_ep_peak_spot_comparison(corpus)
+        # High-EP servers do peak early (Wong's observation holds)...
+        assert comparison["high_ep_low_spot_share_full"] > 0.8
+        # ...but the *population* share at 60% stays tiny (the rebuttal).
+        assert comparison["share_60_full"] == pytest.approx(0.0188, abs=0.006)

@@ -1,0 +1,43 @@
+"""Tests for the lithography-node analysis (Section III.B)."""
+
+import pytest
+
+from repro.analysis.process_node import (
+    ep_by_process_node,
+    node_ep_correlation,
+    shrink_regressions,
+)
+
+
+class TestProcessNode:
+    def test_nodes_present(self, corpus):
+        stats = ep_by_process_node(corpus)
+        nodes = [stat.process_nm for stat in stats]
+        assert nodes == sorted(nodes, reverse=True)
+        assert 90 in nodes and 14 in nodes
+
+    def test_counts_cover_known_codenames(self, corpus):
+        from repro.power.microarch import Codename
+
+        stats = ep_by_process_node(corpus)
+        total = sum(stat.count for stat in stats)
+        unknown = len(corpus.by_codename(Codename.UNKNOWN))
+        assert total == len(corpus) - unknown
+
+    def test_finer_nodes_are_usually_more_proportional(self, corpus):
+        """The 'usually' half of the Section III.B claim."""
+        assert node_ep_correlation(corpus) > 0.5
+        stats = {s.process_nm: s.avg_ep for s in ep_by_process_node(corpus)}
+        assert stats[32] > stats[45] > stats[65]
+
+    def test_ivy_bridge_regression_is_detected(self, corpus):
+        """The 'maybe lower even if finer' half, with the named case."""
+        regressions = shrink_regressions(corpus)
+        pairs = {(new, old) for new, old, _deficit in regressions}
+        assert ("Ivy Bridge", "Sandy Bridge") in pairs
+        deficits = {
+            (new, old): deficit for new, old, deficit in regressions
+        }
+        assert deficits[("Ivy Bridge", "Sandy Bridge")] == pytest.approx(
+            0.04, abs=0.04
+        )

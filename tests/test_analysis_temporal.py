@@ -1,0 +1,101 @@
+"""Tests for the temporal analysis and the reorganization deltas."""
+
+import pytest
+
+from repro.analysis.stats import relative_change, summarize
+from repro.analysis.temporal import (
+    delta_range,
+    ep_step_changes,
+    mismatch_fraction,
+    reorganization_deltas,
+    yearly_trend,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_change(self):
+        assert relative_change(2.0, 3.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            relative_change(0.0, 1.0)
+
+
+class TestYearlyTrend:
+    def test_hw_basis_covers_2004_to_2016(self, corpus):
+        trend = yearly_trend(corpus, "ep", "hw")
+        assert trend.years() == list(range(2004, 2017))
+
+    def test_published_basis_starts_2007(self, corpus):
+        trend = yearly_trend(corpus, "ep", "published")
+        assert trend.years()[0] >= 2007
+
+    def test_counts_sum_to_corpus(self, corpus):
+        trend = yearly_trend(corpus, "score", "hw")
+        assert sum(s.count for s in trend.by_year.values()) == len(corpus)
+
+    def test_series_alignment(self, corpus):
+        trend = yearly_trend(corpus, "ep", "hw")
+        avg = trend.series("avg")
+        assert len(avg) == len(trend.years())
+        assert avg[trend.years().index(2012)] == pytest.approx(
+            trend.by_year[2012].mean
+        )
+
+    def test_unknown_metric_rejected(self, corpus):
+        with pytest.raises(ValueError, match="unknown metric"):
+            yearly_trend(corpus, "nope")
+
+    def test_unknown_basis_rejected(self, corpus):
+        with pytest.raises(ValueError, match="basis"):
+            yearly_trend(corpus, "ep", basis="fiscal")
+
+    def test_idle_fraction_trend_decreases(self, corpus):
+        trend = yearly_trend(corpus, "idle_fraction", "hw")
+        assert trend.by_year[2016].mean < trend.by_year[2008].mean
+
+
+class TestStepChanges:
+    def test_tock_jumps_positive(self, corpus):
+        steps = ep_step_changes(corpus)
+        assert steps["avg_2008_2009"] > 0.3
+        assert steps["avg_2011_2012"] > 0.15
+
+
+class TestReorganization:
+    def test_mismatch_fraction(self, corpus):
+        assert mismatch_fraction(corpus) == pytest.approx(74 / 477)
+
+    def test_deltas_cover_overlapping_years_only(self, corpus):
+        deltas = reorganization_deltas(corpus, "ep", "avg")
+        years = [d.year for d in deltas]
+        assert min(years) >= 2007
+        assert max(years) <= 2016
+
+    def test_reorganization_moves_the_statistics(self, corpus):
+        low, high = delta_range(reorganization_deltas(corpus, "ep", "avg"))
+        # The paper reports -6.2%..+8.7%; ours must be clearly nonzero
+        # on both sides and of the same magnitude class.
+        assert low < -0.005
+        assert high > 0.005
+        assert -0.20 < low and high < 0.20
+
+    def test_ee_deltas_skew_positive(self, corpus):
+        # Late publication makes published-year EE look better than the
+        # hardware really was; re-indexing lifts the early years.
+        low, high = delta_range(reorganization_deltas(corpus, "score", "avg"))
+        assert high > abs(low)
+
+    def test_empty_delta_range_rejected(self):
+        with pytest.raises(ValueError):
+            delta_range([])

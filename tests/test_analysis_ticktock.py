@@ -1,0 +1,39 @@
+"""Tests for the tick/tock attribution analysis."""
+
+import pytest
+
+from repro.analysis.ticktock import (
+    SERVER_LINEAGE,
+    lineage_transitions,
+    tick_tock_summary,
+)
+from repro.power.microarch import Codename
+
+
+class TestLineage:
+    def test_every_step_present_in_corpus(self, corpus):
+        transitions = lineage_transitions(corpus)
+        assert len(transitions) == len(SERVER_LINEAGE) - 1
+
+    def test_kinds_alternate_mostly(self, corpus):
+        transitions = lineage_transitions(corpus)
+        kinds = [t.kind for t in transitions]
+        assert "tick" in kinds and "tock" in kinds
+
+    def test_named_tocks_have_the_biggest_gains(self, corpus):
+        summary = tick_tock_summary(corpus)
+        assert summary["named_tocks_are_largest"]
+
+    def test_tocks_move_ep_more_than_ticks(self, corpus):
+        """The paper's attribution of the 2009 and 2012 jumps."""
+        summary = tick_tock_summary(corpus)
+        assert summary["mean_tock_gain"] > summary["mean_tick_gain"]
+        assert summary["mean_tock_gain"] > 0.05
+
+    def test_penryn_to_nehalem_magnitude(self, corpus):
+        transitions = {
+            (t.predecessor, t.successor): t for t in lineage_transitions(corpus)
+        }
+        step = transitions[(Codename.PENRYN, Codename.NEHALEM_EP)]
+        assert step.ep_change == pytest.approx(0.24, abs=0.06)
+        assert step.kind == "tock"

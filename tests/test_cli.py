@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_artifacts(self):
+        code, output = _run(["list"])
+        assert code == 0
+        for figure_id in ("fig1", "fig21", "table2", "eq2", "wong"):
+            assert figure_id in output
+
+
+class TestFigure:
+    def test_renders_known_artifact(self):
+        code, output = _run(["figure", "table2"])
+        assert code == 0
+        assert "ThinkServer RD450" in output
+
+    def test_unknown_artifact_fails_cleanly(self, capsys):
+        code, _output = _run(["figure", "fig99"])
+        assert code == 2
+
+    def test_seed_changes_the_corpus(self):
+        _code, a = _run(["--seed", "1", "figure", "fig6"])
+        _code, b = _run(["--seed", "2", "figure", "fig6"])
+        # Counts are pinned regardless of seed.
+        assert "152" in a and "152" in b
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path):
+        target = tmp_path / "corpus.csv"
+        code, output = _run(["generate", "--out", str(target)])
+        assert code == 0
+        assert "477" in output
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("result_id,")
+        from repro.dataset.io import load_corpus
+
+        assert len(load_corpus(target)) == 477
+
+
+class TestValidate:
+    def test_clean_corpus_passes(self, tmp_path):
+        target = tmp_path / "corpus.csv"
+        _run(["generate", "--out", str(target)])
+        code, output = _run(["validate", str(target)])
+        assert code == 0
+        assert "0 error(s)" in output
+
+    def test_corrupted_corpus_fails(self, tmp_path):
+        target = tmp_path / "corpus.csv"
+        _run(["generate", "--out", str(target)])
+        lines = target.read_text().splitlines()
+        # Corrupt one row: make the 100% power tiny so the curve is
+        # grossly non-monotone.
+        header = lines[0].split(",")
+        column = header.index("power_100")
+        cells = lines[1].split(",")
+        cells[column] = "1.0"
+        lines[1] = ",".join(cells)
+        target.write_text("\n".join(lines) + "\n")
+        code, output = _run(["validate", str(target)])
+        assert code == 1
+        assert "error" in output
+
+
+class TestReport:
+    def test_writes_markdown(self, tmp_path):
+        target = tmp_path / "EXPERIMENTS.md"
+        code, _output = _run(["report", "--out", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "paper vs. measured" in text
+        assert "| eq2 |" in text
+
+
+class TestSweep:
+    def test_sweeps_a_testbed_server(self):
+        code, output = _run(["sweep", "2"])
+        assert code == 0
+        assert "Sugon I620-G10" in output
+        assert "best memory per core: 4" in output
+
+    def test_rejects_unknown_server(self):
+        with pytest.raises(SystemExit):
+            _run(["sweep", "9"])
+
+
+class TestRunAll:
+    def test_renders_every_artifact(self, tmp_path):
+        directory = tmp_path / "artifacts"
+        code, output = _run(["run-all", "--output-dir", str(directory)])
+        assert code == 0
+        files = sorted(p.name for p in directory.iterdir())
+        assert "fig1.txt" in files
+        assert "wong.txt" in files
+        assert len(files) == 36

@@ -1,0 +1,139 @@
+"""Tests for job-granular scheduling and the FDR text parser."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.jobs import (
+    FirstFitDecreasing,
+    Job,
+    PeakSpotAware,
+    compare_schedulers,
+    synthesize_jobs,
+)
+from repro.ssj.fdr import FdrParseError, parse_fdr_text
+from repro.ssj.report import BenchmarkReport, LevelMeasurement
+
+
+@pytest.fixture(scope="module")
+def fleet(corpus):
+    return list(corpus.by_hw_year_range(2014, 2016))
+
+
+@pytest.fixture(scope="module")
+def jobs(fleet):
+    return synthesize_jobs(fleet, 0.5, rng=np.random.default_rng(4))
+
+
+class TestJobSynthesis:
+    def test_total_demand_near_target(self, fleet, jobs):
+        from repro.cluster.regions import throughput_at
+
+        capacity = sum(throughput_at(s, 1.0) for s in fleet)
+        total = sum(job.demand_ops for job in jobs)
+        assert total == pytest.approx(0.5 * capacity, rel=0.1)
+
+    def test_heavy_tail(self, jobs):
+        sizes = sorted(job.demand_ops for job in jobs)
+        assert sizes[-1] > 5 * np.median(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(job_id="x", demand_ops=0.0)
+        with pytest.raises(ValueError):
+            synthesize_jobs([], 1.5)
+
+
+class TestSchedulers:
+    def test_both_place_everything_at_half_load(self, fleet, jobs):
+        schedules = compare_schedulers(fleet, jobs)
+        for schedule in schedules.values():
+            assert not schedule.unplaced
+            assert schedule.placed_ops == pytest.approx(
+                sum(job.demand_ops for job in jobs)
+            )
+
+    def test_spot_aware_saves_power(self, fleet, jobs):
+        schedules = compare_schedulers(fleet, jobs)
+        assert (
+            schedules["peak-spot-aware"].total_power_w
+            < schedules["first-fit-decreasing"].total_power_w
+        )
+
+    def test_spot_aware_respects_the_caps_when_possible(self, fleet, jobs):
+        schedule = PeakSpotAware().schedule(fleet, jobs)
+        by_id = {server.result_id: server for server in fleet}
+        over_cap = 0
+        for server_id, _load in schedule.loads_ops.items():
+            server = by_id[server_id]
+            if schedule.utilization_of(server) > server.primary_peak_spot + 0.02:
+                over_cap += 1
+        # At half load nothing needs to spill past its spot.
+        assert over_cap == 0
+
+    def test_ffd_concentrates_load(self, fleet, jobs):
+        schedules = compare_schedulers(fleet, jobs)
+        assert (
+            schedules["first-fit-decreasing"].servers_loaded
+            <= schedules["peak-spot-aware"].servers_loaded
+        )
+
+    def test_overload_reports_unplaced(self, fleet):
+        oversize = [Job(job_id="huge", demand_ops=1e15)]
+        schedule = FirstFitDecreasing().schedule(fleet, oversize)
+        assert schedule.unplaced == ["huge"]
+
+    def test_assignments_reference_real_servers(self, fleet, jobs):
+        schedule = PeakSpotAware().schedule(fleet, jobs)
+        ids = {server.result_id for server in fleet}
+        assert set(schedule.assignments.values()) <= ids
+
+
+class TestFdrParser:
+    def _report(self):
+        levels = [
+            LevelMeasurement(
+                target_load=round(0.1 * i, 1),
+                throughput_ops_per_s=1000.0 * 0.1 * i,
+                average_power_w=100.0 * (0.3 + 0.07 * i),
+                utilization=round(0.1 * i, 1),
+            )
+            for i in range(1, 11)
+        ]
+        return BenchmarkReport(
+            calibrated_max_ops_per_s=1000.0,
+            levels=levels,
+            active_idle_power_w=30.0,
+        )
+
+    def test_roundtrip_scores_match(self):
+        original = self._report()
+        parsed = parse_fdr_text(original.to_text())
+        assert parsed.overall_score() == pytest.approx(
+            original.overall_score(), rel=0.01
+        )
+        assert parsed.energy_proportionality() == pytest.approx(
+            original.energy_proportionality(), abs=0.01
+        )
+
+    def test_roundtrip_level_count(self):
+        parsed = parse_fdr_text(self._report().to_text())
+        assert len(parsed.levels) == 10
+        assert parsed.active_idle_power_w == pytest.approx(30.0, rel=0.01)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FdrParseError, match="no measured"):
+            parse_fdr_text("hello world")
+
+    def test_missing_idle_rejected(self):
+        text = "\n".join(
+            line
+            for line in self._report().to_text().splitlines()
+            if "idle" not in line
+        )
+        with pytest.raises(FdrParseError, match="idle"):
+            parse_fdr_text(text)
+
+    def test_parser_tolerates_extra_noise(self):
+        text = "PREAMBLE\n" + self._report().to_text() + "\nfooter: ok\n"
+        parsed = parse_fdr_text(text)
+        assert len(parsed.levels) == 10

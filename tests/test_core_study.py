@@ -1,0 +1,102 @@
+"""Tests for the study pipeline: every registered artifact regenerates."""
+
+import pytest
+
+from repro.core.registry import FIGURE_IDS, REGISTRY
+from repro.core.study import FigureResult, Study
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        for n in range(1, 22):
+            assert f"fig{n}" in REGISTRY
+        for extra in ("table1", "table2", "eq2", "reorg", "asynchrony",
+                      "placement", "wong"):
+            assert extra in REGISTRY
+
+    def test_covers_the_extensions(self):
+        for extra in ("gap", "metric_family", "forecast", "workloads",
+                      "trace", "jobs", "procurement", "prior_work"):
+            assert extra in REGISTRY
+
+    def test_ids_are_ordered_and_unique(self):
+        assert len(set(FIGURE_IDS)) == len(FIGURE_IDS) == 36
+
+
+class TestStudy:
+    @pytest.mark.parametrize("figure_id", FIGURE_IDS)
+    def test_every_artifact_regenerates(self, study, figure_id):
+        result = study.figure(figure_id)
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == figure_id
+        assert result.series
+        assert result.text.strip()
+
+    def test_unknown_artifact_rejected(self, study):
+        with pytest.raises(KeyError):
+            study.figure("fig99")
+
+    def test_run_all_covers_registry(self, study):
+        results = study.run_all()
+        assert set(results) == set(FIGURE_IDS)
+
+    def test_study_generates_corpus_when_not_given(self):
+        study = Study(seed=7)
+        assert len(study.corpus) == 477
+
+
+class TestArtifactContent:
+    def test_fig1_exemplar_properties(self, study):
+        series = study.figure("fig1").series
+        assert series["ep"] == pytest.approx(1.02, abs=0.01)
+        assert series["score"] == pytest.approx(12212.0, rel=0.01)
+
+    def test_fig3_step_changes_present(self, study):
+        series = study.figure("fig3").series
+        assert series["step_changes"]["avg_2008_2009"] > 0.3
+
+    def test_fig5_landmarks(self, study):
+        landmarks = study.figure("fig5").series["landmarks"]
+        assert landmarks["share_below_1"] == pytest.approx(0.9958, abs=0.003)
+
+    def test_fig9_envelope_eps(self, study):
+        series = study.figure("fig9").series
+        assert series["upper_ep"] < 0.35
+        assert series["lower_ep"] > 0.95
+
+    def test_fig16_reports_paper_comparisons(self, study):
+        text = study.figure("fig16").text
+        assert "478" in text
+        assert "2010" in text
+
+    def test_fig17_best_ratios(self, study):
+        best = study.figure("fig17").series["best"]
+        assert best["ep"] == pytest.approx(1.5)
+        assert best["ee"] == pytest.approx(1.78)
+
+    def test_fig18_to_20_best_memory(self, study):
+        assert study.figure("fig18").series["best_memory_per_core"] == 1.75
+        assert study.figure("fig19").series["best_memory_per_core"] == 4.0
+        assert study.figure("fig20").series["best_memory_per_core"] == 2.67
+
+    def test_table1_counts(self, study):
+        series = study.figure("table1").series
+        assert series["1"] == 153
+        assert sum(series.values()) == 430
+
+    def test_table2_lists_four_servers(self, study):
+        assert len(study.figure("table2").series["rows"]) == 4
+
+    def test_eq2_series(self, study):
+        series = study.figure("eq2").series
+        assert series["corr_ep_idle"] == pytest.approx(-0.92, abs=0.04)
+        assert series["amplitude"] == pytest.approx(1.2969, abs=0.12)
+
+    def test_placement_saves_power(self, study):
+        series = study.figure("placement").series
+        assert series["saving"] > 0.0
+
+    def test_wong_shares(self, study):
+        series = study.figure("wong").series
+        assert series["share_100"] > 0.6
+        assert series["share_60"] < 0.03

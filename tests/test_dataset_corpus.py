@@ -1,0 +1,107 @@
+"""Unit tests for the corpus query API (on the shared corpus)."""
+
+import pytest
+
+from repro.dataset.corpus import Corpus
+from repro.power.microarch import Codename, Family
+
+
+class TestCollectionProtocol:
+    def test_length(self, corpus):
+        assert len(corpus) == 477
+
+    def test_iteration_and_indexing(self, corpus):
+        first = corpus[0]
+        assert next(iter(corpus)) is first
+
+    def test_get_by_id(self, corpus):
+        result = corpus[10]
+        assert corpus.get(result.result_id) is result
+
+    def test_get_unknown_raises(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.get("nope")
+
+    def test_duplicate_ids_rejected(self, corpus):
+        with pytest.raises(ValueError, match="duplicate"):
+            Corpus([corpus[0], corpus[0]])
+
+
+class TestFilters:
+    def test_year_filter(self, corpus):
+        sub = corpus.by_hw_year(2012)
+        assert len(sub) == 131
+        assert all(result.hw_year == 2012 for result in sub)
+
+    def test_year_range(self, corpus):
+        sub = corpus.by_hw_year_range(2013, 2016)
+        assert len(sub) == 56
+
+    def test_family_filter(self, corpus):
+        sub = corpus.by_family(Family.NEHALEM)
+        assert all(result.family is Family.NEHALEM for result in sub)
+
+    def test_codename_filter(self, corpus):
+        sub = corpus.by_codename(Codename.SANDY_BRIDGE_EN)
+        assert len(sub) == 22
+
+    def test_node_partition_is_complete(self, corpus):
+        assert len(corpus.single_node()) + len(corpus.multi_node()) == len(corpus)
+
+    def test_chips_filter(self, corpus):
+        sub = corpus.single_node().by_chips(8)
+        assert len(sub) == 6
+
+    def test_memory_per_core_filter(self, corpus):
+        sub = corpus.by_memory_per_core(1.5)
+        assert len(sub) == 68
+        for result in sub:
+            assert result.memory_per_core_gb == pytest.approx(1.5, abs=0.02)
+
+    def test_published_year_filter(self, corpus):
+        sub = corpus.by_published_year(2016)
+        assert all(result.published_year == 2016 for result in sub)
+
+    def test_chained_filters(self, corpus):
+        sub = corpus.by_hw_year(2012).single_node().by_chips(2)
+        assert all(
+            r.hw_year == 2012 and r.nodes == 1 and r.chips_per_node == 2
+            for r in sub
+        )
+
+
+class TestEnumerations:
+    def test_hw_years_sorted(self, corpus):
+        years = corpus.hw_years()
+        assert years == sorted(years)
+        assert years[0] == 2004 and years[-1] == 2016
+
+    def test_published_years_within_benchmark_era(self, corpus):
+        published = corpus.published_years()
+        assert min(published) >= 2007
+
+    def test_node_counts(self, corpus):
+        assert corpus.node_counts() == [1, 2, 4, 8, 16]
+
+    def test_count_by_hw_year_sums_to_total(self, corpus):
+        assert sum(corpus.count_by_hw_year().values()) == 477
+
+    def test_count_by_family_sums_to_total(self, corpus):
+        assert sum(corpus.count_by_family().values()) == 477
+
+
+class TestTopFraction:
+    def test_top_decile_size(self, corpus):
+        top = corpus.top_fraction_by(lambda r: r.ep, 0.10)
+        assert len(top) == 48  # round(477 * 0.1)
+
+    def test_top_is_actually_top(self, corpus):
+        top = corpus.top_fraction_by(lambda r: r.ep, 0.10)
+        threshold = min(r.ep for r in top)
+        outside = [r.ep for r in corpus if r.result_id not in
+                   {t.result_id for t in top}]
+        assert max(outside) <= threshold + 1e-12
+
+    def test_invalid_fraction_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.top_fraction_by(lambda r: r.ep, 0.0)

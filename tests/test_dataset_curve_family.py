@@ -1,0 +1,150 @@
+"""Unit tests for the power-curve family and its solvers."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.curve_family import (
+    CurveSolveError,
+    GridCurve,
+    PowerCurve,
+    ep_of_linear_curve,
+    minimum_idle_for_spot,
+    solve_curve,
+    solve_curve_with_fallback,
+    solve_knee_curve,
+)
+
+
+class TestPowerCurve:
+    def test_linear_member_ep_is_one_minus_idle(self):
+        curve = PowerCurve.mix(idle=0.35, s=0.0, p=2.0)
+        assert curve.ep() == pytest.approx(0.65)
+        assert ep_of_linear_curve(0.35) == pytest.approx(0.65)
+
+    def test_power_endpoints(self):
+        curve = PowerCurve.mix(idle=0.2, s=0.5, p=3.0)
+        assert curve.power(0.0) == pytest.approx(0.2)
+        assert curve.power(1.0) == pytest.approx(1.0)
+
+    def test_power_monotone(self):
+        curve = PowerCurve.mix(idle=0.2, s=0.8, p=5.0)
+        grid = curve.grid_power()
+        assert np.all(np.diff(grid) >= 0.0)
+
+    def test_convex_member_has_interior_peak(self):
+        curve = PowerCurve.mix(idle=0.3, s=0.9, p=4.0)
+        peak = curve.interior_peak()
+        assert peak is not None
+        assert 0.0 < peak < 1.0
+
+    def test_concave_member_peaks_at_full_load(self):
+        curve = PowerCurve.mix(idle=0.4, s=0.5, p=0.5)
+        assert curve.interior_peak() is None
+        assert curve.grid_peak_spots() == [1.0]
+
+    def test_interior_peak_iff_crosses_ideal(self):
+        for s, p in ((0.9, 4.0), (0.2, 2.0), (0.5, 0.5), (0.0, 2.0)):
+            curve = PowerCurve.mix(idle=0.3, s=s, p=p)
+            assert (curve.interior_peak() is not None) == curve.crosses_ideal()
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PowerCurve(idle=0.3, exponents=(1.0, 2.0), weights=(0.5, 0.6))
+
+    def test_idle_bounds(self):
+        with pytest.raises(ValueError):
+            PowerCurve.mix(idle=0.0, s=0.5, p=2.0)
+
+
+class TestSolveCurve:
+    @pytest.mark.parametrize(
+        "ep,idle,spot",
+        [
+            (0.18, 0.88, 1.0),
+            (0.30, 0.70, 1.0),
+            (0.55, 0.45, 1.0),
+            (0.75, 0.28, 1.0),
+            (0.84, 0.22, 1.0),
+            (0.75, 0.30, 0.9),
+            (0.82, 0.25, 0.8),
+            (0.87, 0.20, 0.8),
+            (0.84, 0.25, 0.7),
+            (1.02, 0.12, 0.7),
+            (1.05, 0.10, 0.7),
+            (0.90, 0.20, 0.6),
+        ],
+    )
+    def test_solves_the_corpus_range(self, ep, idle, spot):
+        curve = solve_curve(ep, idle, spot)
+        assert curve.ep() == pytest.approx(ep, abs=1e-6)
+        assert curve.grid_peak_spots()[0] == pytest.approx(spot)
+
+    def test_idle_is_preserved(self):
+        curve = solve_curve(0.7, 0.35, 1.0)
+        assert curve.grid_power()[0] == pytest.approx(0.35)
+
+    def test_ep_beyond_idle_bound_rejected(self):
+        # EP <= 2 * (1 - idle) for any monotone curve.
+        with pytest.raises(CurveSolveError, match="unreachable"):
+            solve_curve(0.9, 0.6, 1.0)
+
+    def test_nonsense_ep_rejected(self):
+        with pytest.raises(CurveSolveError):
+            solve_curve(2.5, 0.3, 1.0)
+
+    def test_peak_at_full_with_high_ep_needs_interior(self):
+        # EP far above 1 - idle/2 cannot peak at 100%.
+        with pytest.raises(CurveSolveError):
+            solve_curve(0.95, 0.3, 1.0)
+
+
+class TestKneeCurve:
+    def test_low_ep_with_early_peak(self):
+        # The combination the smooth family cannot reach.
+        curve = solve_knee_curve(0.75, 0.25, 0.7)
+        assert curve.ep() == pytest.approx(0.75, abs=1e-6)
+        assert curve.grid_peak_spots() == [pytest.approx(0.7)]
+
+    def test_knee_points_monotone(self):
+        curve = solve_knee_curve(0.8, 0.3, 0.8)
+        assert np.all(np.diff(curve.grid_power()) >= -1e-12)
+
+    def test_margin_protects_the_spot(self):
+        curve = solve_knee_curve(0.8, 0.3, 0.8, min_margin=0.01)
+        rel = curve.ee_relative()[1:]
+        ranked = np.sort(rel)[::-1]
+        assert ranked[0] / ranked[1] >= 1.01 - 1e-9
+
+    def test_interior_only(self):
+        with pytest.raises(CurveSolveError, match="interior"):
+            solve_knee_curve(0.7, 0.3, 1.0)
+
+    def test_grid_curve_validation(self):
+        with pytest.raises(ValueError, match="eleven"):
+            GridCurve(points=(0.5, 1.0))
+
+
+class TestFallback:
+    def test_direct_solution_passes_through(self):
+        curve = solve_curve_with_fallback(0.8, 0.25, 1.0)
+        assert curve.ep() == pytest.approx(0.8, abs=1e-6)
+
+    def test_high_idle_full_spot_shaves_idle_not_spot(self):
+        # EP 0.4 with idle 0.76 escapes the smooth family; the fallback
+        # must keep the 100% spot by reducing the idle fraction.
+        curve = solve_curve_with_fallback(0.4, 0.76, 1.0)
+        assert curve.ep() == pytest.approx(0.4, abs=1e-6)
+        assert curve.grid_peak_spots()[0] == pytest.approx(1.0)
+
+    def test_frontier_collapses_to_floor_when_knee_covers_it(self):
+        # With the knee construction, EP 0.85 peaking at 70% works at
+        # essentially any idle fraction.
+        frontier = minimum_idle_for_spot(0.85, 0.7, idle_floor=0.02)
+        assert frontier == pytest.approx(0.02)
+        solve_curve(0.85, frontier, 0.7)
+
+    def test_physically_impossible_combination_has_no_frontier(self):
+        # A peak at 70% requires EE(70%) > EE(100%), which bounds the
+        # area from above: EP below ~0.51 cannot peak at 70% at all.
+        with pytest.raises(CurveSolveError):
+            minimum_idle_for_spot(0.40, 0.7)

@@ -1,0 +1,50 @@
+"""Round-trip tests for corpus CSV persistence."""
+
+import pytest
+
+from repro.dataset.corpus import Corpus
+from repro.dataset.io import load_corpus, save_corpus
+
+
+class TestRoundTrip:
+    def test_full_corpus_roundtrips_exactly(self, corpus, tmp_path):
+        path = tmp_path / "corpus.csv"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert len(loaded) == len(corpus)
+        for original, restored in zip(corpus, loaded):
+            assert restored.result_id == original.result_id
+            assert restored.hw_year == original.hw_year
+            assert restored.published_year == original.published_year
+            assert restored.codename is original.codename
+            assert restored.nodes == original.nodes
+            assert restored.chips_per_node == original.chips_per_node
+            assert restored.memory_gb == original.memory_gb
+            assert restored.tie_peak_spots == original.tie_peak_spots
+            assert restored.active_idle_power_w == original.active_idle_power_w
+            for level_a, level_b in zip(
+                original.sorted_levels(), restored.sorted_levels()
+            ):
+                assert level_b.ssj_ops == level_a.ssj_ops
+                assert level_b.average_power_w == level_a.average_power_w
+
+    def test_derived_metrics_survive_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.csv"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        for original, restored in zip(list(corpus)[:25], loaded):
+            assert restored.ep == pytest.approx(original.ep)
+            assert restored.overall_score == pytest.approx(original.overall_score)
+            assert restored.peak_ee_spots == original.peak_ee_spots
+
+    def test_partial_corpus(self, corpus, tmp_path):
+        path = tmp_path / "partial.csv"
+        subset = Corpus(list(corpus)[:10])
+        save_corpus(subset, path)
+        assert len(load_corpus(path)) == 10
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_corpus(path)

@@ -1,0 +1,81 @@
+"""Multi-seed robustness: the calibration shape must not be seed luck.
+
+The default-seed corpus is exhaustively checked in
+``test_dataset_synthesis.py``; these tests regenerate with different
+seeds and re-assert the *structural* facts (exact counts stay exact,
+statistical shapes stay within looser bands).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthesis import generate_corpus
+
+SEEDS = (7, 99, 31415)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_corpus(request):
+    return generate_corpus(seed=request.param)
+
+
+class TestStructuralInvariants:
+    def test_population_counts(self, seeded_corpus):
+        assert len(seeded_corpus) == 477
+        assert len(seeded_corpus.by_hw_year(2012)) == 131
+        assert len(seeded_corpus.single_node()) == 403
+        single = seeded_corpus.single_node()
+        assert len(single.by_chips(2)) == 284
+
+    def test_pinned_extremes(self, seeded_corpus):
+        eps = np.array(seeded_corpus.eps())
+        assert eps.min() == pytest.approx(0.18, abs=0.012)
+        assert eps.max() == pytest.approx(1.05, abs=0.012)
+        assert sum(1 for e in eps if e >= 1.0) == 2
+
+    def test_spot_counting(self, seeded_corpus):
+        assert sum(len(r.peak_ee_spots) for r in seeded_corpus) == 478
+
+    def test_reorganized_count(self, seeded_corpus):
+        mismatched = [
+            r for r in seeded_corpus if r.published_year != r.hw_year
+        ]
+        assert len(mismatched) == 74
+
+
+class TestStatisticalShape:
+    def test_year_trend_band(self, seeded_corpus):
+        avg = {
+            year: float(np.mean(seeded_corpus.by_hw_year(year).eps()))
+            for year in (2005, 2008, 2012, 2016)
+        }
+        assert avg[2005] == pytest.approx(0.30, abs=0.06)
+        assert avg[2008] == pytest.approx(0.37, abs=0.05)
+        assert avg[2012] == pytest.approx(0.82, abs=0.05)
+        assert avg[2016] == pytest.approx(0.84, abs=0.05)
+
+    def test_correlations_hold(self, seeded_corpus):
+        from repro.metrics.correlation import pearson
+
+        assert pearson(
+            seeded_corpus.eps(), seeded_corpus.idle_fractions()
+        ) == pytest.approx(-0.92, abs=0.06)
+        assert pearson(
+            seeded_corpus.eps(), seeded_corpus.scores()
+        ) == pytest.approx(0.74, abs=0.12)
+
+    def test_peak_spot_shares_hold(self, seeded_corpus):
+        counts = {}
+        for result in seeded_corpus:
+            for spot in result.peak_ee_spots:
+                counts[spot] = counts.get(spot, 0) + 1
+        assert counts[1.0] / 477 == pytest.approx(0.6925, abs=0.02)
+        assert counts[0.7] / 477 == pytest.approx(0.1381, abs=0.015)
+
+    def test_chip_asymmetry_holds(self, seeded_corpus):
+        single = seeded_corpus.single_node()
+        avg = {
+            chips: float(np.mean(single.by_chips(chips).eps()))
+            for chips in (2, 4, 8)
+        }
+        assert avg[2] > avg[4] > avg[8]

@@ -1,0 +1,322 @@
+"""Calibration tests: the synthetic corpus must carry the paper's shape.
+
+Every test here checks a number or a qualitative relationship the paper
+states, against the default-seed corpus.  Tolerances are deliberately
+explicit: exact where the generator pins values (counts, pinned
+exemplars), banded where the paper's number is a statistic the
+generator reproduces through noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset import calibration_targets as targets
+from repro.dataset.synthesis import generate_corpus
+from repro.power.microarch import Codename, Family
+
+
+class TestPopulationStructure:
+    def test_477_results(self, corpus):
+        assert len(corpus) == 477
+
+    def test_year_counts_match_plan(self, corpus):
+        assert corpus.count_by_hw_year() == targets.YEAR_COUNTS
+
+    def test_2012_share_is_27_percent(self, corpus):
+        share = len(corpus.by_hw_year(2012)) / len(corpus)
+        assert share == pytest.approx(0.274, abs=0.005)
+
+    def test_codename_allocation(self, corpus):
+        for year, allocation in targets.YEAR_CODENAME_COUNTS.items():
+            observed = corpus.by_hw_year(year).count_by_codename()
+            assert observed == allocation
+
+    def test_family_totals(self, corpus):
+        counts = corpus.count_by_family()
+        assert counts[Family.NETBURST] == 3
+        assert counts[Family.NEHALEM] == 152
+        assert counts[Family.SANDY_BRIDGE] == 137
+        assert counts[Family.SKYLAKE] == 3
+
+    def test_single_node_chip_histogram(self, corpus):
+        single = corpus.single_node()
+        observed = {
+            chips: len(single.by_chips(chips)) for chips in single.chip_counts()
+        }
+        assert observed == targets.SINGLE_NODE_CHIP_COUNTS
+
+    def test_multi_node_histogram(self, corpus):
+        multi = corpus.multi_node()
+        observed = {n: len(multi.by_nodes(n)) for n in multi.node_counts()}
+        assert observed == targets.MULTI_NODE_COUNTS
+
+    def test_memory_per_core_table1(self, corpus):
+        for ratio, count in targets.MEMORY_PER_CORE_COUNTS.items():
+            assert len(corpus.by_memory_per_core(ratio)) == count
+
+    def test_determinism(self):
+        a = generate_corpus(seed=123)
+        b = generate_corpus(seed=123)
+        assert [r.ep for r in a] == [r.ep for r in b]
+        assert [r.overall_score for r in a] == [r.overall_score for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(seed=123)
+        b = generate_corpus(seed=124)
+        assert [r.ep for r in a] != [r.ep for r in b]
+
+
+class TestEpDistribution:
+    def test_global_extremes(self, corpus):
+        eps = np.array(corpus.eps())
+        assert eps.min() == pytest.approx(0.18, abs=0.01)
+        assert eps.max() == pytest.approx(1.05, abs=0.01)
+
+    def test_extremes_in_the_right_years(self, corpus):
+        lowest = min(corpus, key=lambda r: r.ep)
+        highest = max(corpus, key=lambda r: r.ep)
+        assert lowest.hw_year == 2008
+        assert highest.hw_year == 2012
+
+    def test_only_two_servers_reach_ideal(self, corpus):
+        above = [r for r in corpus if r.ep >= 1.0]
+        assert len(above) == 2  # 99.58% below 1.0
+
+    def test_cdf_landmarks(self, corpus):
+        eps = np.array(corpus.eps())
+        assert ((eps >= 0.6) & (eps < 0.7)).mean() == pytest.approx(0.2521, abs=0.05)
+        assert ((eps >= 0.8) & (eps < 0.9)).mean() == pytest.approx(0.1744, abs=0.05)
+
+    def test_2016_minimum_near_073(self, corpus):
+        eps = np.array(corpus.by_hw_year(2016).eps())
+        assert eps.min() == pytest.approx(0.73, abs=0.03)
+
+
+class TestYearlyTrend:
+    def test_avg_anchors(self, corpus):
+        for year, target in targets.YEAR_EP_AVG_TARGETS.items():
+            observed = float(np.mean(corpus.by_hw_year(year).eps()))
+            assert observed == pytest.approx(target, abs=0.035), year
+
+    def test_median_anchors(self, corpus):
+        for year, target in targets.YEAR_EP_MEDIAN_TARGETS.items():
+            observed = float(np.median(corpus.by_hw_year(year).eps()))
+            assert observed == pytest.approx(target, abs=0.055), year
+
+    def test_ep_jumps_at_the_tocks(self, corpus):
+        avg = {
+            year: float(np.mean(corpus.by_hw_year(year).eps()))
+            for year in (2008, 2009, 2011, 2012)
+        }
+        assert avg[2009] / avg[2008] - 1 == pytest.approx(0.4865, abs=0.12)
+        assert avg[2012] / avg[2011] - 1 == pytest.approx(0.2424, abs=0.07)
+
+    def test_2013_2014_dip_with_median_recovery(self, corpus):
+        avg = {
+            year: float(np.mean(corpus.by_hw_year(year).eps()))
+            for year in (2012, 2013, 2014)
+        }
+        med = {
+            year: float(np.median(corpus.by_hw_year(year).eps()))
+            for year in (2013, 2014)
+        }
+        assert avg[2013] < avg[2012]
+        assert avg[2014] < avg[2012]
+        assert med[2014] > med[2013]  # "the median EP in 2014 still increases"
+
+    def test_2004_higher_than_2005(self, corpus):
+        avg_2004 = float(np.mean(corpus.by_hw_year(2004).eps()))
+        avg_2005 = float(np.mean(corpus.by_hw_year(2005).eps()))
+        assert avg_2004 > avg_2005
+
+    def test_ee_average_monotone(self, corpus):
+        years = corpus.hw_years()
+        averages = [float(np.mean(corpus.by_hw_year(y).scores())) for y in years]
+        for a, b in zip(averages, averages[1:]):
+            assert b > a * 0.97
+
+    def test_ee_maximum_monotone(self, corpus):
+        years = corpus.hw_years()
+        maxima = [float(np.max(corpus.by_hw_year(y).scores())) for y in years]
+        for a, b in zip(maxima, maxima[1:]):
+            assert b >= a
+
+    def test_2014_minimum_is_the_tower_outlier(self, corpus):
+        sub = corpus.by_hw_year(2014)
+        outlier = min(sub, key=lambda r: r.overall_score)
+        assert outlier.overall_score == pytest.approx(1469.0, rel=0.01)
+        assert outlier.form_factor == "Tower"
+        assert outlier.ep == pytest.approx(0.32, abs=0.01)
+        assert outlier.chips_per_node == 1 and outlier.cores_per_chip == 4
+
+
+class TestCodenameCalibration:
+    @pytest.mark.parametrize(
+        "codename",
+        [c for c in Codename if c is not Codename.UNKNOWN],
+    )
+    def test_codename_means_near_fig7(self, corpus, codename):
+        from repro.power.microarch import CATALOG
+
+        sub = corpus.by_codename(codename)
+        if len(sub) < 5:
+            pytest.skip("too few members for a stable mean")
+        observed = float(np.mean(sub.eps()))
+        tolerance = 0.05 if len(sub) >= 20 else 0.08
+        assert observed == pytest.approx(CATALOG[codename].ep_mean, abs=tolerance)
+
+    def test_sandy_bridge_en_is_the_best_cohort(self, corpus):
+        means = {
+            codename: float(np.mean(corpus.by_codename(codename).eps()))
+            for codename in corpus.codenames()
+            if len(corpus.by_codename(codename)) >= 10
+        }
+        assert max(means, key=means.get) is Codename.SANDY_BRIDGE_EN
+
+
+class TestPeakSpots:
+    def test_total_spots_478(self, corpus):
+        assert sum(len(r.peak_ee_spots) for r in corpus) == 478
+
+    def test_exactly_one_tie_server(self, corpus):
+        ties = [r for r in corpus if len(r.peak_ee_spots) > 1]
+        assert len(ties) == 1
+        assert ties[0].peak_ee_spots == [0.8, 0.9]
+        assert ties[0].hw_year == 2011
+
+    def test_global_shares(self, corpus):
+        counts = {}
+        for result in corpus:
+            for spot in result.peak_ee_spots:
+                counts[spot] = counts.get(spot, 0) + 1
+        n = len(corpus)
+        assert counts[1.0] / n == pytest.approx(0.6925, abs=0.015)
+        assert counts[0.7] / n == pytest.approx(0.1381, abs=0.01)
+        assert counts[0.8] / n == pytest.approx(0.1172, abs=0.01)
+        assert counts[0.9] / n == pytest.approx(0.0335, abs=0.01)
+        assert counts[0.6] / n == pytest.approx(0.0188, abs=0.005)
+
+    def test_all_full_load_before_2010(self, corpus):
+        early = corpus.by_hw_year_range(2004, 2009)
+        assert all(r.primary_peak_spot == 1.0 for r in early)
+
+    def test_2016_breakdown(self, corpus):
+        sub = corpus.by_hw_year(2016)
+        counts = {}
+        for result in sub:
+            counts[result.primary_peak_spot] = counts.get(
+                result.primary_peak_spot, 0
+            ) + 1
+        assert counts == {1.0: 3, 0.8: 10, 0.7: 5}
+
+    def test_interval_shift(self, corpus):
+        early = corpus.by_hw_year_range(2004, 2012)
+        late = corpus.by_hw_year_range(2013, 2016)
+        early_full = sum(1 for r in early if r.primary_peak_spot == 1.0) / len(early)
+        late_full = sum(1 for r in late if r.primary_peak_spot == 1.0) / len(late)
+        assert early_full == pytest.approx(0.7571, abs=0.02)
+        assert late_full == pytest.approx(0.2321, abs=0.02)
+
+
+class TestCorrelations:
+    def test_ep_idle_correlation(self, corpus):
+        from repro.metrics.correlation import pearson
+
+        value = pearson(corpus.eps(), corpus.idle_fractions())
+        assert value == pytest.approx(-0.92, abs=0.04)
+
+    def test_ep_score_correlation(self, corpus):
+        from repro.metrics.correlation import pearson
+
+        value = pearson(corpus.eps(), corpus.scores())
+        assert value == pytest.approx(0.741, abs=0.08)
+
+    def test_eq2_regression(self, corpus):
+        from repro.metrics.regression import exponential_fit
+
+        fit = exponential_fit(corpus.idle_fractions(), corpus.eps())
+        assert fit.amplitude == pytest.approx(1.2969, abs=0.12)
+        assert fit.rate == pytest.approx(-2.06, abs=0.35)
+        assert fit.r_squared == pytest.approx(0.892, abs=0.06)
+
+
+class TestPinnedExemplars:
+    def test_fig1_exemplar(self, corpus):
+        exemplar = max(corpus.by_hw_year(2016), key=lambda r: r.ep)
+        assert exemplar.ep == pytest.approx(1.02, abs=0.01)
+        assert exemplar.overall_score == pytest.approx(12212.0, rel=0.01)
+
+    def test_double_crossing_2014_server(self, corpus):
+        candidates = [
+            r for r in corpus.by_hw_year(2014) if abs(r.ep - 0.86) < 0.01
+        ]
+        assert candidates
+        server = candidates[0]
+        crossings = server.ideal_intersections()
+        assert len(crossings) == 2
+        assert 0.5 < crossings[0] < 0.6
+        assert 0.7 < crossings[1] < 0.8
+        assert server.form_factor == "1U"
+
+    def test_2016_and_2011_same_ep_different_shapes(self, corpus):
+        """Two EP~0.75 servers: one crosses the ideal curve, one does not."""
+        year_2016 = min(
+            corpus.by_hw_year(2016), key=lambda r: abs(r.ep - 0.75)
+        )
+        year_2011 = min(
+            corpus.by_hw_year(2011), key=lambda r: abs(r.ep - 0.75)
+        )
+        assert year_2016.ep == pytest.approx(0.75, abs=0.01)
+        assert year_2011.ep == pytest.approx(0.75, abs=0.01)
+        assert not year_2016.ideal_intersections()
+        assert year_2011.ideal_intersections()
+
+    def test_high_ep_servers_cross_thresholds_early(self, corpus):
+        """Fig. 12: EP > 1 implies 0.8x EE before 30%, 1.0x before 40%."""
+        for server in corpus:
+            if server.ep > 1.0:
+                assert server.ee_crossing(0.8) < 0.30
+                assert server.ee_crossing(1.0) < 0.40
+
+
+class TestPublicationReorganization:
+    def test_74_mismatched_results(self, corpus):
+        mismatched = [r for r in corpus if r.published_year != r.hw_year]
+        assert len(mismatched) == 74
+
+    def test_lag_plan(self, corpus):
+        lags = {}
+        for r in corpus:
+            if r.published_year != r.hw_year:
+                lags[r.publication_lag_years] = lags.get(r.publication_lag_years, 0) + 1
+        assert lags[-1] == 1  # one result published before availability
+        assert max(lags) <= 6
+        assert sum(lags.values()) == 74
+
+    def test_no_published_result_before_2007(self, corpus):
+        assert min(corpus.published_years()) >= 2007
+
+    def test_pre2007_hardware_all_reorganized(self, corpus):
+        for result in corpus.by_hw_year_range(2004, 2006):
+            assert result.published_year > result.hw_year
+
+
+class TestStructuralEffectsSwitch:
+    def test_ablation_removes_config_adjustments(self):
+        ablated = generate_corpus(seed=2016, structural_effects=False)
+        single = ablated.single_node()
+        avg = {
+            chips: float(np.mean(single.by_chips(chips).eps()))
+            for chips in single.chip_counts()
+        }
+        assert avg[1] > avg[2]
+
+    def test_ablation_keeps_population_structure(self):
+        ablated = generate_corpus(seed=2016, structural_effects=False)
+        assert len(ablated) == 477
+        assert ablated.count_by_hw_year() == targets.YEAR_COUNTS
+
+    def test_ablation_keeps_year_calibration(self):
+        ablated = generate_corpus(seed=2016, structural_effects=False)
+        observed = float(np.mean(ablated.by_hw_year(2012).eps()))
+        assert observed == pytest.approx(0.82, abs=0.05)

@@ -1,0 +1,121 @@
+"""Tests for the corpus lint."""
+
+import pytest
+
+from repro.dataset.corpus import Corpus
+from repro.dataset.schema import LoadLevel, SpecPowerResult
+from repro.dataset.validation import (
+    errors_only,
+    validate_corpus,
+    validate_result,
+)
+from repro.power.microarch import Codename
+
+
+def _result(**overrides):
+    loads = [round(0.1 * i, 1) for i in range(1, 11)]
+    levels = overrides.pop(
+        "levels",
+        [
+            LoadLevel(
+                target_load=u,
+                ssj_ops=1000.0 * u,
+                average_power_w=100.0 * (0.3 + 0.7 * u),
+            )
+            for u in loads
+        ],
+    )
+    defaults = dict(
+        result_id="r1",
+        vendor="Acme",
+        model="AS-1",
+        form_factor="2U",
+        hw_year=2014,
+        published_year=2014,
+        codename=Codename.HASWELL,
+        nodes=1,
+        chips_per_node=2,
+        cores_per_chip=8,
+        memory_gb=32.0,
+        levels=levels,
+        active_idle_power_w=30.0,
+    )
+    defaults.update(overrides)
+    return SpecPowerResult(**defaults)
+
+
+class TestCleanData:
+    def test_clean_record_has_no_findings(self):
+        assert validate_result(_result()) == []
+
+    def test_synthetic_corpus_has_no_errors(self, corpus):
+        findings = validate_corpus(corpus)
+        assert errors_only(findings) == []
+
+    def test_synthetic_corpus_warnings_are_scarce(self, corpus):
+        findings = validate_corpus(corpus)
+        assert len(findings) < 0.05 * len(corpus)
+
+
+class TestErrorDetection:
+    def test_non_monotone_power_flagged(self):
+        result = _result()
+        levels = list(result.levels)
+        broken = LoadLevel(
+            target_load=levels[5].target_load,
+            ssj_ops=levels[5].ssj_ops,
+            average_power_w=levels[0].average_power_w * 0.5,
+        )
+        levels[5] = broken
+        result = _result(levels=levels)
+        messages = [f.message for f in validate_result(result)]
+        assert any("power decreases" in m for m in messages)
+
+    def test_throughput_not_tracking_load_flagged(self):
+        result = _result()
+        levels = list(result.levels)
+        levels[2] = LoadLevel(
+            target_load=levels[2].target_load,
+            ssj_ops=levels[2].ssj_ops * 3.0,
+            average_power_w=levels[2].average_power_w,
+        )
+        result = _result(levels=levels)
+        findings = validate_result(result)
+        assert any("throughput" in f.message for f in errors_only(findings))
+
+    def test_non_standard_loads_flagged(self):
+        levels = [
+            LoadLevel(target_load=u, ssj_ops=100.0 * u, average_power_w=50.0 + u)
+            for u in (0.25, 0.5, 0.75, 1.0)
+        ]
+        findings = validate_result(_result(levels=levels))
+        assert any("non-standard target loads" in f.message for f in findings)
+
+
+class TestWarnings:
+    def test_extreme_idle_warned(self):
+        levels = [
+            LoadLevel(
+                target_load=u, ssj_ops=1000.0 * u, average_power_w=98.0 + 2.0 * u
+            )
+            for u in [round(0.1 * i, 1) for i in range(1, 11)]
+        ]
+        result = _result(levels=levels, active_idle_power_w=98.0)
+        findings = validate_result(result)
+        assert any("idle power" in f.message for f in findings)
+        assert errors_only(findings) == []
+
+    def test_implausible_lag_warned(self):
+        result = _result(published_year=2024)
+        findings = validate_result(result)
+        assert any("publication lag" in f.message for f in findings)
+
+    def test_huge_memory_per_core_warned(self):
+        result = _result(memory_gb=2048.0)
+        findings = validate_result(result)
+        assert any("GB/core" in f.message for f in findings)
+
+    def test_findings_render(self):
+        result = _result(published_year=2024)
+        text = str(validate_result(result)[0])
+        assert "[warning]" in text and "r1" in text

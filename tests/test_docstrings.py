@@ -1,0 +1,51 @@
+"""Documentation enforcement: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    modules = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name:
+            continue
+        modules.append(info.name)
+    return sorted(modules)
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not (item.__doc__ and item.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    missing.append(f"{name}.{method_name}")
+    assert not missing, f"{module_name}: missing docstrings on {missing}"

@@ -1,0 +1,104 @@
+"""Tests for the report->result bridge and the metric-family comparison."""
+
+import pytest
+
+from repro.analysis.metric_comparison import (
+    METRIC_FAMILY,
+    equal_ep_different_ld,
+    metric_table,
+    rank_correlation_matrix,
+)
+from repro.dataset.corpus import Corpus
+from repro.dataset.from_report import result_from_report, result_from_testbed_run
+from repro.hwexp.testbed import TESTBED
+from repro.power.governors import OndemandGovernor
+from repro.power.microarch import Codename
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.runner import SsjRunner
+
+
+@pytest.fixture(scope="module")
+def testbed_report():
+    server = TESTBED[2]
+    runner = SsjRunner(
+        server=server.power_model(),
+        profile=server.profile,
+        governor=OndemandGovernor(),
+        plan=MeasurementPlan(interval_s=3.0, ramp_s=0.5),
+    )
+    return server, runner.run()
+
+
+class TestReportBridge:
+    def test_testbed_run_becomes_a_result(self, testbed_report):
+        server, report = testbed_report
+        result = result_from_testbed_run(server, report)
+        assert result.hw_year == server.hw_year
+        assert result.total_cores == server.total_cores
+        assert result.overall_score == pytest.approx(report.overall_score())
+        assert result.ep == pytest.approx(report.energy_proportionality())
+
+    def test_bridged_result_joins_the_corpus(self, corpus, testbed_report):
+        server, report = testbed_report
+        result = result_from_testbed_run(server, report)
+        merged = Corpus(list(corpus) + [result])
+        assert len(merged) == 478
+        assert merged.get("testbed-2") is result
+        # The analyses run over the merged population unchanged.
+        from repro.analysis.temporal import yearly_trend
+
+        trend = yearly_trend(merged, "ep", "hw")
+        assert trend.by_year[server.hw_year].count == len(
+            corpus.by_hw_year(server.hw_year)
+        ) + 1
+
+    def test_custom_identity(self, testbed_report):
+        _server, report = testbed_report
+        result = result_from_report(
+            report,
+            result_id="lab-1",
+            vendor="Lab",
+            model="Proto",
+            hw_year=2016,
+            codename=Codename.SKYLAKE,
+            memory_gb=128.0,
+            cores_per_chip=14,
+        )
+        assert result.result_id == "lab-1"
+        assert result.memory_per_core_gb == pytest.approx(128.0 / 28.0)
+
+
+class TestMetricComparison:
+    def test_table_covers_everything(self, corpus):
+        table = metric_table(corpus)
+        assert len(table.ids) == 477
+        for metric in METRIC_FAMILY:
+            assert len(table.column(metric)) == 477
+
+    def test_ep_and_er_rank_identically(self, corpus):
+        matrix = rank_correlation_matrix(corpus)
+        assert matrix[("ep", "er")] == pytest.approx(1.0, abs=1e-9)
+
+    def test_ipr_anticorrelates_with_ep(self, corpus):
+        matrix = rank_correlation_matrix(corpus)
+        assert matrix[("ep", "ipr")] < -0.85
+
+    def test_low_gap_anticorrelates_with_ep(self, corpus):
+        matrix = rank_correlation_matrix(corpus)
+        assert matrix[("ep", "pg_low")] < -0.7
+
+    def test_matrix_is_symmetric_with_unit_diagonal(self, corpus):
+        matrix = rank_correlation_matrix(corpus)
+        for a in METRIC_FAMILY:
+            assert matrix[(a, a)] == 1.0
+            for b in METRIC_FAMILY:
+                assert matrix[(a, b)] == matrix[(b, a)]
+
+    def test_equal_ep_pairs_with_different_shapes_exist(self, corpus):
+        """Section III.C: the scalar EP conceals curve shape."""
+        pairs = equal_ep_different_ld(corpus)
+        assert len(pairs) >= 1
+        first = pairs[0]
+        a, b = corpus.get(first[0]), corpus.get(first[1])
+        assert abs(a.ep - b.ep) <= 0.01
+        assert abs(a.linear_deviation - b.linear_deviation) >= 0.03

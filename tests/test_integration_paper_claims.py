@@ -1,0 +1,139 @@
+"""End-to-end integration: the paper's narrative claims, via the Study.
+
+Each test reads like a sentence from the paper and checks it against
+the full pipeline (corpus -> analysis -> figure), rather than against
+any single module.
+"""
+
+import pytest
+
+
+class TestAbstractClaims:
+    def test_claim_1_stagnation_is_specious(self, study):
+        """'The specious stagnation ... is mainly caused by the adoption
+        of processors of specific microarchitecture.'"""
+        stagnation = study.figure("fig7").series["stagnation"]
+        dip = stagnation["observed_2013_2014"]
+        counterfactual = stagnation["counterfactual_2012_mix"]
+        recovery = stagnation["observed_2015_2016"]
+        assert dip < counterfactual  # the mix explains the dip
+        assert recovery > dip        # and EP recovers afterwards
+
+    def test_claim_2_microarchitecture_drives_ee_more_than_ep(self, study):
+        """'Microarchitecture evolution has more influence on energy
+        efficiency improvement than energy proportionality.'"""
+        corpus = study.corpus
+        import numpy as np
+
+        old = corpus.by_hw_year_range(2012, 2012)
+        new = corpus.by_hw_year_range(2015, 2016)
+        ee_gain = np.mean(new.scores()) / np.mean(old.scores())
+        ep_gain = np.mean(new.eps()) / np.mean(old.eps())
+        assert ee_gain > 2.0   # EE more than doubles after 2012
+        assert ep_gain < 1.1   # EP barely moves
+
+    def test_claim_3_peak_ee_shifts_and_helps_ep(self, study):
+        """'Peak energy efficiencies are shifting from 100% to 80% or
+        70% utilization and EP improves with such shifting.'"""
+        corpus = study.corpus
+        import numpy as np
+
+        interior = corpus.filter(lambda r: r.primary_peak_spot <= 0.8)
+        full = corpus.filter(lambda r: r.primary_peak_spot >= 1.0)
+        assert np.mean(interior.eps()) > np.mean(full.eps())
+
+
+class TestSectionIII:
+    def test_ep_improves_by_a_factor_of_about_2p8(self, study):
+        series = study.figure("fig3").series
+        years = series["years"]
+        avg = dict(zip(years, series["avg"]))
+        assert avg[2012] / avg[2005] == pytest.approx(0.82 / 0.30, rel=0.2)
+
+    def test_min_ep_2016_equals_good_2009(self, study):
+        """'Newest servers made in 2016 have minimal EP of 0.73, which is
+        the greatest EP value in 2009.'"""
+        series = study.figure("fig3").series
+        years = series["years"]
+        min_by_year = dict(zip(years, series["min"]))
+        max_by_year = dict(zip(years, series["max"]))
+        assert min_by_year[2016] == pytest.approx(max_by_year[2009], abs=0.06)
+
+    def test_economies_of_scale_narrative(self, study):
+        fig13 = study.figure("fig13").series
+        fig14 = study.figure("fig14").series
+        # Multi-node: median EP monotone in node count.
+        medians = [fig13[n]["median_ep"] for n in sorted(fig13)]
+        assert medians == sorted(medians)
+        # Single-node: benefits stop at 2 chips.
+        assert fig14[2]["avg_ep"] > fig14[4]["avg_ep"] > fig14[8]["avg_ep"]
+
+    def test_idle_power_is_the_driving_force(self, study):
+        eq2 = study.figure("eq2").series
+        assert eq2["corr_ep_idle"] < -0.85
+        assert eq2["r_squared"] > 0.85
+
+
+class TestSectionIV:
+    def test_fig16_interval_shift(self, study):
+        eras = study.figure("fig16").series["eras"]
+        early = eras["2004-2012"]
+        late = eras["2013-2016"]
+        assert early[1.0] > 0.7
+        assert late[1.0] < 0.3
+        assert late[0.8] > late[1.0]
+
+    def test_asynchrony_both_folds(self, study):
+        series = study.figure("asynchrony").series
+        report = series["report"]
+        # Fold 1: 2012 dominates EP, recent years dominate EE.
+        assert report.top_ep_share_2012 > 3 * report.top_ee_share_2012
+        assert report.all_recent_in_top_ee
+        # Fold 2: small EP/EE overlap.
+        assert report.overlap_fraction < 0.4
+
+
+class TestSectionV:
+    def test_memory_configuration_matters(self, study):
+        for figure_id, best in (("fig18", 1.75), ("fig19", 4.0), ("fig20", 2.67)):
+            series = study.figure(figure_id).series
+            assert series["best_memory_per_core"] == pytest.approx(best)
+
+    def test_dvfs_lowers_power_and_efficiency_together(self, study):
+        series = study.figure("fig21").series
+        for label, points in series["ee"].items():
+            values = [v for _, v in points]
+            assert values == sorted(values), label  # EE rises with f
+        for label, points in series["peak_power"].items():
+            values = [v for _, v in points]
+            assert values == sorted(values), label  # power rises with f
+
+    def test_placement_guidance_pays_off(self, study):
+        series = study.figure("placement").series
+        assert series["aware_power_w"] < series["pack_power_w"]
+
+
+class TestSectionVI:
+    def test_wong_rebuttal_shares(self, study):
+        series = study.figure("wong").series
+        assert series["share_100"] == pytest.approx(0.6925, abs=0.02)
+        assert series["share_60"] == pytest.approx(0.0188, abs=0.006)
+
+
+class TestReproducibilityHygiene:
+    def test_figures_are_deterministic(self, study):
+        a = study.figure("fig3").series["avg"]
+        b = study.figure("fig3").series["avg"]
+        assert a == b
+
+    def test_corpus_roundtrip_preserves_figures(self, study, tmp_path):
+        from repro.core.study import Study
+        from repro.dataset.io import load_corpus, save_corpus
+
+        path = tmp_path / "corpus.csv"
+        save_corpus(study.corpus, path)
+        clone = Study(corpus=load_corpus(path))
+        original = study.figure("fig5").series["landmarks"]
+        restored = clone.figure("fig5").series["landmarks"]
+        for key in original:
+            assert restored[key] == pytest.approx(original[key])

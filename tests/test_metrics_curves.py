@@ -1,0 +1,127 @@
+"""Unit tests for curve-shape analysis (intersections, crossings, zones)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.curves import (
+    above_ideal_zone,
+    ee_relative_curve,
+    envelope,
+    first_crossing,
+    ideal_intersections,
+    normalize_power,
+)
+from repro.metrics.ep import UTILIZATION_LEVELS
+
+LEVELS = list(UTILIZATION_LEVELS)
+
+
+def _convex(idle=0.1, p=4.0):
+    """A curve that defers power: dips below the ideal line."""
+    return [idle + (1 - idle) * (0.2 * u + 0.8 * u**p) for u in LEVELS]
+
+
+def _concave(idle=0.4):
+    """A curve that spends power early: stays above the ideal line."""
+    return [idle + (1 - idle) * u**0.5 for u in LEVELS]
+
+
+class TestNormalize:
+    def test_peak_is_one(self):
+        assert normalize_power(LEVELS, _concave())[-1] == pytest.approx(1.0)
+
+
+class TestIdealIntersections:
+    def test_concave_curve_never_crosses(self):
+        assert ideal_intersections(LEVELS, _concave()) == []
+
+    def test_convex_curve_crosses_once(self):
+        crossings = ideal_intersections(LEVELS, _convex())
+        assert len(crossings) == 1
+        assert 0.0 < crossings[0] < 1.0
+
+    def test_contact_at_full_load_excluded(self):
+        # Linear curve touches the ideal line only at u=1.
+        powers = [0.3 + 0.7 * u for u in LEVELS]
+        assert ideal_intersections(LEVELS, powers) == []
+
+    def test_double_crossing_detected(self):
+        # The Fig. 10 "1U server" shape: above, below, above again.
+        powers = [0.185, 0.28, 0.355, 0.425, 0.49, 0.5575, 0.585, 0.675,
+                  0.825, 0.915, 1.0]
+        crossings = ideal_intersections(LEVELS, powers)
+        assert len(crossings) == 2
+        assert 0.5 < crossings[0] < 0.6
+        assert 0.7 < crossings[1] < 0.8
+
+    def test_higher_ep_crosses_farther_from_full_load(self):
+        gentle = ideal_intersections(LEVELS, _convex(idle=0.25, p=3.0))
+        strong = ideal_intersections(LEVELS, _convex(idle=0.10, p=6.0))
+        assert strong[0] < gentle[0]
+
+
+class TestRelativeEfficiency:
+    def test_full_load_reference_is_one(self):
+        rel = ee_relative_curve(LEVELS, _concave())
+        assert rel[-1] == pytest.approx(1.0)
+
+    def test_idle_efficiency_is_zero(self):
+        rel = ee_relative_curve(LEVELS, _concave())
+        assert rel[0] == pytest.approx(0.0)
+
+    def test_convex_curve_exceeds_one_mid_range(self):
+        rel = ee_relative_curve(LEVELS, _convex())
+        assert rel.max() > 1.0
+
+    def test_concave_curve_never_exceeds_one(self):
+        rel = ee_relative_curve(LEVELS, _concave())
+        assert rel.max() <= 1.0 + 1e-12
+
+
+class TestFirstCrossing:
+    def test_crossing_order_is_consistent(self):
+        powers = _convex()
+        c08 = first_crossing(LEVELS, powers, 0.8)
+        c10 = first_crossing(LEVELS, powers, 1.0)
+        assert c08 < c10
+
+    def test_unreachable_threshold_returns_nan(self):
+        assert np.isnan(first_crossing(LEVELS, _concave(), 1.5))
+
+    def test_crossing_interpolates_between_levels(self):
+        powers = _convex()
+        crossing = first_crossing(LEVELS, powers, 0.9)
+        rel = ee_relative_curve(LEVELS, powers)
+        below = max(u for u, r in zip(LEVELS, rel) if r < 0.9 and u < crossing)
+        assert below < crossing
+
+
+class TestAboveIdealZone:
+    def test_concave_curve_has_no_zone(self):
+        assert above_ideal_zone(LEVELS, _concave()) == pytest.approx(0.0)
+
+    def test_convex_zone_is_positive_and_bounded(self):
+        width = above_ideal_zone(LEVELS, _convex())
+        assert 0.0 < width < 1.0
+
+    def test_stronger_bow_widens_the_zone(self):
+        narrow = above_ideal_zone(LEVELS, _convex(idle=0.25, p=3.0))
+        wide = above_ideal_zone(LEVELS, _convex(idle=0.10, p=6.0))
+        assert wide > narrow
+
+
+class TestEnvelope:
+    def test_envelope_bounds_every_member(self):
+        family = np.array([_concave(idle) for idle in (0.2, 0.4, 0.6)])
+        lower, upper = envelope(family)
+        assert np.all(family >= lower - 1e-12)
+        assert np.all(family <= upper + 1e-12)
+
+    def test_single_curve_is_its_own_envelope(self):
+        curve = np.array([_concave()])
+        lower, upper = envelope(curve)
+        assert np.allclose(lower, upper)
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(ValueError):
+            envelope(np.empty((0, 11)))

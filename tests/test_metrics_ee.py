@@ -1,0 +1,131 @@
+"""Unit tests for the energy-efficiency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ee import (
+    efficiency_series,
+    high_efficiency_zone,
+    overall_score,
+    peak_efficiency,
+    peak_efficiency_offset,
+    peak_efficiency_spots,
+    peak_over_full_ratio,
+)
+
+LOADS = [round(0.1 * i, 1) for i in range(1, 11)]
+
+
+def _linear_server(idle=0.3, max_ops=1000.0, peak_w=200.0):
+    """Ops proportional to load, power linear from idle to peak."""
+    ops = [max_ops * u for u in LOADS]
+    power = [peak_w * (idle + (1 - idle) * u) for u in LOADS]
+    return ops, power, peak_w * idle
+
+
+class TestEfficiencySeries:
+    def test_ratio_per_level(self):
+        series = efficiency_series([100.0, 300.0], [50.0, 100.0])
+        assert np.allclose(series, [2.0, 3.0])
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError, match="positive"):
+            efficiency_series([1.0], [0.0])
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(ValueError, match="negative"):
+            efficiency_series([-1.0], [10.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            efficiency_series([], [])
+
+
+class TestOverallScore:
+    def test_matches_manual_sum(self):
+        ops, power, idle = _linear_server()
+        expected = sum(ops) / (sum(power) + idle)
+        assert overall_score(ops, power, idle) == pytest.approx(expected)
+
+    def test_idle_power_lowers_the_score(self):
+        ops, power, idle = _linear_server()
+        with_idle = overall_score(ops, power, idle)
+        with_more_idle = overall_score(ops, power, idle * 2)
+        assert with_more_idle < with_idle
+
+    def test_rejects_nonpositive_idle(self):
+        ops, power, _ = _linear_server()
+        with pytest.raises(ValueError, match="positive"):
+            overall_score(ops, power, 0.0)
+
+
+class TestPeakEfficiency:
+    def test_linear_server_peaks_at_full_load(self):
+        ops, power, _ = _linear_server()
+        spots = peak_efficiency_spots(LOADS, ops, power)
+        assert spots == [1.0]
+
+    def test_modern_shape_peaks_interior(self):
+        ops = [1000.0 * u for u in LOADS]
+        # Efficiency by construction peaks at 0.7.
+        power = [1000.0 * u / (1.2 - abs(u - 0.7)) for u in LOADS]
+        spots = peak_efficiency_spots(LOADS, ops, power)
+        assert spots == [pytest.approx(0.7)]
+
+    def test_tied_levels_both_reported(self):
+        ops = [100.0, 200.0, 300.0]
+        power = [100.0, 100.0, 300.0]
+        spots = peak_efficiency_spots([0.3, 0.8, 0.9], ops, power, rtol=1e-9)
+        # EE: 1.0, 2.0, 1.0 -> single; craft an exact tie instead:
+        ops = [100.0, 160.0, 180.0]
+        power = [100.0, 80.0, 90.0]
+        spots = peak_efficiency_spots([0.5, 0.8, 0.9], ops, power, rtol=1e-9)
+        assert spots == [0.8, 0.9]
+
+    def test_peak_value_matches_series_max(self):
+        ops, power, _ = _linear_server()
+        series = efficiency_series(ops, power)
+        assert peak_efficiency(ops, power) == pytest.approx(series.max())
+
+    def test_offset_zero_at_full_load_peak(self):
+        ops, power, _ = _linear_server()
+        assert peak_efficiency_offset(LOADS, ops, power) == pytest.approx(0.0)
+
+    def test_offset_for_interior_peak(self):
+        ops = [1000.0 * u for u in LOADS]
+        power = [1000.0 * u / (1.2 - abs(u - 0.7)) for u in LOADS]
+        assert peak_efficiency_offset(LOADS, ops, power) == pytest.approx(0.3)
+
+
+class TestPeakOverFull:
+    def test_linear_server_ratio_is_one(self):
+        ops, power, _ = _linear_server()
+        assert peak_over_full_ratio(LOADS, ops, power) == pytest.approx(1.0)
+
+    def test_interior_peak_ratio_exceeds_one(self):
+        ops = [1000.0 * u for u in LOADS]
+        power = [1000.0 * u / (1.2 - abs(u - 0.7)) for u in LOADS]
+        assert peak_over_full_ratio(LOADS, ops, power) > 1.0
+
+    def test_requires_full_load_level(self):
+        with pytest.raises(ValueError, match="100%"):
+            peak_over_full_ratio([0.5, 0.9], [1.0, 2.0], [1.0, 1.0])
+
+
+class TestHighEfficiencyZone:
+    def test_linear_server_zone_is_only_full_load(self):
+        ops, power, _ = _linear_server()
+        low, high = high_efficiency_zone(LOADS, ops, power, threshold=1.0)
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(1.0)
+
+    def test_zone_widens_at_lower_threshold(self):
+        ops, power, _ = _linear_server()
+        low_08, high_08 = high_efficiency_zone(LOADS, ops, power, threshold=0.8)
+        assert low_08 < 1.0
+        assert high_08 == pytest.approx(1.0)
+
+    def test_unreachable_threshold_raises(self):
+        ops, power, _ = _linear_server()
+        with pytest.raises(ValueError, match="threshold"):
+            high_efficiency_zone(LOADS, ops, power, threshold=5.0)

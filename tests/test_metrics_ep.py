@@ -1,0 +1,159 @@
+"""Unit tests for the EP metric (Eq. 1) and its companions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ep import (
+    TARGET_LOADS_DESCENDING,
+    UTILIZATION_LEVELS,
+    dynamic_range,
+    energy_proportionality,
+    ep_from_area,
+    ideal_power,
+    idle_power_fraction,
+    normalize_to_peak_power,
+    proportionality_area,
+)
+
+LEVELS = list(UTILIZATION_LEVELS)
+
+
+class TestGridConstants:
+    def test_eleven_levels_from_idle_to_full(self):
+        assert LEVELS[0] == 0.0
+        assert LEVELS[-1] == 1.0
+        assert len(LEVELS) == 11
+
+    def test_levels_are_ten_percent_spaced(self):
+        steps = np.diff(LEVELS)
+        assert np.allclose(steps, 0.1)
+
+    def test_target_loads_descend_from_full(self):
+        assert TARGET_LOADS_DESCENDING[0] == 1.0
+        assert TARGET_LOADS_DESCENDING[-1] == pytest.approx(0.1)
+        assert len(TARGET_LOADS_DESCENDING) == 10
+
+
+class TestEnergyProportionality:
+    def test_ideal_curve_scores_exactly_one(self):
+        assert energy_proportionality(LEVELS, LEVELS) == pytest.approx(1.0)
+
+    def test_constant_power_scores_zero(self):
+        assert energy_proportionality(LEVELS, [240.0] * 11) == pytest.approx(0.0)
+
+    def test_linear_curve_scores_one_minus_idle(self):
+        idle = 0.4
+        powers = [idle + (1 - idle) * u for u in LEVELS]
+        assert energy_proportionality(LEVELS, powers) == pytest.approx(1 - idle)
+
+    def test_unit_invariance(self):
+        powers = [50 + 200 * u**2 for u in LEVELS]
+        watts = energy_proportionality(LEVELS, powers)
+        kilowatts = energy_proportionality(LEVELS, [p / 1000 for p in powers])
+        assert watts == pytest.approx(kilowatts)
+
+    def test_order_invariance(self):
+        powers = [50 + 200 * u for u in LEVELS]
+        shuffled = list(zip(LEVELS, powers))[::-1]
+        assert energy_proportionality(
+            [u for u, _ in shuffled], [p for _, p in shuffled]
+        ) == pytest.approx(energy_proportionality(LEVELS, powers))
+
+    def test_superlinear_power_scores_below_linear(self):
+        idle = 0.3
+        linear = [idle + 0.7 * u for u in LEVELS]
+        early = [idle + 0.7 * u**0.5 for u in LEVELS]
+        assert energy_proportionality(LEVELS, early) < energy_proportionality(
+            LEVELS, linear
+        )
+
+    def test_deferred_power_scores_above_linear(self):
+        idle = 0.3
+        linear = [idle + 0.7 * u for u in LEVELS]
+        late = [idle + 0.7 * u**3 for u in LEVELS]
+        assert energy_proportionality(LEVELS, late) > energy_proportionality(
+            LEVELS, linear
+        )
+
+    def test_bounded_below_two(self):
+        # Nearly free below peak: the theoretical EP supremum is 2.
+        powers = [1e-6] * 10 + [100.0]
+        value = energy_proportionality(LEVELS, powers)
+        assert 1.8 < value < 2.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            energy_proportionality(LEVELS, [1.0] * 10)
+
+    def test_negative_power_rejected(self):
+        powers = [1.0] * 11
+        powers[3] = -0.1
+        with pytest.raises(ValueError, match="non-negative"):
+            energy_proportionality(LEVELS, powers)
+
+    def test_duplicate_utilization_rejected(self):
+        levels = LEVELS[:]
+        levels[4] = levels[5]
+        with pytest.raises(ValueError, match="distinct"):
+            energy_proportionality(levels, [1.0] * 11)
+
+    def test_out_of_range_utilization_rejected(self):
+        levels = LEVELS[:]
+        levels[-1] = 1.2
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            energy_proportionality(levels, [1.0] * 11)
+
+
+class TestArea:
+    def test_ideal_area_is_half(self):
+        assert proportionality_area(LEVELS, LEVELS) == pytest.approx(0.5)
+
+    def test_missing_idle_point_extends_flat(self):
+        # Without an idle measurement the curve holds its lowest value.
+        loads = LEVELS[1:]
+        powers = [0.5 + 0.5 * u for u in loads]
+        area = proportionality_area(loads, powers)
+        full = proportionality_area(
+            LEVELS, [powers[0]] + powers
+        )
+        assert area == pytest.approx(full)
+
+    def test_ep_from_area_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ep_from_area(-0.1)
+
+    def test_ep_from_area_inverts_correctly(self):
+        assert ep_from_area(0.5) == pytest.approx(1.0)
+        assert ep_from_area(1.0) == pytest.approx(0.0)
+
+
+class TestIdleAndDynamicRange:
+    def test_idle_fraction_of_linear_curve(self):
+        powers = [0.25 + 0.75 * u for u in LEVELS]
+        assert idle_power_fraction(LEVELS, powers) == pytest.approx(0.25)
+
+    def test_dynamic_range_complements_idle_fraction(self):
+        powers = [0.25 + 0.75 * u for u in LEVELS]
+        assert dynamic_range(LEVELS, powers) == pytest.approx(0.75)
+
+    def test_idle_fraction_requires_idle_point(self):
+        with pytest.raises(ValueError, match="active-idle"):
+            idle_power_fraction(LEVELS[1:], [1.0] * 10)
+
+
+class TestNormalization:
+    def test_normalized_peak_is_one(self):
+        powers = [60 + 190 * u for u in LEVELS]
+        normalized = normalize_to_peak_power(LEVELS, powers)
+        assert normalized[-1] == pytest.approx(1.0)
+
+    def test_rejects_zero_peak_power(self):
+        with pytest.raises(ValueError, match="positive"):
+            normalize_to_peak_power(LEVELS, [0.0] * 11)
+
+    def test_ideal_power_is_identity(self):
+        assert np.allclose(ideal_power(LEVELS), LEVELS)
+
+    def test_ideal_power_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ideal_power([0.5, 1.5])

@@ -1,0 +1,80 @@
+"""Tests for the proportionality-gap metric and its corpus analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gap import gap_trend, low_band_lag, mean_gap_profile
+from repro.metrics.ep import UTILIZATION_LEVELS
+from repro.metrics.gap import (
+    gap_at,
+    low_utilization_gap,
+    peak_gap,
+    proportionality_gap,
+)
+
+LEVELS = list(UTILIZATION_LEVELS)
+
+
+class TestGapMetric:
+    def test_ideal_server_has_zero_gap(self):
+        gaps = proportionality_gap(LEVELS, [max(u, 1e-9) for u in LEVELS])
+        assert np.allclose(gaps, 0.0, atol=1e-8)
+
+    def test_constant_power_gap_is_one_minus_u(self):
+        gaps = proportionality_gap(LEVELS, [100.0] * 11)
+        assert np.allclose(gaps, [1.0 - u for u in LEVELS])
+
+    def test_linear_server_gap_shrinks_with_load(self):
+        powers = [0.4 + 0.6 * u for u in LEVELS]
+        gaps = proportionality_gap(LEVELS, powers)
+        assert np.all(np.diff(gaps) <= 1e-12)
+        assert gaps[0] == pytest.approx(0.4)
+        assert gaps[-1] == pytest.approx(0.0)
+
+    def test_gap_at_interpolates(self):
+        powers = [0.4 + 0.6 * u for u in LEVELS]
+        assert gap_at(LEVELS, powers, 0.25) == pytest.approx(0.4 * 0.75)
+
+    def test_peak_gap_location(self):
+        powers = [0.4 + 0.6 * u for u in LEVELS]
+        location, value = peak_gap(LEVELS, powers)
+        assert location == pytest.approx(0.0)
+        assert value == pytest.approx(0.4)
+
+    def test_low_band_average(self):
+        powers = [0.5 + 0.5 * u for u in LEVELS]
+        expected = np.mean([0.5 * (1 - u) for u in (0.1, 0.2, 0.3)])
+        assert low_utilization_gap(LEVELS, powers) == pytest.approx(expected)
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            low_utilization_gap(LEVELS, [1.0] * 11, band=(0.5, 0.2))
+
+
+class TestGapAnalysis:
+    def test_gap_trend_improves_over_the_decade(self, corpus):
+        trend = gap_trend(corpus)
+        by_year = dict(zip(trend.years, trend.low_band_gap))
+        assert by_year[2016] < by_year[2008] * 0.5
+
+    def test_profile_largest_at_low_utilization(self, corpus):
+        profile = mean_gap_profile(corpus)
+        low = np.mean([profile[0.1], profile[0.2]])
+        high = np.mean([profile[0.8], profile[0.9]])
+        assert low > 2 * high
+
+    def test_wong_claim_low_band_lags_even_on_modern_servers(self, corpus):
+        """Related work: good scalar EP, yet a big low-utilization gap."""
+        lag = low_band_lag(corpus)
+        assert lag["modern_avg_ep"] > 0.7
+        assert lag["low_minus_mid"] > 0.1
+        assert lag["low_band_gap"] > 0.15
+
+    def test_trend_arrays_aligned(self, corpus):
+        trend = gap_trend(corpus)
+        assert (
+            len(trend.years)
+            == len(trend.mean_gap)
+            == len(trend.low_band_gap)
+            == len(trend.peak_gap_location)
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for the companion proportionality metrics (IPR, LD, ER)."""
+
+import pytest
+
+from repro.metrics.ep import UTILIZATION_LEVELS, energy_proportionality
+from repro.metrics.linearity import (
+    energy_ratio,
+    idle_to_peak_ratio,
+    linear_deviation,
+)
+
+LEVELS = list(UTILIZATION_LEVELS)
+
+
+class TestIdleToPeakRatio:
+    def test_linear_curve(self):
+        powers = [0.35 + 0.65 * u for u in LEVELS]
+        assert idle_to_peak_ratio(LEVELS, powers) == pytest.approx(0.35)
+
+    def test_ideal_server_has_zero_ipr(self):
+        powers = [max(u, 1e-9) for u in LEVELS]
+        assert idle_to_peak_ratio(LEVELS, powers) == pytest.approx(0.0, abs=1e-8)
+
+    def test_requires_idle_point(self):
+        with pytest.raises(ValueError, match="active-idle"):
+            idle_to_peak_ratio(LEVELS[1:], [1.0] * 10)
+
+
+class TestLinearDeviation:
+    def test_linear_curve_has_zero_ld(self):
+        powers = [0.35 + 0.65 * u for u in LEVELS]
+        assert linear_deviation(LEVELS, powers) == pytest.approx(0.0, abs=1e-12)
+
+    def test_early_spender_has_positive_ld(self):
+        powers = [0.3 + 0.7 * u**0.5 for u in LEVELS]
+        assert linear_deviation(LEVELS, powers) > 0.0
+
+    def test_deferrer_has_negative_ld(self):
+        powers = [0.3 + 0.7 * u**3 for u in LEVELS]
+        assert linear_deviation(LEVELS, powers) < 0.0
+
+    def test_equal_ep_different_ld(self):
+        # The Section III.C observation: same EP, different shape.
+        concave = [0.42 + 0.58 * u**0.8 for u in LEVELS]
+        ep = energy_proportionality(LEVELS, concave)
+        # Build a linear curve with the same EP (EP = 1 - idle).
+        idle = 1.0 - ep
+        linear = [idle + (1 - idle) * u for u in LEVELS]
+        assert energy_proportionality(LEVELS, linear) == pytest.approx(ep, abs=1e-9)
+        assert linear_deviation(LEVELS, concave) != pytest.approx(
+            linear_deviation(LEVELS, linear), abs=1e-6
+        )
+
+
+class TestEnergyRatio:
+    def test_ideal_server_scores_one(self):
+        powers = [max(u, 1e-9) for u in LEVELS]
+        assert energy_ratio(LEVELS, powers) == pytest.approx(1.0, rel=1e-6)
+
+    def test_constant_power_scores_half(self):
+        assert energy_ratio(LEVELS, [5.0] * 11) == pytest.approx(0.5)
+
+    def test_monotone_transform_of_ep(self):
+        # ER and EP must rank any pair of servers identically.
+        a = [0.5 + 0.5 * u for u in LEVELS]
+        b = [0.2 + 0.8 * u for u in LEVELS]
+        assert energy_proportionality(LEVELS, b) > energy_proportionality(LEVELS, a)
+        assert energy_ratio(LEVELS, b) > energy_ratio(LEVELS, a)

@@ -1,0 +1,92 @@
+"""Unit tests for the regression fits behind Eq. 2."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.regression import exponential_fit, linear_fit, r_squared
+
+
+class TestLinearFit:
+    def test_recovers_exact_line(self):
+        x = np.linspace(0, 10, 20)
+        fit = linear_fit(x, 3.0 * x - 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_recovered_approximately(self):
+        rng = np.random.default_rng(3)
+        x = np.linspace(0, 10, 500)
+        y = 1.5 * x + 4.0 + rng.normal(0, 0.5, size=500)
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(1.5, abs=0.05)
+        assert fit.intercept == pytest.approx(4.0, abs=0.2)
+        assert fit.r_squared > 0.95
+
+    def test_predict_matches_coefficients(self):
+        fit = linear_fit([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+        assert fit.predict([10.0])[0] == pytest.approx(21.0)
+
+    def test_constant_regressor_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            linear_fit([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="three"):
+            linear_fit([1.0, 2.0], [1.0, 2.0])
+
+
+class TestExponentialFit:
+    def test_recovers_eq2_constants_exactly(self):
+        # The paper's Eq. 2 with the recovered exponent.
+        x = np.linspace(0.05, 0.8, 40)
+        y = 1.2969 * np.exp(-2.06 * x)
+        fit = exponential_fit(x, y)
+        assert fit.amplitude == pytest.approx(1.2969, rel=1e-6)
+        assert fit.rate == pytest.approx(-2.06, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_exponential_recovered(self):
+        rng = np.random.default_rng(5)
+        x = np.linspace(0.05, 0.9, 400)
+        y = 1.3 * np.exp(-2.0 * x) * np.exp(rng.normal(0, 0.05, size=400))
+        fit = exponential_fit(x, y)
+        assert fit.amplitude == pytest.approx(1.3, rel=0.05)
+        assert fit.rate == pytest.approx(-2.0, rel=0.05)
+        assert fit.r_squared > 0.9
+
+    def test_gauss_newton_beats_log_linear_seed_on_raw_residuals(self):
+        # Multiplicative fit (log-linear) is biased for additive noise;
+        # the refinement must not do worse in raw R^2.
+        rng = np.random.default_rng(9)
+        x = np.linspace(0.0, 1.0, 300)
+        y = 2.0 * np.exp(-1.5 * x) + rng.normal(0, 0.05, size=300)
+        y = np.clip(y, 1e-3, None)
+        fit = exponential_fit(x, y)
+        seed = linear_fit(x, np.log(y))
+        seed_prediction = np.exp(seed.intercept) * np.exp(seed.slope * x)
+        assert fit.r_squared >= r_squared(y, seed_prediction) - 1e-9
+
+    def test_positive_rate_also_works(self):
+        x = np.linspace(0, 2, 30)
+        y = 0.5 * np.exp(0.8 * x)
+        fit = exponential_fit(x, y)
+        assert fit.rate == pytest.approx(0.8, rel=1e-6)
+
+    def test_rejects_nonpositive_response(self):
+        with pytest.raises(ValueError, match="positive"):
+            exponential_fit([0.0, 1.0, 2.0], [1.0, 0.0, 2.0])
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_response_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            r_squared(np.array([2.0, 2.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,107 @@
+"""Tests for the multi-node benchmark runner and the EP decomposition."""
+
+import pytest
+
+from repro.analysis.decomposition import (
+    decompose_ep_change,
+    stagnation_decomposition,
+)
+from repro.hwexp.testbed import TESTBED
+from repro.power.governors import OndemandGovernor
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.multinode import MultiNodeRunner, aggregate_reports
+from repro.ssj.runner import SsjRunner
+
+QUICK = MeasurementPlan(interval_s=2.0, ramp_s=0.5)
+
+
+@pytest.fixture(scope="module")
+def node_setup():
+    server = TESTBED[2]
+    return server.power_model(), server.profile
+
+
+class TestMultiNodeRunner:
+    @pytest.fixture(scope="class")
+    def reports(self, node_setup):
+        power_model, profile = node_setup
+        single = SsjRunner(
+            server=power_model, profile=profile,
+            governor=OndemandGovernor(), plan=QUICK, seed=10,
+        ).run()
+        multi = MultiNodeRunner(
+            server=power_model, profile=profile, nodes=4,
+            governor=OndemandGovernor(), plan=QUICK, seed=10,
+        ).run()
+        return single, multi
+
+    def test_aggregate_sums_throughput_and_power(self, reports):
+        single, multi = reports
+        assert multi.calibrated_max_ops_per_s == pytest.approx(
+            4 * single.calibrated_max_ops_per_s, rel=0.15
+        )
+        assert multi.active_idle_power_w == pytest.approx(
+            4 * single.active_idle_power_w, rel=0.1
+        )
+
+    def test_aggregate_score_matches_node_scale(self, reports):
+        single, multi = reports
+        # Overall score is intensive: aggregating identical nodes keeps
+        # it in the same range.
+        assert multi.overall_score() == pytest.approx(
+            single.overall_score(), rel=0.15
+        )
+
+    def test_aggregate_ep_at_least_node_ep(self, reports):
+        """Independent per-node noise averages; EP holds or improves."""
+        single, multi = reports
+        assert multi.energy_proportionality() > single.energy_proportionality() - 0.05
+
+    def test_metadata_records_nodes(self, reports):
+        _single, multi = reports
+        assert multi.metadata["nodes"] == 4
+        assert len(multi.metadata["per_node_scores"]) == 4
+
+    def test_mismatched_levels_rejected(self, node_setup):
+        power_model, profile = node_setup
+        full = SsjRunner(server=power_model, profile=profile, plan=QUICK).run()
+        short_plan = MeasurementPlan(
+            target_loads=(1.0, 0.5), interval_s=2.0, ramp_s=0.5
+        )
+        short = SsjRunner(server=power_model, profile=profile, plan=short_plan).run()
+        with pytest.raises(ValueError, match="different target loads"):
+            aggregate_reports([full, short])
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_reports([])
+
+    def test_node_count_validation(self, node_setup):
+        power_model, profile = node_setup
+        with pytest.raises(ValueError):
+            MultiNodeRunner(server=power_model, profile=profile, nodes=0)
+
+
+class TestDecomposition:
+    def test_terms_sum_exactly(self, corpus):
+        for year_a, year_b in ((2008, 2009), (2011, 2012), (2012, 2013)):
+            d = decompose_ep_change(corpus, year_a, year_b)
+            assert d.mix_term + d.within_term == pytest.approx(
+                d.total_change, abs=1e-12
+            )
+
+    def test_dip_into_2013_is_mix_dominated(self, corpus):
+        """Section III.B: the stagnation is a composition artifact."""
+        d = decompose_ep_change(corpus, 2012, 2013)
+        assert d.total_change < 0.0
+        assert d.mix_share > 0.5
+        assert abs(d.mix_term) > abs(d.within_term)
+
+    def test_tocks_are_positive_changes(self, corpus):
+        summary = stagnation_decomposition(corpus)
+        assert summary["tock_2008_2009"].total_change > 0.1
+        assert summary["tock_2011_2012"].total_change > 0.1
+
+    def test_missing_year_rejected(self, corpus):
+        with pytest.raises(ValueError, match="no results"):
+            decompose_ep_change(corpus, 2002, 2012)

@@ -1,0 +1,78 @@
+"""Unit tests for disk, fan, and PSU models."""
+
+import pytest
+
+from repro.power.components import SAS_10K, SATA_SSD, DiskPowerModel, FanPowerModel
+from repro.power.psu import PsuModel
+
+
+class TestDisks:
+    def test_idle_draw_without_io(self):
+        assert SAS_10K.power_w(0.0) == pytest.approx(SAS_10K.idle_w)
+
+    def test_active_adds_on_top(self):
+        assert SAS_10K.power_w(1.0) == pytest.approx(
+            SAS_10K.idle_w + SAS_10K.active_w
+        )
+
+    def test_ssd_idles_below_spinner(self):
+        assert SATA_SSD.idle_w < SAS_10K.idle_w
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            SAS_10K.power_w(-0.1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DiskPowerModel(kind="bad", idle_w=-1.0, active_w=2.0)
+
+
+class TestFans:
+    def test_power_monotone_in_thermal_load(self):
+        fan = FanPowerModel(base_w=8.0, max_w=30.0)
+        powers = [fan.power_w(u) for u in (0.0, 0.3, 0.6, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_endpoints(self):
+        fan = FanPowerModel(base_w=8.0, max_w=30.0)
+        assert fan.power_w(0.0) == pytest.approx(8.0)
+        assert fan.power_w(1.0) == pytest.approx(30.0)
+
+    def test_cubic_shape_is_convex(self):
+        fan = FanPowerModel(base_w=0.0, max_w=30.0)
+        # Power gained in the top half exceeds the bottom half.
+        assert (fan.power_w(1.0) - fan.power_w(0.5)) > (
+            fan.power_w(0.5) - fan.power_w(0.0)
+        )
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FanPowerModel(base_w=30.0, max_w=8.0)
+
+
+class TestPsu:
+    def test_efficiency_peaks_near_half_load(self):
+        psu = PsuModel(rated_w=500.0)
+        assert psu.efficiency(250.0) > psu.efficiency(50.0)
+        assert psu.efficiency(250.0) >= psu.efficiency(500.0)
+
+    def test_wall_power_exceeds_dc_load(self):
+        psu = PsuModel(rated_w=500.0)
+        assert psu.wall_power_w(200.0) > 200.0
+
+    def test_zero_load_draws_zero(self):
+        # The conversion-loss model applies to delivered power only.
+        psu = PsuModel(rated_w=500.0)
+        assert psu.wall_power_w(0.0) == 0.0
+
+    def test_efficiency_floor_is_respected(self):
+        psu = PsuModel(rated_w=500.0, floor=0.6)
+        assert psu.efficiency(1.0) >= 0.6
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            PsuModel(rated_w=500.0).efficiency(-1.0)
+
+    def test_invalid_rating_rejected(self):
+        with pytest.raises(ValueError):
+            PsuModel(rated_w=0.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the CPU power model and DVFS operating points."""
+
+import pytest
+
+from repro.power.cpu import CpuPowerModel, OperatingPoint, default_voltage_curve
+
+
+def _cpu(**overrides):
+    defaults = dict(
+        tdp_w=100.0,
+        cores=8,
+        operating_points=default_voltage_curve([1.2, 1.6, 2.0, 2.4]),
+        static_fraction=0.3,
+        idle_state_residency=0.5,
+    )
+    defaults.update(overrides)
+    return CpuPowerModel(**defaults)
+
+
+class TestOperatingPoints:
+    def test_voltage_curve_is_monotone(self):
+        points = default_voltage_curve([1.0, 1.5, 2.0])
+        voltages = [p.voltage_v for p in points]
+        assert voltages == sorted(voltages)
+
+    def test_voltage_endpoints(self):
+        points = default_voltage_curve([1.0, 2.0], v_min=0.9, v_max=1.2)
+        assert points[0].voltage_v == pytest.approx(0.9)
+        assert points[-1].voltage_v == pytest.approx(1.2)
+
+    def test_single_frequency_gets_max_voltage(self):
+        points = default_voltage_curve([2.0], v_min=0.9, v_max=1.2)
+        assert points[0].voltage_v == pytest.approx(1.2)
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError):
+            default_voltage_curve([])
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_ghz=-1.0, voltage_v=1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_ghz=1.0, voltage_v=0.0)
+
+    def test_snap_to_nearest_pstate(self):
+        cpu = _cpu()
+        assert cpu.operating_point(1.7).frequency_ghz == pytest.approx(1.6)
+        assert cpu.operating_point(5.0).frequency_ghz == pytest.approx(2.4)
+
+
+class TestPower:
+    def test_peak_power_equals_tdp(self):
+        cpu = _cpu()
+        assert cpu.peak_power_w() == pytest.approx(100.0)
+
+    def test_power_increases_with_utilization(self):
+        cpu = _cpu()
+        powers = [cpu.power_w(u, 2.4) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_power_increases_with_frequency(self):
+        cpu = _cpu()
+        powers = [cpu.power_w(0.8, f) for f in cpu.frequencies_ghz]
+        assert powers == sorted(powers)
+
+    def test_idle_power_is_static_share_only(self):
+        cpu = _cpu(idle_state_residency=0.0)
+        # At the top P-state with no C-states: idle = static fraction.
+        assert cpu.idle_power_w(2.4) == pytest.approx(30.0)
+
+    def test_cstates_cut_idle_power(self):
+        shallow = _cpu(idle_state_residency=0.0)
+        deep = _cpu(idle_state_residency=0.8)
+        assert deep.idle_power_w(2.4) < shallow.idle_power_w(2.4)
+
+    def test_full_load_unaffected_by_cstates(self):
+        shallow = _cpu(idle_state_residency=0.0)
+        deep = _cpu(idle_state_residency=0.8)
+        assert deep.power_w(1.0, 2.4) == pytest.approx(shallow.power_w(1.0, 2.4))
+
+    def test_utilization_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _cpu().power_w(1.1, 2.4)
+
+    def test_default_operating_point_when_none_given(self):
+        cpu = CpuPowerModel(tdp_w=50.0, cores=2)
+        assert cpu.max_frequency_ghz == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_tdp(self):
+        with pytest.raises(ValueError):
+            _cpu(tdp_w=0.0)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            _cpu(cores=0)
+
+    def test_rejects_static_fraction_of_one(self):
+        with pytest.raises(ValueError):
+            _cpu(static_fraction=1.0)

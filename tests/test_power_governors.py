@@ -1,0 +1,69 @@
+"""Unit tests for the frequency governors."""
+
+import pytest
+
+from repro.power.cpu import CpuPowerModel, default_voltage_curve
+from repro.power.governors import (
+    FixedFrequencyGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+
+CPU = CpuPowerModel(
+    tdp_w=90.0,
+    cores=8,
+    operating_points=default_voltage_curve([1.2, 1.5, 1.8, 2.1, 2.4]),
+)
+
+
+class TestStaticGovernors:
+    def test_performance_always_max(self):
+        governor = PerformanceGovernor()
+        for load in (0.0, 0.5, 1.0):
+            assert governor.select_frequency(CPU, load) == pytest.approx(2.4)
+
+    def test_powersave_always_min(self):
+        governor = PowersaveGovernor()
+        for load in (0.0, 0.5, 1.0):
+            assert governor.select_frequency(CPU, load) == pytest.approx(1.2)
+
+    def test_fixed_snaps_to_available_pstate(self):
+        governor = FixedFrequencyGovernor(frequency_ghz=2.0)
+        assert governor.select_frequency(CPU, 0.5) == pytest.approx(2.1)
+
+    def test_fixed_name_mentions_frequency(self):
+        assert "1.8" in FixedFrequencyGovernor(frequency_ghz=1.8).name
+
+    def test_load_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            PerformanceGovernor().select_frequency(CPU, 1.5)
+
+
+class TestOndemand:
+    def test_jumps_to_max_above_threshold(self):
+        governor = OndemandGovernor(up_threshold=0.8)
+        assert governor.select_frequency(CPU, 0.85) == pytest.approx(2.4)
+        assert governor.select_frequency(CPU, 1.0) == pytest.approx(2.4)
+
+    def test_scales_down_proportionally_below_threshold(self):
+        governor = OndemandGovernor(up_threshold=0.8)
+        low = governor.select_frequency(CPU, 0.1)
+        mid = governor.select_frequency(CPU, 0.5)
+        assert low <= mid <= 2.4
+        assert low == pytest.approx(1.2)
+
+    def test_chosen_frequency_keeps_projected_load_under_threshold(self):
+        governor = OndemandGovernor(up_threshold=0.8)
+        for load in (0.1, 0.3, 0.5, 0.7):
+            frequency = governor.select_frequency(CPU, load)
+            projected = load * 2.4 / frequency
+            assert projected <= 0.8 + 1e-9
+
+    def test_idle_selects_minimum(self):
+        governor = OndemandGovernor()
+        assert governor.select_frequency(CPU, 0.0) == pytest.approx(1.2)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=1.5)

@@ -1,0 +1,81 @@
+"""Unit tests for the DRAM power model and DIMM population."""
+
+import pytest
+
+from repro.power.memory import (
+    DIMM_TYPES,
+    DimmPowerModel,
+    MemoryPowerModel,
+    populate,
+)
+
+
+class TestDimm:
+    def test_power_splits_background_and_active(self):
+        dimm = DimmPowerModel(8, "DDR4", background_w=2.0, active_w=3.0)
+        assert dimm.power_w(0.0) == pytest.approx(2.0)
+        assert dimm.power_w(1.0) == pytest.approx(5.0)
+        assert dimm.power_w(0.5) == pytest.approx(3.5)
+
+    def test_rejects_out_of_range_intensity(self):
+        dimm = DIMM_TYPES["DDR4-16G"]
+        with pytest.raises(ValueError):
+            dimm.power_w(1.5)
+
+    def test_rejects_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DimmPowerModel(0, "DDR4", background_w=1.0, active_w=1.0)
+
+    def test_ddr4_draws_less_than_ddr3_per_gb(self):
+        ddr3 = DIMM_TYPES["DDR3-8G"]
+        ddr4 = DIMM_TYPES["DDR4-8G"]
+        assert ddr4.background_w < ddr3.background_w
+
+
+class TestMemorySubsystem:
+    def test_capacity_is_count_times_size(self):
+        memory = MemoryPowerModel(dimm=DIMM_TYPES["DDR4-16G"], dimm_count=12)
+        assert memory.capacity_gb == 192
+
+    def test_power_scales_with_dimm_count(self):
+        one = MemoryPowerModel(dimm=DIMM_TYPES["DDR4-16G"], dimm_count=1)
+        four = MemoryPowerModel(dimm=DIMM_TYPES["DDR4-16G"], dimm_count=4)
+        assert four.power_w(0.5) == pytest.approx(4 * one.power_w(0.5))
+
+    def test_background_power_is_zero_intensity_power(self):
+        memory = MemoryPowerModel(dimm=DIMM_TYPES["DDR3-8G"], dimm_count=8)
+        assert memory.background_power_w() == pytest.approx(memory.power_w(0.0))
+
+    def test_rejects_zero_dimms(self):
+        with pytest.raises(ValueError):
+            MemoryPowerModel(dimm=DIMM_TYPES["DDR4-16G"], dimm_count=0)
+
+
+class TestPopulate:
+    def test_table2_configurations(self):
+        # 192 GB as 12 x 16 GB (server #4).
+        memory = populate(192, "DDR4", preferred_dimm_gb=16)
+        assert memory.dimm.capacity_gb == 16
+        assert memory.dimm_count == 12
+
+    def test_respects_preferred_size(self):
+        memory = populate(64, "DDR3", preferred_dimm_gb=8)
+        assert memory.dimm.capacity_gb == 8
+        assert memory.dimm_count == 8
+
+    def test_falls_back_to_smaller_dimms(self):
+        memory = populate(12, "DDR4", preferred_dimm_gb=16)
+        assert memory.capacity_gb == 12
+
+    def test_more_installed_capacity_draws_more_background_power(self):
+        small = populate(32, "DDR4", preferred_dimm_gb=16)
+        large = populate(192, "DDR4", preferred_dimm_gb=16)
+        assert large.background_power_w() > small.background_power_w()
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(ValueError, match="generation"):
+            populate(64, "HBM3")
+
+    def test_impossible_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            populate(7, "DDR4")

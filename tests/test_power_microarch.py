@@ -1,0 +1,96 @@
+"""Unit tests for the microarchitecture catalog (Fig. 7 targets)."""
+
+import pytest
+
+from repro.power.microarch import (
+    CATALOG,
+    Codename,
+    Family,
+    Vendor,
+    codenames,
+    family_of,
+    lookup,
+)
+
+
+class TestCatalogContents:
+    def test_every_codename_has_a_record(self):
+        for codename in Codename:
+            assert codename in CATALOG
+
+    def test_fig7_published_ep_means(self):
+        # Exact values printed in the Fig. 7 legend.
+        published = {
+            Codename.NETBURST: 0.29,
+            Codename.CORE: 0.30,
+            Codename.PENRYN: 0.35,
+            Codename.YORKFIELD: 0.43,
+            Codename.NEHALEM_EX: 0.44,
+            Codename.NEHALEM_EP: 0.59,
+            Codename.WESTMERE: 0.54,
+            Codename.WESTMERE_EP: 0.65,
+            Codename.LYNNFIELD: 0.74,
+            Codename.SANDY_BRIDGE: 0.75,
+            Codename.SANDY_BRIDGE_EP: 0.84,
+            Codename.SANDY_BRIDGE_EN: 0.90,
+            Codename.IVY_BRIDGE: 0.71,
+            Codename.IVY_BRIDGE_EP: 0.75,
+            Codename.HASWELL: 0.81,
+            Codename.BROADWELL: 0.87,
+            Codename.SKYLAKE: 0.76,
+            Codename.INTERLAGOS: 0.65,
+            Codename.ABU_DHABI: 0.68,
+            Codename.SEOUL: 0.62,
+        }
+        for codename, ep in published.items():
+            assert CATALOG[codename].ep_mean == pytest.approx(ep)
+            assert CATALOG[codename].ep_published
+
+    def test_interpolated_records_are_flagged(self):
+        for codename in (Codename.BARCELONA, Codename.ISTANBUL, Codename.MAGNY_COURS):
+            assert not CATALOG[codename].ep_published
+
+    def test_sandy_bridge_en_is_best_published(self):
+        best = max(
+            (m for m in CATALOG.values() if m.ep_published),
+            key=lambda m: m.ep_mean,
+        )
+        assert best.codename is Codename.SANDY_BRIDGE_EN
+
+    def test_ivy_bridge_regressed_from_sandy_bridge(self):
+        # Section III.B: finer lithography did not always raise EP.
+        assert CATALOG[Codename.IVY_BRIDGE].process_nm < CATALOG[
+            Codename.SANDY_BRIDGE
+        ].process_nm
+        assert CATALOG[Codename.IVY_BRIDGE].ep_mean < CATALOG[
+            Codename.SANDY_BRIDGE
+        ].ep_mean
+
+    def test_tocks_cover_the_two_ep_jumps(self):
+        # Core->Nehalem (2008->2009) and Westmere->Sandy Bridge
+        # (2011->2012) are the "tock" transitions the paper credits.
+        assert CATALOG[Codename.NEHALEM_EP].is_tock
+        assert CATALOG[Codename.SANDY_BRIDGE].is_tock
+
+
+class TestLookups:
+    def test_lookup_roundtrip(self):
+        assert lookup(Codename.HASWELL).codename is Codename.HASWELL
+
+    def test_family_of(self):
+        assert family_of(Codename.BROADWELL) is Family.HASWELL
+        assert family_of(Codename.WESTMERE) is Family.NEHALEM
+        assert family_of(Codename.SEOUL) is Family.AMD
+
+    def test_codenames_filter_by_vendor(self):
+        amd = codenames(vendor=Vendor.AMD)
+        assert Codename.INTERLAGOS in amd
+        assert Codename.HASWELL not in amd
+
+    def test_codenames_filter_by_family(self):
+        core = codenames(family=Family.CORE)
+        assert set(core) == {Codename.CORE, Codename.PENRYN, Codename.YORKFIELD}
+
+    def test_years_are_ordered(self):
+        for record in CATALOG.values():
+            assert record.years[0] <= record.years[1]

@@ -1,0 +1,78 @@
+"""Unit tests for the composed whole-server power model."""
+
+import pytest
+
+from repro.metrics.ep import UTILIZATION_LEVELS, energy_proportionality
+from repro.power.components import SATA_SSD
+from repro.power.cpu import CpuPowerModel, default_voltage_curve
+from repro.power.memory import populate
+from repro.power.server import ServerPowerModel
+
+
+def _server(sockets=2, memory_gb=64, static_fraction=0.25):
+    cpu = CpuPowerModel(
+        tdp_w=90.0,
+        cores=8,
+        operating_points=default_voltage_curve([1.2, 1.8, 2.4]),
+        static_fraction=static_fraction,
+    )
+    return ServerPowerModel(
+        cpus=[cpu] * sockets,
+        memory=populate(memory_gb, "DDR4"),
+        disks=[SATA_SSD],
+    )
+
+
+class TestComposition:
+    def test_total_cores(self):
+        assert _server(sockets=2).total_cores == 16
+
+    def test_needs_at_least_one_cpu(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(cpus=[], memory=populate(32, "DDR4"))
+
+    def test_default_psu_sized_above_load(self):
+        server = _server()
+        assert server.psu.rated_w > server.nameplate_dc_w()
+
+
+class TestWallPower:
+    def test_monotone_in_utilization(self):
+        server = _server()
+        powers = [server.wall_power_w(u, 2.4) for u in UTILIZATION_LEVELS]
+        assert powers == sorted(powers)
+
+    def test_idle_below_peak(self):
+        server = _server()
+        assert server.idle_wall_power_w() < server.peak_wall_power_w()
+
+    def test_wall_exceeds_dc(self):
+        server = _server()
+        assert server.wall_power_w(0.7, 2.4) > server.dc_power_w(0.7, 2.4)
+
+    def test_more_memory_draws_more_power(self):
+        small = _server(memory_gb=32)
+        large = _server(memory_gb=256)
+        assert large.wall_power_w(0.5, 2.4) > small.wall_power_w(0.5, 2.4)
+
+    def test_lower_frequency_draws_less_at_same_utilization(self):
+        server = _server()
+        assert server.wall_power_w(0.8, 1.2) < server.wall_power_w(0.8, 2.4)
+
+    def test_utilization_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            _server().wall_power_w(1.2, 2.4)
+
+
+class TestDerivedProportionality:
+    def test_lower_static_fraction_improves_ep(self):
+        """The Section III.D mechanism: less idle power -> higher EP."""
+
+        def ep_of(server):
+            levels = list(UTILIZATION_LEVELS)
+            powers = [server.wall_power_w(u, 2.4) for u in levels]
+            return energy_proportionality(levels, powers)
+
+        leaky = _server(static_fraction=0.45)
+        lean = _server(static_fraction=0.10)
+        assert ep_of(lean) > ep_of(leaky)

@@ -1,0 +1,119 @@
+"""Tests for procurement planning and the stacked-bar renderer."""
+
+import pytest
+
+from repro.cluster.procurement import (
+    evaluate_candidate,
+    fleet_for_demand,
+    plan_procurement,
+)
+from repro.cluster.regions import throughput_at
+from repro.cluster.trace import diurnal_trace
+from repro.viz.stacked import stacked_bars
+
+
+@pytest.fixture(scope="module")
+def candidates(corpus):
+    """The six highest-scoring 2016 models."""
+    return sorted(
+        corpus.by_hw_year(2016), key=lambda r: -r.overall_score
+    )[:6]
+
+
+class TestFleetSizing:
+    def test_count_covers_the_peak(self, candidates):
+        model = candidates[0]
+        count = fleet_for_demand(model, peak_demand_ops=5e6)
+        assert count * throughput_at(model, 1.0) * 0.9 >= 5e6
+
+    def test_headroom_adds_servers(self, candidates):
+        model = candidates[0]
+        tight = fleet_for_demand(model, 5e6, headroom=0.0)
+        loose = fleet_for_demand(model, 5e6, headroom=0.4)
+        assert loose >= tight
+
+    def test_validation(self, candidates):
+        with pytest.raises(ValueError):
+            fleet_for_demand(candidates[0], 0.0)
+        with pytest.raises(ValueError):
+            fleet_for_demand(candidates[0], 1e6, headroom=1.0)
+
+
+class TestProcurement:
+    def test_evaluation_accounts_energy(self, candidates):
+        trace = diurnal_trace(noise=0.0, steps_per_day=12)
+        evaluation = evaluate_candidate(candidates[0], 5e6, trace)
+        assert evaluation.daily_energy_kwh > 0.0
+        assert evaluation.servers_needed >= 1
+
+    def test_plan_ranks_by_energy(self, candidates):
+        plan = plan_procurement(candidates, 5e6)
+        energies = [e.daily_energy_kwh for e in plan.evaluations]
+        assert energies == sorted(energies)
+
+    def test_peak_ee_is_the_wrong_buying_criterion(self):
+        """The paper's Section I caution, on the controlled pair."""
+        from repro.cluster.procurement import build_controlled_candidates
+
+        pair = build_controlled_candidates()
+        plan = plan_procurement(pair, 5e5)
+        assert not plan.naive_choice_matches
+        assert plan.naive_penalty > 0.10
+        assert plan.best_by_energy.ep > plan.best_by_peak_ee.ep
+
+    def test_controlled_pair_is_actually_controlled(self):
+        from repro.cluster.procurement import build_controlled_candidates
+
+        champion, proportional = build_controlled_candidates()
+        assert champion.peak_ee > proportional.peak_ee  # the naive bait
+        assert proportional.ep > champion.ep + 0.2
+
+    def test_flat_100pct_duty_cycle_favors_peak_ee(self):
+        """At constant full load the throughput champion wins: the
+        naive criterion is only wrong when load fluctuates."""
+        from repro.cluster.procurement import build_controlled_candidates
+        from repro.cluster.trace import DemandTrace
+
+        pair = build_controlled_candidates()
+        flat = DemandTrace(times_h=(0.0, 12.0), demand_fraction=(1.0, 1.0))
+        plan = plan_procurement(pair, 5e5, trace=flat)
+        assert plan.naive_choice_matches or plan.naive_penalty < 0.05
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            plan_procurement([], 1e6)
+
+
+class TestStackedBars:
+    def test_rows_render_to_exact_width(self):
+        text = stacked_bars(
+            {"2015": {"a": 3, "b": 1}, "2016": {"a": 1, "b": 1}}, width=40
+        )
+        for line in text.splitlines():
+            if "|" in line and line.count("|") == 2:
+                bar = line.split("|")[1]
+                assert len(bar) == 40
+
+    def test_category_shares_scale(self):
+        text = stacked_bars({"row": {"a": 3, "b": 1}}, width=40)
+        bar = text.splitlines()[0].split("|")[1]
+        assert bar.count("#") == 30
+        assert bar.count("=") == 10
+
+    def test_legend_lists_categories(self):
+        text = stacked_bars({"r": {"x": 1.0, "y": 2.0}})
+        assert "#=x" in text or "#=y" in text
+
+    def test_zero_row_is_empty(self):
+        text = stacked_bars({"r": {"x": 0.0}})
+        assert text.splitlines()[0].rstrip().endswith("|")
+
+    def test_category_order_respected(self):
+        text = stacked_bars(
+            {"r": {"x": 1.0, "y": 1.0}}, category_order=["y", "x"]
+        )
+        assert text.splitlines()[-1].startswith("#=y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({})

@@ -1,0 +1,318 @@
+"""Property-based tests (hypothesis) on the metric and model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.curve_family import (
+    CurveSolveError,
+    PowerCurve,
+    solve_curve,
+    solve_knee_curve,
+)
+from repro.metrics.correlation import pearson, spearman
+from repro.metrics.curves import ee_relative_curve, ideal_intersections
+from repro.metrics.ep import (
+    UTILIZATION_LEVELS,
+    energy_proportionality,
+    idle_power_fraction,
+)
+from repro.metrics.linearity import energy_ratio, linear_deviation
+from repro.power.cpu import CpuPowerModel, default_voltage_curve
+from repro.power.psu import PsuModel
+
+LEVELS = list(UTILIZATION_LEVELS)
+
+#: Strategy: a plausible monotone normalized power curve.  Drawn as an
+#: idle fraction plus non-negative increments, normalized to end at 1.
+@st.composite
+def monotone_curves(draw):
+    idle = draw(st.floats(min_value=0.01, max_value=0.9))
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=10,
+            max_size=10,
+        )
+    )
+    if sum(increments) <= 0.0:
+        increments = [1.0] * 10
+    powers = [idle]
+    for step in increments:
+        powers.append(powers[-1] + step)
+    scale = powers[-1]
+    return [p / scale for p in powers]
+
+
+class TestEpInvariants:
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_ep_bounded(self, powers):
+        ep = energy_proportionality(LEVELS, powers)
+        assert 0.0 <= ep < 2.0
+
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_ep_upper_bound_from_idle(self, powers):
+        # Area >= idle implies EP <= 2 * (1 - idle).
+        ep = energy_proportionality(LEVELS, powers)
+        idle = idle_power_fraction(LEVELS, powers)
+        assert ep <= 2.0 * (1.0 - idle) + 1e-9
+
+    @given(monotone_curves(), st.floats(min_value=0.1, max_value=1000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_ep_scale_invariant(self, powers, scale):
+        a = energy_proportionality(LEVELS, powers)
+        b = energy_proportionality(LEVELS, [p * scale for p in powers])
+        assert abs(a - b) < 1e-9
+
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_er_and_ep_agree_on_ordering_with_linear(self, powers):
+        ep = energy_proportionality(LEVELS, powers)
+        er = energy_ratio(LEVELS, powers)
+        # Both compare the same area against the ideal area.
+        assert (ep > 1.0) == (er > 1.0)
+
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_relative_ee_anchored_at_one(self, powers):
+        rel = ee_relative_curve(LEVELS, powers)
+        assert abs(rel[-1] - 1.0) < 1e-9
+        assert rel[0] == 0.0
+
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_intersections_strictly_interior(self, powers):
+        for crossing in ideal_intersections(LEVELS, powers):
+            assert 0.0 < crossing < 1.0
+
+    @given(monotone_curves())
+    @settings(max_examples=200, deadline=None)
+    def test_ld_zero_only_matters_directionally(self, powers):
+        # LD and EP - (1 - idle) must have opposite signs: bowing above
+        # the chord always costs proportionality.
+        ep = energy_proportionality(LEVELS, powers)
+        idle = idle_power_fraction(LEVELS, powers)
+        ld = linear_deviation(LEVELS, powers)
+        linear_ep = energy_proportionality(
+            LEVELS, [idle + (1 - idle) * u for u in LEVELS]
+        )
+        if abs(ld) > 1e-9:
+            assert (ld > 0) == (ep < linear_ep)
+
+
+class TestSolverProperties:
+    @given(
+        st.floats(min_value=0.25, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_solve_peak_at_full_hits_ep_exactly(self, ep, idle):
+        try:
+            curve = solve_curve(ep, idle, 1.0)
+        except CurveSolveError:
+            return  # infeasible corner; the solver is allowed to refuse
+        assert abs(curve.ep() - ep) < 1e-6
+        assert curve.grid_peak_spots()[0] == 1.0
+        grid = curve.grid_power()
+        assert np.all(np.diff(grid) >= -1e-12)
+
+    @given(
+        st.floats(min_value=0.6, max_value=1.1),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.sampled_from([0.6, 0.7, 0.8, 0.9]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_knee_curves_honor_all_three_targets(self, ep, idle, spot):
+        try:
+            curve = solve_knee_curve(ep, idle, spot)
+        except CurveSolveError:
+            return
+        assert abs(curve.ep() - ep) < 1e-6
+        assert curve.grid_peak_spots() == [spot]
+        assert abs(curve.idle - idle) < 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.85),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.2, max_value=8.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_family_members_are_valid_curves(self, idle, s, p):
+        curve = PowerCurve.mix(idle=idle, s=s, p=p)
+        grid = curve.grid_power()
+        assert abs(grid[0] - idle) < 1e-12
+        assert abs(grid[-1] - 1.0) < 1e-12
+        assert np.all(np.diff(grid) >= -1e-12)
+        assert 0.0 <= curve.ep() < 2.0
+
+
+class TestCorrelationProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-10000, max_value=10000),
+            min_size=3,
+            max_size=40,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pearson_bounds(self, xs):
+        xs = [x / 100.0 for x in xs]
+        ys = [x**3 + 1 for x in xs]
+        value = pearson(xs, ys)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(
+        st.lists(
+            st.integers(min_value=-100000, max_value=100000),
+            min_size=3,
+            max_size=40,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_spearman_of_monotone_map_is_one(self, xs):
+        xs = [x / 100.0 for x in xs]
+        ys = [2 * x + 5 for x in xs]
+        assert abs(spearman(xs, ys) - 1.0) < 1e-9
+
+
+class TestModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from([1.2, 1.6, 2.0, 2.4]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cpu_power_within_tdp(self, utilization, frequency):
+        cpu = CpuPowerModel(
+            tdp_w=95.0,
+            cores=8,
+            operating_points=default_voltage_curve([1.2, 1.6, 2.0, 2.4]),
+        )
+        power = cpu.power_w(utilization, frequency)
+        assert 0.0 < power <= 95.0 + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=600.0))
+    @settings(max_examples=100, deadline=None)
+    def test_psu_never_creates_energy(self, dc_load):
+        psu = PsuModel(rated_w=500.0)
+        assert psu.wall_power_w(dc_load) >= dc_load
+
+
+class TestEngineConservation:
+    """Work-conservation invariants of the discrete-event engine."""
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=5.0, max_value=400.0),
+        st.floats(min_value=0.8, max_value=2.8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_bounded_by_capacity(self, cores, tx_rate, freq, seed):
+        from repro.ssj.engine import LinearThroughputProfile, ServiceEngine
+        from repro.ssj.workload import TransactionSource
+
+        rng = np.random.default_rng(seed)
+        engine = ServiceEngine(
+            cores=cores,
+            profile=LinearThroughputProfile(ops_at_1ghz=300.0),
+            rng=rng,
+        )
+        source = TransactionSource(
+            rate_per_s=tx_rate, rng=np.random.default_rng(seed + 1)
+        )
+        horizon = 20.0
+        result = engine.advance(list(source.arrivals(horizon)), horizon, freq)
+        assert 0.0 <= result.busy_core_seconds <= cores * horizon + 1e-6
+        assert 0.0 <= result.utilization <= 1.0 + 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=5.0, max_value=100.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nothing_completes_that_did_not_arrive(self, cores, tx_rate, seed):
+        from repro.ssj.engine import LinearThroughputProfile, ServiceEngine
+        from repro.ssj.workload import TransactionSource
+
+        engine = ServiceEngine(
+            cores=cores,
+            profile=LinearThroughputProfile(ops_at_1ghz=300.0),
+            rng=np.random.default_rng(seed),
+        )
+        source = TransactionSource(
+            rate_per_s=tx_rate, rng=np.random.default_rng(seed + 1)
+        )
+        arrivals = list(source.arrivals(15.0))
+        result = engine.advance(arrivals, 15.0, 2.0)
+        assert result.completed_transactions + engine.pending == len(arrivals)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_draining_completes_everything(self, cores, seed):
+        from repro.ssj.engine import LinearThroughputProfile, ServiceEngine
+        from repro.ssj.workload import TransactionSource
+
+        engine = ServiceEngine(
+            cores=cores,
+            profile=LinearThroughputProfile(ops_at_1ghz=500.0),
+            rng=np.random.default_rng(seed),
+        )
+        source = TransactionSource(
+            rate_per_s=50.0, rng=np.random.default_rng(seed + 1)
+        )
+        arrivals = list(source.arrivals(5.0))
+        first = engine.advance(arrivals, 5.0, 2.0)
+        second = engine.advance([], 5000.0, 2.0)
+        assert engine.pending == 0
+        assert (
+            first.completed_transactions + second.completed_transactions
+            == len(arrivals)
+        )
+
+
+class TestPlacementProperties:
+    """Placement invariants over random demand levels (shared corpus)."""
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_ep_aware_never_worse_on_a_fixed_fleet(self, share):
+        from repro.cluster.placement import (
+            ep_aware_placement,
+            pack_to_full_placement,
+        )
+        from repro.dataset.synthesis import generate_corpus
+
+        corpus = _SHARED_CORPUS_CACHE.setdefault(
+            "corpus", generate_corpus(2016)
+        )
+        fleet = _SHARED_CORPUS_CACHE.setdefault(
+            "fleet", list(corpus.by_hw_year_range(2014, 2016))
+        )
+        capacity = _SHARED_CORPUS_CACHE.setdefault(
+            "capacity",
+            sum(
+                level.ssj_ops
+                for server in fleet
+                for level in server.levels
+                if level.target_load == 1.0
+            ),
+        )
+        demand = share * capacity
+        packed = pack_to_full_placement(fleet, demand)
+        aware = ep_aware_placement(fleet, demand)
+        assert packed.satisfied() and aware.satisfied()
+        assert aware.total_power_w <= packed.total_power_w * 1.02
+        # Placed work matches the demand for both.
+        assert aware.placed_ops == pytest.approx(packed.placed_ops, rel=1e-6)
+
+
+_SHARED_CORPUS_CACHE = {}

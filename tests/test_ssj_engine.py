@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event service engine."""
+
+import numpy as np
+import pytest
+
+from repro.ssj.engine import (
+    OPS_PER_UNIT_WORK,
+    EngineResult,
+    LinearThroughputProfile,
+    ServiceEngine,
+)
+from repro.ssj.transactions import SSJ_MIX, validate_mix
+from repro.ssj.workload import TransactionSource
+
+
+def _engine(cores=4, rate=100.0, seed=1, capacity=None):
+    return ServiceEngine(
+        cores=cores,
+        profile=LinearThroughputProfile(ops_at_1ghz=rate),
+        rng=np.random.default_rng(seed),
+        queue_capacity=capacity,
+    )
+
+
+def _arrivals(rate, horizon, seed=2):
+    source = TransactionSource(
+        rate_per_s=rate, rng=np.random.default_rng(seed)
+    )
+    return list(source.arrivals(horizon))
+
+
+class TestEngineBasics:
+    def test_no_arrivals_means_no_work(self):
+        engine = _engine()
+        result = engine.advance([], until=10.0, frequency_ghz=2.0)
+        assert result.completed_transactions == 0
+        assert result.utilization == pytest.approx(0.0)
+
+    def test_clock_advances_to_window_end(self):
+        engine = _engine()
+        engine.advance([], until=5.0, frequency_ghz=2.0)
+        assert engine.clock == pytest.approx(5.0)
+
+    def test_cannot_go_backwards(self):
+        engine = _engine()
+        engine.advance([], until=5.0, frequency_ghz=2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            engine.advance([], until=4.0, frequency_ghz=2.0)
+
+    def test_arrival_outside_window_rejected(self):
+        engine = _engine()
+        mix = validate_mix(SSJ_MIX)
+        with pytest.raises(ValueError, match="outside"):
+            engine.advance([(10.0, mix[0])], until=5.0, frequency_ghz=2.0)
+
+
+class TestThroughputAccounting:
+    def test_light_load_completes_everything(self):
+        engine = _engine(cores=8, rate=1000.0)
+        arrivals = _arrivals(rate=20.0, horizon=50.0)
+        result = engine.advance(arrivals, until=60.0, frequency_ghz=2.0)
+        assert result.completed_transactions == len(arrivals)
+
+    def test_ops_track_transaction_work(self):
+        engine = _engine(cores=8, rate=1000.0)
+        arrivals = _arrivals(rate=20.0, horizon=50.0)
+        result = engine.advance(arrivals, until=80.0, frequency_ghz=2.0)
+        expected = sum(tx.work_factor for _, tx in arrivals) * OPS_PER_UNIT_WORK
+        assert result.completed_ops == pytest.approx(expected, rel=1e-9)
+
+    def test_saturated_throughput_matches_capacity(self):
+        cores, rate, f = 4, 500.0, 2.0
+        engine = _engine(cores=cores, rate=rate, capacity=64)
+        capacity_ops = cores * rate * f
+        offered_tx = 2.0 * capacity_ops / OPS_PER_UNIT_WORK
+        horizon = 60.0
+        result = engine.advance(
+            _arrivals(rate=offered_tx, horizon=horizon), horizon, f
+        )
+        assert result.throughput_ops_per_s == pytest.approx(capacity_ops, rel=0.05)
+
+    def test_utilization_near_offered_load_in_open_loop(self):
+        cores, rate, f = 16, 500.0, 2.0
+        capacity_ops = cores * rate * f
+        offered_fraction = 0.5
+        offered_tx = offered_fraction * capacity_ops / OPS_PER_UNIT_WORK
+        engine = _engine(cores=cores, rate=rate)
+        horizon = 120.0
+        result = engine.advance(
+            _arrivals(rate=offered_tx, horizon=horizon), horizon, f
+        )
+        assert result.utilization == pytest.approx(offered_fraction, abs=0.05)
+
+
+class TestFrequencyEffects:
+    def test_lower_frequency_raises_utilization(self):
+        arrivals = _arrivals(rate=30.0, horizon=60.0)
+        fast = _engine(cores=8, rate=200.0, seed=3)
+        slow = _engine(cores=8, rate=200.0, seed=3)
+        fast_result = fast.advance(list(arrivals), 60.0, frequency_ghz=2.4)
+        slow_result = slow.advance(list(arrivals), 60.0, frequency_ghz=1.2)
+        assert slow_result.utilization > fast_result.utilization
+
+
+class TestQueueBehaviour:
+    def test_bounded_queue_drops_excess(self):
+        engine = _engine(cores=1, rate=1.0, capacity=2)
+        arrivals = _arrivals(rate=100.0, horizon=5.0)
+        engine.advance(arrivals, 5.0, frequency_ghz=1.0)
+        assert engine.dropped > 0
+
+    def test_unbounded_queue_never_drops(self):
+        engine = _engine(cores=1, rate=1.0, capacity=None)
+        arrivals = _arrivals(rate=100.0, horizon=5.0)
+        engine.advance(arrivals, 5.0, frequency_ghz=1.0)
+        assert engine.dropped == 0
+
+    def test_pending_carries_across_windows(self):
+        engine = _engine(cores=1, rate=100.0)
+        arrivals = _arrivals(rate=100.0, horizon=2.0)
+        engine.advance(arrivals, 2.0, frequency_ghz=1.0)
+        assert engine.pending > 0
+        later = engine.advance([], 2000.0, frequency_ghz=1.0)
+        assert engine.pending == 0
+        assert later.completed_transactions > 0
+
+
+class TestEngineResult:
+    def test_merge_accumulates(self):
+        a = EngineResult(duration_s=5.0, cores=4, completed_transactions=10,
+                         completed_ops=1000.0, busy_core_seconds=8.0)
+        b = EngineResult(duration_s=5.0, cores=4, completed_transactions=2,
+                         completed_ops=200.0, busy_core_seconds=2.0)
+        merged = a.merge(b)
+        assert merged.duration_s == pytest.approx(10.0)
+        assert merged.completed_ops == pytest.approx(1200.0)
+        assert merged.utilization == pytest.approx(10.0 / 40.0)
+
+    def test_merge_rejects_core_mismatch(self):
+        a = EngineResult(duration_s=1.0, cores=4)
+        b = EngineResult(duration_s=1.0, cores=8)
+        with pytest.raises(ValueError):
+            a.merge(b)

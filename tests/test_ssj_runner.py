@@ -1,0 +1,166 @@
+"""Integration tests for calibration, metering, reports, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.power.components import SATA_SSD
+from repro.power.cpu import CpuPowerModel, default_voltage_curve
+from repro.power.governors import OndemandGovernor, PerformanceGovernor, PowersaveGovernor
+from repro.power.memory import populate
+from repro.power.server import ServerPowerModel
+from repro.ssj.calibration import analytic_max_ops_per_s, calibrate
+from repro.ssj.engine import LinearThroughputProfile
+from repro.ssj.load_levels import MeasurementPlan
+from repro.ssj.power_meter import PowerMeter
+from repro.ssj.report import BenchmarkReport, LevelMeasurement
+from repro.ssj.runner import SsjRunner
+
+PROFILE = LinearThroughputProfile(ops_at_1ghz=400.0)
+
+
+def _server():
+    cpu = CpuPowerModel(
+        tdp_w=85.0,
+        cores=6,
+        # Server-class narrow voltage band: the platform floor, not
+        # voltage scaling, dominates -- see repro.hwexp.testbed.
+        operating_points=default_voltage_curve(
+            [1.2, 1.6, 2.0, 2.4], v_min=1.05, v_max=1.25
+        ),
+        static_fraction=0.25,
+    )
+    return ServerPowerModel(
+        cpus=[cpu, cpu], memory=populate(64, "DDR4"), disks=[SATA_SSD]
+    )
+
+
+QUICK_PLAN = MeasurementPlan(interval_s=3.0, ramp_s=0.5)
+
+
+class TestCalibration:
+    def test_analytic_capacity(self):
+        assert analytic_max_ops_per_s(8, PROFILE, 2.0) == pytest.approx(6400.0)
+
+    def test_measured_close_to_analytic(self):
+        result = calibrate(
+            cores=8, profile=PROFILE, frequency_ghz=2.0,
+            rng=np.random.default_rng(1),
+        )
+        assert result.max_ops_per_s == pytest.approx(
+            result.analytic_max_ops_per_s, rel=0.08
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate(cores=4, profile=PROFILE, frequency_ghz=2.0,
+                      rng=np.random.default_rng(1), interval_s=0.0)
+
+
+class TestPowerMeter:
+    def test_constant_signal_measured_exactly_without_noise(self):
+        meter = PowerMeter(rng=np.random.default_rng(1), noise_fraction=0.0)
+        assert meter.measure(lambda t: 150.0, 0.0, 10.0) == pytest.approx(150.0)
+
+    def test_noise_stays_small(self):
+        meter = PowerMeter(rng=np.random.default_rng(2), noise_fraction=0.005)
+        reading = meter.measure(lambda t: 200.0, 0.0, 100.0)
+        assert reading == pytest.approx(200.0, rel=0.01)
+
+    def test_time_varying_signal_averaged(self):
+        meter = PowerMeter(rng=np.random.default_rng(3), noise_fraction=0.0,
+                           sample_period_s=0.01)
+        reading = meter.measure(lambda t: 100.0 + 10.0 * (t >= 5.0), 0.0, 10.0)
+        assert reading == pytest.approx(105.0, rel=0.01)
+
+    def test_negative_power_rejected(self):
+        meter = PowerMeter(rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            meter.measure(lambda t: -1.0, 0.0, 5.0)
+
+
+class TestReport:
+    def _report(self):
+        levels = [
+            LevelMeasurement(
+                target_load=u,
+                throughput_ops_per_s=1000.0 * u,
+                average_power_w=100.0 * (0.3 + 0.7 * u),
+                utilization=u,
+            )
+            for u in [round(0.1 * i, 1) for i in range(1, 11)]
+        ]
+        return BenchmarkReport(
+            calibrated_max_ops_per_s=1000.0,
+            levels=levels,
+            active_idle_power_w=30.0,
+        )
+
+    def test_linear_report_ep(self):
+        assert self._report().energy_proportionality() == pytest.approx(0.7, abs=1e-9)
+
+    def test_overall_score_formula(self):
+        report = self._report()
+        expected = sum(report.throughputs()) / (sum(report.powers()) + 30.0)
+        assert report.overall_score() == pytest.approx(expected)
+
+    def test_peak_spot_of_linear_report_is_full_load(self):
+        assert self._report().peak_efficiency_spots() == [1.0]
+
+    def test_text_rendering_mentions_score(self):
+        text = self._report().to_text()
+        assert "overall score" in text
+        assert "100%" in text
+
+    def test_curve_includes_idle(self):
+        loads, powers = self._report().curve()
+        assert loads[0] == 0.0
+        assert powers[0] == pytest.approx(30.0)
+
+
+class TestRunner:
+    def test_full_run_produces_all_levels(self):
+        runner = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN)
+        report = runner.run()
+        assert len(report.levels) == 10
+        assert report.active_idle_power_w > 0.0
+
+    def test_throughput_tracks_target_loads(self):
+        runner = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN)
+        report = runner.run()
+        for level in report.levels:
+            expected = level.target_load * report.calibrated_max_ops_per_s
+            assert level.throughput_ops_per_s == pytest.approx(expected, rel=0.25)
+
+    def test_power_monotone_in_load(self):
+        runner = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN)
+        report = runner.run()
+        ordered = sorted(report.levels, key=lambda l: l.target_load)
+        powers = [l.average_power_w for l in ordered]
+        # Allow small metering noise between adjacent levels.
+        for a, b in zip(powers, powers[1:]):
+            assert b > a * 0.93
+
+    def test_deterministic_given_seed(self):
+        a = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN, seed=7).run()
+        b = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN, seed=7).run()
+        assert a.overall_score() == pytest.approx(b.overall_score())
+        assert a.powers() == b.powers()
+
+    def test_powersave_draws_less_but_scores_worse(self):
+        fast = SsjRunner(server=_server(), profile=PROFILE,
+                         governor=PerformanceGovernor(), plan=QUICK_PLAN).run()
+        slow = SsjRunner(server=_server(), profile=PROFILE,
+                         governor=PowersaveGovernor(), plan=QUICK_PLAN).run()
+        assert max(slow.powers()) < max(fast.powers())
+        assert slow.overall_score() < fast.overall_score()
+
+    def test_ondemand_idles_cheaper_than_performance(self):
+        fast = SsjRunner(server=_server(), profile=PROFILE,
+                         governor=PerformanceGovernor(), plan=QUICK_PLAN).run()
+        ondemand = SsjRunner(server=_server(), profile=PROFILE,
+                             governor=OndemandGovernor(), plan=QUICK_PLAN).run()
+        assert ondemand.active_idle_power_w < fast.active_idle_power_w
+
+    def test_report_ep_in_physical_range(self):
+        report = SsjRunner(server=_server(), profile=PROFILE, plan=QUICK_PLAN).run()
+        assert 0.0 < report.energy_proportionality() < 2.0

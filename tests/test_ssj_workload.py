@@ -1,0 +1,117 @@
+"""Unit tests for transactions, the Poisson source, and the plan."""
+
+import numpy as np
+import pytest
+
+from repro.ssj.load_levels import FULL_FIDELITY_PLAN, MeasurementPlan
+from repro.ssj.transactions import (
+    SSJ_MIX,
+    TransactionType,
+    mean_work_factor,
+    validate_mix,
+)
+from repro.ssj.workload import TransactionSource
+
+
+class TestTransactionMix:
+    def test_weights_sum_to_one(self):
+        assert sum(t.mix_weight for t in SSJ_MIX) == pytest.approx(1.0)
+
+    def test_six_transaction_types(self):
+        names = {t.name for t in SSJ_MIX}
+        assert names == {
+            "NewOrder", "Payment", "OrderStatus",
+            "Delivery", "StockLevel", "CustomerReport",
+        }
+
+    def test_normalized_mix_has_unit_mean_work(self):
+        normalized = validate_mix(SSJ_MIX)
+        assert mean_work_factor(normalized) == pytest.approx(1.0)
+
+    def test_new_order_and_payment_dominate(self):
+        by_name = {t.name: t for t in SSJ_MIX}
+        minor = [t.mix_weight for t in SSJ_MIX
+                 if t.name not in ("NewOrder", "Payment")]
+        assert by_name["NewOrder"].mix_weight > max(minor)
+
+    def test_bad_weights_rejected(self):
+        bad = (TransactionType("A", 0.5, 1.0), TransactionType("B", 0.4, 1.0))
+        with pytest.raises(ValueError, match="sum to 1"):
+            validate_mix(bad)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            validate_mix(())
+
+    def test_type_validation(self):
+        with pytest.raises(ValueError):
+            TransactionType("A", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TransactionType("A", 0.5, -1.0)
+
+
+class TestTransactionSource:
+    def test_arrival_count_matches_rate(self):
+        source = TransactionSource(rate_per_s=50.0, rng=np.random.default_rng(1))
+        arrivals = list(source.arrivals(200.0))
+        assert len(arrivals) == pytest.approx(10000, rel=0.05)
+
+    def test_arrivals_ordered_and_in_horizon(self):
+        source = TransactionSource(rate_per_s=20.0, rng=np.random.default_rng(2))
+        times = [t for t, _ in source.arrivals(30.0)]
+        assert times == sorted(times)
+        assert all(0.0 < t < 30.0 for t in times)
+
+    def test_mix_frequencies_respected(self):
+        source = TransactionSource(rate_per_s=200.0, rng=np.random.default_rng(3))
+        counts = {}
+        for _, tx in source.arrivals(200.0):
+            counts[tx.name] = counts.get(tx.name, 0) + 1
+        total = sum(counts.values())
+        for tx in SSJ_MIX:
+            assert counts[tx.name] / total == pytest.approx(tx.mix_weight, abs=0.02)
+
+    def test_interarrival_times_look_exponential(self):
+        source = TransactionSource(rate_per_s=100.0, rng=np.random.default_rng(4))
+        times = np.array([t for t, _ in source.arrivals(300.0)])
+        gaps = np.diff(times)
+        # Exponential: mean ~ std.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = TransactionSource(rate_per_s=10.0, rng=np.random.default_rng(9))
+        b = TransactionSource(rate_per_s=10.0, rng=np.random.default_rng(9))
+        assert [t for t, _ in a.arrivals(20.0)] == [t for t, _ in b.arrivals(20.0)]
+
+    def test_expected_count(self):
+        source = TransactionSource(rate_per_s=10.0, rng=np.random.default_rng(5))
+        assert source.expected_count(3.0) == pytest.approx(30.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TransactionSource(rate_per_s=0.0, rng=np.random.default_rng(6))
+
+
+class TestMeasurementPlan:
+    def test_default_covers_all_ten_loads_descending(self):
+        plan = MeasurementPlan()
+        assert plan.levels == 10
+        assert plan.target_loads[0] == 1.0
+        assert list(plan.target_loads) == sorted(plan.target_loads, reverse=True)
+
+    def test_full_fidelity_uses_real_intervals(self):
+        assert FULL_FIDELITY_PLAN.interval_s == 240.0
+        assert FULL_FIDELITY_PLAN.ramp_s == 30.0
+
+    def test_with_intervals_copies(self):
+        quick = MeasurementPlan().with_intervals(2.0)
+        assert quick.interval_s == 2.0
+        assert quick.target_loads == MeasurementPlan().target_loads
+
+    def test_governor_period_must_fit(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(interval_s=1.0, governor_period_s=2.0)
+
+    def test_bad_target_load_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(target_loads=(1.0, 0.0))
