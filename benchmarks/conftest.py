@@ -3,6 +3,8 @@
 Each bench regenerates one paper artifact, times it with
 pytest-benchmark, records the rendered rows under
 ``benchmarks/output/``, and asserts the paper's qualitative shape.
+The engine benches additionally get a pre-warmed artifact cache
+(``warm_cache``) to measure cold-vs-warm ``run_all`` behavior.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.cache import ArtifactCache
 from repro.core.study import Study
 from repro.dataset.synthesis import generate_corpus
 
@@ -31,6 +34,14 @@ def study(corpus):
 def output_dir():
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def warm_cache(study, tmp_path_factory):
+    """An artifact cache pre-filled by one cold parallel run."""
+    cache = ArtifactCache(tmp_path_factory.mktemp("repro_cache"))
+    study.run_all(jobs=4, cache=cache)
+    return cache
 
 
 @pytest.fixture()

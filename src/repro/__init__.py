@@ -19,21 +19,30 @@ It contains:
   and the memory-per-core / DVFS sweep experiments (Figs. 18-21).
 * :mod:`repro.cluster` -- Section V operational guidance: optimal working
   regions, logical clusters, and EP-aware workload placement.
-* :mod:`repro.core` -- the one-call study pipeline regenerating every
-  figure and table in the paper.
+* :mod:`repro.core` -- the one-call study pipeline: a declarative
+  artifact registry, a parallel execution engine with a
+  content-addressed artifact cache, and the Study facade regenerating
+  every figure and table in the paper.
 """
 
+from repro.core.cache import ArtifactCache
+from repro.core.executor import ArtifactExecutor, RunReport
+from repro.core.registry import ArtifactSpec
 from repro.core.study import FigureResult, Study
 from repro.dataset.corpus import Corpus
 from repro.dataset.synthesis import generate_corpus
 from repro.metrics.ee import overall_score, peak_efficiency
 from repro.metrics.ep import energy_proportionality
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactCache",
+    "ArtifactExecutor",
+    "ArtifactSpec",
     "Corpus",
     "FigureResult",
+    "RunReport",
     "Study",
     "__version__",
     "energy_proportionality",

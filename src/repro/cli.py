@@ -8,7 +8,14 @@ Commands:
 * ``validate <corpus.csv>`` -- lint a corpus for integrity problems;
 * ``report --out EXPERIMENTS.md`` -- write the paper-vs-measured report;
 * ``sweep <server#>`` -- run a Table II memory x frequency sweep;
-* ``run-all --output-dir DIR`` -- render every artifact to files.
+* ``run-all --output-dir DIR`` -- render every artifact to files;
+* ``cache stats|clear`` -- inspect or empty the artifact cache.
+
+The global ``--jobs N`` option widens the execution engine's thread
+pool and ``--cache`` (with optional ``--cache-dir DIR``) enables the
+content-addressed artifact cache (default store: ``.repro_cache/``),
+so e.g. ``python -m repro --jobs 4 --cache run-all`` builds in
+parallel and a repeat invocation is served from disk.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.core.pipeline import build_experiments_report
 from repro.core.registry import REGISTRY
 from repro.core.study import Study
@@ -35,6 +43,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=2016, help="corpus generation seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the artifact engine (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "enable the content-addressed artifact cache "
+            f"(default store: {DEFAULT_CACHE_DIR}/)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache store directory (implies --cache)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -69,13 +97,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--output-dir", default="artifacts", help="directory for the renders"
     )
+    run_all.add_argument(
+        "--report",
+        action="store_true",
+        help="print per-artifact wall times and cache hits",
+    )
+
+    cache = commands.add_parser(
+        "cache", help="inspect or empty the artifact cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear"), help="what to do with the store"
+    )
     return parser
 
 
 def _cmd_list(out) -> int:
     width = max(len(figure_id) for figure_id in REGISTRY)
-    for figure_id, (_method, description) in REGISTRY.items():
-        print(f"{figure_id:<{width}}  {description}", file=out)
+    for figure_id, spec in REGISTRY.items():
+        print(f"{figure_id:<{width}}  {spec.description}", file=out)
     return 0
 
 
@@ -153,14 +193,40 @@ def _cmd_sweep(server_number: int, out) -> int:
     return 0
 
 
-def _cmd_run_all(study: Study, output_dir: str, out) -> int:
+def _cmd_run_all(
+    study: Study,
+    output_dir: str,
+    out,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    show_report: bool = False,
+) -> int:
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    for figure_id, result in study.run_all().items():
+    run_report = study.run_all(jobs=jobs, cache=cache, report=True)
+    for figure_id, result in run_report.results.items():
         (directory / f"{figure_id}.txt").write_text(
             f"== {result.title} ==\n{result.text}\n"
         )
+    if show_report:
+        print(run_report.render(), file=out)
     print(f"wrote {len(REGISTRY)} artifacts to {directory}/", file=out)
+    return 0
+
+
+def _cmd_cache(action: str, cache: Optional[ArtifactCache], out) -> int:
+    cache = cache if cache is not None else ArtifactCache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr(ies) from {cache.root}/", file=out)
+        return 0
+    entries = cache.entries()
+    print(
+        f"{cache.root}/: {len(entries)} entr(ies), "
+        f"{cache.size_bytes() / 1024.0:.1f} KiB, "
+        f"engine version {cache.engine_version}",
+        file=out,
+    )
     return 0
 
 
@@ -168,6 +234,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
     args = _build_parser().parse_args(argv)
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = ArtifactCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
     if args.command == "list":
         return _cmd_list(out)
@@ -177,6 +246,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_validate(args.path, out)
     if args.command == "sweep":
         return _cmd_sweep(args.server, out)
+    if args.command == "cache":
+        return _cmd_cache(args.action, cache, out)
 
     study = Study(seed=args.seed)
     if args.command == "figure":
@@ -184,5 +255,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "report":
         return _cmd_report(study, args.out, out)
     if args.command == "run-all":
-        return _cmd_run_all(study, args.output_dir, out)
+        return _cmd_run_all(
+            study,
+            args.output_dir,
+            out,
+            jobs=args.jobs,
+            cache=cache,
+            show_report=args.report,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,164 @@
+"""Content-addressed on-disk cache for regenerated artifacts.
+
+Every cache entry is one pickled :class:`~repro.core.study.FigureResult`
+stored under ``.repro_cache/`` (or any directory you point the cache
+at).  The entry key is a sha256 over the triple
+
+    (corpus fingerprint, artifact id, engine version)
+
+so a warm :meth:`Study.run_all <repro.core.study.Study.run_all>` is
+near-instant, editing a single figure builder (and bumping
+:data:`ENGINE_VERSION`) only invalidates that build logic, and any
+change to the corpus — a different seed, an edited record — misses the
+cache automatically through the fingerprint.
+
+The cache is defensive: a corrupted, truncated, or stale-format entry
+is treated as a miss, deleted, and transparently recomputed by the
+executor.  Writes go through a temp file + atomic rename so a crashed
+writer can never leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.study import FigureResult
+
+#: Version of the artifact-build logic.  Bump whenever a builder's
+#: output changes so stale entries stop matching.
+ENGINE_VERSION = "1"
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cache_key(fingerprint: str, artifact_id: str,
+              engine_version: str = ENGINE_VERSION) -> str:
+    """The hex entry key for (corpus fingerprint, artifact, engine)."""
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode())
+    digest.update(b"|")
+    digest.update(artifact_id.encode())
+    digest.update(b"|")
+    digest.update(engine_version.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        """Total probes (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from disk (0.0 with no probes)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ArtifactCache:
+    """Content-addressed pickle store for :class:`FigureResult` entries."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 engine_version: str = ENGINE_VERSION):
+        self.root = Path(root)
+        self.engine_version = engine_version
+        self.stats = CacheStats()
+
+    def path_for(self, fingerprint: str, artifact_id: str) -> Path:
+        """The on-disk path an entry would occupy."""
+        key = cache_key(fingerprint, artifact_id, self.engine_version)
+        return self.root / f"{key}.pkl"
+
+    def get(self, fingerprint: str, artifact_id: str) -> Optional["FigureResult"]:
+        """The cached result, or ``None`` on miss/corruption.
+
+        A corrupt or unreadable entry is evicted so the next write
+        replaces it cleanly.
+        """
+        from repro.core.study import FigureResult
+
+        path = self.path_for(fingerprint, artifact_id)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception as exc:  # corrupted/truncated/stale pickle
+            self.stats.misses += 1
+            self.stats.errors.append(f"{artifact_id}: {exc!r}")
+            self._evict(path)
+            return None
+        if not isinstance(result, FigureResult) or result.figure_id != artifact_id:
+            self.stats.misses += 1
+            self.stats.errors.append(f"{artifact_id}: entry payload mismatch")
+            self._evict(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, fingerprint: str, artifact_id: str,
+            result: "FigureResult") -> Path:
+        """Persist one result atomically; returns the entry path."""
+        path = self.path_for(fingerprint, artifact_id)
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.root), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.stats.evictions += 1
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
+
+    def entries(self) -> List[Path]:
+        """Every entry file currently in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def size_bytes(self) -> int:
+        """Total bytes held by the store."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+        return removed

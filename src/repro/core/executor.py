@@ -1,0 +1,255 @@
+"""Parallel artifact execution engine with caching and run metrics.
+
+:class:`ArtifactExecutor` turns the declarative registry
+(:mod:`repro.core.registry`) into an execution plan:
+
+1. every requested artifact is first probed against the
+   content-addressed cache (:mod:`repro.core.cache`) — hits skip both
+   the build *and* its dependencies;
+2. the remaining artifacts and the shared resources they declare
+   (``"corpus"``, ``"sweep:N"``) form a dependency graph that is
+   topologically scheduled across a thread pool, so a sweep shared by
+   several figures (e.g. server #4 feeding fig20 and fig21) is
+   computed exactly once;
+3. every build is timed, and the :class:`RunReport` returned by
+   :meth:`ArtifactExecutor.run` carries per-artifact wall time and
+   cache-hit flags next to the results.
+
+Threads (not processes) carry the parallelism: builders share the
+memoized corpus metrics and sweep results in place, the hot loops sit
+in numpy, and results need no cross-process pickling.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Mapping
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from graphlib import TopologicalSorter
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.cache import ArtifactCache
+from repro.core.registry import CORPUS, FIGURE_IDS, REGISTRY, ArtifactSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.study import FigureResult, Study
+
+
+def default_jobs() -> int:
+    """Worker count when none is requested: capped CPU count."""
+    return min(8, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ArtifactMetric:
+    """Build observability for one artifact in one run."""
+
+    artifact_id: str
+    seconds: float
+    cache_hit: bool
+
+    @property
+    def source(self) -> str:
+        """Where the result came from: ``"cache"`` or ``"built"``."""
+        return "cache" if self.cache_hit else "built"
+
+
+@dataclass
+class RunReport(Mapping):
+    """Results plus per-artifact metrics for one engine run.
+
+    Behaves as a read-only mapping of ``artifact id -> FigureResult``
+    (so existing ``run_all()`` consumers can iterate it unchanged) and
+    additionally exposes ``metrics``, resource timings, and a
+    :meth:`render` summary table.
+    """
+
+    results: Dict[str, "FigureResult"]
+    metrics: Dict[str, ArtifactMetric]
+    resource_seconds: Dict[str, float]
+    jobs: int
+    total_seconds: float
+    cache_dir: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+
+    def __getitem__(self, artifact_id: str) -> "FigureResult":
+        return self.results[artifact_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many artifacts were served from the cache."""
+        return sum(1 for metric in self.metrics.values() if metric.cache_hit)
+
+    @property
+    def built(self) -> int:
+        """How many artifacts were computed this run."""
+        return len(self.metrics) - self.cache_hits
+
+    def render(self) -> str:
+        """A terminal table of per-artifact timings and sources."""
+        from repro.viz.tables import format_table
+
+        rows = [
+            [metric.artifact_id, metric.source, metric.seconds * 1000.0]
+            for metric in self.metrics.values()
+        ]
+        table = format_table(
+            ["artifact", "source", "ms"],
+            rows,
+            title=f"engine run: {len(self.results)} artifacts, "
+            f"{self.cache_hits} cached, jobs={self.jobs}",
+            float_format="{:.2f}",
+        )
+        summary = (
+            f"total {self.total_seconds * 1000.0:.1f} ms"
+            + (f", cache at {self.cache_dir}" if self.cache_dir else ", cache off")
+        )
+        if self.resource_seconds:
+            shared = ", ".join(
+                f"{name} {seconds * 1000.0:.1f} ms"
+                for name, seconds in self.resource_seconds.items()
+                if name != CORPUS
+            )
+            if shared:
+                summary += f"\nshared resources: {shared}"
+        return table + "\n" + summary
+
+
+class ArtifactExecutor:
+    """Schedules artifact builds for one :class:`Study`.
+
+    ``jobs`` sets the thread-pool width (1 = serial, ``None`` = capped
+    CPU count); ``cache`` is an optional :class:`ArtifactCache` keyed
+    on the study's corpus fingerprint.  Parallel and serial runs
+    produce identical results: builders only read shared state, and
+    the memoized sweep resources are resolved before any dependent
+    artifact starts.
+    """
+
+    def __init__(self, study: "Study", jobs: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None):
+        self.study = study
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self._lock = threading.Lock()
+
+    # -- graph construction -------------------------------------------------------
+
+    def _specs(self, artifact_ids: Optional[Sequence[str]]) -> List[ArtifactSpec]:
+        ids = list(FIGURE_IDS) if artifact_ids is None else list(artifact_ids)
+        unknown = [fid for fid in ids if fid not in REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown artifact(s) {unknown!r}")
+        return [REGISTRY[fid] for fid in ids]
+
+    def _resolve_resource(self, key: str) -> None:
+        """Materialize one shared resource on the study (memoized there)."""
+        if key == CORPUS:
+            self.study.corpus  # already materialized at construction
+        elif key.startswith("sweep:"):
+            self.study._sweep(int(key.split(":", 1)[1]))
+        else:
+            raise KeyError(f"unknown resource {key!r}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, artifact_ids: Optional[Sequence[str]] = None) -> RunReport:
+        """Regenerate the requested artifacts (all of them by default)."""
+        started = time.perf_counter()
+        specs = self._specs(artifact_ids)
+        results: Dict[str, "FigureResult"] = {}
+        metrics: Dict[str, ArtifactMetric] = {}
+        resource_seconds: Dict[str, float] = {}
+        errors: List[str] = []
+
+        fingerprint = self.study.fingerprint if self.cache is not None else ""
+        to_build: List[ArtifactSpec] = []
+        for spec in specs:
+            if self.cache is not None:
+                probe_started = time.perf_counter()
+                cached = self.cache.get(fingerprint, spec.artifact_id)
+                if cached is not None:
+                    results[spec.artifact_id] = cached
+                    metrics[spec.artifact_id] = ArtifactMetric(
+                        spec.artifact_id,
+                        time.perf_counter() - probe_started,
+                        cache_hit=True,
+                    )
+                    continue
+            to_build.append(spec)
+
+        if to_build:
+            self._build(to_build, fingerprint, results, metrics,
+                        resource_seconds, errors)
+
+        ordered_ids = [spec.artifact_id for spec in specs]
+        return RunReport(
+            results={fid: results[fid] for fid in ordered_ids},
+            metrics={fid: metrics[fid] for fid in ordered_ids},
+            resource_seconds=resource_seconds,
+            jobs=self.jobs,
+            total_seconds=time.perf_counter() - started,
+            cache_dir=str(self.cache.root) if self.cache is not None else None,
+            errors=errors,
+        )
+
+    def _build(self, specs: List[ArtifactSpec], fingerprint: str,
+               results: Dict[str, "FigureResult"],
+               metrics: Dict[str, ArtifactMetric],
+               resource_seconds: Dict[str, float],
+               errors: List[str]) -> None:
+        build_ids = {spec.artifact_id for spec in specs}
+        graph: Dict[str, set] = {}
+        for spec in specs:
+            graph[spec.artifact_id] = set(spec.depends)
+            for resource in spec.depends:
+                graph.setdefault(resource, set())
+
+        def run_node(node: str) -> None:
+            node_started = time.perf_counter()
+            if node in build_ids:
+                result = REGISTRY[node].bind(self.study)()
+                elapsed = time.perf_counter() - node_started
+                if self.cache is not None:
+                    self.cache.put(fingerprint, node, result)
+                with self._lock:
+                    results[node] = result
+                    metrics[node] = ArtifactMetric(node, elapsed, cache_hit=False)
+            else:
+                self._resolve_resource(node)
+                with self._lock:
+                    resource_seconds[node] = time.perf_counter() - node_started
+
+        sorter: TopologicalSorter = TopologicalSorter(graph)
+        if self.jobs == 1:
+            for node in sorter.static_order():
+                run_node(node)
+            return
+
+        sorter.prepare()
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            pending: Dict[object, str] = {}
+            while sorter.is_active():
+                for node in sorter.get_ready():
+                    pending[pool.submit(run_node, node)] = node
+                if not pending:  # pragma: no cover - defensive
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    node = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        errors.append(f"{node}: {exc!r}")
+                        for remaining in pending:
+                            remaining.cancel()
+                        raise exc
+                    sorter.done(node)

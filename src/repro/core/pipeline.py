@@ -188,9 +188,10 @@ def build_experiments_report(study: Optional[Study] = None) -> str:
         "procurement": "bench_ext_procurement.py",
         "prior_work": "bench_ext_prior_subsets.py",
     }
-    for figure_id, (_method, description) in REGISTRY.items():
+    for figure_id, spec in REGISTRY.items():
         lines.append(
-            f"| {figure_id} | {description} | benchmarks/{bench_names[figure_id]} |"
+            f"| {figure_id} | {spec.description} | "
+            f"benchmarks/{bench_names[figure_id]} |"
         )
 
     lines.append("\n## Rendered artifacts\n")

@@ -8,16 +8,25 @@ Typical use::
     print(study.figure("fig3").text) # EP trend table
     results = study.run_all()        # every artifact
 
+    # parallel + cached, with per-artifact run metrics:
+    report = study.run_all(jobs=4, cache=ArtifactCache(), report=True)
+    print(report.render())
+
 Each :class:`FigureResult` carries the underlying data (``series``, a
 plain dict of labeled values or point lists) and a terminal rendering
 (``text``), so the benchmark harness and the examples share one code
-path with the tests.
+path with the tests.  ``run_all`` delegates to the execution engine in
+:mod:`repro.core.executor`, which schedules builds topologically
+(shared sweep resources are computed once), optionally consults the
+content-addressed cache in :mod:`repro.core.cache`, and times every
+build.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -50,7 +59,7 @@ from repro.analysis.temporal import (
     yearly_trend,
 )
 from repro.cluster.placement import ep_aware_placement, pack_to_full_placement
-from repro.core.registry import REGISTRY
+from repro.core.registry import REGISTRY, description_of
 from repro.dataset.corpus import Corpus
 from repro.dataset.synthesis import generate_corpus
 from repro.hwexp.sweeps import SweepResult, run_sweep
@@ -77,12 +86,21 @@ class Study:
     """Owns a corpus and regenerates every figure/table of the paper."""
 
     def __init__(self, corpus: Optional[Corpus] = None, seed: int = 2016):
+        self.seed = seed
         self._corpus = corpus if corpus is not None else generate_corpus(seed)
         self._sweeps: Dict[int, SweepResult] = {}
+        self._sweep_locks: Dict[int, threading.Lock] = {
+            number: threading.Lock() for number in TESTBED
+        }
 
     @property
     def corpus(self) -> Corpus:
         return self._corpus
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the owned corpus (cache key input)."""
+        return self._corpus.fingerprint()
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -90,16 +108,32 @@ class Study:
         """Regenerate one artifact by its registry id."""
         if figure_id not in REGISTRY:
             raise KeyError(f"unknown artifact {figure_id!r}")
-        method_name, _description = REGISTRY[figure_id]
-        return getattr(self, method_name)()
+        return REGISTRY[figure_id].bind(self)()
 
-    def run_all(self) -> Dict[str, FigureResult]:
-        """Regenerate every artifact, in paper order."""
-        return {figure_id: self.figure(figure_id) for figure_id in REGISTRY}
+    def run_all(
+        self,
+        jobs: int = 1,
+        cache: Optional["ArtifactCache"] = None,
+        report: bool = False,
+    ) -> Union[Dict[str, FigureResult], "RunReport"]:
+        """Regenerate every artifact, in paper order.
+
+        ``jobs`` widens the engine's thread pool (1 = serial; parallel
+        runs produce identical results).  ``cache`` enables the
+        content-addressed artifact cache.  With ``report=True`` the
+        full :class:`~repro.core.executor.RunReport` — a mapping of
+        results that additionally carries per-artifact wall times and
+        cache-hit flags — is returned instead of a plain dict.
+        """
+        from repro.core.executor import ArtifactExecutor
+
+        run_report = ArtifactExecutor(self, jobs=jobs, cache=cache).run()
+        return run_report if report else run_report.results
 
     def _sweep(self, number: int) -> SweepResult:
-        if number not in self._sweeps:
-            self._sweeps[number] = run_sweep(TESTBED[number])
+        with self._sweep_locks[number]:
+            if number not in self._sweeps:
+                self._sweeps[number] = run_sweep(TESTBED[number])
         return self._sweeps[number]
 
     # -- Section II / III exemplar ---------------------------------------------------
@@ -122,7 +156,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig1",
-            title=REGISTRY["fig1"][1],
+            title=description_of("fig1"),
             series={
                 "utilization": loads,
                 "normalized_power": normalized,
@@ -143,7 +177,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig2",
-            title=REGISTRY["fig2"][1],
+            title=description_of("fig2"),
             series={"ep_points": points_ep, "ee_points": points_ee},
             text=text,
         )
@@ -176,7 +210,7 @@ class Study:
         }
         return FigureResult(
             figure_id=figure_id,
-            title=REGISTRY[figure_id][1],
+            title=description_of(figure_id),
             series=series,
             text=table,
         )
@@ -223,7 +257,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig4",
-            title=REGISTRY["fig4"][1],
+            title=description_of("fig4"),
             series={
                 "years": years,
                 "avg_ee": score.series("avg"),
@@ -255,7 +289,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig5",
-            title=REGISTRY["fig5"][1],
+            title=description_of("fig5"),
             series={"x": xs, "F": ys, "landmarks": landmarks, "deciles": shares},
             text=text,
         )
@@ -272,7 +306,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig6",
-            title=REGISTRY["fig6"][1],
+            title=description_of("fig6"),
             series={stat.label: {"count": stat.count, "avg_ep": stat.ep.mean} for stat in table},
             text=rendered,
         )
@@ -293,7 +327,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig7",
-            title=REGISTRY["fig7"][1],
+            title=description_of("fig7"),
             series={
                 "codenames": {
                     stat.label: {"count": stat.count, "avg_ep": stat.ep.mean}
@@ -326,7 +360,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig8",
-            title=REGISTRY["fig8"][1],
+            title=description_of("fig8"),
             series={
                 year: {codename.value: count for codename, count in counts.items()}
                 for year, counts in mix.items()
@@ -354,7 +388,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig9",
-            title=REGISTRY["fig9"][1],
+            title=description_of("fig9"),
             series={
                 "utilization": list(env.utilization),
                 "upper": list(env.upper),
@@ -391,7 +425,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig10",
-            title=REGISTRY["fig10"][1],
+            title=description_of("fig10"),
             series={
                 "curves": {
                     f"{c.hw_year}:{c.ep:.2f}": list(c.power_curve) for c in curves
@@ -414,7 +448,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig11",
-            title=REGISTRY["fig11"][1],
+            title=description_of("fig11"),
             series={
                 "utilization": list(env.utilization),
                 "upper": list(env.upper),
@@ -447,7 +481,7 @@ class Study:
         ]
         return FigureResult(
             figure_id="fig12",
-            title=REGISTRY["fig12"][1],
+            title=description_of("fig12"),
             series={
                 "curves": {
                     f"{c.hw_year}:{c.ep:.2f}": list(c.ee_curve) for c in curves
@@ -475,7 +509,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig13",
-            title=REGISTRY["fig13"][1],
+            title=description_of("fig13"),
             series={
                 stat.key: {
                     "count": stat.count,
@@ -502,7 +536,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig14",
-            title=REGISTRY["fig14"][1],
+            title=description_of("fig14"),
             series={
                 stat.key: {
                     "count": stat.count,
@@ -531,7 +565,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig15",
-            title=REGISTRY["fig15"][1],
+            title=description_of("fig15"),
             series={
                 "avg_ep_gain": comparison.avg_ep_gain,
                 "avg_ee_gain": comparison.avg_ee_gain,
@@ -579,7 +613,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig16",
-            title=REGISTRY["fig16"][1],
+            title=description_of("fig16"),
             series={
                 "trend": {year: dict(spots) for year, spots in trend.items()},
                 "shares": shares,
@@ -605,7 +639,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig17",
-            title=REGISTRY["fig17"][1],
+            title=description_of("fig17"),
             series={
                 "buckets": {
                     stat.label: {
@@ -652,7 +686,7 @@ class Study:
         )
         return FigureResult(
             figure_id=figure_id,
-            title=REGISTRY[figure_id][1],
+            title=description_of(figure_id),
             series={
                 "best_memory_per_core": sweep.best_memory_per_core(),
                 "cells": {
@@ -691,7 +725,7 @@ class Study:
         )
         return FigureResult(
             figure_id="fig21",
-            title=REGISTRY["fig21"][1],
+            title=description_of("fig21"),
             series={"ee": ee_series, "peak_power": power_series},
             text=text,
         )
@@ -708,7 +742,7 @@ class Study:
         )
         return FigureResult(
             figure_id="table1",
-            title=REGISTRY["table1"][1],
+            title=description_of("table1"),
             series={stat.label: stat.count for stat in table},
             text=rendered,
         )
@@ -722,7 +756,7 @@ class Study:
         )
         return FigureResult(
             figure_id="table2",
-            title=REGISTRY["table2"][1],
+            title=description_of("table2"),
             series={"rows": rows},
             text=rendered,
         )
@@ -742,7 +776,7 @@ class Study:
         )
         return FigureResult(
             figure_id="eq2",
-            title=REGISTRY["eq2"][1],
+            title=description_of("eq2"),
             series={
                 "amplitude": regression.fit.amplitude,
                 "rate": regression.fit.rate,
@@ -775,7 +809,7 @@ class Study:
         )
         return FigureResult(
             figure_id="reorg",
-            title=REGISTRY["reorg"][1],
+            title=description_of("reorg"),
             series=series,
             text="\n".join(lines),
         )
@@ -794,7 +828,7 @@ class Study:
         )
         return FigureResult(
             figure_id="asynchrony",
-            title=REGISTRY["asynchrony"][1],
+            title=description_of("asynchrony"),
             series={
                 "report": report,
                 "top_ep_by_year": ep_shares,
@@ -825,7 +859,7 @@ class Study:
         )
         return FigureResult(
             figure_id="placement",
-            title=REGISTRY["placement"][1],
+            title=description_of("placement"),
             series={
                 "demand_ops": demand,
                 "pack_power_w": packed.total_power_w,
@@ -860,7 +894,7 @@ class Study:
         )
         return FigureResult(
             figure_id="gap",
-            title=REGISTRY["gap"][1],
+            title=description_of("gap"),
             series={"trend": trend, "lag": lag},
             text=text,
         )
@@ -888,7 +922,7 @@ class Study:
         )
         return FigureResult(
             figure_id="metric_family",
-            title=REGISTRY["metric_family"][1],
+            title=description_of("metric_family"),
             series={"matrix": matrix, "equal_ep_pairs": pairs},
             text=text,
         )
@@ -913,7 +947,7 @@ class Study:
         )
         return FigureResult(
             figure_id="forecast",
-            title=REGISTRY["forecast"][1],
+            title=description_of("forecast"),
             series={"headroom": headroom, "drift": drift},
             text="\n".join(lines),
         )
@@ -937,7 +971,7 @@ class Study:
         spread = ep_spread(results)
         return FigureResult(
             figure_id="workloads",
-            title=REGISTRY["workloads"][1],
+            title=description_of("workloads"),
             series={"results": results, "ep_spread": spread},
             text=table + f"\nEP spread across workloads: {spread:.3f}",
         )
@@ -965,7 +999,7 @@ class Study:
         )
         return FigureResult(
             figure_id="trace",
-            title=REGISTRY["trace"][1],
+            title=description_of("trace"),
             series={"outcomes": outcomes, "saving": saving},
             text=table + f"\nEP-aware daily energy saving: {saving:.1%}",
         )
@@ -995,7 +1029,7 @@ class Study:
         saving = 1.0 - spot / ffd
         return FigureResult(
             figure_id="jobs",
-            title=REGISTRY["jobs"][1],
+            title=description_of("jobs"),
             series={"schedules": schedules, "saving": saving, "jobs": len(jobs)},
             text=table + f"\npeak-spot-aware power saving: {saving:+.1%}",
         )
@@ -1057,7 +1091,7 @@ class Study:
         ) + corpus_table
         return FigureResult(
             figure_id="procurement",
-            title=REGISTRY["procurement"][1],
+            title=description_of("procurement"),
             series={
                 "controlled": controlled,
                 "shortlist": shortlist,
@@ -1091,7 +1125,7 @@ class Study:
         )
         return FigureResult(
             figure_id="prior_work",
-            title=REGISTRY["prior_work"][1],
+            title=description_of("prior_work"),
             series={
                 "correlation_drift": correlation,
                 "mean_ep_drift": mean_ep,
@@ -1110,7 +1144,7 @@ class Study:
         )
         return FigureResult(
             figure_id="wong",
-            title=REGISTRY["wong"][1],
+            title=description_of("wong"),
             series=comparison,
             text=text,
         )

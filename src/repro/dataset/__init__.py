@@ -14,11 +14,14 @@ same statistical shape (see DESIGN.md for the substitution argument):
   targets into 477 FDR-shaped records;
 * :mod:`repro.dataset.schema` -- the result record and derived metrics;
 * :mod:`repro.dataset.corpus` -- the query API the analyses consume;
+* :mod:`repro.dataset.fingerprint` -- stable content hashes (the
+  artifact cache keys on them);
 * :mod:`repro.dataset.io` -- CSV persistence.
 """
 
 from repro.dataset.corpus import Corpus
 from repro.dataset.curve_family import GridCurve, PowerCurve, solve_curve
+from repro.dataset.fingerprint import corpus_fingerprint, result_fingerprint
 from repro.dataset.from_report import result_from_report, result_from_testbed_run
 from repro.dataset.schema import LoadLevel, SpecPowerResult
 from repro.dataset.synthesis import generate_corpus
@@ -26,6 +29,8 @@ from repro.dataset.validation import validate_corpus, validate_result
 
 __all__ = [
     "Corpus",
+    "corpus_fingerprint",
+    "result_fingerprint",
     "GridCurve",
     "LoadLevel",
     "PowerCurve",

@@ -9,20 +9,40 @@ ratio.  :class:`Corpus` provides those slices as cheap filtered views.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.dataset.schema import SpecPowerResult
 from repro.power.microarch import Codename, Family
 
 
 class Corpus:
-    """An immutable, order-preserving collection of results."""
+    """An immutable, order-preserving collection of results.
+
+    Lookup by id is O(1) through an index built at construction, and
+    the whole filter API is *chainable*: every filter method
+    (:meth:`filter`, :meth:`by_hw_year`, :meth:`by_published_year`,
+    :meth:`by_hw_year_range`, :meth:`by_family`, :meth:`by_codename`,
+    :meth:`single_node`, :meth:`multi_node`, :meth:`by_nodes`,
+    :meth:`by_chips`, :meth:`by_memory_per_core`,
+    :meth:`top_fraction_by`) takes only its selection criteria and
+    returns a new ``Corpus`` view, so slices compose::
+
+        corpus.by_hw_year_range(2013, 2016).single_node().by_chips(2)
+
+    :meth:`fingerprint` returns a stable content hash of the member
+    records (see :mod:`repro.dataset.fingerprint`); the artifact cache
+    keys entries on it.
+    """
 
     def __init__(self, results: Iterable[SpecPowerResult]):
         self._results: List[SpecPowerResult] = list(results)
-        ids = [result.result_id for result in self._results]
-        if len(set(ids)) != len(ids):
+        self._index: Dict[str, int] = {
+            result.result_id: position
+            for position, result in enumerate(self._results)
+        }
+        if len(self._index) != len(self._results):
             raise ValueError("duplicate result ids in corpus")
+        self._fingerprint: Optional[str] = None
 
     # -- collection protocol -----------------------------------------------------
 
@@ -35,12 +55,20 @@ class Corpus:
     def __getitem__(self, index: int) -> SpecPowerResult:
         return self._results[index]
 
+    def __contains__(self, result_id: object) -> bool:
+        return result_id in self._index
+
     def get(self, result_id: str) -> SpecPowerResult:
-        """The result with this id; raises ``KeyError`` if absent."""
-        for result in self._results:
-            if result.result_id == result_id:
-                return result
-        raise KeyError(result_id)
+        """The result with this id (O(1)); raises ``KeyError`` if absent."""
+        return self._results[self._index[result_id]]
+
+    def fingerprint(self) -> str:
+        """Stable sha256 content hash of the member records (memoized)."""
+        if self._fingerprint is None:
+            from repro.dataset.fingerprint import corpus_fingerprint
+
+            self._fingerprint = corpus_fingerprint(self._results)
+        return self._fingerprint
 
     def results(self) -> List[SpecPowerResult]:
         """A fresh list of the member results."""

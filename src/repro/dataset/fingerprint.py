@@ -1,0 +1,75 @@
+"""Stable content fingerprints for results and corpora.
+
+The artifact cache (:mod:`repro.core.cache`) keys every entry on the
+corpus it was computed from, so corpus identity must be a *stable
+content hash*: two corpora with identical records fingerprint
+identically across processes and Python versions, and any change to
+any field of any record (a different seed, an edited level, a swapped
+codename) changes the digest.
+
+Floats are serialized with :func:`repr`, which round-trips IEEE-754
+doubles exactly, so the digest is bit-precise without being locale- or
+format-sensitive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dataset.schema import SpecPowerResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataset.corpus import Corpus
+
+#: Bump when the serialized record layout below changes shape.
+FINGERPRINT_VERSION = "1"
+
+
+def _result_payload(result: SpecPowerResult) -> str:
+    levels = ";".join(
+        f"{repr(level.target_load)},{repr(level.ssj_ops)},"
+        f"{repr(level.average_power_w)}"
+        for level in result.sorted_levels()
+    )
+    return "|".join(
+        (
+            result.result_id,
+            result.vendor,
+            result.model,
+            result.form_factor,
+            str(result.hw_year),
+            str(result.published_year),
+            result.codename.value,
+            str(result.nodes),
+            str(result.chips_per_node),
+            str(result.cores_per_chip),
+            repr(result.memory_gb),
+            repr(result.active_idle_power_w),
+            str(result.tie_peak_spots),
+            levels,
+        )
+    )
+
+
+def result_fingerprint(result: SpecPowerResult) -> str:
+    """Hex digest of one result's full content."""
+    digest = hashlib.sha256()
+    digest.update(FINGERPRINT_VERSION.encode())
+    digest.update(_result_payload(result).encode())
+    return digest.hexdigest()
+
+
+def corpus_fingerprint(results: Iterable[SpecPowerResult]) -> str:
+    """Hex digest of a whole corpus (or any iterable of results).
+
+    Records are hashed sorted by ``result_id`` so the digest reflects
+    *content*, not iteration order; :meth:`Corpus.fingerprint
+    <repro.dataset.corpus.Corpus.fingerprint>` memoizes this.
+    """
+    digest = hashlib.sha256()
+    digest.update(FINGERPRINT_VERSION.encode())
+    for result in sorted(results, key=lambda r: r.result_id):
+        digest.update(_result_payload(result).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -23,6 +23,34 @@ def study(corpus) -> Study:
     return Study(corpus=corpus)
 
 
+def _values_equal(a, b) -> bool:
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _values_equal(a[key], b[key]) for key in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _values_equal(x, y) for x, y in zip(a, b)
+        )
+    import numpy as np
+
+    return bool(np.all(a == b))
+
+
+@pytest.fixture(scope="session")
+def series_equal():
+    """Recursive equality over artifact ``series`` payloads.
+
+    Handles the numpy arrays nested inside analysis dataclasses, where
+    a bare ``==`` would be elementwise.
+    """
+    return _values_equal
+
+
 @pytest.fixture()
 def ideal_curve():
     """The ideal proportional curve at the eleven measurement points."""

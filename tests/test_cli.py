@@ -107,3 +107,35 @@ class TestRunAll:
         assert "fig1.txt" in files
         assert "wong.txt" in files
         assert len(files) == 36
+
+    def test_parallel_cached_run_with_report(self, tmp_path):
+        directory = tmp_path / "artifacts"
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "--jobs", "4", "--cache-dir", str(cache_dir),
+            "run-all", "--output-dir", str(directory), "--report",
+        ]
+        code, cold = _run(argv)
+        assert code == 0
+        assert "jobs=4" in cold
+        assert "0 cached" in cold
+        code, warm = _run(argv)
+        assert code == 0
+        assert "36 cached" in warm
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _run([
+            "--cache-dir", str(cache_dir),
+            "run-all", "--output-dir", str(tmp_path / "arts"),
+        ])
+        code, output = _run(["--cache-dir", str(cache_dir), "cache", "stats"])
+        assert code == 0
+        assert "36 entr(ies)" in output
+        code, output = _run(["--cache-dir", str(cache_dir), "cache", "clear"])
+        assert code == 0
+        assert "removed 36" in output
+        code, output = _run(["--cache-dir", str(cache_dir), "cache", "stats"])
+        assert "0 entr(ies)" in output

@@ -1,0 +1,118 @@
+"""Tests for the parallel artifact execution engine."""
+
+import pytest
+
+from repro.core.executor import (
+    ArtifactExecutor,
+    ArtifactMetric,
+    RunReport,
+    default_jobs,
+)
+from repro.core.registry import FIGURE_IDS, REGISTRY
+from repro.core.study import Study
+
+
+@pytest.fixture(scope="module")
+def serial_results(corpus):
+    study = Study(corpus=corpus)
+    return ArtifactExecutor(study, jobs=1).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_results(corpus):
+    study = Study(corpus=corpus)
+    return ArtifactExecutor(study, jobs=4).run()
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("figure_id", FIGURE_IDS)
+    def test_series_identical(
+        self, serial_results, parallel_results, series_equal, figure_id
+    ):
+        assert series_equal(
+            serial_results[figure_id].series,
+            parallel_results[figure_id].series,
+        )
+
+    @pytest.mark.parametrize("figure_id", FIGURE_IDS)
+    def test_text_identical(self, serial_results, parallel_results, figure_id):
+        assert (
+            serial_results[figure_id].text == parallel_results[figure_id].text
+        )
+
+    def test_same_paper_order(self, serial_results, parallel_results):
+        assert list(serial_results) == list(parallel_results) == list(FIGURE_IDS)
+
+
+class TestScheduling:
+    def test_shared_sweeps_computed_once(self, corpus, monkeypatch):
+        import repro.core.study as study_module
+
+        calls = []
+        real = study_module.run_sweep
+
+        def counting(server):
+            calls.append(server.number)
+            return real(server)
+
+        monkeypatch.setattr(study_module, "run_sweep", counting)
+        study = Study(corpus=corpus)
+        ArtifactExecutor(study, jobs=6).run(
+            ["fig18", "fig19", "fig20", "fig21"]
+        )
+        # fig20 and fig21 share sweep 4; each sweep resolves exactly once.
+        assert sorted(calls) == [1, 2, 4]
+
+    def test_subset_run_only_builds_requested(self, corpus):
+        study = Study(corpus=corpus)
+        report = ArtifactExecutor(study, jobs=2).run(["fig3", "wong"])
+        assert list(report) == ["fig3", "wong"]
+
+    def test_unknown_artifact_rejected(self, corpus):
+        study = Study(corpus=corpus)
+        with pytest.raises(KeyError, match="fig99"):
+            ArtifactExecutor(study).run(["fig99"])
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestRunReport:
+    def test_mapping_protocol(self, serial_results):
+        assert isinstance(serial_results, RunReport)
+        assert len(serial_results) == len(FIGURE_IDS)
+        assert serial_results["fig1"].figure_id == "fig1"
+        assert set(serial_results.keys()) == set(FIGURE_IDS)
+
+    def test_metrics_cover_every_artifact(self, parallel_results):
+        assert set(parallel_results.metrics) == set(FIGURE_IDS)
+        for metric in parallel_results.metrics.values():
+            assert isinstance(metric, ArtifactMetric)
+            assert metric.seconds >= 0.0
+            assert metric.cache_hit is False
+            assert metric.source == "built"
+
+    def test_no_cache_means_no_hits(self, parallel_results):
+        assert parallel_results.cache_hits == 0
+        assert parallel_results.built == len(FIGURE_IDS)
+        assert parallel_results.cache_dir is None
+
+    def test_render_mentions_every_artifact(self, parallel_results):
+        rendered = parallel_results.render()
+        for figure_id in FIGURE_IDS:
+            assert figure_id in rendered
+        assert "jobs=4" in rendered
+        assert "shared resources" in rendered
+
+
+class TestStudyRunAllIntegration:
+    def test_run_all_report_flag(self, study):
+        report = study.run_all(jobs=2, report=True)
+        assert isinstance(report, RunReport)
+        assert set(report) == set(REGISTRY)
+
+    def test_run_all_plain_dict_by_default(self, study):
+        results = study.run_all()
+        assert isinstance(results, dict)
+        assert not isinstance(results, RunReport)
+        assert set(results) == set(REGISTRY)

@@ -90,6 +90,39 @@ class TestEnumerations:
         assert sum(corpus.count_by_family().values()) == 477
 
 
+class TestIdIndex:
+    def test_contains_by_id(self, corpus):
+        assert corpus[0].result_id in corpus
+        assert "nope" not in corpus
+
+    def test_filtered_views_reindex(self, corpus):
+        sub = corpus.by_hw_year(2012)
+        member = sub[0]
+        assert sub.get(member.result_id) is member
+        with pytest.raises(KeyError):
+            sub.get(corpus.by_hw_year(2005)[0].result_id)
+
+    def test_lookup_is_constant_time(self, corpus):
+        import timeit
+
+        first = corpus[0].result_id
+        last = corpus[-1].result_id
+        t_first = min(
+            timeit.repeat(lambda: corpus.get(first), number=2000, repeat=3)
+        )
+        t_last = min(
+            timeit.repeat(lambda: corpus.get(last), number=2000, repeat=3)
+        )
+        # A linear scan would make the last id ~477x slower; the index
+        # keeps both lookups within noise of each other.
+        assert t_last < t_first * 20
+
+    def test_fingerprint_exposed(self, corpus):
+        digest = corpus.fingerprint()
+        assert len(digest) == 64
+        assert digest == corpus.fingerprint()
+
+
 class TestTopFraction:
     def test_top_decile_size(self, corpus):
         top = corpus.top_fraction_by(lambda r: r.ep, 0.10)

@@ -1,0 +1,51 @@
+"""Tests for the stable corpus/result content fingerprints."""
+
+import dataclasses
+
+from repro.dataset.fingerprint import corpus_fingerprint, result_fingerprint
+from repro.dataset.synthesis import generate_corpus
+
+
+class TestStability:
+    def test_same_seed_same_fingerprint(self):
+        a = generate_corpus(seed=2016)
+        b = generate_corpus(seed=2016)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_is_memoized(self, corpus):
+        assert corpus.fingerprint() is corpus.fingerprint()
+
+    def test_order_independent(self, corpus):
+        forward = corpus_fingerprint(list(corpus))
+        backward = corpus_fingerprint(list(corpus)[::-1])
+        assert forward == backward
+
+
+class TestSensitivity:
+    def test_different_seed_different_fingerprint(self):
+        assert (
+            generate_corpus(seed=1).fingerprint()
+            != generate_corpus(seed=2).fingerprint()
+        )
+
+    def test_single_field_change_changes_digest(self, corpus):
+        results = list(corpus)
+        original = corpus_fingerprint(results)
+        edited = dataclasses.replace(
+            results[0], memory_gb=results[0].memory_gb + 1.0
+        )
+        assert corpus_fingerprint([edited] + results[1:]) != original
+
+    def test_level_change_changes_digest(self, corpus):
+        result = corpus[0]
+        original = result_fingerprint(result)
+        levels = list(result.levels)
+        levels[0] = dataclasses.replace(
+            levels[0], average_power_w=levels[0].average_power_w + 0.5
+        )
+        edited = dataclasses.replace(result, levels=levels)
+        assert result_fingerprint(edited) != original
+
+    def test_result_fingerprints_unique_in_corpus(self, corpus):
+        digests = {result_fingerprint(result) for result in corpus}
+        assert len(digests) == len(corpus)
