@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Benchmark report for the repo's hot paths.
+
+Times the four workloads the performance work targets -- corpus
+synthesis, the discrete-event simulate sweep, cold/warm ``run_all``
+through the artifact engine, and multi-seed ensemble throughput -- and
+writes the results to ``BENCH_core.json`` at the repo root so the perf
+trajectory is tracked in-tree.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py            # full
+    PYTHONPATH=src python scripts/bench_report.py --quick    # CI smoke
+    PYTHONPATH=src python scripts/bench_report.py --check    # + ceilings
+
+``--check`` asserts every timing stays under a generous ceiling (sized
+for slow CI runners, not for regressions of a few percent) and exits
+non-zero on a breach, which is how CI catches an order-of-magnitude
+regression without flaking on machine noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
+
+#: Generous wall-clock ceilings (seconds) for --check, sized so only a
+#: gross regression (or a broken vectorized path) trips them.
+CEILINGS = {
+    "generate_corpus_s": 2.0,
+    "simulate_sweep_s": 5.0,
+    "run_all_cold_s": 60.0,
+    "run_all_warm_s": 10.0,
+    "ensemble_serial_s": 60.0,
+    "ensemble_parallel_s": 60.0,
+}
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_generate_corpus(repeats: int) -> float:
+    from repro.dataset.synthesis import generate_corpus
+
+    return _best_of(repeats, lambda: generate_corpus(2016))
+
+
+def bench_simulate_sweep(repeats: int) -> float:
+    from repro.hwexp.sweeps import run_sweep
+    from repro.hwexp.testbed import TESTBED
+    from repro.ssj.load_levels import MeasurementPlan
+
+    plan = MeasurementPlan(interval_s=1.0, ramp_s=0.25)
+    return _best_of(
+        repeats,
+        lambda: run_sweep(
+            TESTBED[2],
+            frequencies=(1.2, 1.5, 1.8),
+            memory_per_core=(2.0, 4.0),
+            method="simulate",
+            plan=plan,
+        ),
+    )
+
+
+def bench_run_all(jobs: int):
+    """Cold build then warm (fully cached) rerun; returns both times."""
+    from repro.core.cache import ArtifactCache
+    from repro.core.study import Study
+
+    with tempfile.TemporaryDirectory(prefix="bench_cache_") as cache_dir:
+        study = Study()
+        cache = ArtifactCache(cache_dir)
+        started = time.perf_counter()
+        study.run_all(jobs=jobs, cache=cache)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        study.run_all(jobs=jobs, cache=cache)
+        warm = time.perf_counter() - started
+    return cold, warm
+
+
+def bench_ensemble(seeds: int, jobs: int):
+    """Serial and parallel ensemble wall times over the same seeds."""
+    from repro.core.ensemble import run_ensemble
+
+    started = time.perf_counter()
+    run_ensemble(seeds, jobs=1)
+    serial = time.perf_counter() - started
+    started = time.perf_counter()
+    run_ensemble(seeds, jobs=jobs)
+    parallel = time.perf_counter() - started
+    return serial, parallel
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions and smaller ensembles (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert timings stay under the generous ceilings",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        metavar="PATH",
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy
+
+    repeats = 2 if args.quick else 5
+    sweep_repeats = 1 if args.quick else 3
+    ensemble_seeds = 3 if args.quick else 6
+    ensemble_jobs = 3 if args.quick else 4
+    run_all_jobs = 4
+
+    timings = {}
+    print("benchmarking corpus generation ...", flush=True)
+    timings["generate_corpus_s"] = bench_generate_corpus(repeats)
+    print("benchmarking simulate sweep ...", flush=True)
+    timings["simulate_sweep_s"] = bench_simulate_sweep(sweep_repeats)
+    print("benchmarking cold/warm run_all ...", flush=True)
+    cold, warm = bench_run_all(run_all_jobs)
+    timings["run_all_cold_s"] = cold
+    timings["run_all_warm_s"] = warm
+    timings["warm_speedup"] = cold / warm if warm > 0 else float("inf")
+    print("benchmarking ensemble throughput ...", flush=True)
+    serial, parallel = bench_ensemble(ensemble_seeds, ensemble_jobs)
+    timings["ensemble_serial_s"] = serial
+    timings["ensemble_parallel_s"] = parallel
+    timings["ensemble_seeds_per_s"] = ensemble_seeds / serial if serial > 0 else 0.0
+
+    payload = {
+        "schema": 1,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "config": {
+            "corpus_repeats": repeats,
+            "sweep_repeats": sweep_repeats,
+            "ensemble_seeds": ensemble_seeds,
+            "ensemble_jobs": ensemble_jobs,
+            "run_all_jobs": run_all_jobs,
+        },
+        "timings": {key: round(value, 4) for key, value in timings.items()},
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for key, value in payload["timings"].items():
+        print(f"  {key:<22} {value:>10.4f}")
+
+    if args.check:
+        breaches = [
+            f"{key}: {timings[key]:.3f}s > ceiling {ceiling:.1f}s"
+            for key, ceiling in CEILINGS.items()
+            if timings[key] > ceiling
+        ]
+        if breaches:
+            print("ceiling breaches:", *breaches, sep="\n  ", file=sys.stderr)
+            return 1
+        print("all timings under their ceilings")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

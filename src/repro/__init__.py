@@ -26,6 +26,7 @@ It contains:
 """
 
 from repro.core.cache import ArtifactCache
+from repro.core.ensemble import EnsembleResult, run_ensemble
 from repro.core.executor import ArtifactExecutor, RunReport
 from repro.core.registry import ArtifactSpec
 from repro.core.study import FigureResult, Study
@@ -41,6 +42,7 @@ __all__ = [
     "ArtifactExecutor",
     "ArtifactSpec",
     "Corpus",
+    "EnsembleResult",
     "FigureResult",
     "RunReport",
     "Study",
@@ -49,4 +51,5 @@ __all__ = [
     "generate_corpus",
     "overall_score",
     "peak_efficiency",
+    "run_ensemble",
 ]

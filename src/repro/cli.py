@@ -9,6 +9,8 @@ Commands:
 * ``report --out EXPERIMENTS.md`` -- write the paper-vs-measured report;
 * ``sweep <server#>`` -- run a Table II memory x frequency sweep;
 * ``run-all --output-dir DIR`` -- render every artifact to files;
+* ``ensemble --seeds N --jobs J`` -- recompute the headline statistics
+  over N seeded corpora and print mean/CI summaries;
 * ``cache stats|clear`` -- inspect or empty the artifact cache.
 
 The global ``--jobs N`` option widens the execution engine's thread
@@ -101,6 +103,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print per-artifact wall times and cache hits",
+    )
+
+    ensemble = commands.add_parser(
+        "ensemble",
+        help="across-seed stability of the headline statistics",
+    )
+    ensemble.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        metavar="N",
+        help="ensemble size: N consecutive seeds starting at --seed (default 5)",
+    )
+    ensemble.add_argument(
+        "--per-seed",
+        action="store_true",
+        help="also print the per-seed statistics rows",
     )
 
     cache = commands.add_parser(
@@ -214,6 +233,37 @@ def _cmd_run_all(
     return 0
 
 
+def _cmd_ensemble(
+    seed: int, count: int, jobs: int, per_seed: bool, out
+) -> int:
+    from repro.core.ensemble import run_ensemble
+    from repro.viz.tables import format_table
+
+    result = run_ensemble(count, jobs=jobs, base_seed=seed)
+    if per_seed:
+        rows = [
+            [
+                stats.seed,
+                stats.ep_mean,
+                stats.ee_mean,
+                stats.eq2_r_squared,
+                stats.corr_ep_idle,
+            ]
+            for stats in result.per_seed
+        ]
+        print(
+            format_table(
+                ["seed", "mean EP", "mean EE", "Eq.2 R^2", "corr(EP,idle)"],
+                rows,
+                title="per-seed headline statistics",
+                float_format="{:.4f}",
+            ),
+            file=out,
+        )
+    print(result.render(), file=out)
+    return 0
+
+
 def _cmd_cache(action: str, cache: Optional[ArtifactCache], out) -> int:
     cache = cache if cache is not None else ArtifactCache()
     if action == "clear":
@@ -248,6 +298,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_sweep(args.server, out)
     if args.command == "cache":
         return _cmd_cache(args.action, cache, out)
+    if args.command == "ensemble":
+        return _cmd_ensemble(args.seed, args.seeds, args.jobs, args.per_seed, out)
 
     study = Study(seed=args.seed)
     if args.command == "figure":

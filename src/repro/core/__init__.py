@@ -12,6 +12,13 @@ builds from a content-addressed on-disk store.
 """
 
 from repro.core.cache import ArtifactCache, CacheStats, ENGINE_VERSION
+from repro.core.ensemble import (
+    EnsembleResult,
+    MetricSummary,
+    SeedStatistics,
+    run_ensemble,
+    seed_statistics,
+)
 from repro.core.executor import ArtifactExecutor, ArtifactMetric, RunReport
 from repro.core.registry import FIGURE_IDS, REGISTRY, ArtifactSpec, register
 from repro.core.study import FigureResult, Study
@@ -25,8 +32,13 @@ __all__ = [
     "ArtifactMetric",
     "ArtifactSpec",
     "CacheStats",
+    "EnsembleResult",
     "FigureResult",
+    "MetricSummary",
     "RunReport",
+    "SeedStatistics",
     "Study",
     "register",
+    "run_ensemble",
+    "seed_statistics",
 ]

@@ -1,0 +1,219 @@
+"""Multi-seed ensemble: how stable are the headline numbers?
+
+The paper's findings -- the EP trend, the Eq. 2 fit
+``EP = 1.2969 * exp(k * idle)`` with R^2 = 0.892, and the headline
+correlations -- are computed from one 477-server corpus.  The
+reproduction's corpus is synthesized from a seed, so the natural
+robustness question is: how much do those statistics move when the
+seed does?
+
+:func:`run_ensemble` generates N seeded corpora, recomputes the
+headline statistics per seed (:func:`seed_statistics`), and summarizes
+every scalar across seeds as mean / sample std / normal-approximation
+95% confidence interval.  A process pool fans the per-seed work out
+across cores; each seed's computation is self-contained and pure, so
+serial and parallel runs return exactly equal results (the per-seed
+floating-point work is identical, only the scheduling differs).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.regression_study import ep_score_correlation, idle_regression
+from repro.analysis.temporal import yearly_trend
+from repro.dataset.synthesis import generate_corpus
+from repro.metrics.regression import linear_fit
+
+#: Number of seeds when the caller only says "run an ensemble".
+DEFAULT_ENSEMBLE_SIZE = 5
+
+
+@dataclass(frozen=True)
+class SeedStatistics:
+    """The headline statistics of one seeded corpus."""
+
+    seed: int
+    servers: int
+    ep_mean: float
+    ep_median: float
+    ee_mean: float
+    ep_trend_slope: float
+    ee_trend_slope: float
+    eq2_amplitude: float
+    eq2_rate: float
+    eq2_r_squared: float
+    corr_ep_idle: float
+    corr_ep_score: float
+    ep_by_year: Dict[int, float]
+    ee_by_year: Dict[int, float]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Across-seed distribution of one headline scalar."""
+
+    name: str
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    values: Tuple[float, ...]
+
+    @property
+    def ci_half_width(self) -> float:
+        return 0.5 * (self.ci_high - self.ci_low)
+
+
+#: The SeedStatistics fields summarized across seeds, in report order.
+SUMMARY_FIELDS: Tuple[str, ...] = (
+    "ep_mean",
+    "ep_median",
+    "ee_mean",
+    "ep_trend_slope",
+    "ee_trend_slope",
+    "eq2_amplitude",
+    "eq2_rate",
+    "eq2_r_squared",
+    "corr_ep_idle",
+    "corr_ep_score",
+)
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Per-seed statistics plus across-seed summaries."""
+
+    seeds: Tuple[int, ...]
+    per_seed: Tuple[SeedStatistics, ...]
+    summaries: Dict[str, MetricSummary]
+
+    def summary(self, name: str) -> MetricSummary:
+        """The across-seed summary of one :data:`SUMMARY_FIELDS` metric."""
+        if name not in self.summaries:
+            raise KeyError(f"unknown ensemble metric {name!r}")
+        return self.summaries[name]
+
+    def render(self) -> str:
+        """A terminal table of the across-seed summaries."""
+        from repro.viz.tables import format_table
+
+        rows = [
+            [
+                summary.name,
+                summary.mean,
+                summary.std,
+                f"[{summary.ci_low:.4f}, {summary.ci_high:.4f}]",
+            ]
+            for summary in self.summaries.values()
+        ]
+        return format_table(
+            ["metric", "mean", "std", "95% CI"],
+            rows,
+            title=f"ensemble over {len(self.seeds)} seeds "
+            f"({self.seeds[0]}..{self.seeds[-1]})",
+            float_format="{:.4f}",
+        )
+
+
+def seed_statistics(seed: int, structural_effects: bool = True) -> SeedStatistics:
+    """Generate the corpus for one seed and recompute the headlines."""
+    corpus = generate_corpus(seed, structural_effects=structural_effects)
+    regression = idle_regression(corpus)
+    eps = corpus.eps()
+
+    ep_trend = yearly_trend(corpus, "ep", "hw")
+    ee_trend = yearly_trend(corpus, "score", "hw")
+    ep_by_year = {year: ep_trend.by_year[year].mean for year in ep_trend.years()}
+    ee_by_year = {year: ee_trend.by_year[year].mean for year in ee_trend.years()}
+
+    return SeedStatistics(
+        seed=seed,
+        servers=len(corpus),
+        ep_mean=float(np.mean(eps)),
+        ep_median=float(np.median(eps)),
+        ee_mean=float(np.mean(corpus.scores())),
+        ep_trend_slope=linear_fit(
+            list(ep_by_year.keys()), list(ep_by_year.values())
+        ).slope,
+        ee_trend_slope=linear_fit(
+            list(ee_by_year.keys()), list(ee_by_year.values())
+        ).slope,
+        eq2_amplitude=regression.fit.amplitude,
+        eq2_rate=regression.fit.rate,
+        eq2_r_squared=regression.fit.r_squared,
+        corr_ep_idle=regression.correlation,
+        corr_ep_score=ep_score_correlation(corpus),
+        ep_by_year=ep_by_year,
+        ee_by_year=ee_by_year,
+    )
+
+
+def _summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    data = np.asarray(values, dtype=float)
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    half = 1.96 * std / math.sqrt(data.size) if data.size > 1 else 0.0
+    return MetricSummary(
+        name=name,
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        values=tuple(float(v) for v in data),
+    )
+
+
+def resolve_seeds(
+    seeds: Union[int, Sequence[int]], base_seed: int = 2016
+) -> Tuple[int, ...]:
+    """Normalize an ensemble-size-or-seed-list argument.
+
+    An integer asks for that many consecutive seeds starting at
+    ``base_seed``; a sequence is used as given (order preserved).
+    """
+    if isinstance(seeds, int):
+        if seeds <= 0:
+            raise ValueError("ensemble size must be positive")
+        return tuple(range(base_seed, base_seed + seeds))
+    resolved = tuple(int(seed) for seed in seeds)
+    if not resolved:
+        raise ValueError("an ensemble needs at least one seed")
+    if len(set(resolved)) != len(resolved):
+        raise ValueError("ensemble seeds must be distinct")
+    return resolved
+
+
+def run_ensemble(
+    seeds: Union[int, Sequence[int]] = DEFAULT_ENSEMBLE_SIZE,
+    jobs: int = 1,
+    base_seed: int = 2016,
+    structural_effects: bool = True,
+) -> EnsembleResult:
+    """Compute per-seed headline statistics and across-seed summaries.
+
+    ``seeds`` is either an ensemble size (consecutive seeds from
+    ``base_seed``) or an explicit seed sequence.  ``jobs`` > 1 fans the
+    per-seed corpus generation and analysis out over a process pool;
+    results are returned in seed order either way, and parallel output
+    equals serial output exactly.
+    """
+    resolved = resolve_seeds(seeds, base_seed=base_seed)
+    worker = partial(seed_statistics, structural_effects=structural_effects)
+    if jobs > 1 and len(resolved) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(resolved))) as pool:
+            per_seed = tuple(pool.map(worker, resolved))
+    else:
+        per_seed = tuple(worker(seed) for seed in resolved)
+
+    summaries = {
+        name: _summarize(name, [getattr(stats, name) for stats in per_seed])
+        for name in SUMMARY_FIELDS
+    }
+    return EnsembleResult(seeds=resolved, per_seed=per_seed, summaries=summaries)

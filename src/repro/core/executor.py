@@ -29,7 +29,7 @@ from collections.abc import Mapping
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from graphlib import TopologicalSorter
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.cache import ArtifactCache
 from repro.core.registry import CORPUS, FIGURE_IDS, REGISTRY, ArtifactSpec
@@ -128,17 +128,20 @@ class ArtifactExecutor:
     """Schedules artifact builds for one :class:`Study`.
 
     ``jobs`` sets the thread-pool width (1 = serial, ``None`` = capped
-    CPU count); ``cache`` is an optional :class:`ArtifactCache` keyed
-    on the study's corpus fingerprint.  Parallel and serial runs
+    CPU count); ``cache`` is an :class:`ArtifactCache` keyed on the
+    study's corpus fingerprint, ``True`` for the default store, or
+    ``False``/``None`` for no caching.  Parallel and serial runs
     produce identical results: builders only read shared state, and
     the memoized sweep resources are resolved before any dependent
     artifact starts.
     """
 
     def __init__(self, study: "Study", jobs: Optional[int] = None,
-                 cache: Optional[ArtifactCache] = None):
+                 cache: Union[bool, ArtifactCache, None] = None):
         self.study = study
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if isinstance(cache, bool):
+            cache = ArtifactCache() if cache else None
         self.cache = cache
         self._lock = threading.Lock()
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -113,22 +113,49 @@ class Study:
     def run_all(
         self,
         jobs: int = 1,
-        cache: Optional["ArtifactCache"] = None,
+        cache: Union[bool, "ArtifactCache", None] = None,
         report: bool = False,
     ) -> Union[Dict[str, FigureResult], "RunReport"]:
         """Regenerate every artifact, in paper order.
 
         ``jobs`` widens the engine's thread pool (1 = serial; parallel
-        runs produce identical results).  ``cache`` enables the
-        content-addressed artifact cache.  With ``report=True`` the
-        full :class:`~repro.core.executor.RunReport` — a mapping of
-        results that additionally carries per-artifact wall times and
+        runs produce identical results).  ``cache`` selects the
+        content-addressed artifact cache: pass an
+        :class:`~repro.core.cache.ArtifactCache` to use a specific
+        store, ``True`` for the default store, and ``False``/``None``
+        to disable caching.  With ``report=True`` the full
+        :class:`~repro.core.executor.RunReport` — a mapping of results
+        that additionally carries per-artifact wall times and
         cache-hit flags — is returned instead of a plain dict.
         """
         from repro.core.executor import ArtifactExecutor
 
         run_report = ArtifactExecutor(self, jobs=jobs, cache=cache).run()
         return run_report if report else run_report.results
+
+    def ensemble(
+        self,
+        seeds: Union[int, Sequence[int]] = 5,
+        jobs: int = 1,
+        structural_effects: bool = True,
+    ) -> "EnsembleResult":
+        """Across-seed stability of the paper's headline statistics.
+
+        ``seeds`` is either an ensemble size — that many consecutive
+        seeds starting from this study's own seed — or an explicit seed
+        sequence.  ``jobs`` > 1 distributes the per-seed corpus
+        generation and analysis over a process pool; serial and
+        parallel runs return exactly equal results.  See
+        :mod:`repro.core.ensemble`.
+        """
+        from repro.core.ensemble import run_ensemble
+
+        return run_ensemble(
+            seeds,
+            jobs=jobs,
+            base_seed=self.seed,
+            structural_effects=structural_effects,
+        )
 
     def _sweep(self, number: int) -> SweepResult:
         with self._sweep_locks[number]:

@@ -35,6 +35,7 @@ Two facts make the family solvable in closed form plus one bisection:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -86,7 +87,9 @@ class PowerCurve:
     def power(self, utilization) -> np.ndarray:
         """Normalized power at any utilization in [0, 1]."""
         u = np.asarray(utilization, dtype=float)
-        if np.any(u < 0.0) or np.any(u > 1.0):
+        # The measurement grid is validated by construction; skipping
+        # its range check keeps the synthesis hot path lean.
+        if u is not _GRID and (np.any(u < 0.0) or np.any(u > 1.0)):
             raise ValueError("utilization must lie in [0, 1]")
         shape = np.zeros_like(u)
         for exponent, weight in zip(self.exponents, self.weights):
@@ -170,6 +173,20 @@ def _pair_area_terms(idle: float, low_exp, high_exp):
     return base, gain
 
 
+def _grid_curves(exponents) -> np.ndarray:
+    """``u**e`` rows over the eleven-point grid, one row per exponent.
+
+    The solver scans fixed exponent ladders thousands of times per
+    corpus; these rows (and the areas/coarse-grid powers derived from
+    them below) depend only on the exponents, so they are built once at
+    import with the exact :func:`numpy.power`/``@`` expressions of
+    :func:`_pair_area_terms`, keeping every downstream float
+    bit-identical to the per-call path.
+    """
+    exps = np.asarray(exponents, dtype=float)
+    return np.power(_GRID[None, :], exps[:, None])
+
+
 def ep_of_linear_curve(idle: float) -> float:
     """Grid EP of the straight-line member (weight fully on u)."""
     return PowerCurve.mix(idle=idle, s=0.0, p=2.0).ep()
@@ -243,16 +260,23 @@ def _grid_margin_ok(curve, peak_spot: float, min_margin: float = 0.004) -> bool:
     return abs(peak_level - peak_spot) < 1e-9 and margin >= min_margin
 
 
+#: Curvature ladders of the peak-at-100% branches (fixed, so their
+#: grid areas are precomputed below next to the S-branch tables).
+_CONCAVE_CURVATURES = np.linspace(0.85, 0.08, 60)
+_CONVEX_CURVATURES = np.linspace(1.05, 30.0, 240)
+
+
 def _solve_peak_at_full(ep: float, idle: float, target_area: float) -> PowerCurve:
     """Peak efficiency at 100%: concave bow, straight line, or gentle convex."""
     linear_area = float(_TRAPZ_W @ (idle + (1.0 - idle) * _GRID))
     delta = target_area - linear_area
     if abs(delta) < 1e-9:
         return PowerCurve.mix(idle=idle, s=0.0, p=2.0)
+    base = idle + (1.0 - idle) * _LINEAR_AREA
     if delta > 0.0:
         # EP below the linear member: concave branch (p < 1).
-        curvatures = np.linspace(0.85, 0.08, 60)
-        base, gain = _pair_area_terms(idle, 1.0, curvatures)
+        curvatures = _CONCAVE_CURVATURES
+        gain = (1.0 - idle) * _CONCAVE_GAIN_AREAS
         with np.errstate(divide="ignore"):
             t_values = np.where(np.abs(gain) > 1e-15, (target_area - base) / gain, np.inf)
         feasible = (t_values >= 0.0) & (t_values <= 1.0)
@@ -263,8 +287,8 @@ def _solve_peak_at_full(ep: float, idle: float, target_area: float) -> PowerCurv
     # EP above the linear member: convex branch, constrained so the
     # continuous efficiency maximum stays at or beyond 100% utilization
     # (u* >= 1  <=>  (1-idle) * t * (p-1) <= idle).
-    curvatures = np.linspace(1.05, 30.0, 240)
-    base, gain = _pair_area_terms(idle, 1.0, curvatures)
+    curvatures = _CONVEX_CURVATURES
+    gain = (1.0 - idle) * _CONVEX_GAIN_AREAS
     with np.errstate(divide="ignore"):
         t_values = np.where(np.abs(gain) > 1e-15, (target_area - base) / gain, np.inf)
     feasible = (
@@ -293,27 +317,87 @@ _S_HIGH_EXPONENTS = np.concatenate(
 #: candidate is refined with :meth:`PowerCurve.interior_peak`.
 _COARSE = np.linspace(1e-3, 1.0, 241)
 
+#: Import-time tables over the fixed exponent ladders (see
+#: :func:`_grid_curves`): grid areas drive the (linear-in-weight) area
+#: constraint, coarse-grid powers drive the peak scan.  Gain areas are
+#: computed as ``(high_curves - low_curves) @ W`` — the exact float
+#: expression of :func:`_pair_area_terms` — not as an area difference.
+_ONE_CURVE = _grid_curves((1.0,))
+_LINEAR_AREA = (_ONE_CURVE @ _TRAPZ_W)[0]
+_CONCAVE_GAIN_AREAS = (_grid_curves(_CONCAVE_CURVATURES) - _ONE_CURVE) @ _TRAPZ_W
+_CONVEX_GAIN_AREAS = (_grid_curves(_CONVEX_CURVATURES) - _ONE_CURVE) @ _TRAPZ_W
+_S_HIGH_CURVES = _grid_curves(_S_HIGH_EXPONENTS)
+_S_LOW_AREAS = {
+    low: (_grid_curves((low,)) @ _TRAPZ_W)[0] for low in _S_LOW_EXPONENTS
+}
+_S_GAIN_AREAS = {
+    low: (_S_HIGH_CURVES - _grid_curves((low,))) @ _TRAPZ_W
+    for low in _S_LOW_EXPONENTS
+}
+_S_LOW_COARSE = {
+    low: np.power(_COARSE[None, :], low) for low in _S_LOW_EXPONENTS
+}
+_S_HIGH_COARSE = np.power(
+    _COARSE[None, :], np.asarray(_S_HIGH_EXPONENTS, dtype=float)[:, None]
+)
+
+#: Per-thread scratch arrays for the interior-peak scan (the solver is
+#: re-entrant across threads, so the buffers cannot be module globals).
+_SCRATCH = threading.local()
+
+
+def _interior_scratch() -> Tuple[np.ndarray, np.ndarray]:
+    work = getattr(_SCRATCH, "work", None)
+    if work is None:
+        work = (np.empty_like(_S_HIGH_COARSE), np.empty_like(_S_HIGH_COARSE))
+        _SCRATCH.work = work
+    return work
+
 
 def _approx_interior_peaks(
-    idle: float, low: float, highs: np.ndarray, ts: np.ndarray
+    idle: float, low: float, highs: np.ndarray, ts: np.ndarray,
+    u_low: Optional[np.ndarray] = None, u_high: Optional[np.ndarray] = None,
+    work: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> np.ndarray:
     """Vectorized approximate efficiency-peak location per candidate.
 
     Evaluates g(u) = P - u P' for every (high exponent, weight) pair on
     the coarse grid and returns the location of the last positive ->
     negative transition (1.0 when efficiency rises to the end).
+    ``u_low``/``u_high`` accept precomputed coarse-grid power rows and
+    ``work`` a pair of scratch (len(highs), len(_COARSE)) arrays, so the
+    solver's hot loop skips both the ``np.power`` evaluations and the
+    large temporaries.  Each in-place step applies the same operation
+    to the same operands as the one-expression form, so g is
+    bit-identical either way.
     """
-    u_low = np.power(_COARSE[None, :], low)
-    u_high = np.power(_COARSE[None, :], highs[:, None])
-    g = idle + (1.0 - idle) * (
-        (1.0 - ts[:, None]) * (1.0 - low) * u_low
-        + ts[:, None] * (1.0 - highs[:, None]) * u_high
+    if u_low is None:
+        u_low = np.power(_COARSE[None, :], low)
+    if u_high is None:
+        u_high = np.power(_COARSE[None, :], highs[:, None])
+    n = len(highs)
+    if work is None:
+        g = idle + (1.0 - idle) * (
+            (1.0 - ts[:, None]) * (1.0 - low) * u_low
+            + ts[:, None] * (1.0 - highs[:, None]) * u_high
+        )
+    else:
+        g, scratch = work[0][:n], work[1][:n]
+        np.multiply((1.0 - ts[:, None]) * (1.0 - low), u_low, out=g)
+        np.multiply(ts[:, None] * (1.0 - highs[:, None]), u_high, out=scratch)
+        g += scratch
+        g *= 1.0 - idle
+        g += idle
+    # g is never NaN here (callers pass finite weights), so the pair of
+    # comparisons (>= 0, < 0) collapses to one sign array.
+    sign = g >= 0.0
+    transitions = sign[:, :-1] & ~sign[:, 1:]
+    peaks = np.full(n, 1.0)
+    any_transition = transitions.any(axis=1)
+    last_column = transitions.shape[1] - 1 - np.argmax(
+        transitions[:, ::-1], axis=1
     )
-    transitions = (g[:, :-1] >= 0.0) & (g[:, 1:] < 0.0)
-    peaks = np.full(len(highs), 1.0)
-    rows, cols = np.nonzero(transitions)
-    for row, col in zip(rows, cols):
-        peaks[row] = _COARSE[col]  # last transition wins (rows ascend)
+    peaks[any_transition] = _COARSE[last_column[any_transition]]
     return peaks
 
 
@@ -333,25 +417,36 @@ def _solve_interior_peak(
     """
     best: Optional[Tuple[float, float, float]] = None  # (error, low, high, t)
     best_error = np.inf
-    for low in _S_LOW_EXPONENTS:
-        base, gain = _pair_area_terms(idle, low, _S_HIGH_EXPONENTS)
-        with np.errstate(divide="ignore", invalid="ignore"):
+    work = _interior_scratch()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for low in _S_LOW_EXPONENTS:
+            base = idle + (1.0 - idle) * _S_LOW_AREAS[low]
+            gain = (1.0 - idle) * _S_GAIN_AREAS[low]
             t_values = np.where(
                 np.abs(gain) > 1e-15, (target_area - base) / gain, np.nan
             )
-        feasible = (t_values > 1e-9) & (t_values <= 1.0)
-        if not np.any(feasible):
-            continue
-        highs = _S_HIGH_EXPONENTS[feasible]
-        ts = t_values[feasible]
-        peaks = _approx_interior_peaks(idle, low, highs, ts)
-        errors = np.abs(peaks - peak_spot)
-        i = int(np.argmin(errors))
-        if errors[i] < best_error:
-            best_error = float(errors[i])
-            best = (low, float(highs[i]), float(ts[i]))
-            if best_error < 2e-3:
-                break
+            feasible = (t_values > 1e-9) & (t_values <= 1.0)
+            if not feasible.any():
+                continue
+            if feasible.all():
+                # The common case: skip the fancy-index copies of the
+                # (140, 241) coarse-power table.
+                highs, ts, u_high = _S_HIGH_EXPONENTS, t_values, _S_HIGH_COARSE
+            else:
+                highs = _S_HIGH_EXPONENTS[feasible]
+                ts = t_values[feasible]
+                u_high = _S_HIGH_COARSE[feasible]
+            peaks = _approx_interior_peaks(
+                idle, low, highs, ts,
+                u_low=_S_LOW_COARSE[low], u_high=u_high, work=work,
+            )
+            errors = np.abs(peaks - peak_spot)
+            i = int(np.argmin(errors))
+            if errors[i] < best_error:
+                best_error = float(errors[i])
+                best = (low, float(highs[i]), float(ts[i]))
+                if best_error < 2e-3:
+                    break
     if best is None:
         raise CurveSolveError(f"no feasible curve for EP {ep:.3f}, idle {idle:.3f}")
     if best_error > spot_tolerance:
@@ -467,16 +562,39 @@ def solve_knee_curve(
             f"idle {idle:.3f} too high for a knee at {peak_spot:.0%}"
         )
 
-    def area(k: float, rise: float) -> float:
-        return float(_TRAPZ_W @ _knee_points(idle, peak_spot, k, rise))
+    # The ramp shape and the post-knee offsets do not depend on the
+    # bisected depth k, so hoist them out of the 60-step loop.  Every
+    # expression below mirrors :func:`_knee_points` operation for
+    # operation (same order, same intermediates), so ``area`` returns
+    # bit-identical floats to the unhoisted form.
+    pre = _GRID <= peak_spot + 1e-12
+    post = ~pre
+    post_diff = _GRID[post] - peak_spot
+    one_minus_spot = 1.0 - peak_spot
+    points = np.empty_like(_GRID)
 
     for rise in _KNEE_RISE_LADDER:
+        with np.errstate(divide="ignore"):
+            ramp_pre = np.power(
+                np.where(_GRID > 0, _GRID / peak_spot, 0.0), rise
+            )[pre]
+
+        def area(k: float) -> float:
+            knee_power = k * peak_spot
+            points[pre] = idle + (knee_power - idle) * ramp_pre
+            points[post] = (
+                knee_power + (1.0 - knee_power) * post_diff / one_minus_spot
+            )
+            points[0] = idle
+            points[-1] = 1.0
+            return float(_TRAPZ_W @ points)
+
         low, high = k_floor, k_ceiling
-        if not area(low, rise) <= target_area <= area(high, rise):
+        if not area(low) <= target_area <= area(high):
             continue
         for _ in range(60):
             mid = 0.5 * (low + high)
-            if area(mid, rise) < target_area:
+            if area(mid) < target_area:
                 low = mid
             else:
                 high = mid

@@ -46,6 +46,28 @@ from repro.power.microarch import CATALOG, Codename
 
 _LEVEL_GRID = np.array(UTILIZATION_LEVELS)
 
+#: The ten non-idle measurement loads, pre-rounded to their dictionary
+#: keys (the generator keys measurements by ``round(load, 1)``).
+_ROUNDED_LOADS = tuple(float(round(load, 1)) for load in _LEVEL_GRID[1:])
+_ROUNDED_LOADS_ARR = np.array(_ROUNDED_LOADS)
+
+#: Noise scales of one measurement attempt, in draw order: the
+#: generator alternates a power draw (sigma 0.0015) and a throughput
+#: draw (sigma 0.002) per load level, so a single array-scale
+#: ``rng.normal`` call consumes the stream exactly like the former
+#: per-level scalar draws.
+_ATTEMPT_SIGMAS = np.empty(2 * len(_ROUNDED_LOADS))
+_ATTEMPT_SIGMAS[0::2] = 0.0015
+_ATTEMPT_SIGMAS[1::2] = 0.002
+
+#: (reported target load, measurement-array index) per output level.
+_TARGET_INDICES = tuple(
+    (float(load), _ROUNDED_LOADS.index(float(round(load, 1))))
+    for load in TARGET_LOADS_DESCENDING
+)
+_IDX_08 = _ROUNDED_LOADS.index(0.8)
+_IDX_09 = _ROUNDED_LOADS.index(0.9)
+
 
 @dataclass
 class _Stub:
@@ -153,12 +175,15 @@ _MULTI_NODE_CODENAME = {8: (Codename.NEHALEM_EX, Codename.HASWELL)}
 
 
 def _assign_multi_node(stubs: List[_Stub], rng: np.random.Generator) -> None:
+    by_year: Dict[int, List[_Stub]] = {}
+    for stub in stubs:
+        by_year.setdefault(stub.hw_year, []).append(stub)
     for nodes in sorted(targets.MULTI_NODE_YEAR_PLAN):
         for year in targets.MULTI_NODE_YEAR_PLAN[nodes]:
             candidates = [
                 stub
-                for stub in stubs
-                if stub.hw_year == year and stub.nodes == 1 and stub.pinned is None
+                for stub in by_year.get(year, ())
+                if stub.nodes == 1 and stub.pinned is None
             ]
             if not candidates:
                 raise RuntimeError(f"no slot for a {nodes}-node system in {year}")
@@ -330,9 +355,12 @@ def _assign_ep_targets(
     rng: np.random.Generator,
     structural_effects: bool = True,
 ) -> None:
-    for stub in stubs:
-        if stub.pinned is not None:
-            continue
+    unpinned = [stub for stub in stubs if stub.pinned is None]
+    # One array-scale draw over the per-codename spreads consumes the
+    # stream exactly like the former per-stub scalar draws.
+    spreads = np.array([CATALOG[stub.codename].ep_spread for stub in unpinned])
+    draws = rng.normal(0.0, spreads)
+    for stub, draw in zip(unpinned, draws):
         base = _codename_ep_mean(stub)
         base += targets.YEAR_EP_TWEAK.get(stub.hw_year, 0.0)
         if structural_effects:
@@ -340,8 +368,7 @@ def _assign_ep_targets(
             if stub.nodes == 1:
                 base += targets.CHIP_EP_ADJUST[stub.chips_per_node]
             base += targets.MPC_EP_ADJUST[stub.mpc]
-        spread = CATALOG[stub.codename].ep_spread
-        ep = base + float(rng.normal(0.0, spread))
+        ep = base + float(draw)
         low = 0.73 if stub.hw_year == 2016 else 0.19
         stub.ep_target = float(min(0.99, max(low, ep)))
 
@@ -383,11 +410,14 @@ def _idle_from_ep(ep: float) -> float:
 
 
 def _assign_idle_fractions(stubs: List[_Stub], rng: np.random.Generator) -> None:
+    # Pinned stubs consume no draws, so one sized draw over the
+    # unpinned stubs matches the former per-stub scalar stream.
+    noises = iter(rng.normal(0.0, 0.13, size=sum(s.pinned is None for s in stubs)))
     for stub in stubs:
         if stub.pinned is not None and stub.pinned.idle_fraction is not None:
             stub.idle_fraction = stub.pinned.idle_fraction
             continue
-        noise = 0.0 if stub.pinned is not None else float(rng.normal(0.0, 0.13))
+        noise = 0.0 if stub.pinned is not None else float(next(noises))
         idle = _idle_from_ep(stub.ep_target) * math.exp(noise)
         # Hard bound: EP <= 2 * (1 - idle) for any monotone curve.
         idle = min(idle, 1.0 - stub.ep_target / 2.0 - 0.04)
@@ -408,9 +438,15 @@ def _solve_curves(stubs: List[_Stub]) -> None:
                 stub.ep_target, stub.idle_fraction, stub.peak_spot
             )
         stub.idle_fraction = curve.idle
-        stub.power_points = curve.grid_power()
-        spots = curve.grid_peak_spots()
-        stub.peak_spot = spots[0]
+        grid_power = curve.grid_power()
+        stub.power_points = grid_power
+        # Earliest peak-efficiency measurement level, straight from the
+        # grid powers (elementwise identical to ``grid_peak_spots()[0]``
+        # for both curve classes, without re-evaluating the curve).
+        levels = _LEVEL_GRID[1:]
+        rel = levels / grid_power[1:]
+        best = rel.max()
+        stub.peak_spot = float(levels[rel >= best * (1.0 - 1e-9)][0])
 
 
 # -- pass 8: efficiency scale ---------------------------------------------------------------
@@ -641,56 +677,56 @@ def _noisy_levels(
     max_ops: float,
     rng: np.random.Generator,
 ) -> Tuple[List[LoadLevel], float]:
-    """Materialize measured levels, preserving the peak-efficiency spot."""
+    """Materialize measured levels, preserving the peak-efficiency spot.
+
+    One array-scale draw per attempt replaces the former per-level
+    scalar draws (the alternating sigma vector keeps the stream, and so
+    the corpus, bit-identical), and the spot check runs on the raw
+    arrays: the former ranked list's head/runner-up are the max and the
+    second-largest value, and the winning spot is the lowest load
+    within the tie tolerance of the head.
+    """
     tie = stub.pinned.tie_peak_spots if stub.pinned is not None else False
+    base_powers = peak_power * power_points[1:]
+    base_opses = max_ops * _ROUNDED_LOADS_ARR
     for attempt in range(12):
         # Later retries shrink the noise so curves whose peak level wins
         # by a slim natural margin still land on their planned spot.
         damping = 1.0 if attempt < 6 else 0.5 ** (attempt - 5)
-        powers = {}
-        opses = {}
-        for load, p_norm in zip(_LEVEL_GRID[1:], power_points[1:]):
-            load = float(round(load, 1))
-            power_noise = 1.0 + float(rng.normal(0.0, 0.0015 * damping))
-            ops_noise = 1.0 + float(rng.normal(0.0, 0.002 * damping))
-            powers[load] = peak_power * float(p_norm) * power_noise
-            opses[load] = max_ops * load * ops_noise
+        draws = rng.normal(0.0, _ATTEMPT_SIGMAS * damping)
+        powers_arr = base_powers * (1.0 + draws[0::2])
+        opses_arr = base_opses * (1.0 + draws[1::2])
         if tie:
             # Exact efficiency tie between 80% and 90% (Section IV.A's
             # 478th spot): power at 90% set so ops/power matches 80%.
-            opses[0.9] = max_ops * 0.9
-            opses[0.8] = max_ops * 0.8
-            powers[0.9] = powers[0.8] * (0.9 / 0.8)
+            opses_arr[_IDX_09] = max_ops * 0.9
+            opses_arr[_IDX_08] = max_ops * 0.8
+            powers_arr[_IDX_09] = powers_arr[_IDX_08] * (0.9 / 0.8)
         idle_noise = 1.0 + float(rng.normal(0.0, 0.0015))
         idle_w = peak_power * float(power_points[0]) * idle_noise
 
-        efficiencies = {load: opses[load] / powers[load] for load in powers}
-        ranked = sorted(efficiencies.values(), reverse=True)
-        best = ranked[0]
-        spots = sorted(
-            load
-            for load, value in efficiencies.items()
-            if value >= best * (1.0 - 1e-9)
-        )
-        expected = stub.peak_spot
+        efficiencies = opses_arr / powers_arr
+        best = efficiencies.max()
+        first_spot = _ROUNDED_LOADS_ARR[
+            efficiencies >= best * (1.0 - 1e-9)
+        ][0]
         if tie:
-            if spots and abs(spots[0] - 0.8) < 1e-9:
+            if abs(first_spot - 0.8) < 1e-9:
                 break
         elif (
-            spots
-            and abs(spots[0] - expected) < 1e-9
+            abs(first_spot - stub.peak_spot) < 1e-9
             # Strict winner: the runner-up stays clearly below so the
             # analysis-side tie detector never miscounts a spot.
-            and (len(ranked) < 2 or ranked[1] <= best * (1.0 - 2e-3))
+            and np.partition(efficiencies, -2)[-2] <= best * (1.0 - 2e-3)
         ):
             break
     levels = [
         LoadLevel(
-            target_load=float(load),
-            ssj_ops=float(opses[float(round(load, 1))]),
-            average_power_w=float(powers[float(round(load, 1))]),
+            target_load=load,
+            ssj_ops=float(opses_arr[index]),
+            average_power_w=float(powers_arr[index]),
         )
-        for load in TARGET_LOADS_DESCENDING
+        for load, index in _TARGET_INDICES
     ]
     return levels, float(idle_w)
 

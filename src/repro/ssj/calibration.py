@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.ssj.engine import ServiceEngine, ThroughputProfile
+from repro.ssj.engine import OPS_PER_UNIT_WORK, BatchServiceEngine, ThroughputProfile
 from repro.ssj.transactions import SSJ_MIX, TransactionType
 from repro.ssj.workload import TransactionSource
 
@@ -55,12 +55,10 @@ def calibrate(
     if interval_s <= 0.0 or intervals <= 0:
         raise ValueError("calibration needs positive interval settings")
     analytic = analytic_max_ops_per_s(cores, profile, frequency_ghz)
-    engine = ServiceEngine(
+    engine = BatchServiceEngine(
         cores=cores, profile=profile, rng=rng, queue_capacity=4 * cores
     )
     # Offered transaction rate: ops rate / mean ops per transaction.
-    from repro.ssj.engine import OPS_PER_UNIT_WORK
-
     offered_tx_rate = 1.6 * analytic / OPS_PER_UNIT_WORK
     source = TransactionSource(rate_per_s=offered_tx_rate, rng=rng, mix=mix)
 
@@ -68,11 +66,10 @@ def calibrate(
     horizon = 0.0
     for index in range(intervals + 1):  # first interval is warm-up
         horizon += interval_s
-        arrivals = [
-            (engine.clock + offset, tx)
-            for offset, tx in source.arrivals(horizon - engine.clock)
-        ]
-        result = engine.advance(arrivals, horizon, frequency_ghz)
+        offsets, factors = source.arrival_arrays(horizon - engine.clock)
+        result = engine.advance(
+            engine.clock + offsets, factors, horizon, frequency_ghz
+        )
         if index > 0:
             rates.append(result.throughput_ops_per_s)
     return CalibrationResult(

@@ -11,7 +11,7 @@ the simulator defaults to shorter intervals than the real benchmark's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.metrics.ep import TARGET_LOADS_DESCENDING
 
@@ -53,7 +53,9 @@ class MeasurementPlan:
     def levels(self) -> int:
         return len(self.target_loads)
 
-    def with_intervals(self, interval_s: float, ramp_s: float = None) -> "MeasurementPlan":
+    def with_intervals(
+        self, interval_s: float, ramp_s: Optional[float] = None
+    ) -> "MeasurementPlan":
         """Copy of the plan with different interval timing."""
         return MeasurementPlan(
             target_loads=self.target_loads,

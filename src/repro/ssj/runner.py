@@ -19,7 +19,7 @@ import numpy as np
 from repro.power.governors import Governor, PerformanceGovernor
 from repro.power.server import ServerPowerModel
 from repro.ssj.calibration import calibrate
-from repro.ssj.engine import OPS_PER_UNIT_WORK, ServiceEngine, ThroughputProfile
+from repro.ssj.engine import BatchServiceEngine, OPS_PER_UNIT_WORK, ThroughputProfile
 from repro.ssj.load_levels import MeasurementPlan
 from repro.ssj.power_meter import PowerMeter
 from repro.ssj.report import BenchmarkReport, LevelMeasurement
@@ -46,8 +46,16 @@ class SsjRunner:
         self.mix = validate_mix(self.mix)
 
     def run(self) -> BenchmarkReport:
-        """Execute the full benchmark and return the report."""
-        rng = np.random.default_rng(self.seed)
+        """Execute the full benchmark and return the report.
+
+        Each phase draws from its own seed-derived substream --
+        calibration, every load level, and the idle meter get distinct
+        ``(seed, phase, level)`` generators.  Runs differing only in
+        governor or plan therefore share each level's stochastic inputs
+        (common random numbers, the standard discrete-event variance
+        reduction for comparing configurations), and a level's sample
+        path no longer depends on the plan's order or length.
+        """
         cores = self.server.total_cores
         cpu = self.server.cpus[0]
 
@@ -55,17 +63,18 @@ class SsjRunner:
             cores=cores,
             profile=self.profile,
             frequency_ghz=cpu.max_frequency_ghz,
-            rng=rng,
+            rng=np.random.default_rng((self.seed, 0, 0)),
             mix=self.mix,
         )
         max_ops = calibration.max_ops_per_s
 
         levels: List[LevelMeasurement] = []
-        for target in self.plan.target_loads:
-            levels.append(self._measure_level(target, max_ops, rng))
+        for index, target in enumerate(self.plan.target_loads):
+            level_rng = np.random.default_rng((self.seed, 1, index))
+            levels.append(self._measure_level(target, max_ops, level_rng))
 
         idle_frequency = self.governor.select_frequency(cpu, 0.0)
-        meter = PowerMeter(rng=rng)
+        meter = PowerMeter(rng=np.random.default_rng((self.seed, 2, 0)))
         idle_power = meter.measure(
             lambda _t: self.server.wall_power_w(0.0, idle_frequency),
             0.0,
@@ -90,7 +99,7 @@ class SsjRunner:
         """Drive one target load and measure throughput and power."""
         cores = self.server.total_cores
         cpu = self.server.cpus[0]
-        engine = ServiceEngine(cores=cores, profile=self.profile, rng=rng)
+        engine = BatchServiceEngine(cores=cores, profile=self.profile, rng=rng)
         tx_rate = target * max_ops_per_s / OPS_PER_UNIT_WORK
         source = TransactionSource(rate_per_s=tx_rate, rng=rng, mix=self.mix)
 
@@ -108,11 +117,8 @@ class SsjRunner:
         while clock < total_span - 1e-9:
             window_end = min(clock + period, total_span)
             frequency = self.governor.select_frequency(cpu, load_estimate)
-            arrivals = [
-                (clock + offset, tx)
-                for offset, tx in source.arrivals(window_end - clock)
-            ]
-            result = engine.advance(arrivals, window_end, frequency)
+            offsets, factors = source.arrival_arrays(window_end - clock)
+            result = engine.advance(clock + offsets, factors, window_end, frequency)
             load_estimate = engine.recent_load(result)
             window_edges.append(window_end)
             window_power.append(

@@ -10,7 +10,7 @@ server's low-utilization power behaviour is measured under.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ class TransactionSource:
             raise ValueError("arrival rate must be positive")
         self.mix = validate_mix(self.mix)
         self._weights = np.array([t.mix_weight for t in self.mix])
+        self._work_factors = np.array([t.work_factor for t in self.mix])
 
     def arrivals(self, horizon_s: float) -> Iterator[Tuple[float, TransactionType]]:
         """Yield arrivals with exponential spacing until the horizon."""
@@ -53,6 +54,41 @@ class TransactionSource:
                 return
             index = int(self.rng.choice(len(mix), p=self._weights))
             yield clock, mix[index]
+
+    def arrival_arrays(self, horizon_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-horizon arrivals as arrays: (offsets, work factors).
+
+        Gap draws come in chunked array passes -- exponential spacings
+        are cumulative-summed until the horizon is crossed -- and one
+        categorical draw assigns every arrival its transaction type, so
+        the cost per window is a couple of RNG calls instead of two
+        scalar draws per transaction.  The generator is consumed in a
+        different order than :meth:`arrivals` (which interleaves a gap
+        and a type draw per arrival), so the two methods give different
+        -- but each fully deterministic -- sample paths from the same
+        generator state.
+        """
+        if horizon_s <= 0.0:
+            raise ValueError("horizon must be positive")
+        mean = 1.0 / self.rate_per_s
+        expected = self.rate_per_s * horizon_s
+        chunk = max(16, int(expected * 1.2) + 4)
+        parts: List[np.ndarray] = []
+        base = 0.0
+        while True:
+            times = base + np.cumsum(self.rng.exponential(mean, size=chunk))
+            cut = int(np.searchsorted(times, horizon_s, side="left"))
+            if cut < chunk:
+                parts.append(times[:cut])
+                break
+            parts.append(times)
+            base = float(times[-1])
+            chunk = max(16, chunk // 4)
+        offsets = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if offsets.size == 0:
+            return offsets, offsets
+        indices = self.rng.choice(len(self.mix), size=offsets.size, p=self._weights)
+        return offsets, self._work_factors[indices]
 
     def expected_count(self, horizon_s: float) -> float:
         """Expected number of arrivals over the horizon."""

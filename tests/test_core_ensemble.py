@@ -1,0 +1,108 @@
+"""Tests for the multi-seed ensemble engine."""
+
+import io
+
+import pytest
+
+from repro.core.ensemble import (
+    SUMMARY_FIELDS,
+    EnsembleResult,
+    MetricSummary,
+    SeedStatistics,
+    resolve_seeds,
+    run_ensemble,
+    seed_statistics,
+)
+from repro.core.study import Study
+
+
+@pytest.fixture(scope="module")
+def serial_ensemble():
+    return run_ensemble((2016, 7), jobs=1)
+
+
+class TestResolveSeeds:
+    def test_int_expands_from_base_seed(self):
+        assert resolve_seeds(3, base_seed=100) == (100, 101, 102)
+
+    def test_sequence_preserved_in_order(self):
+        assert resolve_seeds([5, 2, 9]) == (5, 2, 9)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_seeds(0)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            resolve_seeds([])
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            resolve_seeds([1, 2, 1])
+
+
+class TestSeedStatistics:
+    def test_headlines_in_plausible_ranges(self, serial_ensemble):
+        stats = serial_ensemble.per_seed[0]
+        assert isinstance(stats, SeedStatistics)
+        assert stats.seed == 2016
+        assert stats.servers == 477
+        assert 0.0 < stats.ep_mean < 1.0
+        assert 0.0 < stats.eq2_r_squared <= 1.0
+        assert -1.0 <= stats.corr_ep_idle < 0.0  # higher idle, lower EP
+        assert stats.ep_trend_slope > 0.0  # EP improves over hw years
+        assert stats.ep_by_year  # populated trend maps
+
+    def test_matches_direct_seed_statistics(self, serial_ensemble):
+        assert seed_statistics(7) == serial_ensemble.per_seed[1]
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_equals_serial_exactly(self, serial_ensemble):
+        parallel = run_ensemble((2016, 7), jobs=2)
+        assert parallel == serial_ensemble
+
+    def test_seed_order_preserved(self, serial_ensemble):
+        assert serial_ensemble.seeds == (2016, 7)
+        assert tuple(s.seed for s in serial_ensemble.per_seed) == (2016, 7)
+
+
+class TestSummaries:
+    def test_every_summary_field_present(self, serial_ensemble):
+        assert set(serial_ensemble.summaries) == set(SUMMARY_FIELDS)
+
+    def test_summary_statistics_consistent(self, serial_ensemble):
+        summary = serial_ensemble.summary("ep_mean")
+        assert isinstance(summary, MetricSummary)
+        assert len(summary.values) == 2
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.ci_half_width == pytest.approx(
+            0.5 * (summary.ci_high - summary.ci_low)
+        )
+
+    def test_unknown_metric_rejected(self, serial_ensemble):
+        with pytest.raises(KeyError, match="unknown ensemble metric"):
+            serial_ensemble.summary("nope")
+
+    def test_render_lists_every_metric(self, serial_ensemble):
+        rendered = serial_ensemble.render()
+        assert "ensemble over 2 seeds" in rendered
+        for name in SUMMARY_FIELDS:
+            assert name in rendered
+
+
+class TestStudyAndCliIntegration:
+    def test_study_ensemble_uses_study_seed(self, corpus):
+        result = Study(corpus=corpus, seed=7).ensemble(seeds=2)
+        assert isinstance(result, EnsembleResult)
+        assert result.seeds == (7, 8)
+
+    def test_cli_ensemble_smoke(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["--seed", "2016", "ensemble", "--seeds", "2",
+                     "--per-seed"], out=out) == 0
+        text = out.getvalue()
+        assert "ensemble over 2 seeds (2016..2017)" in text
+        assert "per-seed headline statistics" in text

@@ -116,3 +116,30 @@ class TestStudyRunAllIntegration:
         assert isinstance(results, dict)
         assert not isinstance(results, RunReport)
         assert set(results) == set(REGISTRY)
+
+
+class TestCacheFlagNormalization:
+    """run_all(cache=...) accepts bool | ArtifactCache | None."""
+
+    def test_true_means_default_store(self, corpus):
+        from repro.core.cache import DEFAULT_CACHE_DIR, ArtifactCache
+
+        executor = ArtifactExecutor(Study(corpus=corpus), cache=True)
+        assert isinstance(executor.cache, ArtifactCache)
+        assert str(executor.cache.root) == DEFAULT_CACHE_DIR
+
+    def test_false_means_no_cache(self, corpus):
+        assert ArtifactExecutor(Study(corpus=corpus), cache=False).cache is None
+
+    def test_run_all_accepts_bools_end_to_end(
+        self, study, tmp_path, monkeypatch
+    ):
+        # cache=True writes to the default relative store; chdir keeps it
+        # inside the test's tmp dir.  This used to crash with
+        # AttributeError: 'bool' object has no attribute 'get'.
+        monkeypatch.chdir(tmp_path)
+        report = study.run_all(jobs=2, cache=True, report=True)
+        assert (tmp_path / ".repro_cache").is_dir()
+        assert set(report) == set(REGISTRY)
+        plain = study.run_all(jobs=2, cache=False)
+        assert set(plain) == set(REGISTRY)

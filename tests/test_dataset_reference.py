@@ -1,0 +1,82 @@
+"""Bit-identity contract between the vectorized and reference kernels.
+
+The corpus generator was vectorized under a strict contract: for any
+seed, the optimized pipeline emits *exactly* the corpus the original
+scalar kernels emitted.  :mod:`repro.dataset.reference` keeps those
+original kernels alive; these tests hold the two pipelines to
+field-for-field equality and pin the content fingerprints so an
+accidental numeric drift (a reordered reduction, np.exp vs math.exp)
+fails loudly instead of silently shifting every downstream statistic.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dataset.reference import (
+    generate_corpus_reference,
+    reference_kernels,
+    results_equal,
+)
+from repro.dataset.synthesis import generate_corpus
+
+#: Content fingerprints the vectorized generator must keep emitting.
+PINNED_FINGERPRINTS = {
+    2016: "8b351d2ce9ca6e0732b6ccc8b1ba414920eb17c7916b32398d6b6fd0babff2a5",
+    7: "3675fbc5dffa92d3c54c992a0c17c9855d3b1f3366edf6ae121ceef19b8e43ba",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus_seed7():
+    return generate_corpus(seed=7)
+
+
+class TestVectorizedEqualsReference:
+    def test_default_seed_bit_identical(self, corpus):
+        reference = generate_corpus_reference(seed=2016)
+        assert len(reference) == len(corpus)
+        for optimized, original in zip(corpus, reference):
+            assert results_equal(optimized, original)
+
+    def test_secondary_seed_bit_identical(self, corpus_seed7):
+        reference = generate_corpus_reference(seed=7)
+        assert len(reference) == len(corpus_seed7)
+        for optimized, original in zip(corpus_seed7, reference):
+            assert results_equal(optimized, original)
+
+    def test_fingerprints_match_too(self, corpus):
+        assert generate_corpus_reference(2016).fingerprint() == corpus.fingerprint()
+
+    def test_swap_is_restored_after_context(self, corpus):
+        import repro.dataset.synthesis as _syn
+
+        live = _syn._noisy_levels
+        with reference_kernels():
+            assert _syn._noisy_levels is not live
+        assert _syn._noisy_levels is live
+
+
+class TestPinnedFingerprints:
+    def test_default_seed_fingerprint(self, corpus):
+        assert corpus.fingerprint() == PINNED_FINGERPRINTS[2016]
+
+    def test_secondary_seed_fingerprint(self, corpus_seed7):
+        assert corpus_seed7.fingerprint() == PINNED_FINGERPRINTS[7]
+
+
+class TestResultsEqual:
+    def test_detects_metadata_difference(self, corpus):
+        record = list(corpus)[0]
+        changed = dataclasses.replace(record, vendor="Other Vendor")
+        assert results_equal(record, record)
+        assert not results_equal(record, changed)
+
+    def test_detects_level_difference(self, corpus):
+        record = list(corpus)[0]
+        levels = list(record.levels)
+        levels[0] = dataclasses.replace(
+            levels[0], average_power_w=levels[0].average_power_w + 1e-9
+        )
+        changed = dataclasses.replace(record, levels=tuple(levels))
+        assert not results_equal(record, changed)
