@@ -1,0 +1,207 @@
+"""Shared AST helpers: import resolution, name chains, markers.
+
+The determinism rules need to know that ``np.random.seed`` and
+``numpy.random.seed`` are the same call regardless of how the module
+was imported, so every file rule works on *resolved* dotted names:
+the import table of the file maps each local alias to the fully
+qualified prefix it stands for, and :func:`resolve_call` rewrites a
+call's attribute chain through that table.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+#: ``# parity: ...`` and ``# repro-checks: ignore[...]`` marker forms.
+_IGNORE_RE = re.compile(r"repro-checks:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+_PARITY_RE = re.compile(r"#\s*parity:")
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map every imported local name to its fully qualified prefix.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from numpy
+    import random`` yields ``{"random": "numpy.random"}``; a bare
+    ``import numpy.random`` binds the root ``{"numpy": "numpy"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname:
+                    aliases[item.asname] = item.name
+                else:
+                    root = item.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports cannot shadow numpy/random/time
+            for item in node.names:
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """The attribute chain of a Name/Attribute node, outermost first."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def resolve_call(func: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully qualified dotted path of a call target, if import-rooted.
+
+    Returns ``None`` for calls rooted at locals (``rng.normal(...)``)
+    or expressions, so rules never misfire on threaded generators.
+    """
+    parts = dotted_name(func)
+    if parts is None:
+        return None
+    root = parts[0]
+    if root not in aliases:
+        return None
+    return ".".join([aliases[root]] + parts[1:])
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost Name of an Attribute/Subscript/Name chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def module_level_names(tree: ast.Module) -> Set[str]:
+    """Every name bound at module level (assignments, imports, defs)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                names.add(item.asname or item.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for item in node.names:
+                names.add(item.asname or item.name)
+    return names
+
+
+def module_level_classes(tree: ast.Module) -> Set[str]:
+    """Names of classes defined at module level."""
+    return {n.name for n in tree.body if isinstance(n, ast.ClassDef)}
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_target_names(element))
+    return names
+
+
+def local_bindings(func: ast.AST) -> Set[str]:
+    """Names bound locally inside a function (params, stores, defs)."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    names: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not func:
+                names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+def signature_shape(func: ast.AST) -> List[str]:
+    """A comparable, annotation-free rendering of a def's signature.
+
+    Two kernels agree when their positional/keyword argument names,
+    order, and literal defaults agree — exactly what the
+    swap-by-name harness in ``dataset.reference`` relies on.
+    """
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = func.args
+    shape: List[str] = []
+    defaults = list(args.defaults)
+    positional = list(args.posonlyargs) + list(args.args)
+    padding = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        entry = arg.arg
+        if index >= padding:
+            entry += "=" + _default_repr(defaults[index - padding])
+        shape.append(entry)
+    if args.vararg:
+        shape.append("*" + args.vararg.arg)
+    elif args.kwonlyargs:
+        shape.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        entry = arg.arg
+        if default is not None:
+            entry += "=" + _default_repr(default)
+        shape.append(entry)
+    if args.kwarg:
+        shape.append("**" + args.kwarg.arg)
+    return shape
+
+
+def _default_repr(node: ast.AST) -> str:
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def has_marker(lines: Sequence[str], def_line: int, pattern: re.Pattern = _PARITY_RE) -> bool:
+    """True if a marker comment sits on the def line or just above it.
+
+    ``def_line`` is 1-based; decorator lines above the def also count,
+    so the marker can sit above ``@property``.
+    """
+    for lineno in range(max(1, def_line - 2), def_line + 1):
+        if lineno <= len(lines) and pattern.search(lines[lineno - 1]):
+            return True
+    return False
+
+
+def suppressed_rules(line: str) -> Optional[Set[str]]:
+    """Rule ids suppressed by an inline marker on ``line``.
+
+    Returns ``None`` when there is no marker, the empty set for a bare
+    ``repro-checks: ignore`` (suppress everything), or the specific
+    ids of ``repro-checks: ignore[REP104]``.
+    """
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return None
+    if match.group(1) is None:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}

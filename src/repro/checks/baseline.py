@@ -1,0 +1,80 @@
+"""Findings baseline: land new rules warn-only, promote later.
+
+A baseline is a JSON snapshot of the findings a tree is known to
+carry.  ``repro checks --write-baseline`` records the current
+findings; subsequent runs with ``--baseline`` subtract them, so a new
+rule can ship enforcing *new* violations immediately while the
+existing backlog is burned down separately.
+
+Fingerprints deliberately exclude line numbers — pure code motion
+must not resurrect baselined findings — and are counted, so adding a
+*second* occurrence of a baselined pattern in the same file still
+fails the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.checks.model import Finding
+
+_VERSION = 1
+
+
+def fingerprint(item: Finding) -> str:
+    """Stable, line-independent identity of one finding."""
+    payload = f"{item.rule_id}::{item.path}::{item.message}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Snapshot ``findings`` to ``path``; returns the entry count."""
+    counts = Counter(fingerprint(item) for item in findings)
+    annotated = {}
+    for item in findings:
+        key = fingerprint(item)
+        if key not in annotated:
+            annotated[key] = {
+                "count": counts[key],
+                "rule": item.rule_id,
+                "path": item.path,
+                "message": item.message,
+            }
+    document = {"version": _VERSION, "findings": annotated}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return len(annotated)
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """The fingerprint -> allowed-count map of a snapshot."""
+    document = json.loads(path.read_text())
+    if document.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {document.get('version')!r} "
+            f"in {path}"
+        )
+    return {
+        key: int(entry.get("count", 1))
+        for key, entry in document.get("findings", {}).items()
+    }
+
+
+def apply_baseline(
+    findings: List[Finding], allowed: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Subtract baselined findings; returns (surviving, suppressed)."""
+    budget = dict(allowed)
+    surviving: List[Finding] = []
+    suppressed = 0
+    for item in findings:
+        key = fingerprint(item)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            surviving.append(item)
+    return surviving, suppressed

@@ -1,0 +1,128 @@
+"""CLI surface of the checker: ``python -m repro checks [paths]``.
+
+Kept separate from :mod:`repro.cli` so the checker stays importable
+(and testable) without dragging in the corpus/Study machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import IO, List, Optional
+
+from repro.checks.baseline import apply_baseline, load_baseline, write_baseline
+from repro.checks.engine import RULES, exit_code, run_checks
+from repro.checks.model import Finding, Severity
+
+
+def add_checks_parser(commands: argparse._SubParsersAction) -> None:
+    """Register the ``checks`` subcommand on the repro CLI."""
+    checks = commands.add_parser(
+        "checks",
+        help="static analysis: determinism, registry, concurrency, parity",
+        description=(
+            "AST-based enforcement of the repo's reproducibility "
+            "invariants: seeded-rng discipline (REP1xx), registry "
+            "consistency (REP2xx), concurrency safety under the pooled "
+            "executors (REP3xx), and reference-kernel parity (REP4xx)."
+        ),
+    )
+    checks.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    checks.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule id prefixes to run (e.g. REP1,REP203)",
+    )
+    checks.add_argument(
+        "--ignore", default=None, metavar="IDS",
+        help="comma-separated rule id prefixes to skip",
+    )
+    checks.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="findings rendering (default: text)",
+    )
+    checks.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="subtract the findings recorded in this snapshot",
+    )
+    checks.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline (or "
+        ".repro_checks_baseline.json) and exit 0",
+    )
+    checks.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    parts = [part.strip() for part in value.split(",") if part.strip()]
+    return parts or None
+
+
+def _render_text(findings: List[Finding], suppressed: int, out: IO[str]) -> None:
+    for item in findings:
+        print(item.render(), file=out)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    print(summary, file=out)
+
+
+def _render_json(findings: List[Finding], suppressed: int, out: IO[str]) -> None:
+    document = {
+        "findings": [item.to_dict() for item in findings],
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warnings": sum(
+            1 for f in findings if f.severity is Severity.WARNING
+        ),
+        "baselined": suppressed,
+    }
+    print(json.dumps(document, indent=2), file=out)
+
+
+def _list_rules(out: IO[str]) -> int:
+    width = max(len(rule_id) for rule_id in RULES)
+    for rule_id, rule in sorted(RULES.items()):
+        print(
+            f"{rule_id:<{width}}  [{rule.severity.value:<7}] "
+            f"{rule.name}: {rule.description}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_checks(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run the checker per parsed CLI args; returns the exit code."""
+    if args.list_rules:
+        return _list_rules(out)
+    findings = run_checks(
+        args.paths, select=_split(args.select), ignore=_split(args.ignore)
+    )
+    baseline_path = Path(args.baseline or ".repro_checks_baseline.json")
+    if args.write_baseline:
+        entries = write_baseline(baseline_path, findings)
+        print(
+            f"wrote {entries} baseline entr(ies) covering "
+            f"{len(findings)} finding(s) to {baseline_path}",
+            file=out,
+        )
+        return 0
+    suppressed = 0
+    if args.baseline is not None:
+        findings, suppressed = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+    if args.output_format == "json":
+        _render_json(findings, suppressed, out)
+    else:
+        _render_text(findings, suppressed, out)
+    return exit_code(findings)

@@ -1,0 +1,311 @@
+"""Concurrency-safety rules (REP30x): pooled code must not mutate.
+
+The artifact executor runs registered builders on a thread pool over
+one shared :class:`Study`, and the ensemble engine ships worker
+functions to a process pool.  Parallel == serial only holds while
+those functions are pure readers of shared state.  This family flags
+the writes that would break it:
+
+* REP301 — ``global`` declarations with writes;
+* REP302 — class-attribute writes (``Cls.attr = ...``,
+  ``self.__class__.attr = ...``) — shared across every instance;
+* REP303 — mutation of module-level state (item/attr stores or
+  mutating method calls on module-level names);
+* REP304 — instance-state writes from a registered builder (the Study
+  is shared by every concurrently running builder);
+* REP305 — mutable default arguments (shared across calls *and*
+  threads), reported tree-wide as a warning.
+
+Builder discovery is cross-file: builder names come from the literal
+``ArtifactSpec``/``_spec`` calls anywhere in the scanned set and are
+matched against methods of any ``Study`` class in the set.  Worker
+discovery is per-module: in a module that imports a pool executor,
+any top-level function referenced by name (rather than called) is
+treated as pool-dispatched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.checks.astutil import (
+    local_bindings,
+    module_level_classes,
+    module_level_names,
+    root_name,
+)
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    finding,
+)
+from repro.checks.registry_rules import extract_spec_literals
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "popleft",
+}
+
+_POOL_NAMES = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+
+
+def _builder_names(project: Project) -> Set[str]:
+    names: Set[str] = set()
+    for ctx in project.files:
+        for spec in extract_spec_literals(ctx.tree):
+            builder = spec.builder
+            if isinstance(builder, ast.Constant) and isinstance(builder.value, str):
+                names.add(builder.value)
+            elif isinstance(builder, ast.Name):
+                names.add(builder.id)
+    return names
+
+
+def _imports_pool(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(item.name in _POOL_NAMES for item in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(
+                item.name.startswith(("concurrent.futures", "multiprocessing"))
+                for item in node.names
+            ):
+                return True
+    return False
+
+
+def _referenced_functions(tree: ast.Module) -> Set[str]:
+    """Top-level functions passed around by name (pool-dispatched)."""
+    defined = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    referenced: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for value in list(node.args) + [k.value for k in node.keywords]:
+            if isinstance(value, ast.Name) and value.id in defined:
+                referenced.add(value.id)
+    return referenced
+
+
+def _pooled_functions(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.AST, str]]:
+    """(file, function node, kind) for every pooled execution context."""
+    builders = _builder_names(project)
+    for ctx in project.files:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "Study":
+                for item in node.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name in builders
+                    ):
+                        yield ctx, item, "builder"
+        if _imports_pool(ctx.tree):
+            workers = _referenced_functions(ctx.tree)
+            for node in ctx.tree.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in workers
+                ):
+                    yield ctx, node, "worker"
+
+
+def _scan_writes(
+    ctx: SourceFile, func: ast.AST, kind: str
+) -> Iterator[Finding]:
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    module_names = module_level_names(ctx.tree)
+    module_classes = module_level_classes(ctx.tree)
+    locals_ = local_bindings(func)
+    global_decls: Set[str] = set()
+    label = f"{kind} {func.name!r}"
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+
+    stored_names = {
+        node.id
+        for node in ast.walk(func)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            written = [name for name in node.names if name in stored_names]
+            if written:
+                yield finding(
+                    RULES["REP301"], ctx.rel, node,
+                    f"{label} writes module global(s) {written} under a "
+                    "pooled executor",
+                    hint="return the value instead; pooled code must not "
+                    "mutate shared module state",
+                )
+
+    for node in ast.walk(func):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            yield from _classify_store(
+                ctx, node, target, label, kind,
+                module_names, module_classes, locals_, global_decls,
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                receiver = node.func.value
+                root = root_name(receiver)
+                if root is None:
+                    continue
+                if root == "self" and kind == "builder":
+                    yield finding(
+                        RULES["REP304"], ctx.rel, node,
+                        f"{label} mutates shared Study state via "
+                        f"self...{node.func.attr}()",
+                        hint="builders run concurrently over one Study; "
+                        "memoize through a locked helper instead",
+                    )
+                elif root in module_names and root not in locals_:
+                    yield finding(
+                        RULES["REP303"], ctx.rel, node,
+                        f"{label} mutates module-level {root!r} via "
+                        f".{node.func.attr}()",
+                        hint="pooled code must not mutate module state; "
+                        "build and return a new value",
+                    )
+
+
+def _classify_store(
+    ctx: SourceFile,
+    stmt: ast.AST,
+    target: ast.AST,
+    label: str,
+    kind: str,
+    module_names: Set[str],
+    module_classes: Set[str],
+    locals_: Set[str],
+    global_decls: Set[str],
+) -> Iterator[Finding]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _classify_store(
+                ctx, stmt, element, label, kind,
+                module_names, module_classes, locals_, global_decls,
+            )
+        return
+    if isinstance(target, ast.Name):
+        return  # plain name stores are locals (REP301 covers globals)
+    root = root_name(target)
+    if root is None:
+        return
+    if root == "self":
+        if _is_dunder_class_write(target):
+            yield finding(
+                RULES["REP302"], ctx.rel, stmt,
+                f"{label} writes a class attribute via self.__class__",
+                hint="class attributes are shared across every instance "
+                "and thread",
+            )
+        elif kind == "builder":
+            yield finding(
+                RULES["REP304"], ctx.rel, stmt,
+                f"{label} writes instance state on the shared Study",
+                hint="builders run concurrently over one Study; only the "
+                "locked _sweep-style helpers may memoize onto it",
+            )
+        return
+    if root in locals_ and root not in global_decls:
+        return
+    if root in module_classes:
+        yield finding(
+            RULES["REP302"], ctx.rel, stmt,
+            f"{label} writes attribute of module-level class {root!r}",
+            hint="class attributes are shared across every instance and "
+            "thread",
+        )
+    elif root in module_names:
+        yield finding(
+            RULES["REP303"], ctx.rel, stmt,
+            f"{label} writes into module-level {root!r}",
+            hint="pooled code must not mutate module state; build and "
+            "return a new value",
+        )
+
+
+def _is_dunder_class_write(target: ast.AST) -> bool:
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr == "__class__":
+            return True
+        node = node.value
+    return False
+
+
+def _concurrency_project_check(project: Project) -> Iterator[Finding]:
+    for ctx, func, kind in _pooled_functions(project):
+        yield from _scan_writes(ctx, func, kind)
+
+
+def _check_mutable_defaults(ctx: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+                mutable = default.func.id in ("list", "dict", "set")
+            if mutable:
+                yield finding(
+                    RULES["REP305"], ctx.rel, default,
+                    f"function {node.name!r} has a mutable default argument",
+                    hint="shared across calls and threads; use None plus an "
+                    "in-body default",
+                )
+
+
+RULES = {
+    "REP301": Rule(
+        "REP301", "global-write", Severity.ERROR,
+        "pooled code writing module globals",
+        scope="project", project_checker=_concurrency_project_check,
+    ),
+    "REP302": Rule(
+        "REP302", "class-attribute-write", Severity.ERROR,
+        "pooled code writing class attributes",
+        scope="project", project_checker=None,
+    ),
+    "REP303": Rule(
+        "REP303", "module-state-mutation", Severity.ERROR,
+        "pooled code mutating module-level state",
+        scope="project", project_checker=None,
+    ),
+    "REP304": Rule(
+        "REP304", "shared-study-write", Severity.ERROR,
+        "builders writing instance state on the shared Study",
+        scope="project", project_checker=None,
+    ),
+    "REP305": Rule(
+        "REP305", "mutable-default", Severity.WARNING,
+        "mutable default arguments",
+        scope="file", file_checker=_check_mutable_defaults,
+    ),
+}
+
+#: The single project checker that emits REP301-REP304.
+PROJECT_RULES = ("REP301",)

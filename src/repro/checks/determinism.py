@@ -1,0 +1,245 @@
+"""Determinism rules (REP10x): seeded streams only, no wall clocks.
+
+The reproduction's headline numbers (the Eq. 2 fit, the EP trend, the
+batch-vs-event engine agreement) are only comparable across runs and
+machines because every random draw flows through an explicitly seeded
+``numpy.random.Generator`` and nothing reads the wall clock inside a
+kernel.  These rules make that discipline mechanical:
+
+* REP101 — ``np.random.seed`` / ``random.seed`` reseed process-global
+  state and break substream isolation;
+* REP102 — legacy ``np.random.<dist>`` module-level draws consume the
+  hidden global stream;
+* REP103 — stdlib ``random`` calls are unseeded (or globally seeded)
+  and unreproducible across processes;
+* REP104 — wall-clock reads inside kernels leak nondeterminism into
+  results (timing belongs to the executor's metrics layer);
+* REP105 — ``default_rng()`` with no/None seed pulls OS entropy;
+* REP106 — an optional ``rng`` parameter silently falling back to a
+  constant-seeded generator hides seed coupling from callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.astutil import import_aliases, resolve_call
+from repro.checks.model import Finding, Rule, Severity, SourceFile, finding
+
+#: numpy.random attributes that are legitimate under the Generator API.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Wall-clock call paths forbidden outside the instrumentation layer.
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Modules allowed to read clocks: build observability, not results.
+_CLOCK_ALLOWLIST = {
+    "repro.core.executor",
+    "repro.core.cache",
+}
+
+
+def _check_np_seed(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = resolve_call(node.func, aliases)
+        if path in ("numpy.random.seed", "random.seed"):
+            yield finding(
+                RULES["REP101"],
+                ctx.rel,
+                node,
+                f"call to {path}() reseeds process-global random state",
+                hint="thread a seeded np.random.default_rng(seed) through "
+                "the call chain instead",
+            )
+
+
+def _check_legacy_np_random(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = resolve_call(node.func, aliases)
+        if path is None or not path.startswith("numpy.random."):
+            continue
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf == "seed" or leaf in _NP_RANDOM_ALLOWED:
+            continue
+        yield finding(
+            RULES["REP102"],
+            ctx.rel,
+            node,
+            f"legacy module-level draw {path}() uses the hidden global stream",
+            hint=f"use rng.{leaf}(...) on an explicitly seeded "
+            "np.random.Generator",
+        )
+
+
+def _check_stdlib_random(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = resolve_call(node.func, aliases)
+        if path is None:
+            continue
+        if path == "random.seed":
+            continue  # REP101's finding
+        if path == "random" or path.startswith("random."):
+            yield finding(
+                RULES["REP103"],
+                ctx.rel,
+                node,
+                f"stdlib {path}() draw is not seed-stable across processes",
+                hint="all randomness must flow through numpy Generators "
+                "seeded from explicit values",
+            )
+
+
+def _check_wall_clock(ctx: SourceFile) -> Iterator[Finding]:
+    if ctx.module in _CLOCK_ALLOWLIST:
+        return
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = resolve_call(node.func, aliases)
+        if path in _WALL_CLOCKS:
+            yield finding(
+                RULES["REP104"],
+                ctx.rel,
+                node,
+                f"wall-clock read {path}() makes results time-dependent",
+                hint="pass timestamps in as parameters; timing belongs to "
+                "the executor's metrics layer (repro.core.executor)",
+            )
+
+
+def _is_default_rng(node: ast.Call, aliases: dict) -> bool:
+    path = resolve_call(node.func, aliases)
+    return path == "numpy.random.default_rng"
+
+
+def _check_unseeded_rng(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not _is_default_rng(node, aliases):
+            continue
+        unseeded = not node.args and not node.keywords
+        if not unseeded and len(node.args) == 1 and not node.keywords:
+            arg = node.args[0]
+            unseeded = isinstance(arg, ast.Constant) and arg.value is None
+        if unseeded:
+            yield finding(
+                RULES["REP105"],
+                ctx.rel,
+                node,
+                "default_rng() without a seed draws OS entropy",
+                hint="seed from an explicit value or a threaded seed tuple, "
+                "e.g. default_rng((seed, stream_index))",
+            )
+
+
+def _optional_rng_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Functions with an ``rng=None``-style optional generator param."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        names = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        defaults = list(args.defaults) + list(args.kw_defaults)
+        has_optional_rng = any(arg.arg == "rng" for arg in names) and any(
+            isinstance(d, ast.Constant) and d.value is None
+            for d in defaults
+            if d is not None
+        )
+        if has_optional_rng:
+            yield node
+
+
+def _check_hidden_fallback(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for func in _optional_rng_functions(ctx.tree):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "rng" not in targets:
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call) or not _is_default_rng(value, aliases):
+                continue
+            if value.args and isinstance(value.args[0], ast.Constant):
+                yield finding(
+                    RULES["REP106"],
+                    ctx.rel,
+                    node,
+                    "optional rng parameter silently falls back to "
+                    f"default_rng({value.args[0].value!r})",
+                    hint="require an explicit seed= or rng= from the caller "
+                    "(raise ValueError when both are absent) so seed "
+                    "coupling stays visible at call sites",
+                )
+
+
+RULES = {
+    "REP101": Rule(
+        "REP101", "global-reseed", Severity.ERROR,
+        "np.random.seed / random.seed reseed process-global state",
+        scope="file", file_checker=_check_np_seed,
+    ),
+    "REP102": Rule(
+        "REP102", "legacy-np-random", Severity.ERROR,
+        "legacy np.random.<dist> module-level draws",
+        scope="file", file_checker=_check_legacy_np_random,
+    ),
+    "REP103": Rule(
+        "REP103", "stdlib-random", Severity.ERROR,
+        "stdlib random module calls",
+        scope="file", file_checker=_check_stdlib_random,
+    ),
+    "REP104": Rule(
+        "REP104", "wall-clock", Severity.ERROR,
+        "wall-clock reads outside the instrumentation allowlist",
+        scope="file", file_checker=_check_wall_clock,
+    ),
+    "REP105": Rule(
+        "REP105", "unseeded-rng", Severity.ERROR,
+        "default_rng() without an explicit seed",
+        scope="file", file_checker=_check_unseeded_rng,
+    ),
+    "REP106": Rule(
+        "REP106", "hidden-seed-fallback", Severity.ERROR,
+        "optional rng params silently defaulting to a constant seed",
+        scope="file", file_checker=_check_hidden_fallback,
+    ),
+}

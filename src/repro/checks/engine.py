@@ -1,0 +1,197 @@
+"""The rule engine: collect files, run rules, filter, report.
+
+:func:`run_checks` is the library entry point; the CLI in
+:mod:`repro.checks.cli` is a thin wrapper over it.  The engine is
+deliberately boring: parse every file once, hand each
+:class:`SourceFile` to the file-scoped rules, hand the whole
+:class:`Project` to the project-scoped rules, then apply inline
+suppressions (``# repro-checks: ignore[REP104]``) and the
+``--select``/``--ignore`` id filters.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.checks import concurrency, determinism, parity, registry_rules
+from repro.checks.astutil import suppressed_rules
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    module_name_for,
+)
+
+#: Every shipped rule, id -> Rule, in catalog order.
+RULES: Dict[str, Rule] = {}
+for family in (determinism, registry_rules, concurrency, parity):
+    RULES.update(family.RULES)
+
+#: Directories never scanned (caches, VCS metadata, build output).
+_SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", ".egg-info", "build"}
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Every python file under the given files/directories, sorted."""
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _skipped(candidate)
+            )
+        elif path.suffix == ".py":
+            collected.append(path)
+    unique: List[Path] = []
+    seen = set()
+    for path in collected:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _skipped(path: Path) -> bool:
+    return any(
+        part in _SKIP_DIRS or part.endswith(".egg-info")
+        for part in path.parts
+    )
+
+
+def _rel(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd().resolve()))
+    except ValueError:
+        return str(path)
+
+
+def load_project(paths: Sequence[str]) -> "LoadedProject":
+    """Parse every file; syntax errors become REP001 findings."""
+    files: List[SourceFile] = []
+    parse_errors: List[Finding] = []
+    for path in collect_files(paths):
+        rel = _rel(path)
+        try:
+            source = path.read_text()
+        except OSError as error:
+            parse_errors.append(
+                Finding("REP001", Severity.ERROR, rel, 1, 0,
+                        f"unreadable file: {error}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            parse_errors.append(
+                Finding(
+                    "REP001", Severity.ERROR, rel,
+                    error.lineno or 1, error.offset or 0,
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        files.append(
+            SourceFile(
+                path=path,
+                rel=rel,
+                module=module_name_for(path),
+                source=source,
+                tree=tree,
+                lines=tuple(source.splitlines()),
+            )
+        )
+    return LoadedProject(Project(files=files), parse_errors)
+
+
+class LoadedProject:
+    """A parsed project plus its parse-time findings."""
+
+    def __init__(self, project: Project, parse_errors: List[Finding]):
+        self.project = project
+        self.parse_errors = parse_errors
+
+
+def _matches(rule_id: str, prefixes: Optional[Sequence[str]]) -> bool:
+    if not prefixes:
+        return False
+    return any(rule_id.startswith(prefix) for prefix in prefixes)
+
+
+def _selected(
+    rule_id: str,
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> bool:
+    if select and not _matches(rule_id, select):
+        return False
+    if ignore and _matches(rule_id, ignore):
+        return False
+    return True
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], project: Project
+) -> List[Finding]:
+    by_rel: Dict[str, SourceFile] = {f.rel: f for f in project.files}
+    surviving: List[Finding] = []
+    for item in findings:
+        ctx = by_rel.get(item.path)
+        if ctx is not None and 1 <= item.line <= len(ctx.lines):
+            suppressed = suppressed_rules(ctx.lines[item.line - 1])
+            if suppressed is not None and (
+                not suppressed or item.rule_id in suppressed
+            ):
+                continue
+        surviving.append(item)
+    return surviving
+
+
+def run_checks(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run every (selected) rule over ``paths``; sorted findings."""
+    loaded = load_project(paths)
+    project = loaded.project
+    findings: List[Finding] = list(loaded.parse_errors)
+
+    for rule in RULES.values():
+        if rule.scope == "file" and rule.file_checker is not None:
+            if not _selected(rule.rule_id, select, ignore):
+                continue
+            for ctx in project.files:
+                findings.extend(rule.file_checker(ctx))
+        elif rule.scope == "project" and rule.project_checker is not None:
+            # A project checker emits sibling ids from its whole family
+            # (REP401's checker also yields REP402/REP404), so run it when
+            # *any* rule in the family survives select/ignore; the emitted
+            # findings are re-filtered by exact id below.
+            family = rule.rule_id[:4]
+            if any(
+                _selected(rule_id, select, ignore)
+                for rule_id in RULES
+                if rule_id.startswith(family)
+            ):
+                findings.extend(rule.project_checker(project))
+
+    # Project checkers emit sibling rule ids (e.g. the concurrency pass
+    # emits REP301-REP304); honor select/ignore on the emitted id too.
+    findings = [
+        item for item in findings
+        if item.rule_id == "REP001" or _selected(item.rule_id, select, ignore)
+    ]
+    findings = _apply_suppressions(findings, project)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """1 when any error-severity finding survives, else 0."""
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0

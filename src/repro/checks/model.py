@@ -1,0 +1,189 @@
+"""Data model of the static-analysis pass: rules, findings, contexts.
+
+A :class:`Rule` is a declarative description of one invariant — its
+stable id (``REPxxx``), severity, and the checker callable that
+enforces it.  Checkers come in two scopes:
+
+* ``file`` rules receive one :class:`FileContext` (a parsed module)
+  and yield :class:`Finding` records for that file alone;
+* ``project`` rules receive the whole :class:`Project` (every parsed
+  file of the run) and may cross-reference modules — the registry
+  consistency and reference-parity families live here because their
+  invariants span files.
+
+Findings are plain frozen dataclasses so the CLI can render them as
+text or JSON without any further lookups.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors fail the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report ordering: path, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """The one-line (plus optional hint) text-format rendering."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"[{self.severity.value}] {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-format representation (``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed python module of the run."""
+
+    path: Path
+    rel: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    def line_of(self, needle: str) -> int:
+        """1-based line of the first occurrence of ``needle`` (or 1)."""
+        for index, line in enumerate(self.lines, start=1):
+            if needle in line:
+                return index
+        return 1
+
+
+@dataclass
+class Project:
+    """Every file of one checker run, plus an on-demand parse cache."""
+
+    files: List[SourceFile]
+    by_module: Dict[str, SourceFile] = field(default_factory=dict)
+    _sibling_cache: Dict[Path, Optional[SourceFile]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_module:
+            self.by_module = {f.module: f for f in self.files}
+
+    def module(self, name: str) -> Optional[SourceFile]:
+        """The scanned file whose dotted module name is ``name``."""
+        return self.by_module.get(name)
+
+    def resolve_module(self, name: str, near: SourceFile) -> Optional[SourceFile]:
+        """Find a module by dotted name, else by sibling-file fallback.
+
+        The fallback lets the reference-parity rules work on fixture
+        trees that mimic the package layout without being importable:
+        ``repro.dataset.synthesis`` degrades to ``synthesis.py`` next
+        to the referring file.
+        """
+        found = self.by_module.get(name)
+        if found is not None:
+            return found
+        sibling = near.path.parent / (name.rsplit(".", 1)[-1] + ".py")
+        return self.parse_path(sibling)
+
+    def parse_path(self, path: Path) -> Optional[SourceFile]:
+        """Parse a file outside the scanned set (memoized, best effort)."""
+        if path in self._sibling_cache:
+            return self._sibling_cache[path]
+        parsed: Optional[SourceFile] = None
+        if path.is_file():
+            try:
+                source = path.read_text()
+                parsed = SourceFile(
+                    path=path,
+                    rel=str(path),
+                    module=module_name_for(path),
+                    source=source,
+                    tree=ast.parse(source, filename=str(path)),
+                    lines=tuple(source.splitlines()),
+                )
+            except (OSError, SyntaxError):
+                parsed = None
+        self._sibling_cache[path] = parsed
+        return parsed
+
+
+FileChecker = Callable[[SourceFile], Iterator[Finding]]
+ProjectChecker = Callable[[Project], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforceable invariant of the codebase."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    scope: str  # "file" | "project"
+    file_checker: Optional[FileChecker] = None
+    project_checker: Optional[ProjectChecker] = None
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def finding(
+    rule: "Rule",
+    ctx_rel: str,
+    node: ast.AST,
+    message: str,
+    hint: str = "",
+) -> Finding:
+    """A :class:`Finding` anchored at an AST node of ``ctx_rel``."""
+    return Finding(
+        rule_id=rule.rule_id,
+        severity=rule.severity,
+        path=ctx_rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        hint=hint,
+    )

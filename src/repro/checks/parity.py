@@ -1,0 +1,274 @@
+"""Reference-parity rules (REP40x): keep the bit-identity harness honest.
+
+The vectorized corpus kernels are only trustworthy because
+:mod:`repro.dataset.reference` preserves the original scalar kernels
+and the test suite asserts bit-identical output.  The harness swaps
+kernels **by name** through the module-level ``_SWAPS`` table — which
+means a renamed kernel or a drifted signature silently degrades the
+equality test into comparing a function with itself.  These rules make
+the pairing structural:
+
+* REP401 — every ``_SWAPS`` entry must resolve: the live module
+  defines the kernel, the reference module defines the replacement;
+* REP402 — a live kernel and its reference replacement must keep the
+  same signature (argument names, order, literal defaults) — the swap
+  reroutes call sites without adapting them;
+* REP403 — a ``Batch<X>`` class must keep the same public-method
+  signatures as its event-driven counterpart ``<X>`` unless the
+  divergence carries a ``# parity:`` marker;
+* REP404 — a seeded-stream kernel (any top-level function with an
+  ``rng`` parameter) in a swap-target module must either have a
+  reference replacement or carry a ``# parity:`` marker naming the
+  test that pins its output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.checks.astutil import (
+    dotted_name,
+    has_marker,
+    import_aliases,
+    signature_shape,
+)
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    finding,
+)
+
+__all__ = ["RULES", "PROJECT_RULES"]
+
+
+@dataclass(frozen=True)
+class SwapEntry:
+    """One (module alias, kernel name, replacement) triple of ``_SWAPS``."""
+
+    module_alias: str
+    kernel: str
+    replacement: str
+    node: ast.AST
+
+
+def _find_swaps(ctx: SourceFile) -> List[SwapEntry]:
+    entries: List[SwapEntry] = []
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_SWAPS" for t in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            continue
+        for element in node.value.elts:
+            if not isinstance(element, (ast.Tuple, ast.List)):
+                continue
+            if len(element.elts) != 3:
+                continue
+            alias_node, name_node, replacement_node = element.elts
+            alias = dotted_name(alias_node)
+            replacement = dotted_name(replacement_node)
+            if (
+                alias is None
+                or replacement is None
+                or not isinstance(name_node, ast.Constant)
+                or not isinstance(name_node.value, str)
+            ):
+                continue
+            entries.append(
+                SwapEntry(
+                    module_alias=alias[0],
+                    kernel=name_node.value,
+                    replacement=replacement[-1],
+                    node=element,
+                )
+            )
+    return entries
+
+
+def _top_level_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _swap_targets(
+    project: Project, ctx: SourceFile, entries: List[SwapEntry]
+) -> Dict[str, Optional[SourceFile]]:
+    aliases = import_aliases(ctx.tree)
+    targets: Dict[str, Optional[SourceFile]] = {}
+    for entry in entries:
+        if entry.module_alias in targets:
+            continue
+        qualified = aliases.get(entry.module_alias, entry.module_alias)
+        targets[entry.module_alias] = project.resolve_module(qualified, ctx)
+    return targets
+
+
+def _check_reference_pairs(project: Project) -> Iterator[Finding]:
+    for ctx in project.files:
+        entries = _find_swaps(ctx)
+        if not entries:
+            continue
+        reference_defs = _top_level_functions(ctx.tree)
+        targets = _swap_targets(project, ctx, entries)
+        swapped_by_module: Dict[str, Set[str]] = {}
+        for entry in entries:
+            target = targets[entry.module_alias]
+            if target is None:
+                yield finding(
+                    RULES["REP401"], ctx.rel, entry.node,
+                    f"_SWAPS names module alias {entry.module_alias!r} that "
+                    "resolves to no scanned or sibling module",
+                    hint="the swap harness patches kernels by module "
+                    "attribute; a dangling module breaks the equality test",
+                )
+                continue
+            swapped_by_module.setdefault(target.rel, set()).add(entry.kernel)
+            live_defs = _top_level_functions(target.tree)
+            live = live_defs.get(entry.kernel)
+            replacement = reference_defs.get(entry.replacement)
+            if live is None:
+                yield finding(
+                    RULES["REP401"], ctx.rel, entry.node,
+                    f"_SWAPS kernel {entry.kernel!r} is not defined in "
+                    f"{target.rel}",
+                    hint="renaming a vectorized kernel without updating "
+                    "_SWAPS leaves the reference harness patching a dead "
+                    "name",
+                )
+            if replacement is None:
+                yield finding(
+                    RULES["REP401"], ctx.rel, entry.node,
+                    f"_SWAPS replacement {entry.replacement!r} is not "
+                    f"defined in {ctx.rel}",
+                )
+            if live is not None and replacement is not None:
+                live_shape = signature_shape(live)
+                ref_shape = signature_shape(replacement)
+                if live_shape != ref_shape:
+                    yield finding(
+                        RULES["REP402"], ctx.rel, replacement,
+                        f"signature drift between {entry.kernel!r} "
+                        f"({', '.join(live_shape)}) and "
+                        f"{entry.replacement!r} ({', '.join(ref_shape)})",
+                        hint="the swap reroutes call sites by name without "
+                        "adapting arguments; signatures must stay identical",
+                    )
+        yield from _check_unmirrored_kernels(ctx, targets, swapped_by_module)
+
+
+def _check_unmirrored_kernels(
+    reference_ctx: SourceFile,
+    targets: Dict[str, Optional[SourceFile]],
+    swapped_by_module: Dict[str, Set[str]],
+) -> Iterator[Finding]:
+    for target in targets.values():
+        if target is None or target.rel == reference_ctx.rel:
+            continue
+        swapped = swapped_by_module.get(target.rel, set())
+        for name, func in _top_level_functions(target.tree).items():
+            if name in swapped:
+                continue
+            takes_rng = any(
+                arg.arg == "rng"
+                for arg in (
+                    list(func.args.posonlyargs)
+                    + list(func.args.args)
+                    + list(func.args.kwonlyargs)
+                )
+            )
+            if not takes_rng:
+                continue
+            if has_marker(target.lines, func.lineno):
+                continue
+            yield finding(
+                RULES["REP404"], target.rel, func,
+                f"seeded-stream kernel {name!r} has no reference "
+                "replacement and no parity marker",
+                hint="add it to _SWAPS with a scalar reference, or mark it "
+                "'# parity: <how its output is pinned>' above the def",
+            )
+
+
+def _check_batch_pairs(ctx: SourceFile) -> Iterator[Finding]:
+    classes = {
+        node.name: node
+        for node in ctx.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    for name, batch_cls in classes.items():
+        if not name.startswith("Batch"):
+            continue
+        event_cls = classes.get(name[len("Batch"):])
+        if event_cls is None:
+            continue
+        yield from _compare_class_pair(ctx, event_cls, batch_cls)
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _compare_class_pair(
+    ctx: SourceFile, event_cls: ast.ClassDef, batch_cls: ast.ClassDef
+) -> Iterator[Finding]:
+    event_methods = _methods(event_cls)
+    for name, batch_method in _methods(batch_cls).items():
+        if name.startswith("_"):
+            continue
+        event_method = event_methods.get(name)
+        if event_method is None:
+            continue
+        if signature_shape(event_method) == signature_shape(batch_method):
+            continue
+        if has_marker(ctx.lines, batch_method.lineno):
+            continue
+        yield finding(
+            RULES["REP403"], ctx.rel, batch_method,
+            f"{batch_cls.name}.{name} diverges from {event_cls.name}.{name} "
+            "without a parity marker",
+            hint="the batch engine is the event engine's drop-in "
+            "replacement; mark intentional divergence with '# parity: ...' "
+            "above the def",
+        )
+
+
+RULES = {
+    "REP401": Rule(
+        "REP401", "dangling-swap", Severity.ERROR,
+        "_SWAPS entries must resolve to live and reference kernels",
+        scope="project", project_checker=_check_reference_pairs,
+    ),
+    "REP402": Rule(
+        "REP402", "kernel-signature-drift", Severity.ERROR,
+        "vectorized and reference kernel signatures must match",
+        scope="project", project_checker=None,
+    ),
+    "REP403": Rule(
+        "REP403", "batch-engine-drift", Severity.ERROR,
+        "Batch<X> public methods must match <X> or carry a parity marker",
+        scope="file", file_checker=_check_batch_pairs,
+    ),
+    "REP404": Rule(
+        "REP404", "unmirrored-kernel", Severity.ERROR,
+        "rng kernels in swap-target modules need a reference or marker",
+        scope="project", project_checker=None,
+    ),
+}
+
+#: The single project checker that emits REP401/REP402/REP404.
+PROJECT_RULES = ("REP401",)

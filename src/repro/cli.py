@@ -11,6 +11,8 @@ Commands:
 * ``run-all --output-dir DIR`` -- render every artifact to files;
 * ``ensemble --seeds N --jobs J`` -- recompute the headline statistics
   over N seeded corpora and print mean/CI summaries;
+* ``checks [paths]`` -- run the domain-aware static analysis
+  (determinism, registry, concurrency, reference-parity rules);
 * ``cache stats|clear`` -- inspect or empty the artifact cache.
 
 The global ``--jobs N`` option widens the execution engine's thread
@@ -27,6 +29,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.checks.cli import add_checks_parser, cmd_checks
 from repro.core.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.core.pipeline import build_experiments_report
 from repro.core.registry import REGISTRY
@@ -121,6 +124,8 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-seed statistics rows",
     )
+
+    add_checks_parser(commands)
 
     cache = commands.add_parser(
         "cache", help="inspect or empty the artifact cache"
@@ -300,6 +305,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_cache(args.action, cache, out)
     if args.command == "ensemble":
         return _cmd_ensemble(args.seed, args.seeds, args.jobs, args.per_seed, out)
+    if args.command == "checks":
+        return cmd_checks(args, out)
 
     study = Study(seed=args.seed)
     if args.command == "figure":

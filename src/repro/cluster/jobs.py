@@ -172,16 +172,22 @@ def synthesize_jobs(
     demand_fraction: float,
     mean_job_fraction: float = 0.002,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> List[Job]:
     """A job batch totalling ``demand_fraction`` of fleet capacity.
 
     Job sizes are lognormal around ``mean_job_fraction`` of capacity --
-    many small jobs with a heavy tail, the usual cluster shape.
+    many small jobs with a heavy tail, the usual cluster shape.  The
+    randomness source is required: pass either a ``seed`` or an
+    already-constructed ``rng`` so the stream stays visible at the
+    call site (REP106).
     """
     if not 0.0 < demand_fraction <= 1.0:
         raise ValueError("demand fraction must lie in (0, 1]")
+    if (rng is None) == (seed is None):
+        raise ValueError("pass exactly one of seed= or rng=")
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(seed)
     capacity = sum(throughput_at(server, 1.0) for server in fleet)
     target = demand_fraction * capacity
     jobs: List[Job] = []

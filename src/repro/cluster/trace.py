@@ -54,14 +54,26 @@ def diurnal_trace(
     secondary_peak_hour: float = 20.5,
     noise: float = 0.02,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> DemandTrace:
-    """A double-peaked day: quiet night, afternoon peak, evening bump."""
+    """A double-peaked day: quiet night, afternoon peak, evening bump.
+
+    With ``noise > 0`` a randomness source is required: pass either a
+    ``seed`` or an already-constructed ``rng`` so the stream stays
+    visible at the call site (REP106).  ``noise=0.0`` is the
+    deterministic shape and needs neither.
+    """
     if not 0.0 <= base < peak <= 1.0:
         raise ValueError("need 0 <= base < peak <= 1")
     if steps_per_day < 4:
         raise ValueError("at least four steps per day")
-    if rng is None:
-        rng = np.random.default_rng(0)
+    if rng is not None and seed is not None:
+        raise ValueError("pass at most one of seed= or rng=")
+    if noise > 0.0:
+        if rng is None and seed is None:
+            raise ValueError("noise > 0 needs a randomness source: seed= or rng=")
+        if rng is None:
+            rng = np.random.default_rng(seed)
     times = [24.0 * i / steps_per_day for i in range(steps_per_day)]
     demands = []
     for t in times:
@@ -69,7 +81,10 @@ def diurnal_trace(
         evening = 0.55 * math.exp(-((t - secondary_peak_hour) ** 2) / (2 * 1.8**2))
         shape = min(1.0, main + evening)
         level = base + (peak - base) * shape
-        level += float(rng.normal(0.0, noise))
+        if rng is not None:
+            # rng.normal(0.0, 0.0) returns exactly 0.0, so skipping the
+            # draw at noise == 0.0 keeps the stream and output identical.
+            level += float(rng.normal(0.0, noise))
         demands.append(min(1.0, max(0.0, level)))
     return DemandTrace(times_h=tuple(times), demand_fraction=tuple(demands))
 
@@ -141,7 +156,7 @@ def compare_policies(
 ) -> Dict[str, TraceOutcome]:
     """Replay the same trace under every policy."""
     if trace is None:
-        trace = diurnal_trace()
+        trace = diurnal_trace(noise=0.0)
     return {
         policy: replay_trace(fleet, trace, policy, power_off_unused)
         for policy in _POLICIES

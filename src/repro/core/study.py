@@ -1035,7 +1035,7 @@ class Study:
         from repro.cluster.jobs import compare_schedulers, synthesize_jobs
 
         fleet = list(self._corpus.by_hw_year_range(2014, 2016))
-        jobs = synthesize_jobs(fleet, demand_fraction=0.5, rng=np.random.default_rng(4))
+        jobs = synthesize_jobs(fleet, demand_fraction=0.5, seed=4)
         schedules = compare_schedulers(fleet, jobs)
         rows = [
             [

@@ -272,6 +272,8 @@ class BatchServiceEngine:
     def dropped(self) -> int:
         return self._dropped
 
+    # parity: takes pre-materialized arrival arrays instead of the event
+    # engine's iterator; pinned by tests/test_ssj_batch_engine.py.
     def advance(
         self,
         arrival_times: np.ndarray,

@@ -1,0 +1,9 @@
+"""Clean fixture: no rule should fire here."""
+
+import numpy as np
+
+
+def draw(count, seed):
+    """Deterministic draws from an explicitly seeded generator."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=count)

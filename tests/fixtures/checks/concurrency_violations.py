@@ -1,0 +1,50 @@
+"""Violation fixture for the REP30x concurrency rules."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.registry import ArtifactSpec
+
+CACHE = {}
+COUNTER = 0
+
+
+class Settings:
+    """Module-level class whose attributes are shared state."""
+
+    flag = False
+
+
+SPECS = (
+    ArtifactSpec("shared", "build_shared", "writes", ("corpus",), ("scalar",)),
+)
+
+
+class Study:
+    """Stub Study with one mutating builder."""
+
+    def build_shared(self):
+        """Builder that breaks every concurrency invariant."""
+        global COUNTER
+        COUNTER += 1
+        Settings.flag = True
+        CACHE["hit"] = COUNTER
+        self._memo = CACHE
+        return self._memo
+
+
+def tally(item):
+    """Worker dispatched to the pool below."""
+    CACHE.update({item: True})
+    return item
+
+
+def run_pool(items):
+    """Dispatch ``tally`` by name, marking it pool-executed."""
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(tally, items))
+
+
+def bad_default(seen=[]):
+    """Mutable default argument (REP305, warning)."""
+    seen.append(1)
+    return seen

@@ -1,0 +1,26 @@
+"""Violation fixture for the REP10x determinism rules."""
+
+import random
+import time
+
+import numpy as np
+
+np.random.seed(42)
+values = np.random.normal(0.0, 1.0, size=8)
+lucky = random.random()
+started = time.time()
+rng = np.random.default_rng()
+
+
+def sample(count, rng=None):
+    """Hidden constant-seed fallback (REP106)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return rng.normal(size=count)
+
+
+def allowed(count, rng=None):
+    """Same fallback, excused by an inline suppression."""
+    if rng is None:
+        rng = np.random.default_rng(0)  # repro-checks: ignore[REP106]
+    return rng.normal(size=count)

@@ -1,0 +1,17 @@
+"""Violation fixture for the REP403 batch-engine drift rule."""
+
+
+class ServiceEngine:
+    """Event engine stub."""
+
+    def advance(self, arrivals, until):
+        """Event-granular advance."""
+        return until
+
+
+class BatchServiceEngine:
+    """Batch twin whose signature drifts without a marker."""
+
+    def advance(self, arrival_times, work_factors, until):
+        """Batch advance with a drifted signature (REP403)."""
+        return until

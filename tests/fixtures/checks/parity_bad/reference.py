@@ -1,0 +1,26 @@
+"""Violation fixture for the REP401/REP402/REP404 swap-table rules."""
+
+import repro.dataset.ghostmod as _gone
+import repro.dataset.synthkernels as _syn
+
+
+def _ref_vec_kernel(values, rng, extra=1.0):
+    """Reference twin with a drifted signature (REP402)."""
+    return [value * extra for value in values]
+
+
+def _ref_ghost_kernel(values, rng):
+    """Reference twin whose live kernel does not exist (REP401)."""
+    return list(values)
+
+
+def _ref_gone(values, rng):
+    """Reference twin whose module does not resolve (REP401)."""
+    return list(values)
+
+
+_SWAPS = (
+    (_syn, "vec_kernel", _ref_vec_kernel),
+    (_syn, "ghost_kernel", _ref_ghost_kernel),
+    (_gone, "gone_kernel", _ref_gone),
+)

@@ -1,0 +1,22 @@
+"""Live-kernel sibling for the parity fixture."""
+
+
+def vec_kernel(values, rng):
+    """Vectorized kernel paired with a drifted reference twin."""
+    return [value for value in values]
+
+
+def orphan_kernel(values, rng):
+    """Seeded kernel with no reference twin and no marker (REP404)."""
+    return list(values)
+
+
+# parity: output pinned elsewhere; intentionally unmirrored.
+def marked_kernel(values, rng):
+    """Seeded kernel excused by the parity marker."""
+    return list(values)
+
+
+def pure_shape(values):
+    """No rng parameter -- never flagged."""
+    return len(values)

@@ -1,0 +1,28 @@
+"""Violation fixture for the REP20x registry rules."""
+
+from repro.core.registry import ArtifactSpec
+
+SPECS = (
+    ArtifactSpec("eq9", "build_eq9", "dangling dep", ("figX",), ("figure",)),
+    ArtifactSpec("loop_a", "build_loop_a", "cycle", ("loop_b",), ("figure",)),
+    ArtifactSpec("loop_b", "build_loop_b", "cycle", ("loop_a",), ("figure",)),
+    ArtifactSpec("tagged", "build_tagged", "bad tag", ("corpus",), ("graph",)),
+    ArtifactSpec("ghost", "build_missing", "no method", ("corpus",), ("table",)),
+    ArtifactSpec("eq9", "build_eq9", "duplicate id", ("corpus",), ("scalar",)),
+)
+
+
+class Study:
+    """Stub Study so the AST builder check resolves in-file."""
+
+    def build_eq9(self):
+        """Builder stub."""
+
+    def build_loop_a(self):
+        """Builder stub."""
+
+    def build_loop_b(self):
+        """Builder stub."""
+
+    def build_tagged(self):
+        """Builder stub."""

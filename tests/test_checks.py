@@ -1,0 +1,244 @@
+"""Tests for the repro.checks static-analysis subsystem."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    RULES,
+    Finding,
+    Severity,
+    apply_baseline,
+    exit_code,
+    load_baseline,
+    run_checks,
+    write_baseline,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "checks"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def _hits(findings):
+    return sorted((f.rule_id, Path(f.path).name, f.line) for f in findings)
+
+
+class TestRuleCatalog:
+    def test_every_family_is_registered(self):
+        families = {rule_id[:4] for rule_id in RULES}
+        assert families == {"REP1", "REP2", "REP3", "REP4"}
+
+    def test_rules_are_documented(self):
+        for rule in RULES.values():
+            assert rule.description
+            assert rule.name
+
+    def test_only_mutable_default_is_a_warning(self):
+        warnings = [
+            rule_id
+            for rule_id, rule in RULES.items()
+            if rule.severity is Severity.WARNING
+        ]
+        assert warnings == ["REP305"]
+
+
+class TestDeterminismRules:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "det_violations.py")], select=["REP1"]
+        )
+        assert _hits(findings) == [
+            ("REP101", "det_violations.py", 8),
+            ("REP102", "det_violations.py", 9),
+            ("REP103", "det_violations.py", 10),
+            ("REP104", "det_violations.py", 11),
+            ("REP105", "det_violations.py", 12),
+            ("REP106", "det_violations.py", 18),
+        ]
+
+    def test_inline_suppression_respected(self):
+        """Line 25 has the same REP106 shape plus an ignore marker."""
+        findings = run_checks(
+            [str(FIXTURES / "det_violations.py")], select=["REP106"]
+        )
+        assert [f.line for f in findings] == [18]
+
+
+class TestRegistryRules:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "registry_violations.py")], select=["REP2"]
+        )
+        assert _hits(findings) == [
+            ("REP201", "registry_violations.py", 6),
+            ("REP202", "registry_violations.py", 7),
+            ("REP203", "registry_violations.py", 10),
+            ("REP204", "registry_violations.py", 9),
+            ("REP205", "registry_violations.py", 11),
+        ]
+
+    def test_import_pass_is_clean_on_the_real_registry(self):
+        findings = run_checks([str(SRC)], select=["REP2"])
+        assert findings == []
+
+
+class TestConcurrencyRules:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "concurrency_violations.py")], select=["REP3"]
+        )
+        assert _hits(findings) == [
+            ("REP301", "concurrency_violations.py", 27),
+            ("REP302", "concurrency_violations.py", 29),
+            ("REP303", "concurrency_violations.py", 30),
+            ("REP303", "concurrency_violations.py", 37),
+            ("REP304", "concurrency_violations.py", 31),
+            ("REP305", "concurrency_violations.py", 47),
+        ]
+
+    def test_warning_severity_does_not_fail_the_run(self):
+        findings = run_checks(
+            [str(FIXTURES / "concurrency_violations.py")], select=["REP305"]
+        )
+        assert [f.rule_id for f in findings] == ["REP305"]
+        assert exit_code(findings) == 0
+
+
+class TestParityRules:
+    def test_exact_findings(self):
+        findings = run_checks([str(FIXTURES / "parity_bad")], select=["REP4"])
+        assert _hits(findings) == [
+            ("REP401", "reference.py", 24),
+            ("REP401", "reference.py", 25),
+            ("REP402", "reference.py", 7),
+            ("REP403", "enginepair.py", 15),
+            ("REP404", "synthkernels.py", 9),
+        ]
+
+    def test_select_of_an_emitted_sibling_id_still_runs_the_pass(self):
+        """REP404 is emitted by REP401's project checker."""
+        findings = run_checks([str(FIXTURES / "parity_bad")], select=["REP404"])
+        assert _hits(findings) == [("REP404", "synthkernels.py", 9)]
+
+
+class TestEngine:
+    def test_clean_fixture_has_no_findings(self):
+        assert run_checks([str(FIXTURES / "clean.py")]) == []
+
+    def test_source_tree_is_clean(self):
+        findings = run_checks([str(SRC)])
+        assert findings == []
+        assert exit_code(findings) == 0
+
+    def test_syntax_error_becomes_rep001(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings = run_checks([str(bad)])
+        assert [f.rule_id for f in findings] == ["REP001"]
+        assert exit_code(findings) == 1
+
+    def test_ignore_filters_by_prefix(self):
+        findings = run_checks(
+            [str(FIXTURES / "det_violations.py")], ignore=["REP10"]
+        )
+        assert findings == []
+
+    def test_findings_are_sorted(self):
+        findings = run_checks([str(FIXTURES)])
+        assert [f.sort_key() for f in findings] == sorted(
+            f.sort_key() for f in findings
+        )
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        findings = run_checks([str(FIXTURES / "det_violations.py")])
+        snapshot = tmp_path / "baseline.json"
+        write_baseline(snapshot, findings)
+        surviving, suppressed = apply_baseline(
+            findings, load_baseline(snapshot)
+        )
+        assert surviving == []
+        assert suppressed == len(findings)
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        findings = run_checks([str(FIXTURES / "det_violations.py")])
+        snapshot = tmp_path / "baseline.json"
+        write_baseline(snapshot, findings[:-1])
+        surviving, _ = apply_baseline(findings, load_baseline(snapshot))
+        assert surviving == [findings[-1]]
+
+    def test_second_occurrence_exceeds_the_budget(self, tmp_path):
+        one = Finding("REP104", Severity.ERROR, "m.py", 3, 0, "clock")
+        twin = Finding("REP104", Severity.ERROR, "m.py", 9, 0, "clock")
+        snapshot = tmp_path / "baseline.json"
+        write_baseline(snapshot, [one])
+        surviving, suppressed = apply_baseline(
+            [one, twin], load_baseline(snapshot)
+        )
+        assert suppressed == 1
+        assert surviving == [twin]
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        snapshot = tmp_path / "baseline.json"
+        snapshot.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(snapshot)
+
+
+class TestChecksCli:
+    def test_violations_exit_nonzero_with_text_findings(self, capsys):
+        code = main(["checks", str(FIXTURES / "det_violations.py")])
+        assert code == 1
+        captured = capsys.readouterr().out
+        assert "REP101" in captured
+        assert "error(s)" in captured
+
+    def test_json_format_is_machine_readable(self, capsys):
+        code = main(
+            ["checks", str(FIXTURES / "det_violations.py"), "--format", "json"]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == 6
+        rules = {entry["rule"] for entry in document["findings"]}
+        assert "REP101" in rules
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["checks", str(SRC)]) == 0
+
+    def test_select_narrows_the_run(self, capsys):
+        code = main(
+            [
+                "checks",
+                str(FIXTURES / "det_violations.py"),
+                "--select",
+                "REP104",
+            ]
+        )
+        assert code == 1
+        document = capsys.readouterr().out
+        assert "REP104" in document
+        assert "REP101" not in document
+
+    def test_list_rules(self, capsys):
+        assert main(["checks", "--list-rules"]) == 0
+        captured = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in captured
+
+    def test_baseline_flow(self, tmp_path, capsys):
+        snapshot = tmp_path / "baseline.json"
+        target = str(FIXTURES / "det_violations.py")
+        assert (
+            main(
+                ["checks", target, "--baseline", str(snapshot),
+                 "--write-baseline"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["checks", target, "--baseline", str(snapshot)]) == 0
+        assert "baselined" in capsys.readouterr().out

@@ -42,6 +42,18 @@ class TestJobSynthesis:
         with pytest.raises(ValueError):
             synthesize_jobs([], 1.5)
 
+    def test_randomness_source_is_required(self, fleet):
+        with pytest.raises(ValueError, match="seed= or rng="):
+            synthesize_jobs(fleet, 0.5)
+        with pytest.raises(ValueError, match="seed= or rng="):
+            synthesize_jobs(fleet, 0.5, seed=4, rng=np.random.default_rng(4))
+
+    def test_seed_matches_equivalent_rng(self, fleet, jobs):
+        seeded = synthesize_jobs(fleet, 0.5, seed=4)
+        assert [job.demand_ops for job in seeded] == [
+            job.demand_ops for job in jobs
+        ]
+
 
 class TestSchedulers:
     def test_both_place_everything_at_half_load(self, fleet, jobs):

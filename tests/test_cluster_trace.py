@@ -19,7 +19,7 @@ def fleet(corpus):
 
 class TestDiurnalTrace:
     def test_shape_parameters(self):
-        trace = diurnal_trace(steps_per_day=48, base=0.2, peak=0.9)
+        trace = diurnal_trace(steps_per_day=48, base=0.2, peak=0.9, seed=0)
         assert trace.steps == 48
         assert min(trace.demand_fraction) >= 0.0
         assert max(trace.demand_fraction) <= 1.0
@@ -41,6 +41,19 @@ class TestDiurnalTrace:
             diurnal_trace(base=0.9, peak=0.5)
         with pytest.raises(ValueError):
             DemandTrace(times_h=(0.0,), demand_fraction=(1.5,))
+
+    def test_noise_requires_explicit_randomness_source(self):
+        with pytest.raises(ValueError, match="seed= or rng="):
+            diurnal_trace()  # default noise > 0 with no source
+        with pytest.raises(ValueError, match="at most one"):
+            diurnal_trace(seed=1, rng=np.random.default_rng(1))
+        # noise=0.0 is deterministic and needs neither.
+        diurnal_trace(noise=0.0)
+
+    def test_seed_matches_equivalent_rng(self):
+        a = diurnal_trace(seed=7)
+        b = diurnal_trace(rng=np.random.default_rng(7))
+        assert a.demand_fraction == b.demand_fraction
 
 
 class TestReplay:
@@ -81,4 +94,4 @@ class TestReplay:
 
     def test_unknown_policy_rejected(self, fleet):
         with pytest.raises(ValueError, match="policy"):
-            replay_trace(fleet, diurnal_trace(steps_per_day=8), "magic")
+            replay_trace(fleet, diurnal_trace(steps_per_day=8, noise=0.0), "magic")
