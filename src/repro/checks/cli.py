@@ -20,12 +20,16 @@ def add_checks_parser(commands: argparse._SubParsersAction) -> None:
     """Register the ``checks`` subcommand on the repro CLI."""
     checks = commands.add_parser(
         "checks",
-        help="static analysis: determinism, registry, concurrency, parity",
+        help=(
+            "static analysis: determinism, registry, concurrency, "
+            "parity, robustness"
+        ),
         description=(
             "AST-based enforcement of the repo's reproducibility "
             "invariants: seeded-rng discipline (REP1xx), registry "
             "consistency (REP2xx), concurrency safety under the pooled "
-            "executors (REP3xx), and reference-kernel parity (REP4xx)."
+            "executors (REP3xx), reference-kernel parity (REP4xx), and "
+            "failure-visibility robustness (REP5xx)."
         ),
     )
     checks.add_argument(

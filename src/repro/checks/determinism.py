@@ -61,6 +61,7 @@ _WALL_CLOCKS = {
 _CLOCK_ALLOWLIST = {
     "repro.core.executor",
     "repro.core.cache",
+    "repro.core.resilience",
 }
 
 

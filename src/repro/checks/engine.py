@@ -15,7 +15,13 @@ import ast
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.checks import concurrency, determinism, parity, registry_rules
+from repro.checks import (
+    concurrency,
+    determinism,
+    parity,
+    registry_rules,
+    robustness,
+)
 from repro.checks.astutil import suppressed_rules
 from repro.checks.model import (
     Finding,
@@ -28,7 +34,7 @@ from repro.checks.model import (
 
 #: Every shipped rule, id -> Rule, in catalog order.
 RULES: Dict[str, Rule] = {}
-for family in (determinism, registry_rules, concurrency, parity):
+for family in (determinism, registry_rules, concurrency, parity, robustness):
     RULES.update(family.RULES)
 
 #: Directories never scanned (caches, VCS metadata, build output).

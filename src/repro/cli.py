@@ -9,6 +9,10 @@ Commands:
 * ``report --out EXPERIMENTS.md`` -- write the paper-vs-measured report;
 * ``sweep <server#>`` -- run a Table II memory x frequency sweep;
 * ``run-all --output-dir DIR`` -- render every artifact to files;
+  ``--on-error isolate`` quarantines failures instead of aborting,
+  ``--retry N``/``--timeout S`` bound each build, and
+  ``--inject PLAN.json`` runs the build under a deterministic
+  fault-injection plan (see :mod:`repro.core.faults`);
 * ``ensemble --seeds N --jobs J`` -- recompute the headline statistics
   over N seeded corpora and print mean/CI summaries;
 * ``checks [paths]`` -- run the domain-aware static analysis
@@ -106,6 +110,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print per-artifact wall times and cache hits",
+    )
+    run_all.add_argument(
+        "--on-error",
+        choices=("raise", "isolate"),
+        default="raise",
+        help=(
+            "failure semantics: 'raise' aborts on the first builder error, "
+            "'isolate' quarantines the failing artifact (plus dependents) "
+            "and finishes the rest (default: raise)"
+        ),
+    )
+    run_all.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total attempts per artifact (deterministic backoff; default 1)",
+    )
+    run_all.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-artifact wall-clock budget in seconds (default: none)",
+    )
+    run_all.add_argument(
+        "--inject",
+        default=None,
+        metavar="PLAN.json",
+        help="deterministic fault-injection plan to run the build under",
     )
 
     ensemble = commands.add_parser(
@@ -224,17 +258,38 @@ def _cmd_run_all(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     show_report: bool = False,
+    on_error: str = "raise",
+    retry: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    inject: Optional[str] = None,
 ) -> int:
+    from repro.core.faults import FaultPlan
+    from repro.core.resilience import RetryPolicy
+
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    run_report = study.run_all(jobs=jobs, cache=cache, report=True)
+    faults = FaultPlan.load(inject) if inject is not None else None
+    policy = RetryPolicy(attempts=retry) if retry is not None else None
+    run_report = study.run_all(
+        jobs=jobs,
+        cache=cache,
+        report=True,
+        on_error=on_error,
+        retry=policy,
+        timeout_s=timeout_s,
+        faults=faults,
+    )
     for figure_id, result in run_report.results.items():
         (directory / f"{figure_id}.txt").write_text(
             f"== {result.title} ==\n{result.text}\n"
         )
     if show_report:
         print(run_report.render(), file=out)
-    print(f"wrote {len(REGISTRY)} artifacts to {directory}/", file=out)
+    built = len(run_report.results)
+    print(f"wrote {built} of {len(REGISTRY)} artifacts to {directory}/", file=out)
+    if run_report.failures:
+        print(run_report.failures.render(), file=out)
+        return 1
     return 0
 
 
@@ -321,5 +376,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             jobs=args.jobs,
             cache=cache,
             show_report=args.report,
+            on_error=args.on_error,
+            retry=args.retry,
+            timeout_s=args.timeout,
+            inject=args.inject,
         )
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -15,7 +15,13 @@ cache automatically through the fingerprint.
 The cache is defensive: a corrupted, truncated, or stale-format entry
 is treated as a miss, deleted, and transparently recomputed by the
 executor.  Writes go through a temp file + atomic rename so a crashed
-writer can never leave a half-written entry behind.
+writer can never leave a half-written entry behind.  Store-level I/O
+failures (a full disk, a permission change under a running engine)
+never crash a run either: reads degrade to misses, and after
+:data:`MAX_WRITE_FAILURES` consecutive write errors the cache disables
+itself with a warning and the run continues cache-off.  The
+``cache.read`` / ``cache.write`` fault-injection sites
+(:mod:`repro.core.faults`) exercise exactly these paths.
 """
 
 from __future__ import annotations
@@ -24,9 +30,14 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Union
+
+from repro.core.faults import FaultPlan, fire, should_corrupt
+from repro.core.resilience import CacheError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.study import FigureResult
@@ -37,6 +48,10 @@ ENGINE_VERSION = "1"
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Consecutive write failures tolerated before the store disables
+#: itself for the rest of the process (ENOSPC rarely clears mid-run).
+MAX_WRITE_FAILURES = 3
 
 
 def cache_key(fingerprint: str, artifact_id: str,
@@ -59,6 +74,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    write_failures: int = 0
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -73,72 +89,136 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """Content-addressed pickle store for :class:`FigureResult` entries."""
+    """Content-addressed pickle store for :class:`FigureResult` entries.
+
+    Thread-safe: the executor's pool probes and writes concurrently,
+    so every stats mutation and the disable latch sit under one lock.
+    ``faults`` optionally threads a :class:`~repro.core.faults.FaultPlan`
+    through the ``cache.read``/``cache.write`` injection sites (the
+    ambient plan, if installed, applies even without it).
+    """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
-                 engine_version: str = ENGINE_VERSION):
+                 engine_version: str = ENGINE_VERSION,
+                 faults: Optional[FaultPlan] = None):
         self.root = Path(root)
         self.engine_version = engine_version
         self.stats = CacheStats()
+        self.faults = faults
+        self.disabled = False
+        self._lock = threading.Lock()
 
     def path_for(self, fingerprint: str, artifact_id: str) -> Path:
         """The on-disk path an entry would occupy."""
         key = cache_key(fingerprint, artifact_id, self.engine_version)
         return self.root / f"{key}.pkl"
 
+    def _record_miss(self, note: Optional[str] = None) -> None:
+        with self._lock:
+            self.stats.misses += 1
+            if note is not None:
+                self.stats.errors.append(note)
+
     def get(self, fingerprint: str, artifact_id: str) -> Optional["FigureResult"]:
-        """The cached result, or ``None`` on miss/corruption.
+        """The cached result, or ``None`` on miss/corruption/I/O error.
 
         A corrupt or unreadable entry is evicted so the next write
-        replaces it cleanly.
+        replaces it cleanly; a store-level I/O failure (permissions,
+        injected ``cache.read`` fault) degrades to a plain miss.
         """
         from repro.core.study import FigureResult
 
+        if self.disabled:
+            self._record_miss()
+            return None
         path = self.path_for(fingerprint, artifact_id)
+        try:
+            fire("cache.read", self.faults)
+        except (CacheError, OSError) as exc:
+            self._record_miss(f"{artifact_id}: read fault {exc!r}")
+            return None
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._record_miss()
             return None
-        except Exception as exc:  # corrupted/truncated/stale pickle
-            self.stats.misses += 1
-            self.stats.errors.append(f"{artifact_id}: {exc!r}")
+        except Exception as exc:  # corrupted/truncated/stale pickle, EIO
+            self._record_miss(f"{artifact_id}: {exc!r}")
+            self._evict(path)
+            return None
+        if should_corrupt("cache.read", self.faults):
+            self._record_miss(f"{artifact_id}: injected payload corruption")
             self._evict(path)
             return None
         if not isinstance(result, FigureResult) or result.figure_id != artifact_id:
-            self.stats.misses += 1
-            self.stats.errors.append(f"{artifact_id}: entry payload mismatch")
+            self._record_miss(f"{artifact_id}: entry payload mismatch")
             self._evict(path)
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return result
 
     def put(self, fingerprint: str, artifact_id: str,
-            result: "FigureResult") -> Path:
-        """Persist one result atomically; returns the entry path."""
+            result: "FigureResult") -> Optional[Path]:
+        """Persist one result atomically; returns the entry path.
+
+        Never raises on store-level I/O failure: a full disk or revoked
+        permission records the error, counts toward the
+        :data:`MAX_WRITE_FAILURES` disable latch, and returns ``None``
+        — the engine keeps running, merely uncached.
+        """
+        if self.disabled:
+            return None
         path = self.path_for(fingerprint, artifact_id)
-        self.root.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=str(self.root), suffix=".tmp"
-        )
+        try:
+            fire("cache.write", self.faults)
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(self.root), suffix=".tmp"
+            )
+        except (CacheError, OSError) as exc:
+            self._note_write_failure(artifact_id, exc)
+            return None
         try:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
-            raise
-        self.stats.writes += 1
+            if isinstance(exc, (CacheError, OSError)):
+                self._note_write_failure(artifact_id, exc)
+                return None
+            raise  # non-I/O failures (e.g. unpicklable result) are bugs
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.write_failures = 0  # healthy write resets the latch
         return path
+
+    def _note_write_failure(self, artifact_id: str, error: BaseException) -> None:
+        """Count a write error; disable the store once they persist."""
+        with self._lock:
+            self.stats.write_failures += 1
+            self.stats.errors.append(f"{artifact_id}: write fault {error!r}")
+            if self.stats.write_failures < MAX_WRITE_FAILURES or self.disabled:
+                return
+            self.disabled = True
+        warnings.warn(
+            f"artifact cache at {self.root} disabled after "
+            f"{MAX_WRITE_FAILURES} consecutive write failures "
+            f"(last: {error!r}); continuing cache-off",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _evict(self, path: Path) -> None:
         try:
             path.unlink()
-            self.stats.evictions += 1
+            with self._lock:
+                self.stats.evictions += 1
         except OSError:  # pragma: no cover - concurrent eviction
             pass
 

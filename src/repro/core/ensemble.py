@@ -14,25 +14,40 @@ every scalar across seeds as mean / sample std / normal-approximation
 across cores; each seed's computation is self-contained and pure, so
 serial and parallel runs return exactly equal results (the per-seed
 floating-point work is identical, only the scheduling differs).
+
+The pool is hardened: a crashed worker (``BrokenProcessPool``) loses
+only its in-flight seeds, which are re-run on a fresh pool a bounded
+number of times before the engine degrades to serial execution with a
+warning; a seed whose worker *raises* (rather than dies) is retried up
+to ``seed_retries`` times.  The ``ensemble.worker`` fault-injection
+site (:mod:`repro.core.faults`) drives both paths deterministically:
+the parent claims trigger budget at dispatch time, in seed order, so
+serial and parallel runs inject the same failures.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from functools import partial
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.regression_study import ep_score_correlation, idle_regression
 from repro.analysis.temporal import yearly_trend
+from repro.core.faults import FaultPlan, active_plan
+from repro.core.resilience import TransientError
 from repro.dataset.synthesis import generate_corpus
 from repro.metrics.regression import linear_fit
 
 #: Number of seeds when the caller only says "run an ensemble".
 DEFAULT_ENSEMBLE_SIZE = 5
+
+#: Bounded-wait tick for the worker pool (keeps every wait timed).
+_WAIT_TICK_S = 0.25
 
 
 @dataclass(frozen=True)
@@ -155,6 +170,17 @@ def seed_statistics(seed: int, structural_effects: bool = True) -> SeedStatistic
     )
 
 
+def _seed_worker(
+    seed: int, structural_effects: bool, inject: bool
+) -> SeedStatistics:
+    """Pool-side wrapper: one seed's statistics, or an injected fault."""
+    if inject:
+        raise TransientError(
+            f"injected ensemble.worker fault for seed {seed}"
+        )
+    return seed_statistics(seed, structural_effects=structural_effects)
+
+
 def _summarize(name: str, values: Sequence[float]) -> MetricSummary:
     data = np.asarray(values, dtype=float)
     mean = float(data.mean())
@@ -190,11 +216,54 @@ def resolve_seeds(
     return resolved
 
 
+def _pool_round(
+    jobs: int,
+    pending: Sequence[int],
+    structural_effects: bool,
+    injections: Dict[int, bool],
+) -> Tuple[Dict[int, SeedStatistics], List[Tuple[int, BaseException]], bool]:
+    """One process-pool pass over ``pending`` seeds.
+
+    Returns (completed, worker-raised failures, pool-broke flag).
+    Seeds lost to a broken pool appear in neither list — they carry no
+    blame and are re-dispatched by the caller.
+    """
+    completed: Dict[int, SeedStatistics] = {}
+    failed: List[Tuple[int, BaseException]] = []
+    broke = False
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures: Dict[Future, int] = {
+                pool.submit(
+                    _seed_worker, seed, structural_effects,
+                    injections.get(seed, False),
+                ): seed
+                for seed in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, timeout=_WAIT_TICK_S)
+                for future in done:
+                    seed = futures[future]
+                    try:
+                        completed[seed] = future.result(timeout=0)
+                    except BrokenProcessPool:
+                        broke = True
+                    except Exception as exc:
+                        failed.append((seed, exc))
+    except BrokenProcessPool:  # pool died while submitting/joining
+        broke = True
+    return completed, failed, broke
+
+
 def run_ensemble(
     seeds: Union[int, Sequence[int]] = DEFAULT_ENSEMBLE_SIZE,
     jobs: int = 1,
     base_seed: int = 2016,
     structural_effects: bool = True,
+    faults: Optional[FaultPlan] = None,
+    seed_retries: int = 1,
+    pool_restarts: int = 1,
 ) -> EnsembleResult:
     """Compute per-seed headline statistics and across-seed summaries.
 
@@ -203,15 +272,75 @@ def run_ensemble(
     per-seed corpus generation and analysis out over a process pool;
     results are returned in seed order either way, and parallel output
     equals serial output exactly.
-    """
-    resolved = resolve_seeds(seeds, base_seed=base_seed)
-    worker = partial(seed_statistics, structural_effects=structural_effects)
-    if jobs > 1 and len(resolved) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(resolved))) as pool:
-            per_seed = tuple(pool.map(worker, resolved))
-    else:
-        per_seed = tuple(worker(seed) for seed in resolved)
 
+    Failure handling: a worker that *raises* is retried for that seed
+    up to ``seed_retries`` more times (then the error propagates); a
+    pool that *breaks* (crashed worker process) is restarted up to
+    ``pool_restarts`` times for the lost seeds only, after which the
+    remaining seeds run serially under a ``RuntimeWarning``.  With a
+    ``faults`` plan (or an installed ambient plan), the
+    ``ensemble.worker`` site claims trigger budget at dispatch time in
+    seed order, keeping injection deterministic across scheduling
+    modes.
+    """
+    if jobs < 1:
+        raise ValueError(
+            f"jobs must be >= 1, got {jobs} (1 = serial execution)"
+        )
+    if seed_retries < 0 or pool_restarts < 0:
+        raise ValueError("seed_retries and pool_restarts must be >= 0")
+    resolved = resolve_seeds(seeds, base_seed=base_seed)
+    plan = faults if faults is not None else active_plan()
+    per_seed_map: Dict[int, SeedStatistics] = {}
+    budget = {seed: 1 + seed_retries for seed in resolved}
+
+    def dispatch_injection(seed: int) -> bool:
+        return plan.take("ensemble.worker") if plan is not None else False
+
+    def run_serially(pending: Sequence[int]) -> None:
+        for seed in pending:
+            while True:
+                budget[seed] -= 1
+                try:
+                    per_seed_map[seed] = _seed_worker(
+                        seed, structural_effects, dispatch_injection(seed)
+                    )
+                    break
+                except Exception:
+                    if budget[seed] <= 0:
+                        raise
+
+    use_pool = jobs > 1 and len(resolved) > 1
+    pending = list(resolved)
+    restarts = 0
+    while pending:
+        if not use_pool:
+            run_serially(pending)
+            pending = []
+            break
+        injections = {seed: dispatch_injection(seed) for seed in pending}
+        completed, failed, broke = _pool_round(
+            jobs, pending, structural_effects, injections
+        )
+        per_seed_map.update(completed)
+        for seed, error in failed:
+            budget[seed] -= 1
+            if budget[seed] <= 0:
+                raise error
+        if broke:
+            restarts += 1
+            if restarts > pool_restarts:
+                warnings.warn(
+                    "ensemble process pool broke "
+                    f"{restarts} time(s); degrading the remaining seeds "
+                    "to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                use_pool = False
+        pending = [seed for seed in resolved if seed not in per_seed_map]
+
+    per_seed = tuple(per_seed_map[seed] for seed in resolved)
     summaries = {
         name: _summarize(name, [getattr(stats, name) for stats in per_seed])
         for name in SUMMARY_FIELDS

@@ -1,4 +1,4 @@
-"""Parallel artifact execution engine with caching and run metrics.
+"""Parallel artifact execution engine with caching, retries, isolation.
 
 :class:`ArtifactExecutor` turns the declarative registry
 (:mod:`repro.core.registry`) into an execution plan:
@@ -15,6 +15,22 @@
    :meth:`ArtifactExecutor.run` carries per-artifact wall time and
    cache-hit flags next to the results.
 
+Failure semantics (:mod:`repro.core.resilience`) are explicit:
+
+* ``retry=RetryPolicy(...)`` retries transient per-node failures on a
+  bounded, deterministic (seeded-jitter) backoff schedule;
+* ``timeout_s`` puts a wall-clock budget on every node;
+* ``on_error="raise"`` (default) aborts on the first unrecovered
+  failure — after *draining* in-flight builds, so no worker mutates
+  shared state past the raise;
+* ``on_error="isolate"`` quarantines the failing node plus its
+  downstream dependents, finishes everything else, and returns a
+  partial report whose :attr:`RunReport.failures` ledger records every
+  root failure and quarantine;
+* a ``faults=FaultPlan(...)`` threads the deterministic fault harness
+  (:mod:`repro.core.faults`) through every ``builder.<id>`` /
+  ``resource.<key>`` site, which is how all of the above is tested.
+
 Threads (not processes) carry the parallelism: builders share the
 memoized corpus metrics and sweep results in place, the hot loops sit
 in numpy, and results need no cross-process pickling.
@@ -26,16 +42,43 @@ import os
 import threading
 import time
 from collections.abc import Mapping
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from graphlib import TopologicalSorter
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.core.cache import ArtifactCache
+from repro.core.faults import FaultPlan, fire
 from repro.core.registry import CORPUS, FIGURE_IDS, REGISTRY, ArtifactSpec
+from repro.core.resilience import (
+    FailureLedger,
+    RetryPolicy,
+    failure_record,
+    quarantine_record,
+    run_with_timeout,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.study import FigureResult, Study
+
+#: The recognized ``on_error`` modes of :meth:`ArtifactExecutor.run`.
+ON_ERROR_MODES = ("raise", "isolate")
+
+#: Tick for bounded waits on the pool (keeps every wait timed without
+#: ever giving up on a healthy long build).
+_WAIT_TICK_S = 0.25
+
+#: How long an aborting run waits for in-flight builds to drain.
+_DRAIN_TIMEOUT_S = 60.0
 
 
 def default_jobs() -> int:
@@ -57,14 +100,25 @@ class ArtifactMetric:
         return "cache" if self.cache_hit else "built"
 
 
+@dataclass(frozen=True)
+class _NodeFailure:
+    """Internal: one node's unrecovered failure, with retry context."""
+
+    node: str
+    error: BaseException
+    attempts: int
+    elapsed_s: float
+
+
 @dataclass
 class RunReport(Mapping):
     """Results plus per-artifact metrics for one engine run.
 
     Behaves as a read-only mapping of ``artifact id -> FigureResult``
     (so existing ``run_all()`` consumers can iterate it unchanged) and
-    additionally exposes ``metrics``, resource timings, and a
-    :meth:`render` summary table.
+    additionally exposes ``metrics``, resource timings, the
+    ``failures`` ledger of an isolate-mode run, and a :meth:`render`
+    summary table.
     """
 
     results: Dict[str, "FigureResult"]
@@ -74,6 +128,8 @@ class RunReport(Mapping):
     total_seconds: float
     cache_dir: Optional[str] = None
     errors: List[str] = field(default_factory=list)
+    failures: FailureLedger = field(default_factory=FailureLedger)
+    on_error: str = "raise"
 
     def __getitem__(self, artifact_id: str) -> "FigureResult":
         return self.results[artifact_id]
@@ -93,6 +149,20 @@ class RunReport(Mapping):
     def built(self) -> int:
         """How many artifacts were computed this run."""
         return len(self.metrics) - self.cache_hits
+
+    @property
+    def ok(self) -> bool:
+        """Whether every requested artifact was produced."""
+        return not self.failures and not self.errors
+
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """Quarantined artifact id -> the root failure that caused it."""
+        return {
+            record.artifact_id: record.quarantined_by or ""
+            for record in self.failures
+            if record.is_quarantine
+        }
 
     def render(self) -> str:
         """A terminal table of per-artifact timings and sources."""
@@ -121,6 +191,8 @@ class RunReport(Mapping):
             )
             if shared:
                 summary += f"\nshared resources: {shared}"
+        if self.failures:
+            summary += "\n" + self.failures.render()
         return table + "\n" + summary
 
 
@@ -130,19 +202,38 @@ class ArtifactExecutor:
     ``jobs`` sets the thread-pool width (1 = serial, ``None`` = capped
     CPU count); ``cache`` is an :class:`ArtifactCache` keyed on the
     study's corpus fingerprint, ``True`` for the default store, or
-    ``False``/``None`` for no caching.  Parallel and serial runs
-    produce identical results: builders only read shared state, and
-    the memoized sweep resources are resolved before any dependent
-    artifact starts.
+    ``False``/``None`` for no caching.  ``on_error``, ``retry``,
+    ``timeout_s``, and ``faults`` select the failure semantics (see
+    the module docstring).  Parallel and serial runs produce identical
+    results *and identical failure ledgers*: builders only read shared
+    state, the memoized sweep resources are resolved before any
+    dependent artifact starts, and retry jitter is seeded.
     """
 
     def __init__(self, study: "Study", jobs: Optional[int] = None,
-                 cache: Union[bool, ArtifactCache, None] = None):
+                 cache: Union[bool, ArtifactCache, None] = None,
+                 on_error: str = "raise",
+                 retry: Optional[RetryPolicy] = None,
+                 timeout_s: Optional[float] = None,
+                 faults: Optional[FaultPlan] = None):
         self.study = study
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if isinstance(cache, bool):
             cache = ArtifactCache() if cache else None
         self.cache = cache
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.on_error = on_error
+        self.retry = retry
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self.faults = faults
+        if (faults is not None and self.cache is not None
+                and self.cache.faults is None):
+            self.cache.faults = faults
         self._lock = threading.Lock()
 
     # -- graph construction -------------------------------------------------------
@@ -173,6 +264,7 @@ class ArtifactExecutor:
         metrics: Dict[str, ArtifactMetric] = {}
         resource_seconds: Dict[str, float] = {}
         errors: List[str] = []
+        failures = FailureLedger()
 
         fingerprint = self.study.fingerprint if self.cache is not None else ""
         to_build: List[ArtifactSpec] = []
@@ -192,67 +284,197 @@ class ArtifactExecutor:
 
         if to_build:
             self._build(to_build, fingerprint, results, metrics,
-                        resource_seconds, errors)
+                        resource_seconds, errors, failures)
 
         ordered_ids = [spec.artifact_id for spec in specs]
         return RunReport(
-            results={fid: results[fid] for fid in ordered_ids},
-            metrics={fid: metrics[fid] for fid in ordered_ids},
+            results={fid: results[fid] for fid in ordered_ids
+                     if fid in results},
+            metrics={fid: metrics[fid] for fid in ordered_ids
+                     if fid in metrics},
             resource_seconds=resource_seconds,
             jobs=self.jobs,
             total_seconds=time.perf_counter() - started,
             cache_dir=str(self.cache.root) if self.cache is not None else None,
             errors=errors,
+            failures=failures,
+            on_error=self.on_error,
         )
+
+    # -- node execution -----------------------------------------------------------
+
+    def _site(self, node: str, build_ids: Set[str]) -> str:
+        return f"builder.{node}" if node in build_ids else f"resource.{node}"
+
+    def _run_node(self, node: str, build_ids: Set[str], fingerprint: str,
+                  results: Dict[str, "FigureResult"],
+                  metrics: Dict[str, ArtifactMetric],
+                  resource_seconds: Dict[str, float]) -> Optional[_NodeFailure]:
+        """Build one node with retry/timeout; never raises.
+
+        Returns ``None`` on success, else the :class:`_NodeFailure`
+        carrying the final exception and the attempt count — the
+        scheduler decides whether that aborts the run or quarantines a
+        subgraph.
+        """
+        site = self._site(node, build_ids)
+        started = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                fire(site, self.faults)
+                if node in build_ids:
+                    builder = REGISTRY[node].bind(self.study)
+                    result = run_with_timeout(builder, self.timeout_s, site)
+                    elapsed = time.perf_counter() - started
+                    if self.cache is not None:
+                        self.cache.put(fingerprint, node, result)
+                    with self._lock:
+                        results[node] = result
+                        metrics[node] = ArtifactMetric(
+                            node, elapsed, cache_hit=False
+                        )
+                else:
+                    run_with_timeout(
+                        lambda: self._resolve_resource(node),
+                        self.timeout_s, site,
+                    )
+                    with self._lock:
+                        resource_seconds[node] = (
+                            time.perf_counter() - started
+                        )
+                return None
+            except Exception as exc:
+                if (self.retry is not None and attempts < self.retry.attempts
+                        and self.retry.retryable(exc)):
+                    time.sleep(self.retry.delay_s(site, attempts))
+                    continue
+                return _NodeFailure(
+                    node, exc, attempts, time.perf_counter() - started
+                )
+
+    def _register_failure(
+        self,
+        failure: _NodeFailure,
+        errors: List[str],
+        failures: FailureLedger,
+        children: Dict[str, Set[str]],
+        build_ids: Set[str],
+        quarantined: Dict[str, str],
+    ) -> Optional[BaseException]:
+        """Record a node failure; returns the exception to raise, if any.
+
+        In ``isolate`` mode the downstream closure of the failed node
+        is quarantined (recorded in the ledger, skipped by the
+        scheduler) and ``None`` comes back; in ``raise`` mode the
+        original exception is returned for the scheduler to re-raise
+        after draining.
+        """
+        with self._lock:
+            errors.append(f"{failure.node}: {failure.error!r}")
+            failures.add(failure_record(
+                failure.node, failure.error, failure.attempts,
+                failure.elapsed_s,
+            ))
+            if self.on_error == "raise":
+                return failure.error
+            # Quarantine every transitive dependent of the failed node.
+            stack = [failure.node]
+            while stack:
+                current = stack.pop()
+                for child in sorted(children.get(current, ())):
+                    if child in quarantined or child == failure.node:
+                        continue
+                    quarantined[child] = failure.node
+                    if child in build_ids:
+                        failures.add(
+                            quarantine_record(child, failure.node)
+                        )
+                    stack.append(child)
+        return None
+
+    # -- scheduling ---------------------------------------------------------------
 
     def _build(self, specs: List[ArtifactSpec], fingerprint: str,
                results: Dict[str, "FigureResult"],
                metrics: Dict[str, ArtifactMetric],
                resource_seconds: Dict[str, float],
-               errors: List[str]) -> None:
+               errors: List[str],
+               failures: Optional[FailureLedger] = None) -> None:
+        failures = failures if failures is not None else FailureLedger()
         build_ids = {spec.artifact_id for spec in specs}
-        graph: Dict[str, set] = {}
+        graph: Dict[str, Set[str]] = {}
         for spec in specs:
             graph[spec.artifact_id] = set(spec.depends)
             for resource in spec.depends:
                 graph.setdefault(resource, set())
+        # Reverse adjacency: node -> the nodes that depend on it.
+        children: Dict[str, Set[str]] = {node: set() for node in graph}
+        for node, depends in graph.items():
+            for dependency in depends:
+                children[dependency].add(node)
+        quarantined: Dict[str, str] = {}
 
-        def run_node(node: str) -> None:
-            node_started = time.perf_counter()
-            if node in build_ids:
-                result = REGISTRY[node].bind(self.study)()
-                elapsed = time.perf_counter() - node_started
-                if self.cache is not None:
-                    self.cache.put(fingerprint, node, result)
-                with self._lock:
-                    results[node] = result
-                    metrics[node] = ArtifactMetric(node, elapsed, cache_hit=False)
-            else:
-                self._resolve_resource(node)
-                with self._lock:
-                    resource_seconds[node] = time.perf_counter() - node_started
+        def run_node(node: str) -> Optional[_NodeFailure]:
+            return self._run_node(
+                node, build_ids, fingerprint, results, metrics,
+                resource_seconds,
+            )
 
         sorter: TopologicalSorter = TopologicalSorter(graph)
         if self.jobs == 1:
             for node in sorter.static_order():
-                run_node(node)
+                if node in quarantined:
+                    continue
+                failure = run_node(node)
+                if failure is None:
+                    continue
+                exc = self._register_failure(
+                    failure, errors, failures, children, build_ids,
+                    quarantined,
+                )
+                if exc is not None:
+                    raise exc
             return
 
         sorter.prepare()
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            pending: Dict[object, str] = {}
-            while sorter.is_active():
+            pending: Dict[Future, str] = {}
+            abort: Optional[BaseException] = None
+            while sorter.is_active() or pending:
+                submitted_or_skipped = False
                 for node in sorter.get_ready():
-                    pending[pool.submit(run_node, node)] = node
-                if not pending:  # pragma: no cover - defensive
-                    break
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    submitted_or_skipped = True
+                    if node in quarantined:
+                        sorter.done(node)
+                    else:
+                        pending[pool.submit(run_node, node)] = node
+                if not pending:
+                    if submitted_or_skipped:
+                        continue  # skipping may have readied successors
+                    break  # pragma: no cover - defensive
+                done, _ = wait(
+                    pending, timeout=_WAIT_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
                     node = pending.pop(future)
-                    exc = future.exception()
-                    if exc is not None:
-                        errors.append(f"{node}: {exc!r}")
-                        for remaining in pending:
-                            remaining.cancel()
-                        raise exc
                     sorter.done(node)
+                    failure = future.result(timeout=0)
+                    if failure is not None:
+                        exc = self._register_failure(
+                            failure, errors, failures, children,
+                            build_ids, quarantined,
+                        )
+                        if exc is not None:
+                            abort = exc
+                if abort is not None:
+                    # Drain before re-raising: cancel what never
+                    # started, wait out what is mid-build, so no worker
+                    # mutates results/metrics after the raise.
+                    for future in pending:
+                        future.cancel()
+                    if pending:
+                        wait(list(pending), timeout=_DRAIN_TIMEOUT_S)
+                    raise abort

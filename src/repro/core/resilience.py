@@ -1,0 +1,401 @@
+"""Fault-tolerant execution primitives: taxonomy, retries, timeouts.
+
+The execution layer (:mod:`repro.core.executor`, :mod:`repro.core.cache`,
+:mod:`repro.core.ensemble`) used to be fail-fast: the first builder
+exception aborted the whole run.  This module provides the vocabulary
+and mechanics for graceful degradation instead:
+
+* a structured error taxonomy rooted at :class:`ReproError`, so call
+  sites can distinguish *transient* conditions (worth retrying) from
+  *data*, *build*, and *cache* failures (not worth retrying);
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  **seeded** jitter, so a retried run sleeps the exact same schedule
+  every time (determinism survives fault handling);
+* :func:`run_with_timeout` — a per-call wall-clock budget;
+* :class:`FailureRecord` / :class:`FailureLedger` — the structured
+  account of what failed, how it was classified, how many attempts
+  were made, and what got quarantined downstream, carried by a partial
+  :class:`~repro.core.executor.RunReport` instead of an exception.
+
+Everything here is deliberately dependency-free (no numpy, no other
+``repro.core`` modules) so the cache, the executor, and the fault
+harness can all import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+# -- error taxonomy ---------------------------------------------------------------
+
+
+class ReproError(Exception):
+    """Base of the structured error taxonomy of the execution layer."""
+
+
+class TransientError(ReproError):
+    """A condition expected to clear on retry (I/O hiccup, lost worker)."""
+
+
+class DataError(ReproError):
+    """Malformed or inconsistent input data; retrying cannot help."""
+
+
+class BuildError(ReproError):
+    """A builder produced an invalid result or raised; deterministic."""
+
+
+class CacheError(ReproError):
+    """The artifact cache store misbehaved (corrupt entry, bad I/O)."""
+
+
+class BuildTimeout(TransientError):
+    """A call exceeded its wall-clock budget (transient: load-dependent)."""
+
+    def __init__(self, site: str, timeout_s: float):
+        super().__init__(
+            f"{site} exceeded its {timeout_s:g}s wall-clock budget"
+        )
+        self.site = site
+        self.timeout_s = timeout_s
+
+
+#: Taxonomy leaves in classification-priority order.  ``BuildTimeout``
+#: is a ``TransientError``; subclass checks respect that.
+TAXONOMY: Tuple[Type[ReproError], ...] = (
+    TransientError,
+    DataError,
+    BuildError,
+    CacheError,
+)
+
+
+def classify(error: BaseException) -> str:
+    """The taxonomy bucket of an exception: transient/data/build/cache.
+
+    Exceptions outside the taxonomy degrade sensibly: OS-level I/O
+    errors classify as ``"transient"`` (the filesystem may recover),
+    everything else as ``"build"`` (a builder raised something of its
+    own).
+    """
+    for bucket in TAXONOMY:
+        if isinstance(error, bucket):
+            return bucket.__name__.replace("Error", "").lower()
+    if isinstance(error, (OSError, TimeoutError)):
+        return "transient"
+    return "build"
+
+
+def exception_chain(error: BaseException) -> Tuple[str, ...]:
+    """The rendered ``__cause__``/``__context__`` chain, outermost first."""
+    chain: List[str] = []
+    seen: set = set()
+    current: Optional[BaseException] = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return tuple(chain)
+
+
+# -- deterministic retry ----------------------------------------------------------
+
+
+def _unit_fraction(*parts: object) -> float:
+    """A stable uniform-looking fraction in [0, 1) from hashed parts."""
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode())
+    return int.from_bytes(digest.digest()[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry schedule for one execution site.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).
+    Delay before retry ``k`` (1-based) is ``base_delay_s * backoff**(k-1)``
+    scaled by a jitter factor in ``[1 - jitter, 1 + jitter]`` and capped
+    at ``max_delay_s``.  The jitter is *seeded*: it derives from
+    ``(seed, site, attempt)`` through a hash, so two runs with the same
+    policy sleep the exact same schedule — retries never make a run
+    nondeterministic, they only make it slower.
+
+    ``retry_on`` lists the exception types worth retrying; the default
+    covers the transient branch of the taxonomy plus raw ``OSError``.
+    """
+
+    attempts: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: Tuple[Type[BaseException], ...] = (TransientError, OSError)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0.0 or self.max_delay_s < 0.0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether this policy retries after ``error``."""
+        return isinstance(error, self.retry_on)
+
+    def delay_s(self, site: str, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay_s * self.backoff ** (attempt - 1)
+        unit = _unit_fraction(self.seed, site, attempt)
+        jittered = raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+        return min(self.max_delay_s, jittered)
+
+    def delays(self, site: str) -> Tuple[float, ...]:
+        """The full deterministic sleep schedule for ``site``."""
+        return tuple(
+            self.delay_s(site, attempt)
+            for attempt in range(1, self.attempts)
+        )
+
+
+@dataclass(frozen=True)
+class Attempted:
+    """Outcome of a successfully retried call."""
+
+    value: object
+    attempts: int
+    elapsed_s: float
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    site: str = "call",
+    sleep: Callable[[float], None] = time.sleep,
+) -> Attempted:
+    """Invoke ``fn`` under ``policy``; the last error re-raises as-is.
+
+    Returns an :class:`Attempted` carrying the value, the number of
+    tries consumed, and the elapsed wall time.  With no policy the call
+    runs exactly once.
+    """
+    policy = policy or RetryPolicy(attempts=1)
+    started = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            value = fn()
+        except Exception as error:
+            if attempt < policy.attempts and policy.retryable(error):
+                sleep(policy.delay_s(site, attempt))
+                continue
+            raise
+        return Attempted(
+            value=value,
+            attempts=attempt,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+
+# -- wall-clock timeouts ----------------------------------------------------------
+
+
+def run_with_timeout(
+    fn: Callable[[], T],
+    timeout_s: Optional[float],
+    site: str = "call",
+) -> T:
+    """Run ``fn`` with a wall-clock budget; raise :class:`BuildTimeout`.
+
+    With ``timeout_s=None`` the call runs inline with zero overhead.
+    Otherwise the call runs on a daemon worker thread and the caller
+    waits at most ``timeout_s`` seconds.  Python cannot kill a thread,
+    so on timeout the overrunning call keeps executing in the
+    background — its eventual result is discarded; the caller moves on
+    and the executor quarantines/records the timeout like any other
+    failure.
+    """
+    if timeout_s is None:
+        return fn()
+    if timeout_s <= 0.0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    outcome: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as error:  # re-raised in the caller below
+            outcome["error"] = error
+
+    worker = threading.Thread(target=target, daemon=True, name=f"budget:{site}")
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise BuildTimeout(site, timeout_s)
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["value"]  # type: ignore[return-value]
+
+
+# -- the failure ledger -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed or quarantined node of an isolate-mode run.
+
+    A *root* failure carries the exception detail (type, taxonomy
+    bucket, message, cause chain) plus how many attempts were made and
+    how long they took.  A *quarantine* record marks a downstream node
+    skipped because of a root failure; ``quarantined_by`` names that
+    root.
+    """
+
+    artifact_id: str
+    error_type: str
+    taxonomy: str
+    message: str
+    chain: Tuple[str, ...] = ()
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    quarantined_by: Optional[str] = None
+
+    @property
+    def is_quarantine(self) -> bool:
+        """Whether this node was skipped (vs. having failed itself)."""
+        return self.quarantined_by is not None
+
+    def signature(self) -> Tuple[object, ...]:
+        """Everything reproducible about the record (elapsed excluded)."""
+        return (
+            self.artifact_id,
+            self.error_type,
+            self.taxonomy,
+            self.message,
+            self.chain,
+            self.attempts,
+            self.quarantined_by,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize every field (including wall time) to a dict."""
+        return {
+            "artifact_id": self.artifact_id,
+            "error_type": self.error_type,
+            "taxonomy": self.taxonomy,
+            "message": self.message,
+            "chain": list(self.chain),
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "quarantined_by": self.quarantined_by,
+        }
+
+
+@dataclass
+class FailureLedger:
+    """The ordered account of failures in one engine run.
+
+    Appended under the executor's lock; reading is lock-free.  Two runs
+    of the same study with the same fault plan and seeds produce equal
+    :meth:`signature` values (wall times are excluded), which is the
+    determinism contract the fault-injection tests pin.
+    """
+
+    records: List[FailureRecord] = field(default_factory=list)
+
+    def add(self, record: FailureRecord) -> None:
+        """Append one failure or quarantine record."""
+        self.records.append(record)
+
+    def __iter__(self) -> Iterator[FailureRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    @property
+    def root_ids(self) -> Tuple[str, ...]:
+        """Nodes that failed themselves, in failure order."""
+        return tuple(r.artifact_id for r in self.records if not r.is_quarantine)
+
+    @property
+    def quarantined_ids(self) -> Tuple[str, ...]:
+        """Nodes skipped because an upstream dependency failed."""
+        return tuple(r.artifact_id for r in self.records if r.is_quarantine)
+
+    @property
+    def failed_ids(self) -> Tuple[str, ...]:
+        """Every node the run could not produce (roots + quarantined)."""
+        return tuple(r.artifact_id for r in self.records)
+
+    def signature(self) -> Tuple[Tuple[object, ...], ...]:
+        """Order-independent reproducible fingerprint of the ledger."""
+        return tuple(sorted(r.signature() for r in self.records))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the ledger as a list of record dicts."""
+        return {"records": [r.to_dict() for r in self.records]}
+
+    def render(self) -> str:
+        """A terminal summary, one line per record."""
+        if not self.records:
+            return "failure ledger: empty"
+        lines = [f"failure ledger: {len(self.records)} record(s)"]
+        for record in self.records:
+            if record.is_quarantine:
+                lines.append(
+                    f"  {record.artifact_id}: quarantined "
+                    f"(upstream {record.quarantined_by} failed)"
+                )
+            else:
+                lines.append(
+                    f"  {record.artifact_id}: {record.error_type} "
+                    f"[{record.taxonomy}] after {record.attempts} attempt(s) "
+                    f"in {record.elapsed_s * 1000.0:.1f} ms -- {record.message}"
+                )
+        return "\n".join(lines)
+
+
+def failure_record(
+    artifact_id: str,
+    error: BaseException,
+    attempts: int,
+    elapsed_s: float,
+) -> FailureRecord:
+    """A root :class:`FailureRecord` from a caught exception."""
+    return FailureRecord(
+        artifact_id=artifact_id,
+        error_type=type(error).__name__,
+        taxonomy=classify(error),
+        message=str(error),
+        chain=exception_chain(error),
+        attempts=attempts,
+        elapsed_s=elapsed_s,
+    )
+
+
+def quarantine_record(artifact_id: str, root_id: str) -> FailureRecord:
+    """A quarantine :class:`FailureRecord` for a skipped downstream node."""
+    return FailureRecord(
+        artifact_id=artifact_id,
+        error_type="Quarantined",
+        taxonomy="quarantine",
+        message=f"not built: upstream {root_id} failed",
+        attempts=0,
+        quarantined_by=root_id,
+    )

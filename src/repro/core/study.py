@@ -115,6 +115,10 @@ class Study:
         jobs: int = 1,
         cache: Union[bool, "ArtifactCache", None] = None,
         report: bool = False,
+        on_error: str = "raise",
+        retry: Optional["RetryPolicy"] = None,
+        timeout_s: Optional[float] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> Union[Dict[str, FigureResult], "RunReport"]:
         """Regenerate every artifact, in paper order.
 
@@ -127,10 +131,31 @@ class Study:
         :class:`~repro.core.executor.RunReport` — a mapping of results
         that additionally carries per-artifact wall times and
         cache-hit flags — is returned instead of a plain dict.
+
+        Failure semantics (see :mod:`repro.core.resilience`):
+        ``on_error="isolate"`` quarantines a failing artifact plus its
+        downstream dependents and returns a *partial* report whose
+        ``failures`` ledger records what went wrong, instead of
+        raising; ``retry`` bounds deterministic retries of transient
+        failures; ``timeout_s`` is a per-artifact wall-clock budget;
+        ``faults`` threads a deterministic
+        :class:`~repro.core.faults.FaultPlan` through the engine's
+        injection sites.  ``on_error="isolate"`` implies
+        ``report=True`` (a plain dict cannot carry the ledger).
         """
         from repro.core.executor import ArtifactExecutor
 
-        run_report = ArtifactExecutor(self, jobs=jobs, cache=cache).run()
+        run_report = ArtifactExecutor(
+            self,
+            jobs=jobs,
+            cache=cache,
+            on_error=on_error,
+            retry=retry,
+            timeout_s=timeout_s,
+            faults=faults,
+        ).run()
+        if on_error == "isolate":
+            return run_report
         return run_report if report else run_report.results
 
     def ensemble(
@@ -138,6 +163,7 @@ class Study:
         seeds: Union[int, Sequence[int]] = 5,
         jobs: int = 1,
         structural_effects: bool = True,
+        faults: Optional["FaultPlan"] = None,
     ) -> "EnsembleResult":
         """Across-seed stability of the paper's headline statistics.
 
@@ -145,8 +171,9 @@ class Study:
         seeds starting from this study's own seed — or an explicit seed
         sequence.  ``jobs`` > 1 distributes the per-seed corpus
         generation and analysis over a process pool; serial and
-        parallel runs return exactly equal results.  See
-        :mod:`repro.core.ensemble`.
+        parallel runs return exactly equal results, and a crashed
+        worker degrades (bounded re-runs, then serial) instead of
+        killing the run.  See :mod:`repro.core.ensemble`.
         """
         from repro.core.ensemble import run_ensemble
 
@@ -155,6 +182,7 @@ class Study:
             jobs=jobs,
             base_seed=self.seed,
             structural_effects=structural_effects,
+            faults=faults,
         )
 
     def _sweep(self, number: int) -> SweepResult:

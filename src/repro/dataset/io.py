@@ -12,6 +12,7 @@ import csv
 from pathlib import Path
 from typing import List, Union
 
+from repro.core.faults import fire
 from repro.dataset.corpus import Corpus
 from repro.dataset.schema import LoadLevel, SpecPowerResult
 from repro.metrics.ep import TARGET_LOADS_DESCENDING
@@ -45,6 +46,7 @@ def _header() -> List[str]:
 
 def save_corpus(corpus: Corpus, path: Union[str, Path]) -> None:
     """Write the corpus to ``path`` as CSV."""
+    fire("dataset.io")
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
@@ -74,6 +76,7 @@ def save_corpus(corpus: Corpus, path: Union[str, Path]) -> None:
 
 def load_corpus(path: Union[str, Path]) -> Corpus:
     """Read a corpus previously written by :func:`save_corpus`."""
+    fire("dataset.io")
     path = Path(path)
     codename_by_value = {codename.value: codename for codename in Codename}
     results = []

@@ -1,0 +1,37 @@
+"""Violation fixture for the REP50x robustness rules."""
+
+from concurrent.futures import ThreadPoolExecutor, as_completed, wait
+
+
+def work(batch):
+    try:
+        return sum(batch)
+    except Exception:
+        return 0
+
+
+def run(batches):
+    with ThreadPoolExecutor() as pool:
+        futures = [pool.submit(work, batch) for batch in batches]
+        wait(futures)
+        totals = []
+        for future in as_completed(futures):
+            try:
+                totals.append(future.result())
+            except:
+                totals.append(None)
+    return totals
+
+
+def convert(raw):
+    try:
+        return int(raw)
+    except ValueError:
+        raise RuntimeError(f"bad value {raw!r}")
+
+
+def rethrown(raw):
+    try:
+        return int(raw)
+    except ValueError as error:
+        raise RuntimeError(f"bad value {raw!r}") from error

@@ -28,20 +28,20 @@ def _hits(findings):
 class TestRuleCatalog:
     def test_every_family_is_registered(self):
         families = {rule_id[:4] for rule_id in RULES}
-        assert families == {"REP1", "REP2", "REP3", "REP4"}
+        assert families == {"REP1", "REP2", "REP3", "REP4", "REP5"}
 
     def test_rules_are_documented(self):
         for rule in RULES.values():
             assert rule.description
             assert rule.name
 
-    def test_only_mutable_default_is_a_warning(self):
+    def test_warning_severity_rules(self):
         warnings = [
             rule_id
             for rule_id, rule in RULES.items()
             if rule.severity is Severity.WARNING
         ]
-        assert warnings == ["REP305"]
+        assert warnings == ["REP305", "REP503", "REP504"]
 
 
 class TestDeterminismRules:
@@ -121,6 +121,35 @@ class TestParityRules:
         """REP404 is emitted by REP401's project checker."""
         findings = run_checks([str(FIXTURES / "parity_bad")], select=["REP404"])
         assert _hits(findings) == [("REP404", "synthkernels.py", 9)]
+
+
+class TestRobustnessRules:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "robustness_violations.py")], select=["REP5"]
+        )
+        assert _hits(findings) == [
+            ("REP501", "robustness_violations.py", 21),
+            ("REP502", "robustness_violations.py", 9),
+            ("REP503", "robustness_violations.py", 16),
+            ("REP503", "robustness_violations.py", 18),
+            ("REP503", "robustness_violations.py", 20),
+            ("REP504", "robustness_violations.py", 30),
+        ]
+
+    def test_chained_raise_is_clean(self):
+        """The 'from error' variant on line 36 must not fire REP504."""
+        findings = run_checks(
+            [str(FIXTURES / "robustness_violations.py")], select=["REP504"]
+        )
+        assert [f.line for f in findings] == [30]
+
+    def test_untimed_waits_are_warnings_only(self):
+        findings = run_checks(
+            [str(FIXTURES / "robustness_violations.py")], select=["REP503"]
+        )
+        assert all(f.severity is Severity.WARNING for f in findings)
+        assert exit_code(findings) == 0
 
 
 class TestEngine:

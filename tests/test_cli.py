@@ -123,6 +123,41 @@ class TestRunAll:
         assert code == 0
         assert "36 cached" in warm
 
+    def test_injected_fault_with_isolate_quarantines_and_exits_nonzero(
+        self, tmp_path
+    ):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"seed": 0, "faults": [{"site": "builder.fig5", '
+            '"mode": "fail", "error": "build"}]}'
+        )
+        directory = tmp_path / "artifacts"
+        code, output = _run(
+            ["run-all", "--output-dir", str(directory),
+             "--on-error", "isolate", "--inject", str(plan)]
+        )
+        assert code == 1
+        assert "wrote 35 of 36 artifacts" in output
+        assert "fig5: BuildError" in output
+        files = sorted(p.name for p in directory.iterdir())
+        assert "fig5.txt" not in files
+        assert "fig3.txt" in files
+
+    def test_injected_transient_masked_by_retry(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "builder.fig5", "mode": "fail-once", '
+            '"error": "transient"}]}'
+        )
+        directory = tmp_path / "artifacts"
+        code, output = _run(
+            ["run-all", "--output-dir", str(directory),
+             "--on-error", "isolate", "--retry", "2", "--inject", str(plan)]
+        )
+        assert code == 0
+        assert "wrote 36 of 36 artifacts" in output
+        assert "ledger" not in output
+
 
 class TestCacheCommand:
     def test_stats_and_clear(self, tmp_path):

@@ -143,3 +143,80 @@ class TestMaintenance:
     def test_default_engine_version_applied(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         assert cache.engine_version == ENGINE_VERSION
+
+
+class TestConcurrentAccess:
+    def test_racing_get_put_corrupt_evict_never_raises(
+        self, cache, cached_study
+    ):
+        """Readers, writers, a corruptor, and an evictor hammer one
+        entry concurrently; every anomaly must degrade to a miss inside
+        the cache — no exception may escape to the callers."""
+        import threading
+
+        result = cached_study.figure("wong")
+        fingerprint = cached_study.fingerprint
+        path = cache.path_for(fingerprint, "wong")
+        cache.put(fingerprint, "wong", result)
+
+        stop = threading.Event()
+        escaped = []
+
+        def hammer(action):
+            while not stop.is_set():
+                try:
+                    action()
+                except Exception as error:  # no exception may escape
+                    escaped.append(error)
+                    return
+
+        def read():
+            probe = cache.get(fingerprint, "wong")
+            assert probe is None or probe.figure_id == "wong"
+
+        def write():
+            cache.put(fingerprint, "wong", result)
+
+        def corrupt():
+            try:
+                path.write_bytes(b"garbage mid-flight")
+            except OSError:
+                pass
+
+        def evict():
+            cache.clear()
+
+        workers = [
+            threading.Thread(target=hammer, args=(action,))
+            for action in (read, read, write, corrupt, evict)
+        ]
+        for worker in workers:
+            worker.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=10.0)
+        assert escaped == []
+        assert cache.stats.lookups == cache.stats.hits + cache.stats.misses
+        # The store converges once the race stops.
+        cache.put(fingerprint, "wong", result)
+        final = cache.get(fingerprint, "wong")
+        assert final is not None and final.figure_id == "wong"
+
+    def test_corrupt_entry_rebuilds_exactly_once_under_parallelism(
+        self, cache, cached_study
+    ):
+        """A corrupted entry costs one rebuild even with a wide pool:
+        the scheduler probes once, evicts once, builds once."""
+        cached_study.run_all(cache=cache)
+        path = cache.path_for(cached_study.fingerprint, "fig3")
+        path.write_bytes(b"not a pickle")
+        evictions_before = cache.stats.evictions
+        report = cached_study.run_all(cache=cache, jobs=4, report=True)
+        assert report.built == 1
+        assert report.metrics["fig3"].cache_hit is False
+        assert cache.stats.evictions == evictions_before + 1
+        # The rebuild restored the entry for the next run.
+        assert cache.get(cached_study.fingerprint, "fig3") is not None

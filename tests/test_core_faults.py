@@ -1,0 +1,238 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.core.faults import (
+    ERROR_KINDS,
+    MODES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fire,
+    install,
+    iter_sites,
+    should_corrupt,
+)
+from repro.core.resilience import (
+    BuildError,
+    CacheError,
+    DataError,
+    TransientError,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_pin_fail_once(self):
+        spec = FaultSpec(site="cache.read")
+        assert spec.mode == "fail-once"
+        assert spec.times == 1
+        assert spec.raises
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="")
+        with pytest.raises(ValueError, match="mode"):
+            FaultSpec(site="x", mode="explode")
+        with pytest.raises(ValueError, match="error kind"):
+            FaultSpec(site="x", error="cosmic")
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="x", mode="fail-n")
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="x", mode="fail", times=0)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(site="x", mode="latency")
+
+    def test_glob_matching(self):
+        spec = FaultSpec(site="builder.fig2*")
+        assert spec.matches("builder.fig20")
+        assert spec.matches("builder.fig21")
+        assert not spec.matches("builder.fig3")
+        assert not spec.matches("resource.fig20")
+
+    @pytest.mark.parametrize(
+        ("kind", "expected"),
+        [
+            ("transient", TransientError),
+            ("data", DataError),
+            ("build", BuildError),
+            ("cache", CacheError),
+            ("os", OSError),
+        ],
+    )
+    def test_error_kinds(self, kind, expected):
+        error = FaultSpec(site="x", error=kind).build_error("cache.write")
+        assert isinstance(error, expected)
+        assert sorted(ERROR_KINDS) == sorted(
+            ["transient", "data", "build", "cache", "os"]
+        )
+
+    def test_os_kind_simulates_enospc(self):
+        error = FaultSpec(site="x", error="os").build_error("cache.write")
+        assert error.errno == 28
+
+    def test_dict_round_trip(self):
+        for spec in (
+            FaultSpec(site="builder.*", mode="fail", error="build"),
+            FaultSpec(site="cache.read", mode="fail-n", times=3),
+            FaultSpec(site="dataset.io", mode="latency", delay_s=0.5),
+            FaultSpec(site="cache.read", mode="corrupt"),
+            FaultSpec(site="x", message="custom detail"),
+        ):
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultSpec.from_dict({"site": "x", "when": "always"})
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec.from_dict({"mode": "fail"})
+
+
+class TestFaultPlan:
+    def test_fail_once_fires_exactly_once(self):
+        plan = FaultPlan([FaultSpec(site="dataset.io")])
+        with pytest.raises(TransientError):
+            plan.fire("dataset.io")
+        plan.fire("dataset.io")  # budget exhausted: no raise
+        assert plan.fired("dataset.io") == 1
+
+    def test_fail_n_budget(self):
+        plan = FaultPlan(
+            [FaultSpec(site="cache.*", mode="fail-n", times=2, error="cache")]
+        )
+        for _ in range(2):
+            with pytest.raises(CacheError):
+                plan.fire("cache.read")
+        plan.fire("cache.read")
+        assert plan.fired() == 2
+
+    def test_fail_mode_is_unbounded(self):
+        plan = FaultPlan([FaultSpec(site="b", mode="fail", error="build")])
+        for _ in range(5):
+            with pytest.raises(BuildError):
+                plan.fire("b")
+        assert plan.fired("b") == 5
+
+    def test_latency_sleeps_then_proceeds(self, monkeypatch):
+        import repro.core.faults as faults_module
+
+        slept = []
+        monkeypatch.setattr(faults_module.time, "sleep", slept.append)
+        plan = FaultPlan(
+            [FaultSpec(site="dataset.io", mode="latency", delay_s=0.25)]
+        )
+        plan.fire("dataset.io")
+        assert slept == [0.25]
+        assert plan.log == [("dataset.io", "latency")]
+
+    def test_corrupt_claimed_via_should_corrupt(self):
+        plan = FaultPlan(
+            [FaultSpec(site="cache.read", mode="corrupt", times=1)]
+        )
+        plan.fire("cache.read")  # corrupt triggers never raise
+        assert plan.should_corrupt("cache.read")
+        assert not plan.should_corrupt("cache.read")  # budget spent
+
+    def test_unbounded_corrupt_keeps_firing(self):
+        plan = FaultPlan([FaultSpec(site="cache.read", mode="corrupt")])
+        assert plan.should_corrupt("cache.read")
+        assert plan.should_corrupt("cache.read")
+
+    def test_take_claims_without_raising(self):
+        plan = FaultPlan([FaultSpec(site="ensemble.worker")])
+        assert plan.take("ensemble.worker")
+        assert not plan.take("ensemble.worker")
+        assert plan.fired("ensemble.worker") == 1
+
+    def test_reset_rearms(self):
+        plan = FaultPlan([FaultSpec(site="s")])
+        with pytest.raises(TransientError):
+            plan.fire("s")
+        plan.reset()
+        assert plan.fired() == 0
+        with pytest.raises(TransientError):
+            plan.fire("s")
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="builder.fig5", mode="fail", error="build"),
+                FaultSpec(site="cache.read", mode="fail-n", times=2),
+            ],
+            seed=11,
+        )
+        restored = FaultPlan.loads(plan.dumps())
+        assert restored.specs == plan.specs
+        assert restored.seed == 11
+        path = tmp_path / "plan.json"
+        path.write_text(plan.dumps())
+        assert FaultPlan.load(path).specs == plan.specs
+
+    def test_modes_catalog(self):
+        assert MODES == ("fail", "fail-once", "fail-n", "latency", "corrupt")
+
+    def test_pickle_round_trip_recreates_lock(self):
+        plan = FaultPlan([FaultSpec(site="s", mode="fail-n", times=2)])
+        with pytest.raises(TransientError):
+            plan.fire("s")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fired("s") == 1  # counter state travels
+        with pytest.raises(TransientError):
+            clone.fire("s")  # and the lock works after restore
+
+    def test_iter_sites(self):
+        plan = FaultPlan(
+            [FaultSpec(site="a"), FaultSpec(site="b", mode="fail")]
+        )
+        assert list(iter_sites(plan)) == ["a", "b"]
+
+
+class TestAmbientPlan:
+    def test_install_scopes_the_plan(self):
+        plan = FaultPlan([FaultSpec(site="dataset.io")])
+        assert active_plan() is None
+        with install(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+            with pytest.raises(TransientError):
+                fire("dataset.io")
+        assert active_plan() is None
+
+    def test_install_nests(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with install(outer):
+            with install(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+
+    def test_module_fire_is_noop_without_a_plan(self):
+        fire("dataset.io")
+        assert not should_corrupt("cache.read")
+
+    def test_explicit_plan_overrides_ambient(self):
+        ambient = FaultPlan([FaultSpec(site="s")])
+        explicit = FaultPlan([FaultSpec(site="s", error="data")])
+        with install(ambient):
+            with pytest.raises(DataError):
+                fire("s", explicit)
+        assert ambient.fired() == 0
+
+
+class TestDatasetIoSite:
+    def test_load_and_save_consult_the_ambient_plan(self, tmp_path, corpus):
+        from repro.dataset.io import load_corpus, save_corpus
+
+        path = tmp_path / "corpus.csv"
+        plan = FaultPlan(
+            [FaultSpec(site="dataset.io", mode="fail-n", times=2,
+                       error="data")]
+        )
+        with install(plan):
+            with pytest.raises(DataError):
+                save_corpus(corpus, path)
+            with pytest.raises(DataError):
+                load_corpus(path)
+            save_corpus(corpus, path)  # budget spent: both calls pass
+            assert len(load_corpus(path)) == len(corpus)
+        assert plan.fired("dataset.io") == 2

@@ -1,0 +1,251 @@
+"""Tests for the fault-tolerance primitives in repro.core.resilience."""
+
+import time
+
+import pytest
+
+from repro.core.resilience import (
+    Attempted,
+    BuildError,
+    BuildTimeout,
+    CacheError,
+    DataError,
+    FailureLedger,
+    FailureRecord,
+    ReproError,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    classify,
+    exception_chain,
+    failure_record,
+    quarantine_record,
+    run_with_timeout,
+)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "leaf", [TransientError, DataError, BuildError, CacheError]
+    )
+    def test_leaves_are_repro_errors(self, leaf):
+        assert issubclass(leaf, ReproError)
+        assert issubclass(leaf, Exception)
+
+    def test_timeout_is_transient(self):
+        error = BuildTimeout("builder.fig3", 1.5)
+        assert isinstance(error, TransientError)
+        assert error.site == "builder.fig3"
+        assert error.timeout_s == 1.5
+        assert "1.5s" in str(error)
+
+    @pytest.mark.parametrize(
+        ("error", "bucket"),
+        [
+            (TransientError("x"), "transient"),
+            (BuildTimeout("s", 1.0), "transient"),
+            (DataError("x"), "data"),
+            (BuildError("x"), "build"),
+            (CacheError("x"), "cache"),
+            (OSError(28, "disk full"), "transient"),
+            (TimeoutError("x"), "transient"),
+            (ValueError("x"), "build"),
+            (KeyError("x"), "build"),
+        ],
+    )
+    def test_classification(self, error, bucket):
+        assert classify(error) == bucket
+
+    def test_exception_chain_follows_cause(self):
+        try:
+            try:
+                raise OSError(28, "disk full")
+            except OSError as inner:
+                raise CacheError("store failed") from inner
+        except CacheError as outer:
+            chain = exception_chain(outer)
+        assert len(chain) == 2
+        assert chain[0].startswith("CacheError")
+        assert chain[1].startswith("OSError")
+
+    def test_exception_chain_handles_cycles(self):
+        error = ValueError("loop")
+        error.__context__ = error
+        assert exception_chain(error) == ("ValueError: loop",)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_schedule_is_deterministic(self):
+        first = RetryPolicy(attempts=5, seed=7)
+        second = RetryPolicy(attempts=5, seed=7)
+        assert first.delays("builder.fig3") == second.delays("builder.fig3")
+
+    def test_schedule_depends_on_seed_and_site(self):
+        base = RetryPolicy(attempts=5, seed=0)
+        assert base.delays("a") != RetryPolicy(attempts=5, seed=1).delays("a")
+        assert base.delays("a") != base.delays("b")
+
+    def test_delays_bounded_and_jittered(self):
+        policy = RetryPolicy(
+            attempts=8, base_delay_s=0.1, backoff=2.0,
+            jitter=0.5, max_delay_s=0.4,
+        )
+        for attempt in range(1, policy.attempts):
+            raw = 0.1 * 2.0 ** (attempt - 1)
+            delay = policy.delay_s("site", attempt)
+            assert 0.0 <= delay <= min(0.4, raw * 1.5)
+
+    def test_no_retries_means_empty_schedule(self):
+        assert RetryPolicy(attempts=1).delays("site") == ()
+
+    def test_retryable_filter(self):
+        policy = RetryPolicy(retry_on=(TransientError,))
+        assert policy.retryable(TransientError("x"))
+        assert policy.retryable(BuildTimeout("s", 1.0))
+        assert not policy.retryable(DataError("x"))
+
+
+class TestCallWithRetry:
+    def test_first_try_success(self):
+        outcome = call_with_retry(lambda: 42)
+        assert isinstance(outcome, Attempted)
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+
+    def test_transient_failures_retried_on_the_policy_schedule(self):
+        policy = RetryPolicy(attempts=3, base_delay_s=0.01, seed=3)
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(None)
+            if len(calls) < 3:
+                raise TransientError("not yet")
+            return "done"
+
+        outcome = call_with_retry(
+            flaky, policy, site="s", sleep=sleeps.append
+        )
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+        assert tuple(sleeps) == policy.delays("s")
+
+    def test_non_retryable_error_raises_immediately(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.0)
+        calls = []
+
+        def broken():
+            calls.append(None)
+            raise DataError("bad row")
+
+        with pytest.raises(DataError):
+            call_with_retry(broken, policy, site="s", sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        policy = RetryPolicy(attempts=2, base_delay_s=0.0)
+
+        def always():
+            raise TransientError("still down")
+
+        with pytest.raises(TransientError, match="still down"):
+            call_with_retry(always, policy, site="s", sleep=lambda _: None)
+
+
+class TestRunWithTimeout:
+    def test_no_budget_runs_inline(self):
+        assert run_with_timeout(lambda: "fast", None) == "fast"
+
+    def test_fast_call_within_budget(self):
+        assert run_with_timeout(lambda: 7, 5.0) == 7
+
+    def test_overrun_raises_build_timeout(self):
+        with pytest.raises(BuildTimeout) as caught:
+            run_with_timeout(lambda: time.sleep(5.0), 0.05, site="builder.x")
+        assert caught.value.site == "builder.x"
+        assert caught.value.timeout_s == 0.05
+
+    def test_callee_error_propagates(self):
+        def boom():
+            raise DataError("inside")
+
+        with pytest.raises(DataError, match="inside"):
+            run_with_timeout(boom, 5.0)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_with_timeout(lambda: None, 0.0)
+
+
+class TestFailureLedger:
+    def _root(self, artifact_id="fig3", elapsed_s=0.1):
+        return failure_record(
+            artifact_id, BuildError("went wrong"), attempts=2,
+            elapsed_s=elapsed_s,
+        )
+
+    def test_failure_record_from_exception(self):
+        record = self._root()
+        assert record.artifact_id == "fig3"
+        assert record.error_type == "BuildError"
+        assert record.taxonomy == "build"
+        assert record.attempts == 2
+        assert not record.is_quarantine
+        assert record.chain == ("BuildError: went wrong",)
+
+    def test_quarantine_record(self):
+        record = quarantine_record("fig20", "sweep:4")
+        assert record.is_quarantine
+        assert record.quarantined_by == "sweep:4"
+        assert record.attempts == 0
+        assert record.taxonomy == "quarantine"
+
+    def test_signature_excludes_wall_time(self):
+        assert self._root(elapsed_s=0.1).signature() == self._root(
+            elapsed_s=9.9
+        ).signature()
+
+    def test_ledger_ids_and_flags(self):
+        ledger = FailureLedger()
+        assert not ledger
+        ledger.add(self._root("fig5"))
+        ledger.add(quarantine_record("fig20", "fig5"))
+        assert len(ledger) == 2
+        assert ledger.root_ids == ("fig5",)
+        assert ledger.quarantined_ids == ("fig20",)
+        assert ledger.failed_ids == ("fig5", "fig20")
+
+    def test_ledger_signature_is_order_independent(self):
+        forward, backward = FailureLedger(), FailureLedger()
+        records = [self._root("fig5"), quarantine_record("fig20", "fig5")]
+        for record in records:
+            forward.add(record)
+        for record in reversed(records):
+            backward.add(record)
+        assert forward.signature() == backward.signature()
+
+    def test_render(self):
+        ledger = FailureLedger()
+        assert "empty" in ledger.render()
+        ledger.add(self._root("fig5"))
+        ledger.add(quarantine_record("fig20", "fig5"))
+        rendered = ledger.render()
+        assert "fig5: BuildError [build]" in rendered
+        assert "fig20: quarantined (upstream fig5 failed)" in rendered
+
+    def test_to_dict_round_trips_fields(self):
+        record = self._root()
+        entry = record.to_dict()
+        assert entry["artifact_id"] == "fig3"
+        assert entry["taxonomy"] == "build"
+        assert FailureLedger([record]).to_dict() == {"records": [entry]}
