@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Benchmark report for the repo's hot paths.
 
-Times the four workloads the performance work targets -- corpus
-synthesis, the discrete-event simulate sweep, cold/warm ``run_all``
-through the artifact engine, and multi-seed ensemble throughput -- and
-writes the results to ``BENCH_core.json`` at the repo root so the perf
-trajectory is tracked in-tree.
+Times the workloads the performance work targets -- corpus synthesis,
+the discrete-event simulate sweep, cold/warm ``run_all`` through the
+artifact engine, multi-seed ensemble throughput, and the columnar
+fleet engine (10k-server trace replay, both backends, plus a placement
+sweep) -- and writes the results to ``BENCH_core.json`` at the repo
+root so the perf trajectory is tracked in-tree.
 
 Usage::
 
@@ -41,7 +42,15 @@ CEILINGS = {
     "run_all_warm_s": 10.0,
     "ensemble_serial_s": 60.0,
     "ensemble_parallel_s": 60.0,
+    "fleet_replay_10k_s": 30.0,
+    "placement_sweep_s": 20.0,
 }
+
+#: Minimum columnar-over-scalar speedup --check demands on the
+#: 10k-server trace replay (the scalar side is measured on a truncated
+#: trace and extrapolated, so this is a property of the engines, not
+#: of runner speed).
+MIN_FLEET_SPEEDUP = 10.0
 
 
 def _best_of(repeats, fn):
@@ -94,6 +103,61 @@ def bench_run_all(jobs: int):
     return cold, warm
 
 
+def _tiled_fleet(n_servers: int):
+    from repro.cluster.fleet_arrays import tile_fleet
+    from repro.dataset.synthesis import generate_corpus
+
+    corpus = generate_corpus(2016)
+    return tile_fleet(corpus.by_hw_year(2016).results(), n_servers)
+
+
+def bench_fleet_replay(n_servers: int, steps: int, scalar_steps: int):
+    """Columnar full-day replay vs scalar on the same tiled fleet.
+
+    The columnar engine replays the whole day; the scalar path is
+    measured on the first ``scalar_steps`` timesteps only (a full
+    scalar day at 10k servers takes minutes) and extrapolated
+    linearly, which flatters the scalar side if anything (it skips
+    most of the trace's high-demand steps).
+    """
+    from repro.cluster.trace import DemandTrace, diurnal_trace, replay_trace
+
+    fleet = _tiled_fleet(n_servers)
+    trace = diurnal_trace(steps_per_day=steps, noise=0.0)
+    started = time.perf_counter()
+    replay_trace(fleet, trace, "ep-aware", fleet_backend="columnar")
+    columnar = time.perf_counter() - started
+    truncated = DemandTrace(
+        times_h=trace.times_h[:scalar_steps],
+        demand_fraction=trace.demand_fraction[:scalar_steps],
+    )
+    started = time.perf_counter()
+    replay_trace(fleet, truncated, "ep-aware", fleet_backend="scalar")
+    scalar = (time.perf_counter() - started) * (steps / scalar_steps)
+    return columnar, scalar
+
+
+def bench_placement_sweep(n_servers: int, repeats: int) -> float:
+    """A demand sweep through both columnar placement policies.
+
+    Includes engine construction, so the timing covers the full cost a
+    caller pays from a cold fleet list.
+    """
+    from repro.cluster.batch_placement import BatchPlacementEngine
+
+    fleet = _tiled_fleet(n_servers)
+    fractions = [i / 12 for i in range(13)]
+
+    def run():
+        engine = BatchPlacementEngine(fleet)
+        capacity = sum(engine.arrays.full_capacity.tolist())
+        for fraction in fractions:
+            for policy in ("pack-to-full", "ep-aware"):
+                engine.place(policy, fraction * capacity)
+
+    return _best_of(repeats, run)
+
+
 def bench_ensemble(seeds: int, jobs: int):
     """Serial and parallel ensemble wall times over the same seeds."""
     from repro.core.ensemble import run_ensemble
@@ -135,6 +199,10 @@ def main(argv=None) -> int:
     ensemble_seeds = 3 if args.quick else 6
     ensemble_jobs = 3 if args.quick else 4
     run_all_jobs = 4
+    fleet_servers = 10_000
+    trace_steps = 96
+    scalar_steps = 1 if args.quick else 2
+    placement_repeats = 1 if args.quick else 2
 
     timings = {}
     print("benchmarking corpus generation ...", flush=True)
@@ -151,6 +219,19 @@ def main(argv=None) -> int:
     timings["ensemble_serial_s"] = serial
     timings["ensemble_parallel_s"] = parallel
     timings["ensemble_seeds_per_s"] = ensemble_seeds / serial if serial > 0 else 0.0
+    print("benchmarking 10k-server trace replay ...", flush=True)
+    columnar, scalar = bench_fleet_replay(
+        fleet_servers, trace_steps, scalar_steps
+    )
+    timings["fleet_replay_10k_s"] = columnar
+    timings["fleet_replay_scalar_s"] = scalar
+    timings["fleet_replay_speedup"] = (
+        scalar / columnar if columnar > 0 else float("inf")
+    )
+    print("benchmarking placement sweep ...", flush=True)
+    timings["placement_sweep_s"] = bench_placement_sweep(
+        fleet_servers, placement_repeats
+    )
 
     payload = {
         "schema": 1,
@@ -163,6 +244,10 @@ def main(argv=None) -> int:
             "ensemble_seeds": ensemble_seeds,
             "ensemble_jobs": ensemble_jobs,
             "run_all_jobs": run_all_jobs,
+            "fleet_servers": fleet_servers,
+            "trace_steps": trace_steps,
+            "scalar_steps": scalar_steps,
+            "placement_repeats": placement_repeats,
         },
         "timings": {key: round(value, 4) for key, value in timings.items()},
     }
@@ -178,6 +263,11 @@ def main(argv=None) -> int:
             for key, ceiling in CEILINGS.items()
             if timings[key] > ceiling
         ]
+        if timings["fleet_replay_speedup"] < MIN_FLEET_SPEEDUP:
+            breaches.append(
+                f"fleet_replay_speedup: {timings['fleet_replay_speedup']:.1f}x "
+                f"< required {MIN_FLEET_SPEEDUP:.0f}x"
+            )
         if breaches:
             print("ceiling breaches:", *breaches, sep="\n  ", file=sys.stderr)
             return 1

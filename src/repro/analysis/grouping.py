@@ -9,6 +9,7 @@ the memory-per-core view (Table I / Fig. 17).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -86,21 +87,23 @@ def stagnation_explanation(corpus: Corpus) -> Dict[str, float]:
     recovery years' average.  The stagnation is "specious" exactly when
     the counterfactual is markedly higher than the observed dip.
     """
-    dip = corpus.by_hw_year_range(2013, 2014)
-    recovery = corpus.by_hw_year_range(2015, 2016)
-    reference_mix = corpus.by_hw_year(2012).count_by_codename()
+    columns = corpus.columns()
+    ep = columns.array("ep")
+    hw_year = columns.array("hw_year")
+    codenames = columns.array("codename")
+    reference_mix = dict(Counter(codenames[hw_year == 2012].tolist()))
     codename_ep = {
-        codename: float(np.mean(corpus.by_codename(codename).eps()))
-        for codename in corpus.codenames()
+        codename: float(np.mean(ep[codenames == codename]))
+        for codename in sorted(set(codenames.tolist()), key=lambda c: c.value)
     }
     total = sum(reference_mix.values())
     counterfactual = sum(
         count * codename_ep[codename] for codename, count in reference_mix.items()
     ) / total
     return {
-        "observed_2013_2014": float(np.mean(dip.eps())),
+        "observed_2013_2014": float(np.mean(ep[(hw_year >= 2013) & (hw_year <= 2014)])),
         "counterfactual_2012_mix": counterfactual,
-        "observed_2015_2016": float(np.mean(recovery.eps())),
+        "observed_2015_2016": float(np.mean(ep[(hw_year >= 2015) & (hw_year <= 2016)])),
     }
 
 
@@ -112,16 +115,29 @@ def memory_per_core_table(corpus: Corpus, min_count: int = 11) -> List[GroupStat
     counts"), which keeps exactly the seven buckets covering 430 of the
     477 servers.
     """
-    buckets: Dict[float, List] = {}
-    for result in corpus:
-        ratio = round(result.memory_per_core_gb, 2)
-        buckets.setdefault(ratio, []).append(result)
+    columns = corpus.columns()
+    ep = columns.array("ep")
+    score = columns.array("score")
+    # Python round (not np.round) keeps the bucket keys identical to
+    # the per-record loop this replaces.
+    ratios = [round(v, 2) for v in columns.array("memory_per_core_gb").tolist()]
+    buckets: Dict[float, List[int]] = {}
+    for position, ratio in enumerate(ratios):
+        buckets.setdefault(ratio, []).append(position)
     table = []
     for ratio in sorted(buckets):
-        members = buckets[ratio]
-        if len(members) < min_count:
+        rows = buckets[ratio]
+        if len(rows) < min_count:
             continue
-        table.append(_group_stat(f"{ratio:g}", Corpus(members)))
+        index = np.array(rows)
+        table.append(
+            GroupStat(
+                label=f"{ratio:g}",
+                count=len(rows),
+                ep=summarize(ep[index].tolist()),
+                score=summarize(score[index].tolist()),
+            )
+        )
     return table
 
 

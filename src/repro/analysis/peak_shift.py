@@ -9,8 +9,11 @@ whose efficiency ties at two levels contributes both (477 servers,
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.dataset.corpus import Corpus
 
@@ -18,14 +21,28 @@ from repro.dataset.corpus import Corpus
 SPOT_LEVELS: Tuple[float, ...] = (0.6, 0.7, 0.8, 0.9, 1.0)
 
 
+def _spot_table(corpus: Corpus) -> Tuple[np.ndarray, np.ndarray]:
+    """(rounded spot values, owning hardware year) per spot, flat.
+
+    Both come off the corpus' cached column store: the CSR spot values
+    rounded to the measurement grid (Python ``round``, matching the
+    per-record loops this replaces) and each spot's record hardware
+    year expanded via the CSR offsets.
+    """
+    columns = corpus.columns()
+    rounded = np.array(
+        [round(spot, 1) for spot in columns.peak_spot_values().tolist()]
+    )
+    spot_year = np.repeat(
+        columns.array("hw_year"), np.diff(columns.peak_spot_offsets())
+    )
+    return rounded, spot_year
+
+
 def spot_counts(corpus: Corpus) -> Dict[float, int]:
     """Spot occurrences over the corpus (ties contribute each level)."""
-    counts: Dict[float, int] = {}
-    for result in corpus:
-        for spot in result.peak_ee_spots:
-            key = round(spot, 1)
-            counts[key] = counts.get(key, 0) + 1
-    return dict(sorted(counts.items()))
+    rounded, _ = _spot_table(corpus)
+    return dict(sorted(Counter(rounded.tolist()).items()))
 
 
 def total_spots(corpus: Corpus) -> int:
@@ -42,10 +59,10 @@ def peak_spot_shares(corpus: Corpus) -> Dict[float, float]:
 
 def peak_spot_trend(corpus: Corpus) -> Dict[int, Dict[float, float]]:
     """Fig. 16: per-year distribution of peak-efficiency spots."""
+    rounded, spot_year = _spot_table(corpus)
     trend: Dict[int, Dict[float, float]] = {}
-    for year in corpus.hw_years():
-        sub = corpus.by_hw_year(year)
-        counts = spot_counts(sub)
+    for year in np.unique(corpus.columns().array("hw_year")).tolist():
+        counts = dict(sorted(Counter(rounded[spot_year == year].tolist()).items()))
         total = sum(counts.values())
         trend[year] = {spot: count / total for spot, count in counts.items()}
     return trend
@@ -71,11 +88,14 @@ def era_comparison(
     in the second era only 23.21% do, while 35.71% peak at 80% and
     26.79% at 70%.
     """
+    rounded, spot_year = _spot_table(corpus)
+    hw_year = corpus.columns().array("hw_year")
     comparisons = []
     for era in (first_era, second_era):
-        sub = corpus.by_hw_year_range(*era)
-        counts = spot_counts(sub)
-        n = len(sub)
+        first, last = era
+        spot_mask = (spot_year >= first) & (spot_year <= last)
+        counts = dict(sorted(Counter(rounded[spot_mask].tolist()).items()))
+        n = int(((hw_year >= first) & (hw_year <= last)).sum())
         comparisons.append(
             IntervalComparison(
                 era=era,
@@ -88,9 +108,9 @@ def era_comparison(
 
 def first_diverse_year(corpus: Corpus) -> int:
     """First hardware year with any sub-100% peak spot (paper: 2010)."""
-    for year in corpus.hw_years():
-        shares = spot_counts(corpus.by_hw_year(year))
-        if any(spot < 1.0 - 1e-9 for spot in shares):
+    rounded, spot_year = _spot_table(corpus)
+    for year in np.unique(corpus.columns().array("hw_year")).tolist():
+        if np.any(rounded[spot_year == year] < 1.0 - 1e-9):
             return year
     raise ValueError("every server peaks at 100% utilization")
 
@@ -105,13 +125,17 @@ def wong_comparison(corpus: Corpus) -> Dict[str, float]:
     (which the paper notes resembles the 2013 cohort).
     """
     shares = peak_spot_shares(corpus)
-    sixty = corpus.filter(lambda r: abs(r.primary_peak_spot - 0.6) < 1e-9)
+    columns = corpus.columns()
+    sixty = np.abs(columns.array("primary_peak_spot") - 0.6) < 1e-9
+    count = int(sixty.sum())
     avg_peak_ee_60 = (
-        sum(r.peak_ee for r in sixty) / len(sixty) if len(sixty) else float("nan")
+        sum(columns.array("peak_ee")[sixty].tolist()) / count
+        if count
+        else float("nan")
     )
     return {
         "share_100": shares.get(1.0, 0.0),
         "share_60": shares.get(0.6, 0.0),
-        "count_60": float(len(sixty)),
+        "count_60": float(count),
         "avg_peak_ee_60": avg_peak_ee_60,
     }

@@ -15,6 +15,8 @@ Commands:
   fault-injection plan (see :mod:`repro.core.faults`);
 * ``ensemble --seeds N --jobs J`` -- recompute the headline statistics
   over N seeded corpora and print mean/CI summaries;
+* ``fleet-replay --servers N --steps S`` -- replay a diurnal day over
+  a tiled N-server fleet through the columnar (or scalar) engine;
 * ``checks [paths]`` -- run the domain-aware static analysis
   (determinism, registry, concurrency, reference-parity rules);
 * ``cache stats|clear`` -- inspect or empty the artifact cache.
@@ -157,6 +159,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--per-seed",
         action="store_true",
         help="also print the per-seed statistics rows",
+    )
+
+    fleet_replay = commands.add_parser(
+        "fleet-replay",
+        help="replay a diurnal day over a tiled fleet at scale",
+    )
+    fleet_replay.add_argument(
+        "--servers",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="fleet size; the 2016 corpus cohort is tiled to N (default 1000)",
+    )
+    fleet_replay.add_argument(
+        "--steps",
+        type=int,
+        default=96,
+        metavar="S",
+        help="trace steps per day (default 96)",
+    )
+    fleet_replay.add_argument(
+        "--policy",
+        choices=("ep-aware", "pack-to-full"),
+        default="ep-aware",
+        help="placement policy to replay (default ep-aware)",
+    )
+    fleet_replay.add_argument(
+        "--backend",
+        choices=("auto", "scalar", "columnar"),
+        default="auto",
+        help="fleet engine to use (default auto)",
+    )
+    fleet_replay.add_argument(
+        "--power-off-unused",
+        action="store_true",
+        help="power unused servers off instead of idling them",
     )
 
     add_checks_parser(commands)
@@ -324,6 +362,38 @@ def _cmd_ensemble(
     return 0
 
 
+def _cmd_fleet_replay(
+    seed: int,
+    servers: int,
+    steps: int,
+    policy: str,
+    backend: str,
+    power_off_unused: bool,
+    out,
+) -> int:
+    from repro.cluster.fleet_arrays import tile_fleet
+    from repro.cluster.trace import diurnal_trace, replay_trace
+
+    corpus = generate_corpus(seed)
+    base = corpus.by_hw_year(2016).results()
+    fleet = tile_fleet(base, servers)
+    trace = diurnal_trace(steps_per_day=steps, noise=0.0)
+    outcome = replay_trace(
+        fleet, trace, policy, power_off_unused, fleet_backend=backend
+    )
+    print(
+        f"{servers} servers x {steps} steps, {policy}, backend={backend}",
+        file=out,
+    )
+    print(
+        f"energy {outcome.energy_kwh:.1f} kWh/day, "
+        f"served {outcome.served_gops:.1f} Gops, "
+        f"{outcome.unserved_steps} unserved step(s)",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_cache(action: str, cache: Optional[ArtifactCache], out) -> int:
     cache = cache if cache is not None else ArtifactCache()
     if action == "clear":
@@ -362,6 +432,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_ensemble(args.seed, args.seeds, args.jobs, args.per_seed, out)
     if args.command == "checks":
         return cmd_checks(args, out)
+    if args.command == "fleet-replay":
+        return _cmd_fleet_replay(
+            args.seed,
+            args.servers,
+            args.steps,
+            args.policy,
+            args.backend,
+            args.power_off_unused,
+            out,
+        )
 
     study = Study(seed=args.seed)
     if args.command == "figure":

@@ -14,9 +14,18 @@ to 100%.
 * :mod:`repro.cluster.placement` -- EP-aware placement vs. the
   pack-to-full baseline, under throughput demand or a power cap;
 * :mod:`repro.cluster.multinode` -- cluster-wide proportionality of
-  node groups (the Fig. 13 economies-of-scale mechanism).
+  node groups (the Fig. 13 economies-of-scale mechanism);
+* :mod:`repro.cluster.fleet_arrays` -- the columnar struct-of-arrays
+  fleet view behind the vectorized fast paths;
+* :mod:`repro.cluster.batch_placement` /
+  :mod:`repro.cluster.batch_trace` -- bit-identical columnar engines
+  for placement, job scheduling, and trace replay, selected via the
+  ``fleet_backend`` switch on the public entry points.
 """
 
+from repro.cluster.batch_placement import BatchPlacementEngine
+from repro.cluster.batch_trace import BatchTraceReplay
+from repro.cluster.fleet_arrays import FleetArrays, tile_fleet
 from repro.cluster.logical_cluster import LogicalCluster, build_logical_clusters
 from repro.cluster.multinode import cluster_power_curve, cluster_proportionality
 from repro.cluster.placement import (
@@ -35,6 +44,9 @@ from repro.cluster.trace import (
 )
 
 __all__ = [
+    "BatchPlacementEngine",
+    "BatchTraceReplay",
+    "FleetArrays",
     "LogicalCluster",
     "PlacementOutcome",
     "WorkingRegion",
@@ -50,4 +62,5 @@ __all__ = [
     "max_throughput_under_cap",
     "optimal_working_region",
     "pack_to_full_placement",
+    "tile_fleet",
 ]

@@ -1,0 +1,271 @@
+"""Columnar struct-of-arrays view of a server fleet.
+
+Every fleet operation in :mod:`repro.cluster` ultimately evaluates the
+same two piecewise-linear curves per server -- power vs. utilization
+and throughput vs. utilization -- and the scalar paths re-interpolate
+them one server at a time through :func:`np.interp`.  A 10k-server
+fleet replayed over a 96-step day costs on the order of a million
+scalar interpolations that way.
+
+:class:`FleetArrays` lifts the whole fleet into matrices once:
+
+* ``load_grid`` -- the shared measurement grid, ``[0.0] + target
+  loads`` ascending (11 points for a SPECpower curve);
+* ``power`` -- the ``(N, K)`` wall-power matrix (idle in column 0);
+* ``ops`` -- the ``(N, K)`` throughput matrix (0 at idle);
+* metric vectors (``ep``, ``score``, ``peak_ee``,
+  ``primary_peak_spot``) gathered from each record's cached derived
+  metrics, so they are bit-identical to the per-record properties.
+
+The batched kernels (:meth:`power_at`, :meth:`throughput_at`,
+:meth:`utilization_for`, :meth:`capacity`) broadcast over servers and
+timesteps and replicate ``np.interp``'s C arithmetic *exactly* --
+index by ``searchsorted(side="right") - 1`` clipped to the last
+segment, ``slope * (u - x0) + y0``, right endpoint returned verbatim
+-- so the columnar engines built on top
+(:mod:`repro.cluster.batch_placement`,
+:mod:`repro.cluster.batch_trace`) are bit-identical drop-ins for the
+scalar paths, not approximations of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.dataset.schema import SpecPowerResult
+
+
+def _interp_rows(
+    grid: np.ndarray, table: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """``np.interp(u, grid, table[i])`` for every row ``i``, bitwise.
+
+    ``table`` is ``(M, K)``; ``u`` is scalar (one query shared by all
+    rows), ``(M,)`` (one query per row), or ``(M, T)`` (a query matrix
+    broadcasting rows against timesteps).  Replicates the exact IEEE
+    arithmetic of numpy's compiled interp loop, including the verbatim
+    right-endpoint return (the clamped-segment formula differs from it
+    by one ulp).
+    """
+    k = grid.size
+    u = np.asarray(u, dtype=np.float64)
+    idx = np.searchsorted(grid, u, side="right") - 1
+    idx = np.clip(idx, 0, k - 2)
+    if u.ndim == 0:
+        if u >= grid[-1]:
+            return table[:, -1].copy()
+        x0 = grid[idx]
+        x1 = grid[idx + 1]
+        y0 = table[:, idx]
+        y1 = table[:, idx + 1]
+        return (y1 - y0) / (x1 - x0) * (u - x0) + y0
+    if u.ndim == 1:
+        rows = np.arange(table.shape[0])
+        y0 = table[rows, idx]
+        y1 = table[rows, idx + 1]
+    elif u.ndim == 2:
+        y0 = np.take_along_axis(table, idx, axis=1)
+        y1 = np.take_along_axis(table, idx + 1, axis=1)
+    else:  # pragma: no cover - guarded by the public kernels
+        raise ValueError("queries must be scalar, (M,), or (M, T)")
+    x0 = grid[idx]
+    x1 = grid[idx + 1]
+    res = (y1 - y0) / (x1 - x0) * (u - x0) + y0
+    right = u >= grid[-1]
+    if right.any():
+        last = table[:, -1] if u.ndim == 1 else np.broadcast_to(
+            table[:, -1:], res.shape
+        )
+        res = np.where(right, last, res)
+    return res
+
+
+class FleetArrays:
+    """A fleet lifted into columnar numpy form, in stable id order.
+
+    Construction requires a *uniform measurement grid* (every record
+    reports the same target loads -- true of the whole synthesized
+    corpus) and unique result ids; a fleet violating either raises
+    ``ValueError``, which the ``fleet_backend="auto"`` routing treats
+    as "fall back to the scalar path".
+    """
+
+    def __init__(
+        self,
+        records: Sequence[SpecPowerResult],
+        load_grid: np.ndarray,
+        power: np.ndarray,
+        ops: np.ndarray,
+    ):
+        self.records = tuple(records)
+        self.ids = tuple(r.result_id for r in self.records)
+        if len(set(self.ids)) != len(self.ids):
+            raise ValueError("duplicate result ids in fleet")
+        self.load_grid = load_grid
+        self.power = power
+        self.ops = ops
+        for array in (self.load_grid, self.power, self.ops):
+            array.setflags(write=False)
+        # Metric vectors are *gathered* from the records' cached
+        # derived properties, never re-derived, so they carry exactly
+        # the floats the scalar paths compare and sort on.
+        self.ep = np.array([r.ep for r in self.records])
+        self.score = np.array([r.overall_score for r in self.records])
+        self.peak_ee = np.array([r.peak_ee for r in self.records])
+        self.primary_peak_spot = np.array(
+            [r.primary_peak_spot for r in self.records]
+        )
+        self.idle_power_w = self.power[:, 0]
+        self.full_capacity = self.ops[:, -1]
+        self.full_load_ee = self.ops[:, -1] / self.power[:, -1]
+        self.spot_capacity = _interp_rows(
+            self.load_grid, self.ops, self.primary_peak_spot
+        )
+        for array in (
+            self.ep,
+            self.score,
+            self.peak_ee,
+            self.primary_peak_spot,
+            self.full_load_ee,
+            self.spot_capacity,
+        ):
+            array.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @classmethod
+    def from_records(cls, records: Sequence[SpecPowerResult]) -> "FleetArrays":
+        """Build the column matrices from a sequence of results."""
+        records = list(records)
+        if not records:
+            raise ValueError("cannot build FleetArrays from an empty fleet")
+        grids = [
+            tuple(level.target_load for level in r.sorted_levels())
+            for r in records
+        ]
+        if any(grid != grids[0] for grid in grids[1:]):
+            raise ValueError(
+                "heterogeneous measurement grids; the columnar path needs "
+                "every record on the same target loads"
+            )
+        load_grid = np.array([0.0] + list(grids[0]))
+        power = np.array(
+            [
+                [r.active_idle_power_w]
+                + [level.average_power_w for level in r.sorted_levels()]
+                for r in records
+            ]
+        )
+        ops = np.array(
+            [
+                [0.0] + [level.ssj_ops for level in r.sorted_levels()]
+                for r in records
+            ]
+        )
+        return cls(records, load_grid, power, ops)
+
+    @classmethod
+    def from_fleet(
+        cls, fleet: Union["FleetArrays", Corpus, Sequence[SpecPowerResult]]
+    ) -> "FleetArrays":
+        """Coerce a fleet (arrays, corpus, or record sequence) to arrays.
+
+        A :class:`~repro.dataset.corpus.Corpus` routes through its
+        cached column store (:meth:`Corpus.columns`), so repeated
+        engines over the same corpus share one set of matrices.
+        """
+        if isinstance(fleet, FleetArrays):
+            return fleet
+        if isinstance(fleet, Corpus):
+            columns = fleet.columns()
+            return cls(
+                fleet.results(),
+                columns.load_grid(),
+                columns.power_matrix(),
+                columns.ops_matrix(),
+            )
+        return cls.from_records(fleet)
+
+    # -- batched curve kernels ---------------------------------------------------
+
+    def _table(self, matrix: np.ndarray, rows) -> np.ndarray:
+        return matrix if rows is None else matrix[rows]
+
+    def power_at(self, utilization, rows=None) -> np.ndarray:
+        """Wall power at ``utilization``, per server.
+
+        ``utilization`` may be a scalar (shared query), ``(M,)`` (one
+        per server), or ``(M, T)`` (servers x timesteps); ``rows``
+        optionally restricts to a server subset by index.
+        """
+        return _interp_rows(
+            self.load_grid, self._table(self.power, rows), utilization
+        )
+
+    def throughput_at(self, utilization, rows=None) -> np.ndarray:
+        """ssj_ops/s at ``utilization``, per server (0 at idle)."""
+        return _interp_rows(
+            self.load_grid, self._table(self.ops, rows), utilization
+        )
+
+    def capacity(self, utilization=1.0, rows=None) -> np.ndarray:
+        """Throughput capacity at a utilization cap, per server."""
+        return self.throughput_at(utilization, rows=rows)
+
+    def utilization_for(self, throughput_ops, rows=None) -> np.ndarray:
+        """Invert the throughput curves, batched.
+
+        Replicates the scalar 50-iteration bisection of
+        ``placement._utilization_for`` per element, with the same edge
+        guards: non-positive targets sit at 0.0 utilization and
+        targets at or beyond a server's full capacity (including every
+        positive target on a zero-capacity server) pin to 1.0.
+        """
+        table = self._table(self.ops, rows)
+        target = np.asarray(throughput_ops, dtype=np.float64)
+        if target.ndim == 0:
+            target = np.broadcast_to(target, (table.shape[0],))
+        low = np.zeros(target.shape)
+        high = np.ones(target.shape)
+        for _ in range(50):
+            mid = 0.5 * (low + high)
+            below = _interp_rows(self.load_grid, table, mid) < target
+            low = np.where(below, mid, low)
+            high = np.where(below, high, mid)
+        res = 0.5 * (low + high)
+        cap = table[:, -1] if target.ndim == 1 else table[:, -1:]
+        res = np.where(target >= cap, 1.0, res)
+        return np.where(target <= 0.0, 0.0, res)
+
+
+def tile_fleet(
+    fleet: Sequence[SpecPowerResult], count: int
+) -> List[SpecPowerResult]:
+    """Expand a fleet to ``count`` servers by cycling its records.
+
+    Repeats get a unique ``~<copy>`` id suffix (duplicate ids would
+    collapse in the id-keyed placement bookkeeping).  Clones share the
+    base record's level list and derived-metric cache -- they are the
+    same physical server, so the shared metrics are exact and tiling
+    to fleet scale stays cheap.
+    """
+    base = list(fleet)
+    if not base:
+        raise ValueError("cannot tile an empty fleet")
+    if count < 1:
+        raise ValueError("fleet size must be positive")
+    tiled: List[SpecPowerResult] = []
+    for index in range(count):
+        record = base[index % len(base)]
+        if index < len(base):
+            tiled.append(record)
+        else:
+            tiled.append(
+                replace(record, result_id=f"{record.result_id}~{index // len(base)}")
+            )
+    return tiled

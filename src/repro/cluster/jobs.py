@@ -49,10 +49,18 @@ class Schedule:
     fleet: Sequence[SpecPowerResult] = ()
 
     def utilization_of(self, server: SpecPowerResult) -> float:
-        """Utilization this schedule drives the server to."""
+        """Utilization this schedule drives the server to.
+
+        Mirrors ``placement._utilization_for``'s edge handling: a
+        non-positive load sits at 0.0 and a load at or beyond the
+        server's capacity (including any load on a zero-capacity
+        server) pins to 1.0.
+        """
         load = self.loads_ops.get(server.result_id, 0.0)
         if load <= 0.0:
             return 0.0
+        if load >= throughput_at(server, 1.0):
+            return 1.0
         low, high = 0.0, 1.0
         for _ in range(50):
             mid = 0.5 * (low + high)
@@ -78,19 +86,35 @@ class Schedule:
 
 
 class JobScheduler(ABC):
-    """Assigns a batch of jobs onto a fleet."""
+    """Assigns a batch of jobs onto a fleet.
+
+    ``fleet_backend`` selects the implementation on both concrete
+    schedulers: ``"scalar"`` runs the per-server probe loops below,
+    ``"columnar"`` the bit-identical vectorized engine
+    (:mod:`repro.cluster.batch_placement`), and ``"auto"`` (default)
+    picks the columnar path for fleets large enough to amortize it.
+    """
 
     name: str = "abstract"
 
     @abstractmethod
     def schedule(
-        self, fleet: Sequence[SpecPowerResult], jobs: Sequence[Job]
+        self,
+        fleet: Sequence[SpecPowerResult],
+        jobs: Sequence[Job],
+        fleet_backend: str = "auto",
     ) -> Schedule:
         """Place every job (or report it unplaced) on the fleet."""
 
     @staticmethod
     def _capacity(server: SpecPowerResult, cap_utilization: float) -> float:
         return throughput_at(server, cap_utilization)
+
+    @staticmethod
+    def _columnar_engine(fleet: Sequence[SpecPowerResult], fleet_backend: str):
+        from repro.cluster.batch_placement import resolve_backend
+
+        return resolve_backend(fleet, fleet_backend)
 
 
 class FirstFitDecreasing(JobScheduler):
@@ -99,9 +123,15 @@ class FirstFitDecreasing(JobScheduler):
     name = "first-fit-decreasing"
 
     def schedule(
-        self, fleet: Sequence[SpecPowerResult], jobs: Sequence[Job]
+        self,
+        fleet: Sequence[SpecPowerResult],
+        jobs: Sequence[Job],
+        fleet_backend: str = "auto",
     ) -> Schedule:
         """Largest jobs first onto the most efficient-at-full servers."""
+        engine = self._columnar_engine(fleet, fleet_backend)
+        if engine is not None:
+            return engine.first_fit_decreasing(jobs)
         schedule = Schedule(policy=self.name, fleet=list(fleet))
         ranked = sorted(
             fleet,
@@ -135,9 +165,15 @@ class PeakSpotAware(JobScheduler):
     name = "peak-spot-aware"
 
     def schedule(
-        self, fleet: Sequence[SpecPowerResult], jobs: Sequence[Job]
+        self,
+        fleet: Sequence[SpecPowerResult],
+        jobs: Sequence[Job],
+        fleet_backend: str = "auto",
     ) -> Schedule:
         """Capped pass at the peak spots, then an uncapped spill pass."""
+        engine = self._columnar_engine(fleet, fleet_backend)
+        if engine is not None:
+            return engine.peak_spot_aware(jobs)
         schedule = Schedule(policy=self.name, fleet=list(fleet))
         ranked = sorted(fleet, key=lambda s: -s.peak_ee)
         ordered_jobs = sorted(jobs, key=lambda job: -job.demand_ops)
@@ -208,9 +244,10 @@ def synthesize_jobs(
 def compare_schedulers(
     fleet: Sequence[SpecPowerResult],
     jobs: Sequence[Job],
+    fleet_backend: str = "auto",
 ) -> Dict[str, Schedule]:
     """Run both schedulers on the same batch."""
     return {
-        scheduler.name: scheduler.schedule(fleet, jobs)
+        scheduler.name: scheduler.schedule(fleet, jobs, fleet_backend=fleet_backend)
         for scheduler in (FirstFitDecreasing(), PeakSpotAware())
     }

@@ -76,10 +76,17 @@ def _capacity(server: SpecPowerResult, utilization: float) -> float:
     return throughput_at(server, utilization)
 
 
+def _columnar_engine(fleet: Sequence[SpecPowerResult], fleet_backend: str):
+    from repro.cluster.batch_placement import resolve_backend
+
+    return resolve_backend(fleet, fleet_backend)
+
+
 def pack_to_full_placement(
     fleet: Sequence[SpecPowerResult],
     demand_ops: float,
     power_off_unused: bool = False,
+    fleet_backend: str = "auto",
 ) -> PlacementOutcome:
     """Consolidate: fill the most efficient-at-full servers to 100%.
 
@@ -87,9 +94,18 @@ def pack_to_full_placement(
     as much of the remaining demand as it can at 100% utilization, the
     last loaded server runs partially loaded.  Unused servers idle
     (or are powered off when ``power_off_unused``).
+
+    ``fleet_backend`` selects the implementation: ``"scalar"`` is this
+    per-server loop, ``"columnar"`` the bit-identical vectorized
+    engine (:mod:`repro.cluster.batch_placement`), and ``"auto"``
+    (default) picks the columnar path for fleets large enough to
+    amortize it.
     """
     if demand_ops < 0.0:
         raise ValueError("demand cannot be negative")
+    engine = _columnar_engine(fleet, fleet_backend)
+    if engine is not None:
+        return engine.pack_to_full(demand_ops, power_off_unused)
     outcome = PlacementOutcome(policy="pack-to-full", demand_ops=demand_ops)
     remaining = demand_ops
     ranked = sorted(fleet, key=lambda s: -efficiency_at(s, 1.0))
@@ -117,6 +133,7 @@ def ep_aware_placement(
     fleet: Sequence[SpecPowerResult],
     demand_ops: float,
     power_off_unused: bool = False,
+    fleet_backend: str = "auto",
 ) -> PlacementOutcome:
     """Operate each active server at its peak-efficiency spot.
 
@@ -124,10 +141,15 @@ def ep_aware_placement(
     their peak-efficiency utilization (not 100%).  If every server is
     at its spot and demand remains, the policy tops servers up toward
     100% in peak-efficiency order (the spillover is unavoidable once
-    the fleet nears capacity).
+    the fleet nears capacity).  ``fleet_backend`` selects the scalar
+    or (bit-identical) columnar implementation as in
+    :func:`pack_to_full_placement`.
     """
     if demand_ops < 0.0:
         raise ValueError("demand cannot be negative")
+    engine = _columnar_engine(fleet, fleet_backend)
+    if engine is not None:
+        return engine.ep_aware(demand_ops, power_off_unused)
     outcome = PlacementOutcome(policy="ep-aware", demand_ops=demand_ops)
     remaining = demand_ops
     ranked = sorted(fleet, key=lambda s: -s.peak_ee)
@@ -174,9 +196,17 @@ def ep_aware_placement(
 
 
 def _utilization_for(server: SpecPowerResult, throughput_ops: float) -> float:
-    """Invert the (piecewise-linear) throughput curve."""
+    """Invert the (piecewise-linear) throughput curve.
+
+    Edge cases are explicit: non-positive requests sit at 0.0, and a
+    request at or beyond the server's full capacity -- including any
+    positive request against a zero-capacity (all-zero ops) server --
+    pins to 1.0 instead of bisecting toward it.
+    """
     if throughput_ops <= 0.0:
         return 0.0
+    if throughput_ops >= _capacity(server, 1.0):
+        return 1.0
     low, high = 0.0, 1.0
     for _ in range(50):
         mid = 0.5 * (low + high)
@@ -192,12 +222,16 @@ def max_throughput_under_cap(
     power_cap_w: float,
     policy: str = "ep-aware",
     power_off_unused: bool = False,
+    fleet_backend: str = "auto",
 ) -> PlacementOutcome:
     """Maximum throughput achievable without exceeding a power cap.
 
     Bisects the demand level and returns the placement at the highest
     demand whose total power fits under the cap -- the "more jobs under
-    fixed power supply" experiment of Section V.C.
+    fixed power supply" experiment of Section V.C.  ``fleet_backend``
+    selects the scalar or (bit-identical) columnar implementation; the
+    columnar engine is built once and reused across all 40 bisection
+    probes.
     """
     if power_cap_w <= 0.0:
         raise ValueError("power cap must be positive")
@@ -207,13 +241,18 @@ def max_throughput_under_cap(
     }
     if policy not in placers:
         raise ValueError(f"unknown policy {policy!r}")
+    engine = _columnar_engine(fleet, fleet_backend)
+    if engine is not None:
+        return engine.max_throughput_under_cap(
+            power_cap_w, policy, power_off_unused
+        )
     place = placers[policy]
     total_capacity = sum(_capacity(server, 1.0) for server in fleet)
     low, high = 0.0, total_capacity
-    best = place(fleet, 0.0, power_off_unused)
+    best = place(fleet, 0.0, power_off_unused, fleet_backend="scalar")
     for _ in range(40):
         mid = 0.5 * (low + high)
-        outcome = place(fleet, mid, power_off_unused)
+        outcome = place(fleet, mid, power_off_unused, fleet_backend="scalar")
         if outcome.total_power_w <= power_cap_w and outcome.satisfied():
             best = outcome
             low = mid

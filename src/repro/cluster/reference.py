@@ -1,0 +1,78 @@
+"""Scalar reference kernels for the vectorized cluster fast paths.
+
+Mirror of :mod:`repro.dataset.reference` for the cluster layer: the
+per-timestep loop that :func:`repro.cluster.trace.diurnal_trace`
+vectorized lives on here verbatim, the ``_SWAPS`` table pairs it with
+the live kernel by name (the REP40x parity rules keep that pairing
+structural), and :func:`reference_kernels` reroutes the live call
+sites onto it so the equality tests compare real executions.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster import trace as _trace
+from repro.cluster.trace import DemandTrace
+
+
+def diurnal_trace_reference(
+    steps_per_day: int = 48,
+    base: float = 0.25,
+    peak: float = 0.85,
+    peak_hour: float = 14.0,
+    secondary_peak_hour: float = 20.5,
+    noise: float = 0.02,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> DemandTrace:
+    """The original per-timestep ``diurnal_trace`` loop, kept verbatim."""
+    if not 0.0 <= base < peak <= 1.0:
+        raise ValueError("need 0 <= base < peak <= 1")
+    if steps_per_day < 4:
+        raise ValueError("at least four steps per day")
+    if rng is not None and seed is not None:
+        raise ValueError("pass at most one of seed= or rng=")
+    if noise > 0.0:
+        if rng is None and seed is None:
+            raise ValueError("noise > 0 needs a randomness source: seed= or rng=")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+    times = [24.0 * i / steps_per_day for i in range(steps_per_day)]
+    demands = []
+    for t in times:
+        main = math.exp(-((t - peak_hour) ** 2) / (2 * 3.5**2))
+        evening = 0.55 * math.exp(-((t - secondary_peak_hour) ** 2) / (2 * 1.8**2))
+        shape = min(1.0, main + evening)
+        level = base + (peak - base) * shape
+        if rng is not None:
+            # rng.normal(0.0, 0.0) returns exactly 0.0, so skipping the
+            # draw at noise == 0.0 keeps the stream and output identical.
+            level += float(rng.normal(0.0, noise))
+        demands.append(min(1.0, max(0.0, level)))
+    return DemandTrace(times_h=tuple(times), demand_fraction=tuple(demands))
+
+
+#: (module, attribute, replacement) triples swapped in by the context
+#: manager below; the live call sites resolve these names through
+#: their module globals, so the swap reroutes them in place.
+_SWAPS = (
+    (_trace, "diurnal_trace", diurnal_trace_reference),
+)
+
+
+@contextmanager
+def reference_kernels():
+    """Run the cluster layer on the pre-vectorization kernels."""
+    saved = [(module, name, getattr(module, name)) for module, name, _ in _SWAPS]
+    try:
+        for module, name, replacement in _SWAPS:
+            setattr(module, name, replacement)
+        yield
+    finally:
+        for module, name, original in saved:
+            setattr(module, name, original)

@@ -23,6 +23,11 @@ from repro.cluster.placement import (
 )
 from repro.dataset.schema import SpecPowerResult
 
+#: ``np.exp`` and ``math.exp`` disagree in the last ulp on some
+#: arguments; mapping ``math.exp`` over the array keeps the vectorized
+#: trace bit-identical to the per-timestep reference loop.
+_EXP_UFUNC = np.frompyfunc(math.exp, 1, 1)
+
 
 @dataclass(frozen=True)
 class DemandTrace:
@@ -36,6 +41,8 @@ class DemandTrace:
             raise ValueError("trace arrays must align and be non-empty")
         if any(not 0.0 <= d <= 1.0 for d in self.demand_fraction):
             raise ValueError("demand fractions must lie in [0, 1]")
+        if any(b <= a for a, b in zip(self.times_h, self.times_h[1:])):
+            raise ValueError("trace times must be strictly increasing")
 
     @property
     def steps(self) -> int:
@@ -62,6 +69,12 @@ def diurnal_trace(
     ``seed`` or an already-constructed ``rng`` so the stream stays
     visible at the call site (REP106).  ``noise=0.0`` is the
     deterministic shape and needs neither.
+
+    Vectorized over the timesteps; bit-identical to the per-timestep
+    reference loop (:mod:`repro.cluster.reference`): the exponentials
+    go through ``math.exp`` via :data:`_EXP_UFUNC`, and a single
+    ``rng.normal(0.0, noise, size=n)`` call draws the same stream as
+    ``n`` scalar draws.
     """
     if not 0.0 <= base < peak <= 1.0:
         raise ValueError("need 0 <= base < peak <= 1")
@@ -74,19 +87,21 @@ def diurnal_trace(
             raise ValueError("noise > 0 needs a randomness source: seed= or rng=")
         if rng is None:
             rng = np.random.default_rng(seed)
-    times = [24.0 * i / steps_per_day for i in range(steps_per_day)]
-    demands = []
-    for t in times:
-        main = math.exp(-((t - peak_hour) ** 2) / (2 * 3.5**2))
-        evening = 0.55 * math.exp(-((t - secondary_peak_hour) ** 2) / (2 * 1.8**2))
-        shape = min(1.0, main + evening)
-        level = base + (peak - base) * shape
-        if rng is not None:
-            # rng.normal(0.0, 0.0) returns exactly 0.0, so skipping the
-            # draw at noise == 0.0 keeps the stream and output identical.
-            level += float(rng.normal(0.0, noise))
-        demands.append(min(1.0, max(0.0, level)))
-    return DemandTrace(times_h=tuple(times), demand_fraction=tuple(demands))
+    steps = np.arange(steps_per_day, dtype=np.float64)
+    times = 24.0 * steps / steps_per_day
+    main = _EXP_UFUNC(-((times - peak_hour) ** 2) / (2 * 3.5**2)).astype(np.float64)
+    evening = 0.55 * _EXP_UFUNC(
+        -((times - secondary_peak_hour) ** 2) / (2 * 1.8**2)
+    ).astype(np.float64)
+    level = base + (peak - base) * np.minimum(1.0, main + evening)
+    if rng is not None:
+        # rng.normal(0.0, 0.0) returns exactly 0.0, so skipping the
+        # draw at noise == 0.0 keeps the stream and output identical.
+        level = level + rng.normal(0.0, noise, size=steps_per_day)
+    demands = np.minimum(1.0, np.maximum(0.0, level))
+    return DemandTrace(
+        times_h=tuple(times.tolist()), demand_fraction=tuple(demands.tolist())
+    )
 
 
 @dataclass
@@ -117,8 +132,22 @@ def replay_trace(
     trace: DemandTrace,
     policy: str = "ep-aware",
     power_off_unused: bool = False,
+    fleet_backend: str = "auto",
 ) -> TraceOutcome:
-    """Integrate fleet energy while serving the trace under a policy."""
+    """Integrate fleet energy while serving the trace under a policy.
+
+    ``fleet_backend`` selects the implementation: ``"scalar"`` is this
+    per-step loop over the scalar placements, ``"columnar"`` the
+    bit-identical :class:`repro.cluster.batch_trace.BatchTraceReplay`
+    (placement engine built once, shared across all steps), and
+    ``"auto"`` (default) picks the columnar path for fleets large
+    enough to amortize it.
+    """
+    from repro.cluster.batch_trace import resolve_trace_backend
+
+    replayer = resolve_trace_backend(fleet, fleet_backend)
+    if replayer is not None:
+        return replayer.replay(trace, policy, power_off_unused)
     if policy not in _POLICIES:
         raise ValueError(f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}")
     place = _POLICIES[policy]
@@ -134,7 +163,7 @@ def replay_trace(
     unserved = 0
     for fraction in trace.demand_fraction:
         outcome: PlacementOutcome = place(
-            fleet, fraction * capacity, power_off_unused
+            fleet, fraction * capacity, power_off_unused, fleet_backend="scalar"
         )
         if not outcome.satisfied():
             unserved += 1
@@ -153,12 +182,18 @@ def compare_policies(
     fleet: Sequence[SpecPowerResult],
     trace: Optional[DemandTrace] = None,
     power_off_unused: bool = False,
+    fleet_backend: str = "auto",
 ) -> Dict[str, TraceOutcome]:
     """Replay the same trace under every policy."""
     if trace is None:
         trace = diurnal_trace(noise=0.0)
+    from repro.cluster.batch_trace import resolve_trace_backend
+
+    replayer = resolve_trace_backend(fleet, fleet_backend)
+    if replayer is not None:
+        return replayer.compare_policies(trace, power_off_unused)
     return {
-        policy: replay_trace(fleet, trace, policy, power_off_unused)
+        policy: replay_trace(fleet, trace, policy, power_off_unused, fleet_backend="scalar")
         for policy in _POLICIES
     }
 

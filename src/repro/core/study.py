@@ -83,10 +83,23 @@ class FigureResult:
 
 
 class Study:
-    """Owns a corpus and regenerates every figure/table of the paper."""
+    """Owns a corpus and regenerates every figure/table of the paper.
 
-    def __init__(self, corpus: Optional[Corpus] = None, seed: int = 2016):
+    ``fleet_backend`` selects the cluster-layer implementation for the
+    fleet artifacts (placement, trace, jobs): ``"auto"`` (default)
+    routes large uniform fleets onto the columnar engines, ``"scalar"``
+    forces the reference loops, ``"columnar"`` forces the vectorized
+    path.  All three produce bit-identical artifacts.
+    """
+
+    def __init__(
+        self,
+        corpus: Optional[Corpus] = None,
+        seed: int = 2016,
+        fleet_backend: str = "auto",
+    ):
         self.seed = seed
+        self.fleet_backend = fleet_backend
         self._corpus = corpus if corpus is not None else generate_corpus(seed)
         self._sweeps: Dict[int, SweepResult] = {}
         self._sweep_locks: Dict[int, threading.Lock] = {
@@ -901,8 +914,10 @@ class Study:
             if level.target_load == 1.0
         )
         demand = 0.5 * capacity
-        packed = pack_to_full_placement(fleet, demand)
-        aware = ep_aware_placement(fleet, demand)
+        packed = pack_to_full_placement(
+            fleet, demand, fleet_backend=self.fleet_backend
+        )
+        aware = ep_aware_placement(fleet, demand, fleet_backend=self.fleet_backend)
         saving = 1.0 - aware.total_power_w / packed.total_power_w
         text = (
             f"fleet: {len(fleet)} servers (2013-2016), demand = 50% of capacity\n"
@@ -1036,7 +1051,7 @@ class Study:
 
         fleet = list(self._corpus.by_hw_year_range(2014, 2016))
         trace = diurnal_trace(steps_per_day=24, noise=0.0)
-        outcomes = compare_policies(fleet, trace)
+        outcomes = compare_policies(fleet, trace, fleet_backend=self.fleet_backend)
         saving = daily_saving(outcomes)
         rows = [
             [
@@ -1064,7 +1079,9 @@ class Study:
 
         fleet = list(self._corpus.by_hw_year_range(2014, 2016))
         jobs = synthesize_jobs(fleet, demand_fraction=0.5, seed=4)
-        schedules = compare_schedulers(fleet, jobs)
+        schedules = compare_schedulers(
+            fleet, jobs, fleet_backend=self.fleet_backend
+        )
         rows = [
             [
                 schedule.policy,

@@ -1,0 +1,179 @@
+"""Columnar store over a corpus: named numpy arrays, built lazily.
+
+The per-record comprehensions in :mod:`repro.analysis` and the fleet
+engines in :mod:`repro.cluster` repeatedly walk the same records and
+pull the same attributes.  :class:`CorpusColumns` materializes those
+attributes once, as named arrays in corpus order:
+
+* scalar metric columns (``ep``, ``score``, ``peak_ee``, ...) gathered
+  from each record's cached derived metrics -- bit-identical to the
+  per-record properties, never re-derived;
+* configuration columns (``hw_year``, ``nodes``, ``memory_gb``, ...);
+* object columns (``result_id``, ``codename``, ``family``);
+* the ragged ``peak_ee_spots`` lists in CSR form
+  (:meth:`~CorpusColumns.peak_spot_values` plus
+  :meth:`~CorpusColumns.peak_spot_offsets`);
+* the fleet curve matrices (:meth:`~CorpusColumns.load_grid`,
+  :meth:`~CorpusColumns.power_matrix`,
+  :meth:`~CorpusColumns.ops_matrix`) consumed by
+  :class:`repro.cluster.fleet_arrays.FleetArrays`.
+
+Every array is memoized on first access and write-protected.  The
+store is keyed on the owning corpus' content fingerprint --
+:meth:`repro.dataset.corpus.Corpus.columns` rebuilds it whenever the
+stored fingerprint no longer matches the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.dataset.schema import SpecPowerResult
+
+#: name -> (dtype, attribute getter) for the per-record columns.
+_COLUMN_SPECS = {
+    "ep": (np.float64, lambda r: r.ep),
+    "score": (np.float64, lambda r: r.overall_score),
+    "idle_fraction": (np.float64, lambda r: r.idle_fraction),
+    "peak_ee": (np.float64, lambda r: r.peak_ee),
+    "primary_peak_spot": (np.float64, lambda r: r.primary_peak_spot),
+    "memory_per_core_gb": (np.float64, lambda r: r.memory_per_core_gb),
+    "memory_gb": (np.float64, lambda r: r.memory_gb),
+    "hw_year": (np.int64, lambda r: r.hw_year),
+    "published_year": (np.int64, lambda r: r.published_year),
+    "nodes": (np.int64, lambda r: r.nodes),
+    "chips_per_node": (np.int64, lambda r: r.chips_per_node),
+    "cores_per_chip": (np.int64, lambda r: r.cores_per_chip),
+    "result_id": (object, lambda r: r.result_id),
+    "codename": (object, lambda r: r.codename),
+    "family": (object, lambda r: r.family),
+}
+
+
+class CorpusColumns:
+    """Named column arrays over one frozen snapshot of records.
+
+    Columns are built on first request and cached; the scalar metric
+    columns gather the records' *cached* derived properties, so every
+    float is exactly the one the per-record code paths see.
+    """
+
+    def __init__(self, results: Sequence[SpecPowerResult], fingerprint: str):
+        self._results = tuple(results)
+        self._fingerprint = fingerprint
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the records this store was built from."""
+        return self._fingerprint
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def array(self, name: str) -> np.ndarray:
+        """The named column, corpus order, memoized and write-protected."""
+        if name not in _COLUMN_SPECS:
+            raise KeyError(
+                f"unknown column {name!r}; choose from {sorted(_COLUMN_SPECS)}"
+            )
+        if name not in self._arrays:
+            dtype, getter = _COLUMN_SPECS[name]
+            values = [getter(result) for result in self._results]
+            if dtype is object:
+                column = np.empty(len(values), dtype=object)
+                column[:] = values
+            else:
+                column = np.array(values, dtype=dtype)
+            column.setflags(write=False)
+            self._arrays[name] = column
+        return self._arrays[name]
+
+    # -- ragged peak-spot lists, CSR form ----------------------------------------
+
+    def peak_spot_values(self) -> np.ndarray:
+        """All ``peak_ee_spots`` concatenated, corpus order."""
+        return self._csr()[0]
+
+    def peak_spot_offsets(self) -> np.ndarray:
+        """``(N + 1,)`` offsets: record ``i`` owns ``values[o[i]:o[i+1]]``."""
+        return self._csr()[1]
+
+    def _csr(self):
+        if "peak_spot_values" not in self._arrays:
+            counts = np.zeros(len(self._results) + 1, dtype=np.int64)
+            flat = []
+            for position, result in enumerate(self._results):
+                spots = result.peak_ee_spots
+                counts[position + 1] = len(spots)
+                flat.extend(spots)
+            values = np.array(flat, dtype=np.float64)
+            offsets = np.cumsum(counts, dtype=np.int64)
+            values.setflags(write=False)
+            offsets.setflags(write=False)
+            self._arrays["peak_spot_values"] = values
+            self._arrays["peak_spot_offsets"] = offsets
+        return (
+            self._arrays["peak_spot_values"],
+            self._arrays["peak_spot_offsets"],
+        )
+
+    # -- fleet curve matrices ----------------------------------------------------
+
+    def load_grid(self) -> np.ndarray:
+        """The shared measurement grid, ``[0.0] + target loads``.
+
+        Raises ``ValueError`` when the corpus is empty or the records
+        do not share one grid (the columnar fleet path needs both).
+        """
+        return self._matrices()[0]
+
+    def power_matrix(self) -> np.ndarray:
+        """``(N, K)`` wall power over the grid (idle in column 0)."""
+        return self._matrices()[1]
+
+    def ops_matrix(self) -> np.ndarray:
+        """``(N, K)`` throughput over the grid (0 at idle)."""
+        return self._matrices()[2]
+
+    def _matrices(self):
+        if "load_grid" not in self._arrays:
+            if not self._results:
+                raise ValueError(
+                    "cannot build curve matrices from an empty corpus"
+                )
+            grids = [
+                tuple(level.target_load for level in r.sorted_levels())
+                for r in self._results
+            ]
+            if any(grid != grids[0] for grid in grids[1:]):
+                raise ValueError(
+                    "heterogeneous measurement grids; the columnar path "
+                    "needs every record on the same target loads"
+                )
+            load_grid = np.array([0.0] + list(grids[0]))
+            power = np.array(
+                [
+                    [r.active_idle_power_w]
+                    + [level.average_power_w for level in r.sorted_levels()]
+                    for r in self._results
+                ]
+            )
+            ops = np.array(
+                [
+                    [0.0] + [level.ssj_ops for level in r.sorted_levels()]
+                    for r in self._results
+                ]
+            )
+            for array in (load_grid, power, ops):
+                array.setflags(write=False)
+            self._arrays["load_grid"] = load_grid
+            self._arrays["power_matrix"] = power
+            self._arrays["ops_matrix"] = ops
+        return (
+            self._arrays["load_grid"],
+            self._arrays["power_matrix"],
+            self._arrays["ops_matrix"],
+        )

@@ -43,6 +43,7 @@ class Corpus:
         if len(self._index) != len(self._results):
             raise ValueError("duplicate result ids in corpus")
         self._fingerprint: Optional[str] = None
+        self._columns = None
 
     # -- collection protocol -----------------------------------------------------
 
@@ -73,6 +74,22 @@ class Corpus:
     def results(self) -> List[SpecPowerResult]:
         """A fresh list of the member results."""
         return list(self._results)
+
+    def columns(self):
+        """The lazily-built column store over this corpus (memoized).
+
+        Returns a :class:`repro.dataset.columns.CorpusColumns` keyed on
+        this corpus' content fingerprint; a cached store whose
+        fingerprint no longer matches is rebuilt, so stale column data
+        can never be served.  Filtered views are separate ``Corpus``
+        objects and build their own stores.
+        """
+        from repro.dataset.columns import CorpusColumns
+
+        fingerprint = self.fingerprint()
+        if self._columns is None or self._columns.fingerprint != fingerprint:
+            self._columns = CorpusColumns(self._results, fingerprint)
+        return self._columns
 
     # -- filtering ---------------------------------------------------------------
 

@@ -1,0 +1,424 @@
+"""Bit-identity tests for the columnar fleet engines.
+
+The contract (same as the batch SSJ engine's parity suite): the scalar
+paths in ``placement.py``, ``jobs.py``, and ``trace.py`` are the
+reference, and the columnar twins must reproduce every output object
+*exactly* -- same floats, same ordering, same dict insertion order --
+on the seed corpus fleet.  No tolerances anywhere in this file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.batch_placement import (
+    AUTO_THRESHOLD,
+    BatchPlacementEngine,
+    resolve_backend,
+)
+from repro.cluster.batch_trace import BatchTraceReplay, resolve_trace_backend
+from repro.cluster.fleet_arrays import FleetArrays, tile_fleet
+from repro.cluster.jobs import (
+    FirstFitDecreasing,
+    Job,
+    PeakSpotAware,
+    compare_schedulers,
+    synthesize_jobs,
+)
+from repro.cluster.placement import (
+    _utilization_for,
+    ep_aware_placement,
+    max_throughput_under_cap,
+    pack_to_full_placement,
+)
+from repro.cluster.regions import power_at, throughput_at
+from repro.cluster.trace import (
+    compare_policies,
+    daily_saving,
+    diurnal_trace,
+    replay_trace,
+)
+from repro.dataset.schema import LoadLevel, SpecPowerResult
+from repro.power.microarch import Codename
+
+
+@pytest.fixture(scope="module")
+def fleet(corpus):
+    return list(corpus.by_hw_year_range(2013, 2016))
+
+
+@pytest.fixture(scope="module")
+def arrays(fleet):
+    return FleetArrays.from_records(fleet)
+
+
+@pytest.fixture(scope="module")
+def capacity(fleet):
+    return sum(
+        level.ssj_ops
+        for server in fleet
+        for level in server.levels
+        if level.target_load == 1.0
+    )
+
+
+def _placement_key(outcome):
+    """Every observable float and ordering of a PlacementOutcome."""
+    return (
+        outcome.policy,
+        outcome.demand_ops,
+        outcome.unused_idle_power_w,
+        [
+            (a.server.result_id, a.utilization, a.throughput_ops, a.power_w)
+            for a in outcome.assignments
+        ],
+    )
+
+
+def _server(result_id="z1", max_ops=10000.0, idle=0.3, peak_w=200.0, loads=None):
+    loads = loads or [round(0.1 * i, 1) for i in range(1, 11)]
+    levels = [
+        LoadLevel(
+            target_load=u,
+            ssj_ops=max_ops * u,
+            average_power_w=peak_w * (idle + (1 - idle) * u),
+        )
+        for u in loads
+    ]
+    return SpecPowerResult(
+        result_id=result_id,
+        vendor="Acme",
+        model="AS-1",
+        form_factor="2U",
+        hw_year=2014,
+        published_year=2015,
+        codename=Codename.HASWELL,
+        nodes=1,
+        chips_per_node=2,
+        cores_per_chip=12,
+        memory_gb=48.0,
+        levels=levels,
+        active_idle_power_w=peak_w * idle,
+    )
+
+
+class TestFleetArrays:
+    def test_stable_id_order(self, fleet, arrays):
+        assert arrays.ids == tuple(r.result_id for r in fleet)
+        assert len(arrays) == len(fleet)
+
+    def test_duplicate_ids_raise(self, fleet):
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetArrays.from_records([fleet[0], fleet[0]])
+
+    def test_heterogeneous_grids_raise(self):
+        a = _server("a")
+        b = _server("b", loads=[0.25, 0.5, 0.75, 1.0])
+        with pytest.raises(ValueError, match="heterogeneous"):
+            FleetArrays.from_records([a, b])
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            FleetArrays.from_records([])
+
+    def test_arrays_write_protected(self, arrays):
+        protected = (
+            arrays.power,
+            arrays.ops,
+            arrays.load_grid,
+            arrays.ep,
+            arrays.score,
+            arrays.peak_ee,
+            arrays.idle_power_w,
+            arrays.full_capacity,
+            arrays.spot_capacity,
+        )
+        for array in protected:
+            with pytest.raises(ValueError):
+                array[..., :1] = 0.0
+
+    def test_metric_vectors_gathered_from_records(self, fleet, arrays):
+        assert arrays.ep.tolist() == [r.ep for r in fleet]
+        assert arrays.score.tolist() == [r.overall_score for r in fleet]
+        assert arrays.peak_ee.tolist() == [r.peak_ee for r in fleet]
+        assert arrays.primary_peak_spot.tolist() == [
+            r.primary_peak_spot for r in fleet
+        ]
+
+    @pytest.mark.parametrize("u", [0.0, 0.05, 1.0 / 3.0, 0.6, 0.77, 1.0])
+    def test_power_and_throughput_match_scalar(self, fleet, arrays, u):
+        powers = arrays.power_at(u)
+        ops = arrays.throughput_at(u)
+        for row, server in enumerate(fleet):
+            assert powers[row] == power_at(server, u)
+            assert ops[row] == throughput_at(server, u)
+
+    def test_per_row_queries_match_scalar(self, fleet, arrays):
+        rng = np.random.default_rng(3)
+        u = rng.uniform(0.0, 1.0, size=len(fleet))
+        powers = arrays.power_at(u)
+        for row, server in enumerate(fleet):
+            assert powers[row] == power_at(server, float(u[row]))
+
+    def test_matrix_broadcast_matches_columns(self, arrays):
+        rng = np.random.default_rng(4)
+        u = rng.uniform(0.0, 1.0, size=(len(arrays), 7))
+        full = arrays.power_at(u)
+        for t in range(7):
+            np.testing.assert_array_equal(full[:, t], arrays.power_at(u[:, t]))
+
+    def test_utilization_for_matches_scalar(self, fleet, arrays):
+        caps = arrays.full_capacity
+        for fraction in (0.0, 0.1, 0.33, 0.7, 1.0, 1.5):
+            utils = arrays.utilization_for(caps * fraction)
+            for row, server in enumerate(fleet):
+                assert utils[row] == _utilization_for(
+                    server, float(caps[row] * fraction)
+                )
+
+    def test_from_fleet_passthrough(self, arrays):
+        assert FleetArrays.from_fleet(arrays) is arrays
+
+    def test_from_fleet_corpus_shares_column_store(self, corpus):
+        built = FleetArrays.from_fleet(corpus)
+        columns = corpus.columns()
+        assert built.power is columns.power_matrix()
+        assert built.ops is columns.ops_matrix()
+        assert built.load_grid is columns.load_grid()
+
+
+class TestTileFleet:
+    def test_cycles_and_unique_ids(self, fleet):
+        tiled = tile_fleet(fleet, 3 * len(fleet) + 5)
+        assert len(tiled) == 3 * len(fleet) + 5
+        assert len({r.result_id for r in tiled}) == len(tiled)
+        assert tiled[: len(fleet)] == fleet
+        clone = tiled[len(fleet)]
+        assert clone.result_id == f"{fleet[0].result_id}~1"
+
+    def test_clones_share_levels_and_metric_cache(self, fleet):
+        tiled = tile_fleet(fleet, len(fleet) + 1)
+        clone = tiled[len(fleet)]
+        assert clone.levels is fleet[0].levels
+        assert clone.ep == fleet[0].ep
+
+    def test_validation(self, fleet):
+        with pytest.raises(ValueError):
+            tile_fleet([], 5)
+        with pytest.raises(ValueError):
+            tile_fleet(fleet, 0)
+
+
+class TestPlacementParity:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.85, 1.0, 1.2])
+    @pytest.mark.parametrize("power_off", [False, True])
+    @pytest.mark.parametrize(
+        "place", [pack_to_full_placement, ep_aware_placement]
+    )
+    def test_bit_identical_outcomes(
+        self, fleet, capacity, fraction, power_off, place
+    ):
+        demand = fraction * capacity
+        scalar = place(fleet, demand, power_off, fleet_backend="scalar")
+        columnar = place(fleet, demand, power_off, fleet_backend="columnar")
+        assert _placement_key(scalar) == _placement_key(columnar)
+        assert scalar.placed_ops == columnar.placed_ops
+        assert scalar.total_power_w == columnar.total_power_w
+
+    def test_negative_demand_raises_on_both(self, fleet):
+        for backend in ("scalar", "columnar"):
+            with pytest.raises(ValueError, match="negative"):
+                pack_to_full_placement(fleet, -1.0, fleet_backend=backend)
+            with pytest.raises(ValueError, match="negative"):
+                ep_aware_placement(fleet, -1.0, fleet_backend=backend)
+
+    @pytest.mark.parametrize("policy", ["ep-aware", "pack-to-full"])
+    def test_max_throughput_under_cap_parity(self, fleet, policy):
+        scalar = max_throughput_under_cap(
+            fleet, 40_000.0, policy, fleet_backend="scalar"
+        )
+        columnar = max_throughput_under_cap(
+            fleet, 40_000.0, policy, fleet_backend="columnar"
+        )
+        assert _placement_key(scalar) == _placement_key(columnar)
+
+    def test_place_totals_match_outcome_properties(self, fleet, capacity):
+        engine = BatchPlacementEngine(fleet)
+        for policy in ("pack-to-full", "ep-aware"):
+            outcome = engine.place(policy, 0.4 * capacity)
+            placed, power = engine.place_totals(policy, 0.4 * capacity)
+            assert placed == outcome.placed_ops
+            assert power == outcome.total_power_w
+
+
+class TestSchedulerParity:
+    @pytest.fixture(scope="class")
+    def jobs(self, fleet):
+        batch = synthesize_jobs(fleet, demand_fraction=0.5, seed=4)
+        # One job no server can hold, to exercise the unplaced path.
+        huge = 10.0 * max(throughput_at(s, 1.0) for s in fleet)
+        return batch + [Job(job_id="job-huge", demand_ops=huge)]
+
+    def _schedules_equal(self, a, b):
+        assert a.policy == b.policy
+        assert a.assignments == b.assignments
+        assert list(a.assignments) == list(b.assignments)
+        assert a.loads_ops == b.loads_ops
+        assert list(a.loads_ops) == list(b.loads_ops)
+        assert a.unplaced == b.unplaced
+        assert [r.result_id for r in a.fleet] == [r.result_id for r in b.fleet]
+        assert a.total_power_w == b.total_power_w
+        assert a.placed_ops == b.placed_ops
+
+    @pytest.mark.parametrize("scheduler", [FirstFitDecreasing, PeakSpotAware])
+    def test_bit_identical_schedules(self, fleet, jobs, scheduler):
+        scalar = scheduler().schedule(fleet, jobs, fleet_backend="scalar")
+        columnar = scheduler().schedule(fleet, jobs, fleet_backend="columnar")
+        self._schedules_equal(scalar, columnar)
+        assert "job-huge" in scalar.unplaced
+
+    def test_compare_schedulers_parity(self, fleet, jobs):
+        scalar = compare_schedulers(fleet, jobs, fleet_backend="scalar")
+        columnar = compare_schedulers(fleet, jobs, fleet_backend="columnar")
+        assert list(scalar) == list(columnar)
+        for name in scalar:
+            self._schedules_equal(scalar[name], columnar[name])
+
+    def test_schedule_power_w_matches_property(self, fleet, jobs):
+        engine = BatchPlacementEngine(fleet)
+        schedule = FirstFitDecreasing().schedule(
+            fleet, jobs, fleet_backend="scalar"
+        )
+        assert engine.schedule_power_w(schedule) == schedule.total_power_w
+
+
+class TestReplayParity:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return diurnal_trace(steps_per_day=24, noise=0.0)
+
+    @pytest.mark.parametrize("policy", ["ep-aware", "pack-to-full"])
+    @pytest.mark.parametrize("power_off", [False, True])
+    def test_bit_identical_outcomes(self, fleet, trace, policy, power_off):
+        scalar = replay_trace(
+            fleet, trace, policy, power_off, fleet_backend="scalar"
+        )
+        columnar = replay_trace(
+            fleet, trace, policy, power_off, fleet_backend="columnar"
+        )
+        assert scalar == columnar
+
+    def test_compare_policies_and_saving(self, fleet, trace):
+        scalar = compare_policies(fleet, trace, fleet_backend="scalar")
+        columnar = compare_policies(fleet, trace, fleet_backend="columnar")
+        assert list(scalar) == list(columnar)
+        assert scalar == columnar
+        assert daily_saving(scalar) == daily_saving(columnar)
+
+    def test_unknown_policy_message_matches(self, fleet, trace):
+        with pytest.raises(ValueError, match="unknown policy") as scalar_err:
+            replay_trace(fleet, trace, "nope", fleet_backend="scalar")
+        with pytest.raises(ValueError, match="unknown policy") as batch_err:
+            replay_trace(fleet, trace, "nope", fleet_backend="columnar")
+        assert str(scalar_err.value) == str(batch_err.value)
+
+    def test_replayer_reuses_engine(self, fleet):
+        engine = BatchPlacementEngine(fleet)
+        replayer = BatchTraceReplay(engine)
+        assert replayer.engine is engine
+
+
+class TestBackendRouting:
+    def test_unknown_backend_raises(self, fleet):
+        with pytest.raises(ValueError, match="fleet_backend"):
+            pack_to_full_placement(fleet, 0.0, fleet_backend="gpu")
+
+    def test_scalar_resolves_to_none(self, fleet):
+        assert resolve_backend(fleet, "scalar") is None
+        assert resolve_trace_backend(fleet, "scalar") is None
+
+    def test_auto_small_fleet_falls_back(self, fleet):
+        small = fleet[: AUTO_THRESHOLD - 1]
+        assert resolve_backend(small, "auto") is None
+
+    def test_auto_large_fleet_engages(self, fleet):
+        assert isinstance(resolve_backend(fleet, "auto"), BatchPlacementEngine)
+        assert isinstance(
+            resolve_trace_backend(fleet, "auto"), BatchTraceReplay
+        )
+
+    def test_auto_falls_back_on_duplicate_ids(self, fleet):
+        doubled = fleet + fleet
+        assert resolve_backend(doubled, "auto") is None
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_backend(doubled, "columnar")
+
+    def test_auto_matches_scalar(self, fleet, capacity):
+        demand = 0.6 * capacity
+        auto = ep_aware_placement(fleet, demand, fleet_backend="auto")
+        scalar = ep_aware_placement(fleet, demand, fleet_backend="scalar")
+        assert _placement_key(auto) == _placement_key(scalar)
+
+    def test_fleet_arrays_accepted_directly(self, arrays, fleet, capacity):
+        direct = pack_to_full_placement(
+            arrays, 0.5 * capacity, fleet_backend="auto"
+        )
+        from_list = pack_to_full_placement(
+            fleet, 0.5 * capacity, fleet_backend="scalar"
+        )
+        assert _placement_key(direct) == _placement_key(from_list)
+
+    def test_study_backends_agree(self, corpus):
+        from repro.core.study import Study
+
+        scalar = Study(corpus=corpus, fleet_backend="scalar")
+        columnar = Study(corpus=corpus, fleet_backend="columnar")
+        a = scalar.figure("placement")
+        b = columnar.figure("placement")
+        assert a.series == b.series
+        assert a.text == b.text
+
+
+class TestCapacityEdgeCases:
+    """Regression tests for the zero-capacity / over-capacity fixes."""
+
+    @pytest.fixture(scope="class")
+    def dead(self):
+        return _server("dead", max_ops=0.0)
+
+    def test_zero_capacity_server_pins_to_full_utilization(self, dead):
+        assert throughput_at(dead, 1.0) == 0.0
+        assert _utilization_for(dead, 5.0) == 1.0
+        assert _utilization_for(dead, 0.0) == 0.0
+        assert _utilization_for(dead, -1.0) == 0.0
+
+    def test_over_capacity_request_pins_to_one(self, fleet):
+        server = fleet[0]
+        cap = throughput_at(server, 1.0)
+        assert _utilization_for(server, cap) == 1.0
+        assert _utilization_for(server, 2.0 * cap) == 1.0
+
+    def test_batch_kernel_matches_edges(self, dead):
+        arrays = FleetArrays.from_records([dead])
+        assert arrays.utilization_for(np.array([5.0]))[0] == 1.0
+        assert arrays.utilization_for(np.array([0.0]))[0] == 0.0
+        assert arrays.utilization_for(np.array([-1.0]))[0] == 0.0
+
+    def test_schedule_utilization_of_over_capacity(self, dead):
+        from repro.cluster.jobs import Schedule
+
+        schedule = Schedule(
+            policy="first-fit-decreasing",
+            loads_ops={"dead": 3.0},
+            fleet=[dead],
+        )
+        assert schedule.utilization_of(dead) == 1.0
+
+    def test_zero_capacity_fleet_parity(self, dead):
+        from dataclasses import replace
+
+        fleet = [replace(dead, result_id=f"dead-{i}") for i in range(3)]
+        for place in (pack_to_full_placement, ep_aware_placement):
+            scalar = place(fleet, 100.0, fleet_backend="scalar")
+            columnar = place(fleet, 100.0, fleet_backend="columnar")
+            assert _placement_key(scalar) == _placement_key(columnar)
+            assert not scalar.satisfied()

@@ -55,6 +55,38 @@ class TestDiurnalTrace:
         b = diurnal_trace(rng=np.random.default_rng(7))
         assert a.demand_fraction == b.demand_fraction
 
+    @pytest.mark.parametrize("steps", [24, 96, 288])
+    def test_vectorized_matches_scalar_reference_bitwise(self, steps):
+        from repro.cluster.reference import reference_kernels
+
+        vectorized = diurnal_trace(steps_per_day=steps, noise=0.0)
+        with reference_kernels():
+            scalar = diurnal_trace(steps_per_day=steps, noise=0.0)
+        assert vectorized == scalar
+
+    def test_vectorized_matches_scalar_reference_with_noise(self):
+        from repro.cluster.reference import reference_kernels
+
+        vectorized = diurnal_trace(seed=7)
+        with reference_kernels():
+            scalar = diurnal_trace(seed=7)
+        assert vectorized == scalar
+
+    def test_reference_swap_restores_on_exit(self):
+        from repro.cluster import trace as trace_module
+        from repro.cluster.reference import reference_kernels
+
+        original = trace_module.diurnal_trace
+        with reference_kernels():
+            assert trace_module.diurnal_trace is not original
+        assert trace_module.diurnal_trace is original
+
+    def test_times_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DemandTrace(times_h=(0.0, 1.0, 1.0), demand_fraction=(0.1,) * 3)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DemandTrace(times_h=(2.0, 1.0), demand_fraction=(0.1, 0.2))
+
 
 class TestReplay:
     def test_energy_and_service_accounting(self, fleet):
