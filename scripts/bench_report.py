@@ -3,10 +3,11 @@
 
 Times the workloads the performance work targets -- corpus synthesis,
 the discrete-event simulate sweep, cold/warm ``run_all`` through the
-artifact engine, multi-seed ensemble throughput, and the columnar
+artifact engine, multi-seed ensemble throughput, the columnar
 fleet engine (10k-server trace replay, both backends, plus a placement
-sweep) -- and writes the results to ``BENCH_core.json`` at the repo
-root so the perf trajectory is tracked in-tree.
+sweep), and the serve daemon's warm mixed-query throughput -- and
+writes the results to ``BENCH_core.json`` at the repo root so the perf
+trajectory is tracked in-tree.
 
 Usage::
 
@@ -51,6 +52,13 @@ CEILINGS = {
 #: trace and extrapolated, so this is a property of the engines, not
 #: of runner speed).
 MIN_FLEET_SPEEDUP = 10.0
+
+#: Floor on warm mixed-query throughput against the serve daemon and a
+#: ceiling on its p99 latency.  Warm queries are memo hits, so both are
+#: properties of the serve pipeline (HTTP framing + memo lookup), not
+#: of engine speed, and only a gross regression trips them.
+MIN_SERVE_QPS = 1000.0
+MAX_SERVE_P99_MS = 100.0
 
 
 def _best_of(repeats, fn):
@@ -125,14 +133,14 @@ def bench_fleet_replay(n_servers: int, steps: int, scalar_steps: int):
     fleet = _tiled_fleet(n_servers)
     trace = diurnal_trace(steps_per_day=steps, noise=0.0)
     started = time.perf_counter()
-    replay_trace(fleet, trace, "ep-aware", fleet_backend="columnar")
+    replay_trace(fleet, trace, policy="ep-aware", fleet_backend="columnar")
     columnar = time.perf_counter() - started
     truncated = DemandTrace(
         times_h=trace.times_h[:scalar_steps],
         demand_fraction=trace.demand_fraction[:scalar_steps],
     )
     started = time.perf_counter()
-    replay_trace(fleet, truncated, "ep-aware", fleet_backend="scalar")
+    replay_trace(fleet, truncated, policy="ep-aware", fleet_backend="scalar")
     scalar = (time.perf_counter() - started) * (steps / scalar_steps)
     return columnar, scalar
 
@@ -156,6 +164,47 @@ def bench_placement_sweep(n_servers: int, repeats: int) -> float:
                 engine.place(policy, fraction * capacity)
 
     return _best_of(repeats, run)
+
+
+def bench_serve(warm_rounds: int, timed_rounds: int):
+    """Warm mixed-query throughput against an in-process daemon.
+
+    Starts the serve daemon on a background thread, drives the stock
+    mixed workload (every servable query family) through a persistent
+    HTTP client until the memo is warm, then times ``timed_rounds``
+    more passes.  Returns ``(qps, p50_ms, p99_ms)``.
+    """
+    from repro.serve import ServeClient, start_daemon_thread
+    from repro.serve.client import mixed_query_payloads
+
+    payloads = mixed_query_payloads(servers=30, steps=8)
+    handle = start_daemon_thread()
+    try:
+        client = ServeClient(port=handle.port)
+        for _ in range(warm_rounds):
+            for payload in payloads:
+                status, document = client.query(dict(payload))
+                if status != 200:
+                    raise RuntimeError(
+                        f"serve returned {status} for {payload}: {document}"
+                    )
+        latencies = []
+        started = time.perf_counter()
+        for _ in range(timed_rounds):
+            for payload in payloads:
+                sent = time.perf_counter()
+                client.query(dict(payload))
+                latencies.append(time.perf_counter() - sent)
+        elapsed = time.perf_counter() - started
+        client.close()
+    finally:
+        handle.stop()
+    latencies.sort()
+    count = len(latencies)
+    qps = count / elapsed if elapsed > 0 else float("inf")
+    p50_ms = latencies[count // 2] * 1000.0
+    p99_ms = latencies[min(count - 1, int(count * 0.99))] * 1000.0
+    return qps, p50_ms, p99_ms
 
 
 def bench_ensemble(seeds: int, jobs: int):
@@ -203,6 +252,8 @@ def main(argv=None) -> int:
     trace_steps = 96
     scalar_steps = 1 if args.quick else 2
     placement_repeats = 1 if args.quick else 2
+    serve_warm_rounds = 2
+    serve_timed_rounds = 50 if args.quick else 200
 
     timings = {}
     print("benchmarking corpus generation ...", flush=True)
@@ -232,6 +283,13 @@ def main(argv=None) -> int:
     timings["placement_sweep_s"] = bench_placement_sweep(
         fleet_servers, placement_repeats
     )
+    print("benchmarking serve daemon ...", flush=True)
+    serve_qps, serve_p50_ms, serve_p99_ms = bench_serve(
+        serve_warm_rounds, serve_timed_rounds
+    )
+    timings["serve_qps"] = serve_qps
+    timings["serve_p50_ms"] = serve_p50_ms
+    timings["serve_p99_ms"] = serve_p99_ms
 
     payload = {
         "schema": 1,
@@ -248,6 +306,8 @@ def main(argv=None) -> int:
             "trace_steps": trace_steps,
             "scalar_steps": scalar_steps,
             "placement_repeats": placement_repeats,
+            "serve_warm_rounds": serve_warm_rounds,
+            "serve_timed_rounds": serve_timed_rounds,
         },
         "timings": {key: round(value, 4) for key, value in timings.items()},
     }
@@ -267,6 +327,16 @@ def main(argv=None) -> int:
             breaches.append(
                 f"fleet_replay_speedup: {timings['fleet_replay_speedup']:.1f}x "
                 f"< required {MIN_FLEET_SPEEDUP:.0f}x"
+            )
+        if timings["serve_qps"] < MIN_SERVE_QPS:
+            breaches.append(
+                f"serve_qps: {timings['serve_qps']:.0f} q/s "
+                f"< required {MIN_SERVE_QPS:.0f} q/s"
+            )
+        if timings["serve_p99_ms"] > MAX_SERVE_P99_MS:
+            breaches.append(
+                f"serve_p99_ms: {timings['serve_p99_ms']:.2f}ms "
+                f"> ceiling {MAX_SERVE_P99_MS:.0f}ms"
             )
         if breaches:
             print("ceiling breaches:", *breaches, sep="\n  ", file=sys.stderr)

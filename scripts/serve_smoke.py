@@ -1,0 +1,145 @@
+"""CI smoke check for the ``repro serve`` daemon.
+
+Starts the daemon on a background thread (ephemeral port, warm
+corpus), then asserts the serving contract end to end over real HTTP:
+
+* every servable query family answers 200 with a well-formed
+  ``QueryResult`` envelope (payload + provenance);
+* a burst of identical concurrent queries coalesces into exactly one
+  computation (the daemon's ``computations`` counter stays at 1 for
+  the burst key and ``coalesced + memo_hits`` absorbs the rest);
+* repeated warm queries are memo hits with byte-identical bodies;
+* warm p99 latency stays under a generous ceiling sized for CI
+  runners, not for small regressions;
+* malformed payloads and unknown families come back as 400s without
+  wedging the connection.
+
+Exits non-zero on any violation.  Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+from repro.serve import ServeApp, ServeClient, start_daemon_thread
+from repro.serve.client import mixed_query_payloads
+
+#: Generous warm-path p99 ceiling (ms), sized for slow CI runners.
+MAX_WARM_P99_MS = 100.0
+BURST_CLIENTS = 32
+WARM_ROUNDS = 2
+TIMED_ROUNDS = 25
+
+
+def main() -> int:
+    """Run the smoke check; returns a process exit code."""
+    failures = []
+    app = ServeApp()
+    handle = start_daemon_thread(app)
+    try:
+        client = ServeClient(port=handle.port)
+        if client.healthz() != {"status": "ok"}:
+            failures.append("healthz did not answer ok")
+
+        # Every servable family answers with a full envelope.
+        payloads = mixed_query_payloads(servers=30, steps=8)
+        for payload in payloads:
+            status, document = client.query(dict(payload))
+            if status != 200:
+                failures.append(f"{payload['family']}: status {status}")
+                continue
+            for field in ("family", "payload", "text", "provenance"):
+                if field not in document:
+                    failures.append(
+                        f"{payload['family']}: envelope missing {field!r}"
+                    )
+
+        # A concurrent identical burst coalesces to one computation.
+        burst_payload = {"family": "replay", "servers": 40, "steps": 8}
+        before = app.stats.computations
+        bodies = [None] * BURST_CLIENTS
+
+        def worker(index):
+            burst_client = ServeClient(port=handle.port)
+            status, document = burst_client.query(dict(burst_payload))
+            bodies[index] = (status, json.dumps(document, sort_keys=True))
+            burst_client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(BURST_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        if {status for status, _ in bodies} != {200}:
+            failures.append("burst returned a non-200 status")
+        if len({body for _, body in bodies}) != 1:
+            failures.append("burst answers were not identical")
+        burst_computations = app.stats.computations - before
+        if burst_computations != 1:
+            failures.append(
+                f"burst ran {burst_computations} computations, expected 1"
+            )
+        if app.stats.coalesced + app.stats.memo_hits < BURST_CLIENTS - 1:
+            failures.append(
+                "burst was not absorbed by coalescing/memo "
+                f"(coalesced={app.stats.coalesced}, "
+                f"memo_hits={app.stats.memo_hits})"
+            )
+
+        # Warm repeats are memo hits and stay under the latency ceiling.
+        for _ in range(WARM_ROUNDS):
+            for payload in payloads:
+                client.query(dict(payload))
+        latencies = []
+        for _ in range(TIMED_ROUNDS):
+            for payload in payloads:
+                sent = time.perf_counter()
+                status, _document = client.query(dict(payload))
+                latencies.append(time.perf_counter() - sent)
+                if status != 200:
+                    failures.append(f"warm query failed with {status}")
+        latencies.sort()
+        p99_ms = latencies[
+            min(len(latencies) - 1, int(len(latencies) * 0.99))
+        ] * 1000.0
+        if p99_ms > MAX_WARM_P99_MS:
+            failures.append(
+                f"warm p99 {p99_ms:.2f}ms > ceiling {MAX_WARM_P99_MS:.0f}ms"
+            )
+
+        # Bad payloads are clean 400s, and the daemon keeps serving.
+        status, _document = client.query({"family": "bogus"})
+        if status != 400:
+            failures.append(f"unknown family returned {status}, expected 400")
+        status, _document = client.query({"family": "run_all"})
+        if status != 400:
+            failures.append(f"unservable family returned {status}")
+        status, _document = client.query(dict(payloads[0]))
+        if status != 200:
+            failures.append("daemon stopped serving after a 400")
+        client.close()
+    finally:
+        handle.stop()
+
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"smoke ok: {len(mixed_query_payloads())} families served, "
+        f"{BURST_CLIENTS}-client burst coalesced to 1 computation, "
+        f"warm p99 {p99_ms:.2f}ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,8 +23,14 @@ It contains:
   artifact registry, a parallel execution engine with a
   content-addressed artifact cache, and the Study facade regenerating
   every figure and table in the paper.
+* :mod:`repro.api` -- the unified query layer: typed ``QueryRequest``
+  families, one dispatch table, and provenance-stamped ``QueryResult``
+  envelopes shared by the CLI, :class:`Study`, and the daemon.
+* :mod:`repro.serve` -- the async HTTP query daemon (``repro serve``)
+  with request coalescing, fleet-query batching, and a response memo.
 """
 
+from repro.api import QueryResult, execute, request_from_dict
 from repro.core.cache import ArtifactCache
 from repro.core.ensemble import EnsembleResult, run_ensemble
 from repro.core.executor import ArtifactExecutor, RunReport
@@ -35,7 +41,7 @@ from repro.dataset.synthesis import generate_corpus
 from repro.metrics.ee import overall_score, peak_efficiency
 from repro.metrics.ep import energy_proportionality
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArtifactCache",
@@ -44,12 +50,15 @@ __all__ = [
     "Corpus",
     "EnsembleResult",
     "FigureResult",
+    "QueryResult",
     "RunReport",
     "Study",
     "__version__",
     "energy_proportionality",
+    "execute",
     "generate_corpus",
     "overall_score",
     "peak_efficiency",
+    "request_from_dict",
     "run_ensemble",
 ]

@@ -1,0 +1,55 @@
+"""Deprecation shims for the pre-``repro.api`` call signatures.
+
+PR 6 redesigned the public query surface around frozen
+:class:`repro.api.requests.QueryRequest` dataclasses with explicit
+keyword fields.  The old entry points -- ``Study(corpus, 2016)``,
+``replay_trace(fleet, trace, "ep-aware", True)`` -- passed their
+options positionally, which is exactly the ad-hoc argument plumbing
+the redesign removes.  :func:`warn_positional` keeps those call shapes
+working (nothing breaks) while emitting a :class:`DeprecationWarning`
+that points at the ``QueryRequest`` equivalent.
+
+This module sits below :mod:`repro.api` in the layering (it imports
+only the standard library) so the cluster entry points can use it
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Any, Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def warn_positional(first_keyword: str, replacement: str) -> Callable[[_F], _F]:
+    """Deprecate positional use of the trailing option parameters.
+
+    Parameters from ``first_keyword`` onward keep accepting positional
+    arguments, but doing so emits a :class:`DeprecationWarning` naming
+    the :mod:`repro.api` ``replacement`` to migrate to.  Keyword calls
+    stay silent.
+    """
+
+    def decorate(fn: _F) -> _F:
+        parameters = list(inspect.signature(fn).parameters)
+        cutoff = parameters.index(first_keyword)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if len(args) > cutoff:
+                names = ", ".join(parameters[cutoff:len(args)])
+                warnings.warn(
+                    f"passing {names} positionally to {fn.__qualname__} is "
+                    f"deprecated; pass keywords, or route the query through "
+                    f"repro.api ({replacement})",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

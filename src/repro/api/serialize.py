@@ -1,0 +1,49 @@
+"""JSON-safe conversion of query payloads.
+
+Handler payloads carry whatever the analysis layers produce -- numpy
+scalars and arrays, enum members, tuple-keyed dicts (the CDF decile
+bands), nested dataclass-free structures.  :func:`jsonify` converts
+them to plain JSON types without touching float values (so a payload
+compared float-for-float before and after serialization stays equal).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-representable types.
+
+    Numpy scalars become python scalars, arrays become lists, enums
+    collapse to their ``value``, tuples become lists, and non-string
+    dict keys are rendered with ``str()`` (tuple keys joined by ``-``).
+    """
+    if isinstance(value, dict):
+        return {_key(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, enum.Enum):
+        return jsonify(value.value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "-".join(str(jsonify(part)) for part in key)
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)

@@ -1,0 +1,232 @@
+"""Query-dispatch rules (REP21x): one API surface, fully wired.
+
+PR 6 routed every public query path -- CLI subcommands, ``Study``
+methods, the serve daemon -- through the single
+:mod:`repro.api.dispatch` table.  These rules keep that invariant
+from eroding:
+
+* REP211 -- every request family declared in ``repro.api.requests``
+  must be registered in the dispatch table, carry a unique non-empty
+  ``family`` tag, be a frozen dataclass, and appear in the
+  ``REQUEST_TYPES`` catalog;
+* REP212 -- a CLI command implementation (any ``_cmd_*`` function)
+  must route through ``repro.api`` / ``repro.serve`` rather than
+  calling engine internals directly.
+
+REP211 runs only when the scanned set contains both halves of the API
+package (so fixture trees and partial scans stay quiet); REP212 is a
+plain per-file pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.checks.astutil import dotted_name, import_aliases, resolve_call
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    finding,
+)
+
+_REQUESTS_MODULE = "repro.api.requests"
+_DISPATCH_MODULE = "repro.api.dispatch"
+
+#: Call targets that satisfy REP212 (prefix match on the resolved path).
+_DISPATCH_PREFIXES = ("repro.api.", "repro.serve.")
+
+
+def _class_defs(tree: ast.Module) -> List[ast.ClassDef]:
+    return [node for node in tree.body if isinstance(node, ast.ClassDef)]
+
+
+def _request_classes(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    """Concrete ``QueryRequest`` subclasses, by class name (transitive)."""
+    classes = {node.name: node for node in _class_defs(tree)}
+    request_like: Set[str] = {"QueryRequest"}
+    grew = True
+    while grew:
+        grew = False
+        for name, node in classes.items():
+            if name in request_like:
+                continue
+            bases = {
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            }
+            if bases & request_like:
+                request_like.add(name)
+                grew = True
+    request_like.discard("QueryRequest")
+    return {name: classes[name] for name in sorted(request_like)}
+
+
+def _family_tag(node: ast.ClassDef) -> Optional[str]:
+    """The literal ``family`` ClassVar value, if assigned."""
+    for item in node.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and item.target.id == "family"
+            and isinstance(item.value, ast.Constant)
+            and isinstance(item.value.value, str)
+        ):
+            return item.value.value
+    return None
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _catalog_names(tree: ast.Module) -> Set[str]:
+    """Class names listed in the ``REQUEST_TYPES`` tuple literal."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "REQUEST_TYPES":
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    return {
+                        element.id
+                        for element in value.elts
+                        if isinstance(element, ast.Name)
+                    }
+    return set()
+
+
+def _registered_handlers(tree: ast.Module) -> Set[str]:
+    """Request class names wired via ``@handler(X)`` in the dispatch."""
+    registered: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            name = dotted_name(decorator.func)
+            if name is None or name[-1] != "handler":
+                continue
+            for argument in decorator.args:
+                if isinstance(argument, ast.Name):
+                    registered.add(argument.id)
+    return registered
+
+
+def _api_registration_check(project: Project) -> Iterator[Finding]:
+    """REP211: the request catalog and the dispatch table must agree."""
+    requests_ctx = project.module(_REQUESTS_MODULE)
+    dispatch_ctx = project.module(_DISPATCH_MODULE)
+    if requests_ctx is None or dispatch_ctx is None:
+        return
+    classes = _request_classes(requests_ctx.tree)
+    registered = _registered_handlers(dispatch_ctx.tree)
+    catalog = _catalog_names(requests_ctx.tree)
+    seen_families: Dict[str, str] = {}
+    for name, node in classes.items():
+        tag = _family_tag(node)
+        if not tag:
+            yield finding(
+                RULES["REP211"], requests_ctx.rel, node,
+                f"request class {name} declares no literal 'family' tag",
+                hint="add `family: ClassVar[str] = \"...\"` to the class body",
+            )
+        elif tag in seen_families:
+            yield finding(
+                RULES["REP211"], requests_ctx.rel, node,
+                f"request class {name} reuses family tag {tag!r} "
+                f"(already taken by {seen_families[tag]})",
+                hint="family tags key the wire protocol; keep them unique",
+            )
+        else:
+            seen_families[tag] = name
+        if not _is_frozen_dataclass(node):
+            yield finding(
+                RULES["REP211"], requests_ctx.rel, node,
+                f"request class {name} is not a frozen dataclass",
+                hint="decorate with @dataclass(frozen=True); requests are "
+                "hashed and shared across threads",
+            )
+        if name not in registered:
+            yield finding(
+                RULES["REP211"], requests_ctx.rel, node,
+                f"request class {name} has no @handler registration in "
+                f"{_DISPATCH_MODULE}",
+                hint="every family must be executable through the one "
+                "dispatch table",
+            )
+        if catalog and name not in catalog:
+            yield finding(
+                RULES["REP211"], requests_ctx.rel, node,
+                f"request class {name} is missing from REQUEST_TYPES",
+                hint="append it to the catalog tuple so request_from_dict "
+                "and the serve daemon can see it",
+            )
+
+
+def _dispatches_through_api(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        path = resolve_call(child.func, aliases)
+        if path is not None and path.startswith(_DISPATCH_PREFIXES):
+            return True
+    return False
+
+
+def _cli_dispatch_check(ctx: SourceFile) -> Iterator[Finding]:
+    """REP212: ``_cmd_*`` functions must call into repro.api/repro.serve."""
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not node.name.startswith("_cmd_"):
+            continue
+        if not _dispatches_through_api(node, aliases):
+            yield finding(
+                RULES["REP212"], ctx.rel, node,
+                f"CLI command {node.name} does not route through the "
+                "repro.api dispatch table",
+                hint="build a QueryRequest and call repro.api.execute "
+                "(or repro.serve) instead of engine internals",
+            )
+
+
+#: The REP21x catalog.
+RULES: Dict[str, Rule] = {
+    "REP211": Rule(
+        "REP211", "unregistered-query-family", Severity.ERROR,
+        "request families missing dispatch registration, frozen "
+        "dataclass form, unique family tags, or catalog membership",
+        scope="project", project_checker=_api_registration_check,
+    ),
+    "REP212": Rule(
+        "REP212", "cli-bypasses-dispatch", Severity.ERROR,
+        "CLI command implementations that bypass the repro.api dispatch "
+        "table",
+        scope="file", file_checker=_cli_dispatch_check,
+    ),
+}

@@ -26,10 +26,11 @@ def add_checks_parser(commands: argparse._SubParsersAction) -> None:
         ),
         description=(
             "AST-based enforcement of the repo's reproducibility "
-            "invariants: seeded-rng discipline (REP1xx), registry "
-            "consistency (REP2xx), concurrency safety under the pooled "
-            "executors (REP3xx), reference-kernel parity (REP4xx), and "
-            "failure-visibility robustness (REP5xx)."
+            "invariants: seeded-rng discipline (REP1xx), registry and "
+            "query-dispatch consistency (REP2xx), concurrency safety "
+            "under the pooled executors (REP3xx), reference-kernel "
+            "parity (REP4xx), and failure-visibility robustness "
+            "(REP5xx)."
         ),
     )
     checks.add_argument(

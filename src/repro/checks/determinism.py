@@ -62,6 +62,10 @@ _CLOCK_ALLOWLIST = {
     "repro.core.executor",
     "repro.core.cache",
     "repro.core.resilience",
+    "repro.api.dispatch",
+    "repro.serve.app",
+    "repro.serve.daemon",
+    "repro.serve.client",
 }
 
 

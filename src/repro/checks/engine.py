@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.checks import (
+    api_rules,
     concurrency,
     determinism,
     parity,
@@ -34,7 +35,8 @@ from repro.checks.model import (
 
 #: Every shipped rule, id -> Rule, in catalog order.
 RULES: Dict[str, Rule] = {}
-for family in (determinism, registry_rules, concurrency, parity, robustness):
+for family in (determinism, registry_rules, api_rules, concurrency, parity,
+               robustness):
     RULES.update(family.RULES)
 
 #: Directories never scanned (caches, VCS metadata, build output).

@@ -17,9 +17,19 @@ Commands:
   over N seeded corpora and print mean/CI summaries;
 * ``fleet-replay --servers N --steps S`` -- replay a diurnal day over
   a tiled N-server fleet through the columnar (or scalar) engine;
+* ``query <spec.json|{...}>`` -- execute any :mod:`repro.api` request
+  given as JSON (inline or ``@file``) and print the result envelope;
+* ``serve --port P`` -- run the async query daemon
+  (:mod:`repro.serve`) in the foreground;
 * ``checks [paths]`` -- run the domain-aware static analysis
-  (determinism, registry, concurrency, reference-parity rules);
+  (determinism, registry, concurrency, parity and dispatch rules);
 * ``cache stats|clear`` -- inspect or empty the artifact cache.
+
+Every command is a thin shell over the unified query API: it builds a
+frozen :class:`repro.api.QueryRequest`, hands it to
+:func:`repro.api.execute`, and prints the result -- as the classic
+text rendering by default, or as the full JSON envelope (payload +
+provenance) under the global ``--format json``.
 
 The global ``--jobs N`` option widens the execution engine's thread
 pool and ``--cache`` (with optional ``--cache-dir DIR``) enables the
@@ -31,17 +41,28 @@ parallel and a repeat invocation is served from disk.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from pathlib import Path
 from typing import List, Optional
 
+from repro.api import (
+    ArtifactQuery,
+    CacheQuery,
+    EnsembleQuery,
+    GenerateQuery,
+    ListArtifactsQuery,
+    QueryContext,
+    QueryResult,
+    ReplayQuery,
+    ReportQuery,
+    RunAllQuery,
+    SweepQuery,
+    ValidateQuery,
+    execute,
+    request_from_dict,
+)
 from repro.checks.cli import add_checks_parser, cmd_checks
 from repro.core.cache import DEFAULT_CACHE_DIR, ArtifactCache
-from repro.core.pipeline import build_experiments_report
-from repro.core.registry import REGISTRY
-from repro.core.study import Study
-from repro.dataset.io import save_corpus
-from repro.dataset.synthesis import generate_corpus
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,6 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="cache store directory (implies --cache)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help=(
+            "output rendering: classic terminal text (default) or the "
+            "full QueryResult JSON envelope"
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -197,6 +228,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="power unused servers off instead of idling them",
     )
 
+    query = commands.add_parser(
+        "query",
+        help="execute one repro.api request given as JSON",
+    )
+    query.add_argument(
+        "spec",
+        help=(
+            "the request as a JSON object (e.g. "
+            "'{\"family\": \"stats\", \"metric\": \"ep\"}') "
+            "or @path/to/spec.json"
+        ),
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the async query daemon in the foreground"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8631, help="TCP port (default 8631)"
+    )
+
     add_checks_parser(commands)
 
     cache = commands.add_parser(
@@ -208,257 +262,165 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(out) -> int:
-    width = max(len(figure_id) for figure_id in REGISTRY)
-    for figure_id, spec in REGISTRY.items():
-        print(f"{figure_id:<{width}}  {spec.description}", file=out)
-    return 0
+def _emit(result: QueryResult, fmt: str, out) -> int:
+    """Print one result in the requested rendering; returns exit code."""
+    if fmt == "json":
+        print(result.to_json(), file=out)
+    elif result.text:
+        print(result.text, file=out)
+    return result.exit_code
 
 
-def _cmd_figure(study: Study, figure_id: str, out) -> int:
-    if figure_id not in REGISTRY:
+def _cmd_list(args, context: QueryContext, out) -> int:
+    result = execute(ListArtifactsQuery(seed=args.seed), context)
+    return _emit(result, args.format, out)
+
+
+def _cmd_figure(args, context: QueryContext, out) -> int:
+    try:
+        result = execute(
+            ArtifactQuery(seed=args.seed, artifact_id=args.figure_id), context
+        )
+    except KeyError:
         print(
-            f"unknown artifact {figure_id!r}; run 'repro list'", file=sys.stderr
+            f"unknown artifact {args.figure_id!r}; run 'repro list'",
+            file=sys.stderr,
         )
         return 2
-    result = study.figure(figure_id)
-    print(f"== {figure_id}: {result.title} ==", file=out)
-    print(result.text, file=out)
-    return 0
+    return _emit(result, args.format, out)
 
 
-def _cmd_generate(seed: int, path: str, out) -> int:
-    corpus = generate_corpus(seed)
-    save_corpus(corpus, path)
-    print(f"wrote {len(corpus)} results to {path}", file=out)
-    return 0
+def _cmd_generate(args, context: QueryContext, out) -> int:
+    result = execute(GenerateQuery(seed=args.seed, out=args.out), context)
+    return _emit(result, args.format, out)
 
 
-def _cmd_validate(path: str, out) -> int:
-    from repro.dataset.io import load_corpus
-    from repro.dataset.validation import errors_only, validate_corpus
-
-    corpus = load_corpus(path)
-    findings = validate_corpus(corpus)
-    for finding in findings:
-        print(finding, file=out)
-    errors = errors_only(findings)
-    print(
-        f"{len(corpus)} results: {len(errors)} error(s), "
-        f"{len(findings) - len(errors)} warning(s)",
-        file=out,
-    )
-    return 1 if errors else 0
+def _cmd_validate(args, context: QueryContext, out) -> int:
+    result = execute(ValidateQuery(path=args.path), context)
+    return _emit(result, args.format, out)
 
 
-def _cmd_report(study: Study, path: str, out) -> int:
-    Path(path).write_text(build_experiments_report(study))
-    print(f"wrote {path}", file=out)
-    return 0
+def _cmd_report(args, context: QueryContext, out) -> int:
+    result = execute(ReportQuery(seed=args.seed, out=args.out), context)
+    return _emit(result, args.format, out)
 
 
-def _cmd_sweep(server_number: int, out) -> int:
-    from repro.hwexp.sweeps import run_sweep
-    from repro.hwexp.testbed import TESTBED
-    from repro.viz.tables import format_table
+def _cmd_sweep(args, context: QueryContext, out) -> int:
+    result = execute(SweepQuery(server=args.server), context)
+    return _emit(result, args.format, out)
 
-    server = TESTBED[server_number]
-    sweep = run_sweep(server)
-    rows = []
-    for mpc in server.tested_memory_per_core:
-        for frequency in list(server.frequencies_ghz) + ["ondemand"]:
-            cell = sweep.cell(mpc, frequency)
-            rows.append(
-                [
-                    f"{mpc:g}",
-                    frequency if isinstance(frequency, str) else f"{frequency:g}",
-                    cell.overall_efficiency,
-                    cell.peak_power_w,
-                ]
-            )
-    print(
-        format_table(
-            ["GB/core", "freq (GHz)", "EE (ops/W)", "peak W"],
-            rows,
-            title=f"server #{server_number}: {server.name}",
-            float_format="{:.1f}",
+
+def _cmd_run_all(args, context: QueryContext, out) -> int:
+    result = execute(
+        RunAllQuery(
+            seed=args.seed,
+            output_dir=args.output_dir,
+            jobs=args.jobs,
+            show_report=args.report,
+            on_error=args.on_error,
+            retry=args.retry,
+            timeout_s=args.timeout,
+            inject=args.inject,
+            use_cache=args.cache,
+            cache_dir=args.cache_dir,
         ),
-        file=out,
+        context,
     )
-    print(f"best memory per core: {sweep.best_memory_per_core():g} GB", file=out)
-    return 0
+    return _emit(result, args.format, out)
 
 
-def _cmd_run_all(
-    study: Study,
-    output_dir: str,
-    out,
-    jobs: int = 1,
-    cache: Optional[ArtifactCache] = None,
-    show_report: bool = False,
-    on_error: str = "raise",
-    retry: Optional[int] = None,
-    timeout_s: Optional[float] = None,
-    inject: Optional[str] = None,
-) -> int:
-    from repro.core.faults import FaultPlan
-    from repro.core.resilience import RetryPolicy
-
-    directory = Path(output_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    faults = FaultPlan.load(inject) if inject is not None else None
-    policy = RetryPolicy(attempts=retry) if retry is not None else None
-    run_report = study.run_all(
-        jobs=jobs,
-        cache=cache,
-        report=True,
-        on_error=on_error,
-        retry=policy,
-        timeout_s=timeout_s,
-        faults=faults,
+def _cmd_ensemble(args, context: QueryContext, out) -> int:
+    result = execute(
+        EnsembleQuery(
+            seed=args.seed,
+            seeds=args.seeds,
+            jobs=args.jobs,
+            per_seed=args.per_seed,
+        ),
+        context,
     )
-    for figure_id, result in run_report.results.items():
-        (directory / f"{figure_id}.txt").write_text(
-            f"== {result.title} ==\n{result.text}\n"
-        )
-    if show_report:
-        print(run_report.render(), file=out)
-    built = len(run_report.results)
-    print(f"wrote {built} of {len(REGISTRY)} artifacts to {directory}/", file=out)
-    if run_report.failures:
-        print(run_report.failures.render(), file=out)
-        return 1
-    return 0
+    return _emit(result, args.format, out)
 
 
-def _cmd_ensemble(
-    seed: int, count: int, jobs: int, per_seed: bool, out
-) -> int:
-    from repro.core.ensemble import run_ensemble
-    from repro.viz.tables import format_table
-
-    result = run_ensemble(count, jobs=jobs, base_seed=seed)
-    if per_seed:
-        rows = [
-            [
-                stats.seed,
-                stats.ep_mean,
-                stats.ee_mean,
-                stats.eq2_r_squared,
-                stats.corr_ep_idle,
-            ]
-            for stats in result.per_seed
-        ]
-        print(
-            format_table(
-                ["seed", "mean EP", "mean EE", "Eq.2 R^2", "corr(EP,idle)"],
-                rows,
-                title="per-seed headline statistics",
-                float_format="{:.4f}",
-            ),
-            file=out,
-        )
-    print(result.render(), file=out)
-    return 0
-
-
-def _cmd_fleet_replay(
-    seed: int,
-    servers: int,
-    steps: int,
-    policy: str,
-    backend: str,
-    power_off_unused: bool,
-    out,
-) -> int:
-    from repro.cluster.fleet_arrays import tile_fleet
-    from repro.cluster.trace import diurnal_trace, replay_trace
-
-    corpus = generate_corpus(seed)
-    base = corpus.by_hw_year(2016).results()
-    fleet = tile_fleet(base, servers)
-    trace = diurnal_trace(steps_per_day=steps, noise=0.0)
-    outcome = replay_trace(
-        fleet, trace, policy, power_off_unused, fleet_backend=backend
+def _cmd_fleet_replay(args, context: QueryContext, out) -> int:
+    result = execute(
+        ReplayQuery(
+            seed=args.seed,
+            servers=args.servers,
+            steps=args.steps,
+            policy=args.policy,
+            fleet_backend=args.backend,
+            power_off_unused=args.power_off_unused,
+        ),
+        context,
     )
-    print(
-        f"{servers} servers x {steps} steps, {policy}, backend={backend}",
-        file=out,
-    )
-    print(
-        f"energy {outcome.energy_kwh:.1f} kWh/day, "
-        f"served {outcome.served_gops:.1f} Gops, "
-        f"{outcome.unserved_steps} unserved step(s)",
-        file=out,
-    )
-    return 0
+    return _emit(result, args.format, out)
 
 
-def _cmd_cache(action: str, cache: Optional[ArtifactCache], out) -> int:
-    cache = cache if cache is not None else ArtifactCache()
-    if action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cache entr(ies) from {cache.root}/", file=out)
-        return 0
-    entries = cache.entries()
-    print(
-        f"{cache.root}/: {len(entries)} entr(ies), "
-        f"{cache.size_bytes() / 1024.0:.1f} KiB, "
-        f"engine version {cache.engine_version}",
-        file=out,
+def _cmd_cache(args, context: QueryContext, out) -> int:
+    result = execute(
+        CacheQuery(action=args.action, cache_dir=args.cache_dir), context
     )
-    return 0
+    return _emit(result, args.format, out)
+
+
+def _cmd_query(args, context: QueryContext, out) -> int:
+    spec = args.spec
+    if spec.startswith("@"):
+        with open(spec[1:], "r", encoding="utf-8") as handle:
+            spec = handle.read()
+    try:
+        payload = json.loads(spec)
+        if not isinstance(payload, dict):
+            raise ValueError("request spec must be a JSON object")
+        request = request_from_dict(payload)
+        result = execute(request, context)
+    except (ValueError, KeyError) as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    fmt = payload.get("format", args.format)
+    return _emit(result, fmt, out)
+
+
+def _cmd_serve(args, context: QueryContext, out) -> int:
+    from repro.serve.daemon import run_daemon
+
+    return run_daemon(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        cache_dir=args.cache_dir if (args.cache or args.cache_dir) else None,
+        out=out,
+    )
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "figure": _cmd_figure,
+    "generate": _cmd_generate,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "run-all": _cmd_run_all,
+    "ensemble": _cmd_ensemble,
+    "fleet-replay": _cmd_fleet_replay,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
+}
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
     args = _build_parser().parse_args(argv)
+    if args.command == "checks":
+        return cmd_checks(args, out)
     cache = None
     if args.cache or args.cache_dir is not None:
         cache = ArtifactCache(args.cache_dir or DEFAULT_CACHE_DIR)
-
-    if args.command == "list":
-        return _cmd_list(out)
-    if args.command == "generate":
-        return _cmd_generate(args.seed, args.out, out)
-    if args.command == "validate":
-        return _cmd_validate(args.path, out)
-    if args.command == "sweep":
-        return _cmd_sweep(args.server, out)
-    if args.command == "cache":
-        return _cmd_cache(args.action, cache, out)
-    if args.command == "ensemble":
-        return _cmd_ensemble(args.seed, args.seeds, args.jobs, args.per_seed, out)
-    if args.command == "checks":
-        return cmd_checks(args, out)
-    if args.command == "fleet-replay":
-        return _cmd_fleet_replay(
-            args.seed,
-            args.servers,
-            args.steps,
-            args.policy,
-            args.backend,
-            args.power_off_unused,
-            out,
-        )
-
-    study = Study(seed=args.seed)
-    if args.command == "figure":
-        return _cmd_figure(study, args.figure_id, out)
-    if args.command == "report":
-        return _cmd_report(study, args.out, out)
-    if args.command == "run-all":
-        return _cmd_run_all(
-            study,
-            args.output_dir,
-            out,
-            jobs=args.jobs,
-            cache=cache,
-            show_report=args.report,
-            on_error=args.on_error,
-            retry=args.retry,
-            timeout_s=args.timeout,
-            inject=args.inject,
-        )
-    raise AssertionError(f"unhandled command {args.command!r}")
+    context = QueryContext(cache=cache)
+    command = _COMMANDS.get(args.command)
+    if command is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    return command(args, context, out)

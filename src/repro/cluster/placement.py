@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro._compat import warn_positional
 from repro.cluster.regions import efficiency_at, power_at, throughput_at
 from repro.dataset.schema import SpecPowerResult
 
@@ -82,6 +83,7 @@ def _columnar_engine(fleet: Sequence[SpecPowerResult], fleet_backend: str):
     return resolve_backend(fleet, fleet_backend)
 
 
+@warn_positional("power_off_unused", "repro.api.PlacementQuery")
 def pack_to_full_placement(
     fleet: Sequence[SpecPowerResult],
     demand_ops: float,
@@ -129,6 +131,7 @@ def pack_to_full_placement(
     return outcome
 
 
+@warn_positional("power_off_unused", "repro.api.PlacementQuery")
 def ep_aware_placement(
     fleet: Sequence[SpecPowerResult],
     demand_ops: float,
@@ -217,6 +220,7 @@ def _utilization_for(server: SpecPowerResult, throughput_ops: float) -> float:
     return 0.5 * (low + high)
 
 
+@warn_positional("policy", "repro.api.CapQuery")
 def max_throughput_under_cap(
     fleet: Sequence[SpecPowerResult],
     power_cap_w: float,
@@ -249,10 +253,14 @@ def max_throughput_under_cap(
     place = placers[policy]
     total_capacity = sum(_capacity(server, 1.0) for server in fleet)
     low, high = 0.0, total_capacity
-    best = place(fleet, 0.0, power_off_unused, fleet_backend="scalar")
+    best = place(
+        fleet, 0.0, power_off_unused=power_off_unused, fleet_backend="scalar"
+    )
     for _ in range(40):
         mid = 0.5 * (low + high)
-        outcome = place(fleet, mid, power_off_unused, fleet_backend="scalar")
+        outcome = place(
+            fleet, mid, power_off_unused=power_off_unused, fleet_backend="scalar"
+        )
         if outcome.total_power_w <= power_cap_w and outcome.satisfied():
             best = outcome
             low = mid

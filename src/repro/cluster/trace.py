@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro._compat import warn_positional
 from repro.cluster.placement import (
     PlacementOutcome,
     ep_aware_placement,
@@ -127,6 +128,7 @@ _POLICIES: Dict[str, Callable] = {
 }
 
 
+@warn_positional("policy", "repro.api.ReplayQuery")
 def replay_trace(
     fleet: Sequence[SpecPowerResult],
     trace: DemandTrace,
@@ -163,7 +165,10 @@ def replay_trace(
     unserved = 0
     for fraction in trace.demand_fraction:
         outcome: PlacementOutcome = place(
-            fleet, fraction * capacity, power_off_unused, fleet_backend="scalar"
+            fleet,
+            fraction * capacity,
+            power_off_unused=power_off_unused,
+            fleet_backend="scalar",
         )
         if not outcome.satisfied():
             unserved += 1
@@ -178,6 +183,7 @@ def replay_trace(
     )
 
 
+@warn_positional("power_off_unused", "repro.api.ReplayQuery per policy")
 def compare_policies(
     fleet: Sequence[SpecPowerResult],
     trace: Optional[DemandTrace] = None,
@@ -193,7 +199,13 @@ def compare_policies(
     if replayer is not None:
         return replayer.compare_policies(trace, power_off_unused)
     return {
-        policy: replay_trace(fleet, trace, policy, power_off_unused, fleet_backend="scalar")
+        policy: replay_trace(
+            fleet,
+            trace,
+            policy=policy,
+            power_off_unused=power_off_unused,
+            fleet_backend="scalar",
+        )
         for policy in _POLICIES
     }
 

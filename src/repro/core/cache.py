@@ -119,12 +119,17 @@ class ArtifactCache:
             if note is not None:
                 self.stats.errors.append(note)
 
-    def get(self, fingerprint: str, artifact_id: str) -> Optional["FigureResult"]:
+    def get(self, fingerprint: str, artifact_id: str) -> Optional[object]:
         """The cached result, or ``None`` on miss/corruption/I/O error.
 
-        A corrupt or unreadable entry is evicted so the next write
-        replaces it cleanly; a store-level I/O failure (permissions,
-        injected ``cache.read`` fault) degrades to a plain miss.
+        Entries are either ``FigureResult`` artifacts (written by the
+        executor) or pickled :class:`repro.api.result.QueryResult`
+        envelopes (written by the query dispatch layer); either must
+        prove it belongs to the requested key or it is treated as
+        corruption.  A corrupt or unreadable entry is evicted so the
+        next write replaces it cleanly; a store-level I/O failure
+        (permissions, injected ``cache.read`` fault) degrades to a
+        plain miss.
         """
         from repro.core.study import FigureResult
 
@@ -151,7 +156,7 @@ class ArtifactCache:
             self._record_miss(f"{artifact_id}: injected payload corruption")
             self._evict(path)
             return None
-        if not isinstance(result, FigureResult) or result.figure_id != artifact_id:
+        if not self._payload_matches(result, fingerprint, artifact_id, FigureResult):
             self._record_miss(f"{artifact_id}: entry payload mismatch")
             self._evict(path)
             return None
@@ -159,8 +164,20 @@ class ArtifactCache:
             self.stats.hits += 1
         return result
 
+    def _payload_matches(self, result: object, fingerprint: str,
+                         artifact_id: str, figure_type: type) -> bool:
+        """Whether a loaded entry proves it belongs to the given key."""
+        if isinstance(result, figure_type):
+            return result.figure_id == artifact_id
+        from repro.api.result import QueryResult
+
+        if isinstance(result, QueryResult):
+            expected = cache_key(fingerprint, artifact_id, self.engine_version)
+            return result.provenance.spec_key == expected
+        return False
+
     def put(self, fingerprint: str, artifact_id: str,
-            result: "FigureResult") -> Optional[Path]:
+            result: object) -> Optional[Path]:
         """Persist one result atomically; returns the entry path.
 
         Never raises on store-level I/O failure: a full disk or revoked

@@ -24,11 +24,10 @@ build.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
-
-import numpy as np
 
 from repro.analysis.asynchrony import asynchrony_report, year_share_in_top
 from repro.analysis.cdf import decile_shares, ep_cdf
@@ -58,8 +57,9 @@ from repro.analysis.temporal import (
     reorganization_deltas,
     yearly_trend,
 )
+from repro._compat import warn_positional
 from repro.cluster.placement import ep_aware_placement, pack_to_full_placement
-from repro.core.registry import REGISTRY, description_of
+from repro.core.registry import description_of
 from repro.dataset.corpus import Corpus
 from repro.dataset.synthesis import generate_corpus
 from repro.hwexp.sweeps import SweepResult, run_sweep
@@ -92,6 +92,7 @@ class Study:
     path.  All three produce bit-identical artifacts.
     """
 
+    @warn_positional("seed", "Study(corpus=...) or Study.query(QueryRequest)")
     def __init__(
         self,
         corpus: Optional[Corpus] = None,
@@ -118,10 +119,38 @@ class Study:
     # -- dispatch -----------------------------------------------------------------
 
     def figure(self, figure_id: str) -> FigureResult:
-        """Regenerate one artifact by its registry id."""
-        if figure_id not in REGISTRY:
-            raise KeyError(f"unknown artifact {figure_id!r}")
-        return REGISTRY[figure_id].bind(self)()
+        """Regenerate one artifact by its registry id.
+
+        Delegates to the canonical :func:`repro.api.dispatch.build_artifact`
+        path, so the Study, the CLI and the serve daemon all build
+        artifacts through the same code.
+        """
+        from repro.api.dispatch import build_artifact
+
+        return build_artifact(self, figure_id)
+
+    def query(self, request: "QueryRequest") -> "QueryResult":
+        """Answer one :class:`repro.api.QueryRequest` against this study.
+
+        The request's ``seed`` is ignored in favor of this study's
+        corpus: the study adopts itself into a fresh query context, so
+        ``Study(corpus).query(StatsQuery(metric="ep"))`` analyses the
+        corpus the study already owns.
+        """
+        from repro.api.dispatch import QueryContext, execute
+        from repro.api.requests import QueryRequest as _QueryRequest
+
+        if not isinstance(request, _QueryRequest):
+            raise TypeError(
+                f"expected a repro.api.QueryRequest, got {type(request).__name__}"
+            )
+        if request.seed != self.seed or request.fleet_backend != self.fleet_backend:
+            request = dataclasses.replace(
+                request, seed=self.seed, fleet_backend=self.fleet_backend
+            )
+        context = QueryContext()
+        context.adopt_study(self)
+        return execute(request, context)
 
     def run_all(
         self,

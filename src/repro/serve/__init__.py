@@ -1,0 +1,30 @@
+"""``repro serve``: the async query daemon.
+
+A stdlib-only asyncio HTTP/JSON server that loads the corpus, column
+store and warm artifact cache once, then answers
+:mod:`repro.api` queries with two latency optimizations on top of the
+dispatch table:
+
+* **coalescing** -- N in-flight requests with the same spec key share
+  one computation (the same fingerprint+spec hash the disk cache uses
+  keys the in-flight task map);
+* **batching** -- compatible fleet queries (placement / cap / replay
+  over the same cohort) arriving within a few-millisecond window are
+  executed as one group against a shared columnar engine.
+
+``python -m repro serve --port 8631`` starts it; POST a request JSON
+to ``/query`` and read back the :class:`~repro.api.QueryResult`
+envelope.
+"""
+
+from repro.serve.app import ServeApp, ServeStats
+from repro.serve.client import ServeClient
+from repro.serve.daemon import run_daemon, start_daemon_thread
+
+__all__ = [
+    "ServeApp",
+    "ServeClient",
+    "ServeStats",
+    "run_daemon",
+    "start_daemon_thread",
+]

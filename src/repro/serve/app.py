@@ -1,0 +1,205 @@
+"""The daemon's request brain: memo, coalescing, batching, dispatch.
+
+:class:`ServeApp` owns the warm state (one
+:class:`~repro.api.dispatch.QueryContext`, optionally backed by the
+disk :class:`~repro.core.cache.ArtifactCache`) and answers decoded
+query payloads.  The serving path, fastest first:
+
+1. **response memo** -- an LRU of fully serialized response bytes
+   keyed by spec key; a hit never leaves the event loop;
+2. **coalescing** -- an in-flight map on the same key, so concurrent
+   identical queries share one computation
+   (:mod:`repro.serve.coalesce`);
+3. **batching** -- fleet-family leaders wait out a few-millisecond
+   window and execute per cohort group against one shared engine
+   (:mod:`repro.serve.batch`);
+4. **dispatch** -- everything bottoms out in
+   :func:`repro.api.execute`, disk cache included.
+
+All computation runs on the event loop's default thread-pool executor;
+the loop itself only routes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.dispatch import QueryContext, execute
+from repro.api.requests import (
+    FLEET_FAMILIES,
+    QueryRequest,
+    request_from_dict,
+    spec_suffix,
+)
+from repro.api.result import QueryResult
+from repro.core.cache import ENGINE_VERSION, ArtifactCache, cache_key
+
+
+@dataclass
+class ServeStats:
+    """Counters for one daemon lifetime."""
+
+    queries: int = 0
+    memo_hits: int = 0
+    coalesced: int = 0
+    computations: int = 0
+    disk_hits: int = 0
+    errors: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a flat JSON-ready dict."""
+        payload = {
+            "queries": self.queries,
+            "memo_hits": self.memo_hits,
+            "coalesced": self.coalesced,
+            "computations": self.computations,
+            "disk_hits": self.disk_hits,
+            "errors": self.errors,
+        }
+        payload.update(self.extra)
+        return payload
+
+
+class ServeApp:
+    """Answer query payloads with memoization, coalescing and batching."""
+
+    def __init__(
+        self,
+        seed: int = 2016,
+        cache: Optional[ArtifactCache] = None,
+        memo_size: int = 4096,
+        window_s: float = 0.002,
+    ) -> None:
+        from repro.serve.batch import BatchWindow
+        from repro.serve.coalesce import Coalescer
+
+        self.seed = seed
+        self.context = QueryContext(cache=cache)
+        self.stats = ServeStats()
+        self.memo_size = memo_size
+        self._memo: "OrderedDict[str, bytes]" = OrderedDict()
+        self._fingerprints: Dict[int, str] = {}
+        self._coalescer = Coalescer()
+        self._batch = BatchWindow(
+            self._execute_group, QueryContext.fleet_key, window_s
+        )
+
+    # -- warm-up -----------------------------------------------------------------
+
+    def warm(self) -> None:
+        """Load the corpus, column store and fingerprint once, up front."""
+        corpus = self.context.corpus(self.seed)
+        corpus.columns()
+        self._fingerprints[self.seed] = corpus.fingerprint()
+
+    # -- serving -----------------------------------------------------------------
+
+    async def handle_query(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        """Answer one decoded ``/query`` body.
+
+        Returns ``(http_status, response_bytes)``; the body is always a
+        JSON document -- a :class:`~repro.api.result.QueryResult`
+        envelope on success, an ``{"error": ...}`` object otherwise.
+        """
+        self.stats.queries += 1
+        try:
+            request = request_from_dict(payload)
+            if not type(request).servable:
+                raise ValueError(
+                    f"family {type(request).family!r} is not servable; "
+                    "run it through the CLI"
+                )
+            key = await self._spec_key(request)
+            memo = self._memo_get(key)
+            if memo is not None:
+                self.stats.memo_hits += 1
+                return 200, memo
+            body, shared = await self._coalescer.run(
+                key, lambda: self._compute(request, key)
+            )
+            if shared:
+                self.stats.coalesced += 1
+            return 200, body
+        except (ValueError, KeyError) as exc:
+            self.stats.errors += 1
+            return 400, _error_body(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            self.stats.errors += 1
+            return 500, _error_body(exc)
+
+    async def _compute(self, request: QueryRequest, key: str) -> bytes:
+        if type(request).family in FLEET_FAMILIES:
+            result = await self._batch.submit(request)
+        else:
+            loop = asyncio.get_running_loop()
+            self.stats.computations += 1
+            result = await loop.run_in_executor(
+                None, execute, request, self.context
+            )
+        if result.provenance.cache_hit:
+            self.stats.disk_hits += 1
+        body = (result.to_json() + "\n").encode("utf-8")
+        if type(request).cacheable and result.exit_code == 0:
+            self._memo_put(key, body)
+        return body
+
+    def _execute_group(self, requests: List[QueryRequest]) -> List[QueryResult]:
+        """One batch group: every request against the shared context."""
+        self.stats.computations += len(requests)
+        return [execute(request, self.context) for request in requests]
+
+    # -- identity ----------------------------------------------------------------
+
+    async def _spec_key(self, request: QueryRequest) -> str:
+        """The cache-grade identity of a request (backend-independent)."""
+        fingerprint = ""
+        if type(request).needs_corpus:
+            fingerprint = self._fingerprints.get(request.seed, "")
+            if not fingerprint:
+                loop = asyncio.get_running_loop()
+                fingerprint = await loop.run_in_executor(
+                    None,
+                    lambda: self.context.corpus(request.seed).fingerprint(),
+                )
+                self._fingerprints[request.seed] = fingerprint
+        return cache_key(fingerprint, spec_suffix(request), ENGINE_VERSION)
+
+    # -- response memo -----------------------------------------------------------
+
+    def _memo_get(self, key: str) -> Optional[bytes]:
+        body = self._memo.get(key)
+        if body is not None:
+            self._memo.move_to_end(key)
+        return body
+
+    def _memo_put(self, key: str, body: bytes) -> None:
+        self._memo[key] = body
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``/stats`` document."""
+        self.stats.extra = {
+            "batched": self._batch.batched,
+            "batch_groups": self._batch.groups,
+            "memo_entries": len(self._memo),
+        }
+        return {
+            "seed": self.seed,
+            "engine_version": ENGINE_VERSION,
+            "stats": self.stats.to_dict(),
+        }
+
+
+def _error_body(exc: BaseException) -> bytes:
+    import json
+
+    message = str(exc) or type(exc).__name__
+    return (json.dumps({"error": message}) + "\n").encode("utf-8")

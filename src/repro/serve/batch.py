@@ -1,0 +1,84 @@
+"""Small-window batching of compatible fleet queries.
+
+Placement, cap and replay queries over the same cohort (seed, hardware
+year range, tiled fleet size) share a ``BatchPlacementEngine`` /
+``BatchTraceReplay``.  Building that engine dominates the cost of a
+single query, so the daemon holds arriving fleet queries for a few
+milliseconds, groups the window's contents by cohort, and executes
+each group as *one* job against the shared
+:class:`~repro.api.dispatch.QueryContext` -- the context's memoization
+means the group performs a single engine construction no matter how
+many queries rode the window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Tuple
+
+
+class BatchWindow:
+    """Collect compatible requests briefly, execute them as groups.
+
+    ``execute_group`` is a synchronous callable taking a list of
+    requests and returning the list of results in order; it runs on the
+    event loop's default executor so groups from one window proceed
+    concurrently with each other and with non-batched work.
+    """
+
+    def __init__(
+        self,
+        execute_group: Callable[[List[Any]], List[Any]],
+        group_key: Callable[[Any], Tuple],
+        window_s: float = 0.002,
+    ) -> None:
+        self._execute_group = execute_group
+        self._group_key = group_key
+        self.window_s = window_s
+        self._pending: List[Tuple[Any, "asyncio.Future[Any]"]] = []
+        self._flusher: "asyncio.Task[None] | None" = None
+        #: Groups executed (each one engine build).
+        self.groups = 0
+        #: Requests that shared a group with at least one other request.
+        self.batched = 0
+
+    async def submit(self, request: Any) -> Any:
+        """Enqueue one request; resolves when its group has executed."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._pending.append((request, future))
+        if self._flusher is None:
+            self._flusher = loop.create_task(self._flush_after_window())
+        return await future
+
+    async def _flush_after_window(self) -> None:
+        await asyncio.sleep(self.window_s)
+        pending, self._pending = self._pending, []
+        self._flusher = None
+        groups: Dict[Tuple, List[Tuple[Any, "asyncio.Future[Any]"]]] = {}
+        for entry in pending:
+            groups.setdefault(self._group_key(entry[0]), []).append(entry)
+        await asyncio.gather(
+            *(self._run_group(group) for group in groups.values())
+        )
+
+    async def _run_group(
+        self, group: List[Tuple[Any, "asyncio.Future[Any]"]]
+    ) -> None:
+        self.groups += 1
+        if len(group) > 1:
+            self.batched += len(group)
+        requests = [request for request, _future in group]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None, self._execute_group, requests
+            )
+        except BaseException as exc:  # propagate to every waiter
+            for _request, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_request, future), result in zip(group, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,93 @@
+"""A keep-alive client for the ``repro serve`` daemon.
+
+Used by the serve tests, the CI smoke job and the benchmark: one
+:class:`ServeClient` holds one persistent ``http.client`` connection,
+so a tight query loop measures the daemon, not TCP handshakes.
+:func:`mixed_query_payloads` is the canonical benchmark workload -- a
+deterministic rotation over every servable query family.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServeClient:
+    """One persistent connection to a running daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8631,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _conn(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the persistent connection."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _exchange(self, method: str, target: str,
+                  body: Optional[bytes] = None) -> Tuple[int, Any]:
+        connection = self._conn()
+        try:
+            connection.request(
+                method, target, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            self.close()  # stale keep-alive socket: retry once, fresh
+            connection = self._conn()
+            connection.request(
+                method, target, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        return response.status, json.loads(raw.decode("utf-8"))
+
+    def healthz(self) -> Dict[str, Any]:
+        """The liveness document."""
+        return self._exchange("GET", "/healthz")[1]
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's serving counters."""
+        return self._exchange("GET", "/stats")[1]
+
+    def artifacts(self) -> Dict[str, Any]:
+        """The registry listing payload."""
+        return self._exchange("GET", "/artifacts")[1]["payload"]
+
+    def query(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST one request payload; returns (status, envelope-or-error)."""
+        body = json.dumps(payload).encode("utf-8")
+        return self._exchange("POST", "/query", body)
+
+
+def mixed_query_payloads(servers: int = 30, steps: int = 8) -> List[Dict[str, Any]]:
+    """The benchmark's rotation: one payload per servable family."""
+    return [
+        {"family": "list"},
+        {"family": "stats", "metric": "ep"},
+        {"family": "stats", "metric": "peak_ee", "hw_year_min": 2013,
+         "hw_year_max": 2016},
+        {"family": "cdf", "metric": "ep", "lo": 0.2, "hi": 0.4},
+        {"family": "group", "by": "family"},
+        {"family": "placement", "servers": servers, "demand_fraction": 0.5},
+        {"family": "cap", "servers": servers, "power_cap_w": 5000.0},
+        {"family": "replay", "servers": servers, "steps": steps},
+        {"family": "sweep", "server": 2},
+        {"family": "artifact", "artifact_id": "fig3"},
+    ]

@@ -1,0 +1,42 @@
+"""Request coalescing: N identical in-flight queries, one computation.
+
+The daemon keys its in-flight map by the same ``fingerprint|spec|
+engine-version`` hash the artifact cache uses, so "identical" means
+*provably the same answer*, not merely the same request object.  The
+first arrival becomes the leader and starts the computation as an
+asyncio task; every later arrival with the same key awaits that task
+and receives the same result object.  The map entry is removed the
+moment the task settles, so a failed computation is retried by the
+next request rather than caching the exception forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+
+class Coalescer:
+    """Single-flight execution of keyed async computations."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Run ``compute`` under ``key``, sharing in-flight work.
+
+        Returns ``(result, shared)`` where ``shared`` is True when this
+        call joined a computation another request had already started.
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            return await asyncio.shield(task), True
+        task = asyncio.get_running_loop().create_task(compute())
+        self._inflight[key] = task
+        task.add_done_callback(lambda _t, _k=key: self._inflight.pop(_k, None))
+        return await asyncio.shield(task), False

@@ -1,0 +1,232 @@
+"""The HTTP face of ``repro serve``.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` --
+no framework, stdlib only.  Routes:
+
+* ``GET /healthz`` -- liveness probe;
+* ``GET /stats`` -- serving counters (queries, memo hits, coalesced,
+  batch groups, computations, disk hits, errors);
+* ``GET /artifacts`` -- the registry listing;
+* ``POST /query`` -- a :mod:`repro.api` request as JSON, answered
+  with the full :class:`~repro.api.result.QueryResult` envelope.
+
+Connections are keep-alive with ``Content-Length`` framing, which is
+what lets a load generator push thousands of queries per second
+through a handful of sockets.  :func:`start_daemon_thread` runs the
+same server on a background thread for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.app import ServeApp
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+
+def _response(status: int, body: bytes, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _json_body(document: Dict[str, Any]) -> bytes:
+    return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def _route(
+    app: ServeApp, method: str, target: str, body: bytes
+) -> Tuple[int, bytes]:
+    """Dispatch one HTTP exchange to the app."""
+    target = target.split("?", 1)[0]
+    if method == "GET" and target == "/healthz":
+        return 200, _json_body({"status": "ok"})
+    if method == "GET" and target == "/stats":
+        return 200, _json_body(app.stats_payload())
+    if method == "GET" and target == "/artifacts":
+        return await app.handle_query({"family": "list"})
+    if method == "POST" and target == "/query":
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, _json_body({"error": "request body is not valid JSON"})
+        if not isinstance(payload, dict):
+            return 400, _json_body({"error": "request body must be a JSON object"})
+        return await app.handle_query(payload)
+    if target in ("/healthz", "/stats", "/artifacts", "/query"):
+        return 405, _json_body({"error": f"{method} not allowed on {target}"})
+    return 404, _json_body({"error": f"no route for {target}"})
+
+
+async def _handle_connection(
+    app: ServeApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one keep-alive connection until EOF or ``Connection: close``."""
+    try:
+        while True:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) != 3:
+                writer.write(
+                    _response(400, _json_body({"error": "bad request line"}), False)
+                )
+                await writer.drain()
+                return
+            method, target, _version = parts
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > _MAX_BODY_BYTES:
+                writer.write(
+                    _response(400, _json_body({"error": "body too large"}), False)
+                )
+                await writer.drain()
+                return
+            body = await reader.readexactly(length) if length else b""
+            status, payload = await _route(app, method, target, body)
+            keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            writer.write(_response(status, payload, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return
+    except asyncio.CancelledError:  # loop shutdown while parked on a read
+        return
+    finally:
+        writer.close()
+
+
+class DaemonHandle:
+    """A daemon running on a background thread, for tests and benches."""
+
+    def __init__(self, app: ServeApp, host: str, port: int,
+                 thread: threading.Thread, loop: asyncio.AbstractEventLoop,
+                 shutdown: asyncio.Event) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._shutdown = shutdown
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Ask the server loop to exit and join the thread (bounded)."""
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout=timeout_s)
+
+
+async def _serve(
+    app: ServeApp,
+    host: str,
+    port: int,
+    shutdown: asyncio.Event,
+    on_ready: Optional[Any] = None,
+) -> None:
+    """Bind, announce readiness, serve until ``shutdown`` is set."""
+    server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(app, reader, writer),
+        host=host,
+        port=port,
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    if on_ready is not None:
+        on_ready(bound_port, asyncio.get_running_loop())
+    async with server:
+        await shutdown.wait()
+
+
+def run_daemon(
+    host: str = "127.0.0.1",
+    port: int = 8631,
+    seed: int = 2016,
+    cache_dir: Optional[str] = None,
+    out: Optional[Any] = None,
+) -> int:
+    """Warm an app and serve in the foreground until interrupted."""
+    from repro.core.cache import ArtifactCache
+
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    app = ServeApp(seed=seed, cache=cache)
+    app.warm()
+
+    def announce(bound_port: int, _loop: asyncio.AbstractEventLoop) -> None:
+        if out is not None:
+            print(f"repro serve listening on http://{host}:{bound_port}/",
+                  file=out, flush=True)
+
+    async def main() -> None:
+        await _serve(app, host, port, asyncio.Event(), announce)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def start_daemon_thread(
+    app: Optional[ServeApp] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    warm: bool = True,
+    ready_timeout_s: float = 30.0,
+) -> DaemonHandle:
+    """Run the daemon on a daemon thread; returns a live handle.
+
+    ``port=0`` binds an ephemeral port; the handle's ``port`` is the
+    real one.  The app is warmed on the caller's thread so the server
+    never answers from a cold corpus.
+    """
+    if app is None:
+        app = ServeApp()
+    if warm:
+        app.warm()
+    ready = threading.Event()
+    state: Dict[str, Any] = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            shutdown: asyncio.Event = asyncio.Event()
+
+            def on_ready(bound_port: int,
+                         loop: asyncio.AbstractEventLoop) -> None:
+                state["port"] = bound_port
+                state["loop"] = loop
+                state["shutdown"] = shutdown
+                ready.set()
+
+            await _serve(app, host, port, shutdown, on_ready)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=ready_timeout_s):
+        raise RuntimeError("repro serve daemon failed to start in time")
+    return DaemonHandle(
+        app, host, state["port"], thread, state["loop"], state["shutdown"]
+    )

@@ -1,0 +1,43 @@
+"""Fixture dispatch table for the REP211 fixture catalog."""
+
+from repro.api.requests import (
+    DupAQuery,
+    DupBQuery,
+    MissingCatalogQuery,
+    NoTagQuery,
+    UnfrozenQuery,
+)
+
+
+def handler(request_type):
+    """Fixture registration decorator."""
+
+    def register(fn):
+        return fn
+
+    return register
+
+
+@handler(DupAQuery)
+def _handle_dup_a(request, context):
+    """Handles DupAQuery."""
+
+
+@handler(DupBQuery)
+def _handle_dup_b(request, context):
+    """Handles DupBQuery."""
+
+
+@handler(UnfrozenQuery)
+def _handle_unfrozen(request, context):
+    """Handles UnfrozenQuery."""
+
+
+@handler(MissingCatalogQuery)
+def _handle_missing(request, context):
+    """Handles MissingCatalogQuery."""
+
+
+@handler(NoTagQuery)
+def _handle_no_tag(request, context):
+    """Handles NoTagQuery."""

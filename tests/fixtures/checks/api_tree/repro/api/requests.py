@@ -1,0 +1,56 @@
+"""Fixture request catalog with one of each REP211 violation."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Fixture base."""
+
+    family: ClassVar[str] = ""
+
+    seed: int = 2016
+
+
+@dataclass(frozen=True)
+class DupAQuery(QueryRequest):
+    """Clean: frozen, registered, catalogued, unique tag."""
+
+    family: ClassVar[str] = "dup"
+
+
+@dataclass(frozen=True)
+class DupBQuery(QueryRequest):
+    """Violation: reuses the 'dup' family tag."""
+
+    family: ClassVar[str] = "dup"
+
+
+@dataclass
+class UnfrozenQuery(QueryRequest):
+    """Violation: dataclass but not frozen."""
+
+    family: ClassVar[str] = "unfrozen"
+
+
+@dataclass(frozen=True)
+class OrphanQuery(QueryRequest):
+    """Violation: never registered in the dispatch table."""
+
+    family: ClassVar[str] = "orphan"
+
+
+@dataclass(frozen=True)
+class MissingCatalogQuery(QueryRequest):
+    """Violation: registered but absent from REQUEST_TYPES."""
+
+    family: ClassVar[str] = "missing"
+
+
+@dataclass(frozen=True)
+class NoTagQuery(QueryRequest):
+    """Violation: declares no literal family tag."""
+
+
+REQUEST_TYPES = (DupAQuery, DupBQuery, UnfrozenQuery, OrphanQuery, NoTagQuery)

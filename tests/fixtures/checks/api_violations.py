@@ -1,0 +1,24 @@
+"""Fixture: a CLI command module that bypasses the dispatch table."""
+
+from repro.core.registry import REGISTRY
+
+
+def _cmd_rogue_list(out):
+    """Violation: prints engine internals, never touches repro.api."""
+    for figure_id in REGISTRY:
+        print(figure_id, file=out)
+    return 0
+
+
+def _cmd_routed_list(args, context, out):
+    """Clean: routes through the dispatch table."""
+    from repro.api import ListArtifactsQuery, execute
+
+    result = execute(ListArtifactsQuery(), context)
+    print(result.text, file=out)
+    return result.exit_code
+
+
+def helper_without_prefix(out):
+    """Not a CLI command; REP212 does not apply."""
+    print("hi", file=out)

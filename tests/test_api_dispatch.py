@@ -1,0 +1,233 @@
+"""The dispatch table: every family, provenance, caching, parity."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ArtifactQuery,
+    CacheQuery,
+    CapQuery,
+    CdfQuery,
+    DISPATCH,
+    GenerateQuery,
+    GroupQuery,
+    ListArtifactsQuery,
+    PlacementQuery,
+    QueryContext,
+    ReplayQuery,
+    SweepQuery,
+    StatsQuery,
+    ValidateQuery,
+    execute,
+)
+from repro.api.requests import REQUEST_TYPES
+from repro.core.cache import ENGINE_VERSION, ArtifactCache
+from repro.core.study import Study
+
+
+@pytest.fixture(scope="module")
+def context():
+    return QueryContext()
+
+
+def payload_json(result):
+    return json.dumps(result.to_dict()["payload"], sort_keys=True)
+
+
+class TestTable:
+    def test_every_family_has_a_handler(self):
+        assert set(DISPATCH) == set(REQUEST_TYPES)
+
+
+class TestFamilies:
+    def test_list(self, context):
+        result = execute(ListArtifactsQuery(), context)
+        assert result.family == "list"
+        ids = [entry["id"] for entry in result.payload["artifacts"]]
+        assert "fig3" in ids and result.text
+
+    def test_stats(self, context):
+        result = execute(StatsQuery(metric="ep"), context)
+        assert result.payload["count"] == 477
+        assert 0.0 < result.payload["mean"] < 1.5
+        assert "mean" in result.text
+
+    def test_stats_slice_is_smaller(self, context):
+        full = execute(StatsQuery(), context)
+        sliced = execute(
+            StatsQuery(hw_year_min=2013, hw_year_max=2016), context
+        )
+        assert 0 < sliced.payload["count"] < full.payload["count"]
+
+    def test_stats_empty_slice_raises(self, context):
+        with pytest.raises(ValueError, match="empty corpus slice"):
+            execute(StatsQuery(hw_year_min=1901, hw_year_max=1902), context)
+
+    def test_cdf(self, context):
+        result = execute(CdfQuery(metric="ep", lo=0.2, hi=0.4), context)
+        quantiles = result.payload["quantiles"]
+        assert quantiles["p10"] <= quantiles["p50"] <= quantiles["p90"]
+        assert 0.0 <= result.payload["band"]["share"] <= 1.0
+        assert len(result.payload["deciles"]) == 10
+
+    def test_group(self, context):
+        result = execute(GroupQuery(by="family"), context)
+        assert sum(g["count"] for g in result.payload["groups"]) > 0
+
+    def test_placement(self, context):
+        result = execute(PlacementQuery(servers=30), context)
+        assert result.payload["satisfied"]
+        assert result.payload["servers_used"] <= 30
+
+    def test_cap_respects_budget(self, context):
+        result = execute(CapQuery(power_cap_w=5000.0, servers=30), context)
+        assert result.payload["total_power_w"] <= 5000.0
+
+    def test_replay(self, context):
+        result = execute(ReplayQuery(servers=30, steps=8), context)
+        assert result.payload["energy_kwh"] > 0.0
+        assert "kWh/day" in result.text
+
+    def test_sweep(self, context):
+        result = execute(SweepQuery(server=2), context)
+        assert result.payload["best_memory_per_core_gb"] > 0.0
+        assert "best memory per core" in result.text
+
+    def test_artifact(self, context):
+        result = execute(ArtifactQuery(artifact_id="fig3"), context)
+        assert result.payload["artifact_id"] == "fig3"
+        assert result.text.startswith("== fig3:")
+
+    def test_unknown_artifact_raises(self, context):
+        with pytest.raises(KeyError):
+            execute(ArtifactQuery(artifact_id="fig99"), context)
+
+    def test_generate_and_validate(self, tmp_path, context):
+        out = tmp_path / "corpus.csv"
+        written = execute(GenerateQuery(out=str(out)), context)
+        assert written.payload["results"] == 477 and out.is_file()
+        checked = execute(ValidateQuery(path=str(out)), context)
+        assert checked.exit_code == 0
+        assert checked.payload["errors"] == 0
+
+
+class TestProvenance:
+    def test_fleet_queries_record_the_concrete_backend(self, context):
+        auto = execute(ReplayQuery(servers=30, steps=8), context)
+        assert auto.provenance.fleet_backend in ("scalar", "columnar")
+        forced = execute(
+            ReplayQuery(servers=30, steps=8, fleet_backend="scalar"), context
+        )
+        assert forced.provenance.fleet_backend == "scalar"
+
+    def test_non_fleet_queries_have_no_backend(self, context):
+        assert execute(StatsQuery(), context).provenance.fleet_backend == "-"
+
+    def test_corpus_families_carry_the_fingerprint(self, context):
+        result = execute(StatsQuery(), context)
+        assert result.provenance.fingerprint == context.corpus(
+            2016
+        ).fingerprint()
+        assert execute(SweepQuery(server=2), context).provenance.fingerprint == ""
+
+    def test_envelope_serializes(self, context):
+        document = json.loads(execute(StatsQuery(), context).to_json())
+        assert document["provenance"]["engine_version"] == ENGINE_VERSION
+        assert document["provenance"]["api_version"] == "1"
+
+
+class TestBackendParity:
+    def test_backends_share_one_spec_key_and_payload(self, context):
+        results = [
+            execute(
+                ReplayQuery(servers=30, steps=8, fleet_backend=backend),
+                context,
+            )
+            for backend in ("auto", "scalar", "columnar")
+        ]
+        keys = {r.provenance.spec_key for r in results}
+        assert len(keys) == 1
+        payloads = {payload_json(r) for r in results}
+        assert len(payloads) == 1
+        # the text echoes the *requested* backend mode (pinned CLI
+        # format); everything after that first line must agree
+        texts = {r.text.split("\n", 1)[1] for r in results}
+        assert len(texts) == 1
+
+    def test_placement_backends_bit_identical(self, context):
+        scalar = execute(
+            PlacementQuery(servers=30, fleet_backend="scalar"), context
+        )
+        columnar = execute(
+            PlacementQuery(servers=30, fleet_backend="columnar"), context
+        )
+        assert payload_json(scalar) == payload_json(columnar)
+        assert scalar.provenance.spec_key == columnar.provenance.spec_key
+
+
+class TestDiskCache:
+    def test_round_trip_serves_identical_payload(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "store")
+        context = QueryContext(cache=cache)
+        first = execute(ReplayQuery(servers=30, steps=8), context)
+        second = execute(ReplayQuery(servers=30, steps=8), context)
+        assert not first.provenance.cache_hit
+        assert second.provenance.cache_hit
+        assert payload_json(first) == payload_json(second)
+        assert first.text == second.text
+
+    def test_scalar_write_serves_columnar_read(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "store")
+        context = QueryContext(cache=cache)
+        execute(ReplayQuery(servers=30, steps=8, fleet_backend="scalar"), context)
+        hit = execute(
+            ReplayQuery(servers=30, steps=8, fleet_backend="columnar"), context
+        )
+        assert hit.provenance.cache_hit  # backends share one entry
+
+    def test_artifact_entry_shared_with_run_all(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "store")
+        study = Study()
+        study.run_all(cache=cache)
+        context = QueryContext(cache=cache)
+        context.adopt_study(study)
+        result = execute(ArtifactQuery(artifact_id="fig3"), context)
+        assert result.provenance.cache_hit
+        assert result.text == f"== fig3: {study.figure('fig3').title} ==" + (
+            "\n" + study.figure("fig3").text
+        )
+
+    def test_cache_stats_and_clear(self, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        context = QueryContext(cache=ArtifactCache(cache_dir))
+        execute(StatsQuery(), context)
+        stats = execute(CacheQuery(action="stats", cache_dir=cache_dir), context)
+        assert stats.payload["entries"] == 1
+        cleared = execute(
+            CacheQuery(action="clear", cache_dir=cache_dir), context
+        )
+        assert cleared.payload["removed"] == 1
+
+
+class TestStudyQuery:
+    def test_study_query_uses_the_owned_corpus(self):
+        study = Study()
+        result = study.query(StatsQuery(metric="ep"))
+        assert result.payload["count"] == len(study.corpus)
+        assert result.provenance.fingerprint == study.fingerprint
+
+    def test_study_query_overrides_request_seed(self):
+        study = Study(seed=7)
+        result = study.query(StatsQuery(seed=2016))
+        assert result.provenance.fingerprint == study.fingerprint
+
+    def test_study_query_rejects_non_requests(self):
+        with pytest.raises(TypeError):
+            Study().query("stats")
+
+    def test_figure_goes_through_build_artifact(self):
+        study = Study()
+        assert study.figure("fig3").figure_id == "fig3"
+        with pytest.raises(KeyError):
+            study.figure("fig99")

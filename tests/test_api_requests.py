@@ -1,0 +1,135 @@
+"""The frozen request catalog: validation, wire form, identity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ArtifactQuery,
+    CapQuery,
+    CdfQuery,
+    FAMILIES,
+    GroupQuery,
+    PlacementQuery,
+    QueryRequest,
+    ReplayQuery,
+    RunAllQuery,
+    SweepQuery,
+    StatsQuery,
+    ValidateQuery,
+    canonical_spec,
+    request_from_dict,
+    spec_suffix,
+)
+from repro.api.requests import REQUEST_TYPES
+
+
+class TestCatalog:
+    def test_every_family_tag_is_unique_and_non_empty(self):
+        tags = [cls.family for cls in REQUEST_TYPES]
+        assert all(tags)
+        assert len(tags) == len(set(tags))
+
+    def test_families_maps_every_type(self):
+        assert set(FAMILIES.values()) == set(REQUEST_TYPES)
+
+    def test_requests_are_frozen(self):
+        request = StatsQuery()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.metric = "score"
+
+    def test_every_request_carries_the_explicit_common_fields(self):
+        for cls in REQUEST_TYPES:
+            names = {f.name for f in dataclasses.fields(cls)}
+            assert {"seed", "fleet_backend", "format"} <= names, cls
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="fleet_backend"):
+            StatsQuery(fleet_backend="gpu")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            StatsQuery(format="yaml")
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ArtifactQuery(),
+            lambda: StatsQuery(metric="wattage"),
+            lambda: StatsQuery(hw_year_min=2016, hw_year_max=2013),
+            lambda: CdfQuery(lo=0.5),
+            lambda: CdfQuery(lo=0.5, hi=0.2),
+            lambda: GroupQuery(by="vendor"),
+            lambda: PlacementQuery(demand_fraction=1.5),
+            lambda: PlacementQuery(policy="greedy"),
+            lambda: PlacementQuery(servers=0),
+            lambda: CapQuery(),
+            lambda: CapQuery(power_cap_w=-1.0),
+            lambda: ReplayQuery(steps=2),
+            lambda: ReplayQuery(servers=0),
+            lambda: SweepQuery(server=9),
+            lambda: RunAllQuery(on_error="shrug"),
+            lambda: ValidateQuery(),
+        ],
+    )
+    def test_bad_field_values_raise(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+
+class TestWireForm:
+    def test_round_trip_through_to_dict(self):
+        request = ReplayQuery(servers=30, steps=8, policy="pack-to-full")
+        assert request_from_dict(request.to_dict()) == request
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown query family"):
+            request_from_dict({"family": "bogus"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            request_from_dict({"family": "stats", "metricc": "ep"})
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(ValueError):
+            request_from_dict({"metric": "ep"})
+
+
+class TestIdentity:
+    def test_spec_excludes_format_and_backend(self):
+        base = ReplayQuery(servers=30, steps=8)
+        for variant in (
+            ReplayQuery(servers=30, steps=8, fleet_backend="scalar"),
+            ReplayQuery(servers=30, steps=8, fleet_backend="columnar"),
+            ReplayQuery(servers=30, steps=8, format="json"),
+        ):
+            assert canonical_spec(variant) == canonical_spec(base)
+            assert spec_suffix(variant) == spec_suffix(base)
+
+    def test_spec_tracks_identity_fields(self):
+        assert canonical_spec(ReplayQuery(steps=8)) != canonical_spec(
+            ReplayQuery(steps=12)
+        )
+        assert canonical_spec(StatsQuery(seed=1)) != canonical_spec(
+            StatsQuery(seed=2)
+        )
+
+    def test_canonical_spec_is_canonical_json(self):
+        document = json.loads(canonical_spec(StatsQuery()))
+        assert document["family"] == "stats"
+        assert "format" not in document
+        assert "fleet_backend" not in document
+
+    def test_artifact_suffix_is_the_bare_artifact_id(self):
+        # so figure queries share disk-cache entries with run_all
+        assert spec_suffix(ArtifactQuery(artifact_id="fig3")) == "fig3"
+
+    def test_other_suffixes_are_namespaced(self):
+        suffix = spec_suffix(StatsQuery())
+        assert suffix.startswith("api:stats:")
+
+    def test_base_class_defaults(self):
+        assert QueryRequest.servable and QueryRequest.cacheable

@@ -1,0 +1,85 @@
+"""Deprecation shims: old positional signatures warn, keywords stay quiet."""
+
+import warnings
+
+import pytest
+
+from repro.cluster.placement import (
+    ep_aware_placement,
+    max_throughput_under_cap,
+    pack_to_full_placement,
+)
+from repro.cluster.trace import compare_policies, diurnal_trace, replay_trace
+from repro.core.study import Study
+from repro.dataset.synthesis import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_corpus(2016).by_hw_year(2016).results()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return diurnal_trace(steps_per_day=4, noise=0.0)
+
+
+def collect_warnings(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestPositionalCallsWarn:
+    def test_placement_policies(self, fleet):
+        for place in (pack_to_full_placement, ep_aware_placement):
+            warned = collect_warnings(lambda p=place: p(fleet, 1000.0, True))
+            assert len(warned) == 1
+            assert "repro.api" in str(warned[0].message)
+
+    def test_cap(self, fleet):
+        warned = collect_warnings(
+            lambda: max_throughput_under_cap(fleet, 3000.0, "ep-aware")
+        )
+        assert len(warned) == 1
+        assert "CapQuery" in str(warned[0].message)
+
+    def test_replay(self, fleet, trace):
+        warned = collect_warnings(
+            lambda: replay_trace(fleet, trace, "ep-aware", True)
+        )
+        assert len(warned) == 1
+        assert "ReplayQuery" in str(warned[0].message)
+
+    def test_compare_policies(self, fleet, trace):
+        warned = collect_warnings(lambda: compare_policies(fleet, trace, False))
+        assert len(warned) == 1
+
+    def test_study_seed(self):
+        warned = collect_warnings(lambda: Study(None, 2016))
+        assert len(warned) == 1
+        assert "Study.query" in str(warned[0].message)
+
+
+class TestKeywordCallsStayQuiet:
+    def test_cluster_entry_points(self, fleet, trace):
+        def run():
+            ep_aware_placement(fleet, 1000.0, power_off_unused=True)
+            pack_to_full_placement(fleet, 1000.0, power_off_unused=False)
+            max_throughput_under_cap(fleet, 3000.0, policy="ep-aware")
+            replay_trace(fleet, trace, policy="ep-aware")
+            compare_policies(fleet, trace, power_off_unused=False)
+            Study(seed=2016)
+
+        assert collect_warnings(run) == []
+
+    def test_old_positional_calls_still_compute(self, fleet, trace):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = replay_trace(fleet, trace, "ep-aware", False)
+        new = replay_trace(
+            fleet, trace, policy="ep-aware", power_off_unused=False
+        )
+        assert old.energy_kwh == new.energy_kwh
+        assert old.served_gops == new.served_gops

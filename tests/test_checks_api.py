@@ -1,0 +1,70 @@
+"""The REP21x dispatch rules: fixtures with violations, clean source."""
+
+from pathlib import Path
+
+from repro.checks.engine import RULES, run_checks
+from repro.checks.model import Severity
+
+FIXTURES = Path(__file__).parent / "fixtures" / "checks"
+SRC = Path(__file__).parent.parent / "src"
+
+
+class TestCatalog:
+    def test_rules_registered_as_errors(self):
+        for rule_id in ("REP211", "REP212"):
+            assert rule_id in RULES
+            assert RULES[rule_id].severity is Severity.ERROR
+
+
+class TestRep211:
+    def test_exact_findings_on_the_fixture_tree(self):
+        findings = run_checks(
+            [str(FIXTURES / "api_tree")], select=["REP211"]
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 5
+        assert any("reuses family tag 'dup'" in m for m in messages)
+        assert any(
+            "UnfrozenQuery is not a frozen dataclass" in m for m in messages
+        )
+        assert any(
+            "OrphanQuery has no @handler registration" in m for m in messages
+        )
+        assert any(
+            "MissingCatalogQuery is missing from REQUEST_TYPES" in m
+            for m in messages
+        )
+        assert any(
+            "NoTagQuery declares no literal 'family' tag" in m
+            for m in messages
+        )
+
+    def test_gated_off_without_both_api_modules(self):
+        findings = run_checks(
+            [str(FIXTURES / "api_tree" / "repro" / "api" / "requests.py")],
+            select=["REP211"],
+        )
+        assert findings == []
+
+    def test_real_api_package_is_clean(self):
+        assert run_checks([str(SRC)], select=["REP211"]) == []
+
+
+class TestRep212:
+    def test_rogue_cli_command_is_flagged(self):
+        findings = run_checks(
+            [str(FIXTURES / "api_violations.py")], select=["REP212"]
+        )
+        assert [f.rule_id for f in findings] == ["REP212"]
+        assert "_cmd_rogue_list" in findings[0].message
+
+    def test_routed_command_and_plain_helpers_are_clean(self):
+        findings = run_checks(
+            [str(FIXTURES / "api_violations.py")], select=["REP212"]
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "_cmd_routed_list" not in messages
+        assert "helper_without_prefix" not in messages
+
+    def test_real_cli_is_clean(self):
+        assert run_checks([str(SRC)], select=["REP212"]) == []

@@ -1,0 +1,109 @@
+"""The CLI's JSON envelope mode and the query/serve subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestJsonFormat:
+    def test_list_envelope(self):
+        code, raw = run_cli(["--format", "json", "list"])
+        assert code == 0
+        document = json.loads(raw)
+        assert document["family"] == "list"
+        assert document["exit_code"] == 0
+        assert any(
+            a["id"] == "fig3" for a in document["payload"]["artifacts"]
+        )
+
+    def test_text_is_embedded_in_the_envelope(self):
+        _code, text_raw = run_cli(["list"])
+        _code, json_raw = run_cli(["--format", "json", "list"])
+        assert json.loads(json_raw)["text"] + "\n" == text_raw
+
+    def test_figure_envelope_carries_provenance(self):
+        code, raw = run_cli(["--format", "json", "figure", "fig3"])
+        assert code == 0
+        document = json.loads(raw)
+        assert document["payload"]["artifact_id"] == "fig3"
+        assert document["provenance"]["fingerprint"]
+        assert document["provenance"]["engine_version"]
+
+    def test_sweep_envelope(self):
+        code, raw = run_cli(["--format", "json", "sweep", "2"])
+        assert code == 0
+        document = json.loads(raw)
+        assert document["payload"]["best_memory_per_core_gb"] > 0
+
+
+class TestQuerySubcommand:
+    def test_inline_spec(self):
+        code, raw = run_cli(
+            ["query", json.dumps({"family": "stats", "metric": "ep"})]
+        )
+        assert code == 0
+        assert "mean" in raw
+
+    def test_spec_format_field_selects_json(self):
+        code, raw = run_cli(
+            ["query",
+             json.dumps({"family": "stats", "metric": "ep",
+                         "format": "json"})]
+        )
+        assert code == 0
+        assert json.loads(raw)["family"] == "stats"
+
+    def test_spec_from_file(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"family": "group", "by": "family"}))
+        code, raw = run_cli(["query", f"@{spec}"])
+        assert code == 0
+        assert "grouped by family" in raw
+
+    def test_bad_spec_exits_2(self, capsys):
+        code, _raw = run_cli(["query", "{not json"])
+        assert code == 2
+        assert "query error" in capsys.readouterr().err
+
+    def test_unknown_family_exits_2(self, capsys):
+        code, _raw = run_cli(["query", json.dumps({"family": "bogus"})])
+        assert code == 2
+
+    def test_fleet_replay_json_matches_query_route(self):
+        argv_a = ["--format", "json", "fleet-replay",
+                  "--servers", "30", "--steps", "8"]
+        spec = {"family": "replay", "servers": 30, "steps": 8,
+                "format": "json"}
+        _code, via_flags = run_cli(argv_a)
+        _code, via_query = run_cli(["query", json.dumps(spec)])
+        flags_doc = json.loads(via_flags)
+        query_doc = json.loads(via_query)
+        assert flags_doc["payload"] == query_doc["payload"]
+        assert flags_doc["text"] == query_doc["text"]
+
+
+class TestServeSubcommandWiring:
+    def test_serve_parser_accepts_host_and_port(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9999"]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0" and args.port == 9999
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser = __import__(
+                "repro.cli", fromlist=["_build_parser"]
+            )._build_parser
+            _build_parser().parse_args(["--format", "xml", "list"])
