@@ -5,9 +5,12 @@ Times the workloads the performance work targets -- corpus synthesis,
 the discrete-event simulate sweep, cold/warm ``run_all`` through the
 artifact engine, multi-seed ensemble throughput, the columnar
 fleet engine (10k-server trace replay, both backends, plus a placement
-sweep), and the serve daemon's warm mixed-query throughput -- and
-writes the results to ``BENCH_core.json`` at the repo root so the perf
-trajectory is tracked in-tree.
+sweep), the sharded out-of-core tier (a million-server replay, run in
+a subprocess so its peak RSS is attributable), and the serve daemon's
+warm mixed-query throughput -- and writes the results to
+``BENCH_core.json`` at the repo root so the perf trajectory is tracked
+in-tree.  Fleet benchmarks record peak RSS (``resource.getrusage``)
+next to their timings.
 
 Usage::
 
@@ -25,7 +28,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import resource
+import subprocess
 import sys
 import tempfile
 import time
@@ -45,7 +51,14 @@ CEILINGS = {
     "ensemble_parallel_s": 60.0,
     "fleet_replay_10k_s": 30.0,
     "placement_sweep_s": 20.0,
+    "fleet_replay_1m_s": 120.0,
 }
+
+#: Fixed peak-RSS budget (MiB) for the million-server sharded replay.
+#: The windowed out-of-core design keeps residency at the spilled
+#: column maps plus one window of scalars, so the peak is a property
+#: of the tier, not of trace length; measured ~280 MiB, budgeted 4x.
+MAX_FLEET_1M_RSS_MB = 1024.0
 
 #: Minimum columnar-over-scalar speedup --check demands on the
 #: 10k-server trace replay (the scalar side is measured on a truncated
@@ -59,6 +72,17 @@ MIN_FLEET_SPEEDUP = 10.0
 #: of engine speed, and only a gross regression trips them.
 MIN_SERVE_QPS = 1000.0
 MAX_SERVE_P99_MS = 100.0
+
+
+def _peak_rss_mb() -> float:
+    """This process's lifetime peak resident set, in MiB.
+
+    ``ru_maxrss`` is a monotone high-water mark, so values recorded
+    after each fleet benchmark bound that workload from above (every
+    earlier workload is included); the million-server bench runs in
+    its own subprocess precisely so its peak is exact.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def _best_of(repeats, fn):
@@ -143,6 +167,61 @@ def bench_fleet_replay(n_servers: int, steps: int, scalar_steps: int):
     replay_trace(fleet, truncated, policy="ep-aware", fleet_backend="scalar")
     scalar = (time.perf_counter() - started) * (steps / scalar_steps)
     return columnar, scalar
+
+
+#: The subprocess body for the mega-fleet bench: build the lazy tiled
+#: view, resolve the sharded replayer (spilling the columns out of
+#: core), replay the trace, and report wall time + exact peak RSS.
+_MEGA_BENCH_SCRIPT = """\
+import json, resource, sys, time
+from repro.cluster.batch_trace import resolve_trace_backend
+from repro.cluster.fleet_arrays import tile_fleet
+from repro.cluster.trace import diurnal_trace
+from repro.dataset.synthesis import generate_corpus
+
+n_servers, steps = int(sys.argv[1]), int(sys.argv[2])
+corpus = generate_corpus(2016)
+fleet = tile_fleet(corpus.by_hw_year(2016).results(), n_servers)
+trace = diurnal_trace(steps_per_day=steps, noise=0.0)
+started = time.perf_counter()
+replayer = resolve_trace_backend(fleet, "sharded")
+outcome = replayer.replay(trace, "ep-aware")
+elapsed = time.perf_counter() - started
+peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+print(json.dumps({
+    "elapsed_s": elapsed,
+    "peak_rss_mb": peak_mb,
+    "energy_kwh": outcome.energy_kwh,
+    "spilled": replayer.engine.spilled,
+}))
+"""
+
+
+def bench_fleet_replay_1m(n_servers: int, steps: int):
+    """Sharded mega-fleet replay in a subprocess; (seconds, peak MiB).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so the only
+    way to attribute a peak to this one workload is to give it its own
+    process; a fresh spill directory keeps the run cold (layout build
+    and spill write are part of the cost a caller pays).
+    """
+    with tempfile.TemporaryDirectory(prefix="bench_spill_") as spill_dir:
+        env = dict(os.environ)
+        env["REPRO_SPILL_DIR"] = spill_dir
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [sys.executable, "-c", _MEGA_BENCH_SCRIPT,
+             str(n_servers), str(steps)],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=900,
+        )
+    report = json.loads(completed.stdout.splitlines()[-1])
+    if not report["spilled"]:
+        raise RuntimeError("mega-fleet bench did not engage the spill tier")
+    return report["elapsed_s"], report["peak_rss_mb"]
 
 
 def bench_placement_sweep(n_servers: int, repeats: int) -> float:
@@ -252,6 +331,8 @@ def main(argv=None) -> int:
     trace_steps = 96
     scalar_steps = 1 if args.quick else 2
     placement_repeats = 1 if args.quick else 2
+    mega_servers = 1_000_000
+    mega_steps = 96 if args.quick else 672
     serve_warm_rounds = 2
     serve_timed_rounds = 50 if args.quick else 200
 
@@ -275,6 +356,7 @@ def main(argv=None) -> int:
         fleet_servers, trace_steps, scalar_steps
     )
     timings["fleet_replay_10k_s"] = columnar
+    timings["fleet_replay_10k_rss_mb"] = _peak_rss_mb()
     timings["fleet_replay_scalar_s"] = scalar
     timings["fleet_replay_speedup"] = (
         scalar / columnar if columnar > 0 else float("inf")
@@ -283,6 +365,11 @@ def main(argv=None) -> int:
     timings["placement_sweep_s"] = bench_placement_sweep(
         fleet_servers, placement_repeats
     )
+    timings["placement_sweep_rss_mb"] = _peak_rss_mb()
+    print("benchmarking 1M-server sharded replay ...", flush=True)
+    mega_elapsed, mega_rss = bench_fleet_replay_1m(mega_servers, mega_steps)
+    timings["fleet_replay_1m_s"] = mega_elapsed
+    timings["fleet_replay_1m_rss_mb"] = mega_rss
     print("benchmarking serve daemon ...", flush=True)
     serve_qps, serve_p50_ms, serve_p99_ms = bench_serve(
         serve_warm_rounds, serve_timed_rounds
@@ -306,6 +393,8 @@ def main(argv=None) -> int:
             "trace_steps": trace_steps,
             "scalar_steps": scalar_steps,
             "placement_repeats": placement_repeats,
+            "mega_servers": mega_servers,
+            "mega_steps": mega_steps,
             "serve_warm_rounds": serve_warm_rounds,
             "serve_timed_rounds": serve_timed_rounds,
         },
@@ -337,6 +426,12 @@ def main(argv=None) -> int:
             breaches.append(
                 f"serve_p99_ms: {timings['serve_p99_ms']:.2f}ms "
                 f"> ceiling {MAX_SERVE_P99_MS:.0f}ms"
+            )
+        if timings["fleet_replay_1m_rss_mb"] > MAX_FLEET_1M_RSS_MB:
+            breaches.append(
+                f"fleet_replay_1m_rss_mb: "
+                f"{timings['fleet_replay_1m_rss_mb']:.0f} MiB "
+                f"> budget {MAX_FLEET_1M_RSS_MB:.0f} MiB"
             )
         if breaches:
             print("ceiling breaches:", *breaches, sep="\n  ", file=sys.stderr)

@@ -211,26 +211,46 @@ class QueryContext:
             return self._engines[key]
 
     def replayer(self, engine: Any) -> Any:
-        """A :class:`BatchTraceReplay` over ``engine`` (memoized)."""
+        """The trace replayer over ``engine`` (memoized).
+
+        Sharded engines replay through the windowed
+        :class:`~repro.cluster.sharded.ShardedTraceReplay`; columnar
+        ones through :class:`~repro.cluster.batch_trace.BatchTraceReplay`.
+        """
         with self._lock:
             key = id(engine)
             if key not in self._replayers:
                 from repro.cluster.batch_trace import BatchTraceReplay
+                from repro.cluster.sharded import (
+                    ShardedFleetEngine,
+                    ShardedTraceReplay,
+                )
 
-                self._replayers[key] = BatchTraceReplay(engine)
+                if isinstance(engine, ShardedFleetEngine):
+                    self._replayers[key] = ShardedTraceReplay(engine)
+                else:
+                    self._replayers[key] = BatchTraceReplay(engine)
             return self._replayers[key]
 
     def resolved_backend(self, request: QueryRequest) -> str:
         """The concrete backend that will serve this request.
 
-        Fleet families resolve ``"auto"`` to ``"scalar"``/``"columnar"``
-        through the real resolver *before* any hashing or computation;
-        artifact queries report the study's configured backend mode
-        (they may touch several internal fleets); other families have
-        no fleet and report ``"-"``.
+        Fleet families resolve ``"auto"`` to
+        ``"scalar"``/``"columnar"``/``"sharded"`` through the real
+        resolver *before* any hashing or computation; artifact queries
+        report the study's configured backend mode (they may touch
+        several internal fleets); other families have no fleet and
+        report ``"-"``.
         """
         if type(request).family in FLEET_FAMILIES:
-            return "columnar" if self.engine(request) is not None else "scalar"
+            engine = self.engine(request)
+            if engine is None:
+                return "scalar"
+            from repro.cluster.sharded import ShardedFleetEngine
+
+            if isinstance(engine, ShardedFleetEngine):
+                return "sharded"
+            return "columnar"
         if isinstance(request, ArtifactQuery):
             return request.fleet_backend
         return "-"
@@ -495,6 +515,14 @@ def _handle_group(request: GroupQuery, context: QueryContext) -> Built:
 
 
 def _fleet_capacity(fleet) -> float:
+    from repro.cluster.fleet_arrays import TiledFleetView
+
+    if isinstance(fleet, TiledFleetView):
+        # Stream the fold over base-cycle repeats instead of cloning a
+        # million records; bit-identical to the flat generator sum.
+        from repro.cluster.sharded import streamed_level_capacity
+
+        return streamed_level_capacity(fleet.base, len(fleet))
     return sum(
         level.ssj_ops
         for server in fleet

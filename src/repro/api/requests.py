@@ -10,8 +10,8 @@ argument plumbing and defaulting happen.
 
 Identity: :func:`canonical_spec` renders the request as canonical JSON
 *excluding* ``format`` (a rendering preference) and ``fleet_backend``
-(the scalar and columnar engines are bit-identical per the REP4xx
-parity contract, so the backend is provenance, not identity).  The
+(the scalar, columnar, and sharded engines are bit-identical per the
+REP4xx parity contract, so the backend is provenance, not identity).  The
 spec hash derived from it keys the artifact cache, the daemon's
 coalescing map, and its response memo.
 """
@@ -24,7 +24,7 @@ from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 #: Accepted ``fleet_backend`` values (mirrors the cluster resolvers).
-FLEET_BACKENDS = ("auto", "scalar", "columnar")
+FLEET_BACKENDS = ("auto", "scalar", "columnar", "sharded")
 
 #: Accepted ``format`` values (CLI rendering preference).
 FORMATS = ("text", "json")

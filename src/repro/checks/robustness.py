@@ -19,7 +19,12 @@ patterns that silently defeat it:
 * REP504 — ``raise NewError(...)`` inside an except handler without
   ``from`` drops the explicit cause chain the failure ledger records
   (``from err`` to chain, ``from None`` to suppress on purpose),
-  reported as a warning.
+  reported as a warning;
+* REP505 — a ``multiprocessing.shared_memory.SharedMemory`` segment
+  created (or attached) outside a context manager, in a scope with no
+  ``try``/``finally`` that calls ``.close()``/``.unlink()``, leaks a
+  kernel object past the process: the sharded fleet engine's
+  broadcast/attach discipline is reclaim-on-every-path.
 
 Builder/worker discovery for REP502 is shared with the concurrency
 family: builders are ``Study`` methods named by literal
@@ -188,6 +193,83 @@ def _callable_name(func: ast.AST) -> Optional[str]:
     return "<exception>"
 
 
+#: The shared-memory factory REP505 tracks (resolved through imports).
+_SHM_FACTORY = "multiprocessing.shared_memory.SharedMemory"
+
+#: Attribute calls in a ``finally`` that count as reclaiming a segment.
+_SHM_FINALIZERS = {"close", "unlink"}
+
+
+def _own_scope_nodes(body) -> Iterator[ast.AST]:
+    """Every node of a scope's own body, not descending into nested defs."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _scope_bodies(tree: ast.Module) -> Iterator[list]:
+    """The module body plus every function/method body in the file."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _scope_reclaims(own_nodes) -> bool:
+    """Whether any ``finally`` in the scope calls ``close``/``unlink``."""
+    for node in own_nodes:
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final in node.finalbody:
+            for inner in ast.walk(final):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _SHM_FINALIZERS
+                ):
+                    return True
+    return False
+
+
+def _check_leaked_sharedmem(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for body in _scope_bodies(ctx.tree):
+        own = list(_own_scope_nodes(body))
+        segments = [
+            node
+            for node in own
+            if isinstance(node, ast.Call)
+            and resolve_call(node.func, aliases) == _SHM_FACTORY
+        ]
+        if not segments:
+            continue
+        managed = set()
+        for node in own:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for inner in ast.walk(item.context_expr):
+                        managed.add(id(inner))
+        reclaimed = _scope_reclaims(own)
+        for call in segments:
+            if id(call) in managed or reclaimed:
+                continue
+            yield finding(
+                RULES["REP505"], ctx.rel, call,
+                "SharedMemory segment is never reclaimed: the kernel "
+                "object outlives the process unless every path calls "
+                "close() (and unlink() on the owner)",
+                hint="wrap the segment in try/finally calling "
+                "close()/unlink(), or manage it with a context manager",
+            )
+
+
 RULES = {
     "REP501": Rule(
         "REP501", "bare-except", Severity.ERROR,
@@ -208,5 +290,11 @@ RULES = {
         "REP504", "unchained-raise", Severity.WARNING,
         "new exceptions raised in handlers without 'from'",
         scope="file", file_checker=_check_unchained_raise,
+    ),
+    "REP505": Rule(
+        "REP505", "leaked-shared-memory", Severity.ERROR,
+        "SharedMemory segments without close()/unlink() in a finally "
+        "block or context manager",
+        scope="file", file_checker=_check_leaked_sharedmem,
     ),
 }

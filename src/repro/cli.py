@@ -16,7 +16,8 @@ Commands:
 * ``ensemble --seeds N --jobs J`` -- recompute the headline statistics
   over N seeded corpora and print mean/CI summaries;
 * ``fleet-replay --servers N --steps S`` -- replay a diurnal day over
-  a tiled N-server fleet through the columnar (or scalar) engine;
+  a tiled N-server fleet through the columnar, sharded out-of-core
+  (million-server), or scalar engine;
 * ``query <spec.json|{...}>`` -- execute any :mod:`repro.api` request
   given as JSON (inline or ``@file``) and print the result envelope;
 * ``serve --port P`` -- run the async query daemon
@@ -218,7 +219,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet_replay.add_argument(
         "--backend",
-        choices=("auto", "scalar", "columnar"),
+        choices=("auto", "scalar", "columnar", "sharded"),
         default="auto",
         help="fleet engine to use (default auto)",
     )

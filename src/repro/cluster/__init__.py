@@ -20,12 +20,21 @@ to 100%.
 * :mod:`repro.cluster.batch_placement` /
   :mod:`repro.cluster.batch_trace` -- bit-identical columnar engines
   for placement, job scheduling, and trace replay, selected via the
-  ``fleet_backend`` switch on the public entry points.
+  ``fleet_backend`` switch on the public entry points;
+* :mod:`repro.cluster.sharded` -- the sharded, shared-memory,
+  out-of-core tier (``fleet_backend="sharded"``): million-server
+  fleets streamed shard by shard, replayed window by window, still
+  bit-identical to the columnar engine.
 """
 
 from repro.cluster.batch_placement import BatchPlacementEngine
 from repro.cluster.batch_trace import BatchTraceReplay
-from repro.cluster.fleet_arrays import FleetArrays, tile_fleet
+from repro.cluster.fleet_arrays import FleetArrays, TiledFleetView, tile_fleet
+from repro.cluster.sharded import (
+    ShardedFleetEngine,
+    ShardedTraceReplay,
+    SummaryOutcome,
+)
 from repro.cluster.logical_cluster import LogicalCluster, build_logical_clusters
 from repro.cluster.multinode import cluster_power_curve, cluster_proportionality
 from repro.cluster.placement import (
@@ -47,6 +56,10 @@ __all__ = [
     "BatchPlacementEngine",
     "BatchTraceReplay",
     "FleetArrays",
+    "ShardedFleetEngine",
+    "ShardedTraceReplay",
+    "SummaryOutcome",
+    "TiledFleetView",
     "LogicalCluster",
     "PlacementOutcome",
     "WorkingRegion",

@@ -30,7 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.fleet_arrays import FleetArrays
+from repro.cluster.fleet_arrays import FleetArrays, TiledFleetView
 from repro.cluster.placement import Assignment, PlacementOutcome
 
 #: Below this fleet size the scalar paths win: engine construction
@@ -38,17 +38,38 @@ from repro.cluster.placement import Assignment, PlacementOutcome
 AUTO_THRESHOLD = 24
 
 
-def resolve_backend(fleet, fleet_backend: str) -> Optional["BatchPlacementEngine"]:
-    """The engine to use for ``fleet_backend``, or ``None`` for scalar."""
+def resolve_backend(fleet, fleet_backend: str):
+    """The engine to use for ``fleet_backend``, or ``None`` for scalar.
+
+    ``"sharded"`` returns a
+    :class:`~repro.cluster.sharded.ShardedFleetEngine`; ``"auto"``
+    picks it on its own for lazy ``TiledFleetView`` fleets of at least
+    ``sharded.SHARDED_AUTO_THRESHOLD`` servers (eager fleets keep
+    routing to the columnar engine, whose per-server assignments the
+    schedulers need).
+    """
     if fleet_backend == "scalar":
         return None
     if fleet_backend == "columnar":
         return BatchPlacementEngine(fleet)
+    if fleet_backend == "sharded":
+        from repro.cluster.sharded import ShardedFleetEngine
+
+        return ShardedFleetEngine(fleet)
     if fleet_backend != "auto":
         raise ValueError(
             f"unknown fleet_backend {fleet_backend!r}; "
-            "choose 'auto', 'scalar', or 'columnar'"
+            "choose 'auto', 'scalar', 'columnar', or 'sharded'"
         )
+    if isinstance(fleet, TiledFleetView):
+        from repro.cluster.sharded import SHARDED_AUTO_THRESHOLD, ShardedFleetEngine
+
+        try:
+            if len(fleet) >= SHARDED_AUTO_THRESHOLD:
+                return ShardedFleetEngine(fleet)
+            return BatchPlacementEngine(fleet)
+        except ValueError:  # unrepresentable base; scalar handles it
+            return None
     if isinstance(fleet, FleetArrays):
         return BatchPlacementEngine(fleet)
     if len(fleet) < AUTO_THRESHOLD:

@@ -21,12 +21,22 @@ from repro.cluster.batch_placement import (
 from repro.cluster.trace import _POLICIES, DemandTrace, TraceOutcome, diurnal_trace
 
 
-def resolve_trace_backend(fleet, fleet_backend: str) -> Optional["BatchTraceReplay"]:
-    """The replayer to use for ``fleet_backend``, or ``None`` for scalar."""
+def resolve_trace_backend(fleet, fleet_backend: str):
+    """The replayer to use for ``fleet_backend``, or ``None`` for scalar.
+
+    A sharded placement engine (``fleet_backend="sharded"``, or
+    ``"auto"`` over a large lazy ``TiledFleetView``) gets the windowed
+    :class:`~repro.cluster.sharded.ShardedTraceReplay`; a columnar one
+    gets :class:`BatchTraceReplay`.
+    """
     engine = resolve_backend(fleet, fleet_backend)
     if engine is None:
         return None
-    return BatchTraceReplay(engine)
+    if isinstance(engine, BatchPlacementEngine):
+        return BatchTraceReplay(engine)
+    from repro.cluster.sharded import ShardedTraceReplay
+
+    return ShardedTraceReplay(engine)
 
 
 class BatchTraceReplay:

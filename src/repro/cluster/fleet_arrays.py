@@ -30,6 +30,8 @@ scalar paths, not approximations of them.
 
 from __future__ import annotations
 
+import os
+from collections.abc import Sequence as SequenceABC
 from dataclasses import replace
 from typing import List, Sequence, Union
 
@@ -37,6 +39,18 @@ import numpy as np
 
 from repro.dataset.corpus import Corpus
 from repro.dataset.schema import SpecPowerResult
+
+#: ``tile_fleet`` switches to the lazy index-mapped view at this size.
+LAZY_TILE_THRESHOLD = 65_536
+
+#: Default byte budget for *eager* tiling (overridable through the
+#: ``REPRO_TILE_BUDGET_BYTES`` environment variable).
+DEFAULT_TILE_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Rough per-clone cost of an eager tile: a ``SpecPowerResult``
+#: dataclass shell, its attribute dict, and the ``~copy`` id string.
+#: Deliberately coarse -- the budget is a guard rail, not an accountant.
+_EAGER_CLONE_BYTES = 512
 
 
 def _interp_rows(
@@ -81,6 +95,47 @@ def _interp_rows(
             table[:, -1:], res.shape
         )
         res = np.where(right, last, res)
+    return res
+
+
+def _bisect_rows(
+    grid: np.ndarray, table: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Batched inverse of the per-row throughput curves.
+
+    Replicates the scalar 50-iteration bisection of
+    ``placement._utilization_for`` per element, with the same edge
+    guards: non-positive targets sit at 0.0 utilization and targets at
+    or beyond a row's full capacity (including every positive target
+    on a zero-capacity row) pin to 1.0.  Elements resolved by the
+    guards are masked out *before* the loop, so only genuinely open
+    queries pay the 50 interpolation rounds; the bisected elements see
+    exactly the same IEEE operation sequence either way, so results
+    are bit-identical to bisecting everything and overwriting.
+
+    ``table`` is ``(M, K)``; ``target`` is scalar, ``(M,)``, or
+    ``(M, T)``.  Shared by :meth:`FleetArrays.utilization_for` and the
+    sharded engine's out-of-core workers, which operate on raw column
+    blocks without a :class:`FleetArrays` wrapper.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    if target.ndim == 0:
+        target = np.broadcast_to(target, (table.shape[0],))
+    cap = table[:, -1] if target.ndim == 1 else table[:, -1:]
+    res = np.where(target >= cap, 1.0, 0.0)
+    res = np.where(target <= 0.0, 0.0, res)
+    active = (target > 0.0) & (target < cap)
+    if active.any():
+        sub = table[np.nonzero(active)[0]]
+        t = target[active]
+        low = np.zeros(t.shape)
+        high = np.ones(t.shape)
+        for _ in range(50):
+            mid = 0.5 * (low + high)
+            below = _interp_rows(grid, sub, mid) < t
+            low = np.where(below, mid, low)
+            high = np.where(below, high, mid)
+        res[active] = 0.5 * (low + high)
     return res
 
 
@@ -225,27 +280,94 @@ class FleetArrays:
         guards: non-positive targets sit at 0.0 utilization and
         targets at or beyond a server's full capacity (including every
         positive target on a zero-capacity server) pin to 1.0.
+        Elements resolved by the guards never enter the bisection loop
+        (see :func:`_bisect_rows`).
         """
-        table = self._table(self.ops, rows)
-        target = np.asarray(throughput_ops, dtype=np.float64)
-        if target.ndim == 0:
-            target = np.broadcast_to(target, (table.shape[0],))
-        low = np.zeros(target.shape)
-        high = np.ones(target.shape)
-        for _ in range(50):
-            mid = 0.5 * (low + high)
-            below = _interp_rows(self.load_grid, table, mid) < target
-            low = np.where(below, mid, low)
-            high = np.where(below, high, mid)
-        res = 0.5 * (low + high)
-        cap = table[:, -1] if target.ndim == 1 else table[:, -1:]
-        res = np.where(target >= cap, 1.0, res)
-        return np.where(target <= 0.0, 0.0, res)
+        return _bisect_rows(
+            self.load_grid, self._table(self.ops, rows), throughput_ops
+        )
+
+
+def _tile_record(
+    base: Sequence[SpecPowerResult], index: int
+) -> SpecPowerResult:
+    """Record at tiled position ``index``: the base record for the
+    first cycle, a ``~<copy>``-suffixed clone afterwards.
+
+    Shared by the eager and lazy tiling paths so both produce the
+    exact same records (clones share the base record's level list and
+    derived-metric cache -- they are the same physical server, so the
+    shared metrics are exact).
+    """
+    record = base[index % len(base)]
+    if index < len(base):
+        return record
+    return replace(
+        record, result_id=f"{record.result_id}~{index // len(base)}"
+    )
+
+
+class TiledFleetView(SequenceABC):
+    """Lazy ``tile_fleet``: an index-mapped view over the base records.
+
+    Holds only the O(base) record tuple and a count; ``view[i]``
+    materializes the single requested record (or clone) on demand, so
+    synthesizing a million-server fleet from the 477-record corpus is
+    O(base) in memory instead of a million ``dataclasses.replace``
+    clones.  Indexing and slicing produce exactly the records the
+    eager path would -- same ``~<copy>`` id scheme, same shared level
+    lists and metric caches -- so a fully materialized view equals the
+    eager list element for element.
+
+    The sharded engine (:mod:`repro.cluster.sharded`) consumes the
+    view without ever materializing it; the ``fleet_backend="auto"``
+    routing sends large views there.
+    """
+
+    def __init__(self, base: Sequence[SpecPowerResult], count: int):
+        base = tuple(base)
+        if not base:
+            raise ValueError("cannot tile an empty fleet")
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise TypeError(
+                f"fleet size must be an int, got {type(count).__name__}"
+            )
+        if count < 1:
+            raise ValueError("fleet size must be positive")
+        self.base = base
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.count))]
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise TypeError(
+                f"fleet indices must be integers or slices, "
+                f"got {type(index).__name__}"
+            )
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError("fleet index out of range")
+        return _tile_record(self.base, index)
+
+    def __repr__(self) -> str:
+        return (
+            f"TiledFleetView({self.count} servers over "
+            f"{len(self.base)} base records)"
+        )
 
 
 def tile_fleet(
-    fleet: Sequence[SpecPowerResult], count: int
-) -> List[SpecPowerResult]:
+    fleet: Sequence[SpecPowerResult],
+    count: int,
+    *,
+    lazy: Union[bool, None] = None,
+    budget_bytes: Union[int, None] = None,
+) -> Sequence[SpecPowerResult]:
     """Expand a fleet to ``count`` servers by cycling its records.
 
     Repeats get a unique ``~<copy>`` id suffix (duplicate ids would
@@ -253,19 +375,49 @@ def tile_fleet(
     base record's level list and derived-metric cache -- they are the
     same physical server, so the shared metrics are exact and tiling
     to fleet scale stays cheap.
+
+    ``lazy`` picks the representation: ``True`` returns a
+    :class:`TiledFleetView` (O(base) memory, clones materialized on
+    demand), ``False`` the historical eager list, and ``None`` (the
+    default) chooses the view once ``count`` reaches
+    :data:`LAZY_TILE_THRESHOLD`.  The eager path is guarded by a
+    memory budget (``budget_bytes``, defaulting to
+    :data:`DEFAULT_TILE_BUDGET_BYTES` or the
+    ``REPRO_TILE_BUDGET_BYTES`` environment variable): a tiling
+    estimated to exceed it raises ``ValueError`` pointing at the lazy
+    view and the sharded backend rather than silently materializing
+    gigabytes of clones.
     """
     base = list(fleet)
     if not base:
         raise ValueError("cannot tile an empty fleet")
+    if isinstance(count, bool) or not isinstance(count, int):
+        raise TypeError(
+            f"fleet size must be an int, got {type(count).__name__}"
+        )
     if count < 1:
         raise ValueError("fleet size must be positive")
+    if lazy is None:
+        lazy = count >= LAZY_TILE_THRESHOLD
+    if lazy:
+        return TiledFleetView(base, count)
+    if budget_bytes is None:
+        budget_bytes = int(
+            os.environ.get(
+                "REPRO_TILE_BUDGET_BYTES", DEFAULT_TILE_BUDGET_BYTES
+            )
+        )
+    clones = max(0, count - len(base))
+    estimated = clones * _EAGER_CLONE_BYTES
+    if estimated > budget_bytes:
+        raise ValueError(
+            f"eager tiling to {count} servers would materialize roughly "
+            f"{estimated // (1024 * 1024)} MiB of record clones (budget "
+            f"{budget_bytes // (1024 * 1024)} MiB); use lazy=True (a "
+            f"TiledFleetView) with fleet_backend='sharded', or raise "
+            f"REPRO_TILE_BUDGET_BYTES"
+        )
     tiled: List[SpecPowerResult] = []
     for index in range(count):
-        record = base[index % len(base)]
-        if index < len(base):
-            tiled.append(record)
-        else:
-            tiled.append(
-                replace(record, result_id=f"{record.result_id}~{index // len(base)}")
-            )
+        tiled.append(_tile_record(base, index))
     return tiled

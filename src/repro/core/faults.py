@@ -14,6 +14,7 @@ site                where it fires
 ``cache.read``      inside :meth:`ArtifactCache.get <repro.core.cache.ArtifactCache.get>`
 ``cache.write``     inside :meth:`ArtifactCache.put <repro.core.cache.ArtifactCache.put>`
 ``ensemble.worker``  on dispatch of one ensemble seed worker
+``shard.worker``    on dispatch of one sharded replay step worker
 ``dataset.io``      inside :func:`load_corpus <repro.dataset.io.load_corpus>` / ``save_corpus``
 ==================  ============================================================
 
@@ -65,6 +66,7 @@ KNOWN_SITES = (
     "cache.read",
     "cache.write",
     "ensemble.worker",
+    "shard.worker",
     "dataset.io",
 )
 

@@ -22,11 +22,21 @@ Every array is memoized on first access and write-protected.  The
 store is keyed on the owning corpus' content fingerprint --
 :meth:`repro.dataset.corpus.Corpus.columns` rebuilds it whenever the
 stored fingerprint no longer matches the corpus.
+
+:class:`ColumnSpillStore` adds an out-of-core tier for the sharded
+fleet engine: fingerprint-keyed ``.npy`` column files written
+atomically and read back as read-only memory maps, so a
+million-server fleet's derived vectors live on disk (and in the page
+cache) instead of resident memory, and process-pool workers map the
+same bytes zero-copy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -177,3 +187,117 @@ class CorpusColumns:
             self._arrays["power_matrix"],
             self._arrays["ops_matrix"],
         )
+
+    # -- disk-spill tier ---------------------------------------------------------
+
+    def spill_matrices(self, store: "ColumnSpillStore"):
+        """Spill the curve matrices to ``store`` and return memmaps.
+
+        Writes ``load_grid``/``power_matrix``/``ops_matrix`` under this
+        store's fingerprint key (skipping files already present) and
+        returns the three arrays re-opened as read-only memory maps.
+        The in-memory copies stay memoized; callers that want the
+        out-of-core representation hold on to the returned maps.
+        """
+        named = {
+            "load_grid": self.load_grid(),
+            "power_matrix": self.power_matrix(),
+            "ops_matrix": self.ops_matrix(),
+        }
+        return tuple(
+            store.ensure(self._fingerprint, name, lambda a=array: a)
+            for name, array in named.items()
+        )
+
+
+class ColumnSpillStore:
+    """Fingerprint-keyed ``.npy`` files: the out-of-core column tier.
+
+    Each array lives at ``<root>/<key>/<name>.npy`` where ``key`` is a
+    content fingerprint (a corpus fingerprint, or the sharded engine's
+    fleet-layout hash).  Writes go through a temporary file in the
+    same directory followed by an atomic :func:`os.replace`, so a
+    crashed or concurrent writer can never leave a torn column behind;
+    reads open the file as a read-only memory map
+    (``np.load(mmap_mode="r")``), so the data costs page cache rather
+    than resident memory and forked pool workers share the same
+    physical pages zero-copy.
+
+    The default root is ``$REPRO_SPILL_DIR`` or
+    ``<system tmp>/repro_spill``.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            root = os.environ.get("REPRO_SPILL_DIR") or (
+                Path(tempfile.gettempdir()) / "repro_spill"
+            )
+        self.root = Path(root)
+
+    def path(self, key: str, name: str) -> Path:
+        """Where the named column for ``key`` lives on disk."""
+        return self.root / key / f"{name}.npy"
+
+    def has(self, key: str, name: str) -> bool:
+        """Whether the named column has been spilled for ``key``."""
+        return self.path(key, name).is_file()
+
+    def save(self, key: str, name: str, array: np.ndarray) -> Path:
+        """Atomically persist ``array`` as ``<key>/<name>.npy``."""
+        destination = self.path(key, name)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(destination.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.save(stream, np.ascontiguousarray(array))
+            os.replace(tmp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return destination
+
+    def load(self, key: str, name: str, mmap: bool = True) -> np.ndarray:
+        """Open a spilled column, as a read-only memmap by default."""
+        return np.load(
+            self.path(key, name),
+            mmap_mode="r" if mmap else None,
+            allow_pickle=False,
+        )
+
+    def ensure(
+        self,
+        key: str,
+        name: str,
+        build: Callable[[], np.ndarray],
+        mmap: bool = True,
+    ) -> np.ndarray:
+        """Load the column, building and spilling it first if absent."""
+        if not self.has(key, name):
+            self.save(key, name, build())
+        return self.load(key, name, mmap=mmap)
+
+    def clear(self, key: Optional[str] = None) -> int:
+        """Delete spilled columns (one key, or everything); count files."""
+        if key is not None:
+            directories = [self.root / key]
+        elif self.root.is_dir():
+            directories = [p for p in self.root.iterdir() if p.is_dir()]
+        else:
+            directories = []
+        removed = 0
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for entry in sorted(directory.glob("*.npy")):
+                entry.unlink()
+                removed += 1
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,36 @@
+"""Fixture: SharedMemory lifecycle patterns for REP505."""
+
+import numpy as np
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_create(n):
+    segment = shared_memory.SharedMemory(create=True, size=n)  # REP505
+    view = np.ndarray((n,), dtype=np.uint8, buffer=segment.buf)
+    return view.sum()
+
+
+def leaky_attach(name):
+    segment = SharedMemory(name=name)  # REP505
+    return bytes(segment.buf[:4])
+
+
+def managed_create(n):
+    segment = shared_memory.SharedMemory(create=True, size=n)
+    try:
+        view = np.ndarray((n,), dtype=np.uint8, buffer=segment.buf)
+        return view.sum()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def managed_attach(name):
+    with SharedMemory(name=name) as segment:
+        return bytes(segment.buf[:4])
+
+
+def unrelated(name):
+    segment = open(name)
+    return segment.read()

@@ -144,7 +144,7 @@ class TestBackendParity:
                 ReplayQuery(servers=30, steps=8, fleet_backend=backend),
                 context,
             )
-            for backend in ("auto", "scalar", "columnar")
+            for backend in ("auto", "scalar", "columnar", "sharded")
         ]
         keys = {r.provenance.spec_key for r in results}
         assert len(keys) == 1
@@ -164,6 +164,19 @@ class TestBackendParity:
         )
         assert payload_json(scalar) == payload_json(columnar)
         assert scalar.provenance.spec_key == columnar.provenance.spec_key
+
+    def test_sharded_backend_is_recorded_and_bit_identical(self, context):
+        sharded = execute(
+            CapQuery(servers=30, power_cap_w=4000.0, fleet_backend="sharded"),
+            context,
+        )
+        columnar = execute(
+            CapQuery(servers=30, power_cap_w=4000.0, fleet_backend="columnar"),
+            context,
+        )
+        assert sharded.provenance.fleet_backend == "sharded"
+        assert payload_json(sharded) == payload_json(columnar)
+        assert sharded.provenance.spec_key == columnar.provenance.spec_key
 
 
 class TestDiskCache:

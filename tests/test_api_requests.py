@@ -104,6 +104,7 @@ class TestIdentity:
         for variant in (
             ReplayQuery(servers=30, steps=8, fleet_backend="scalar"),
             ReplayQuery(servers=30, steps=8, fleet_backend="columnar"),
+            ReplayQuery(servers=30, steps=8, fleet_backend="sharded"),
             ReplayQuery(servers=30, steps=8, format="json"),
         ):
             assert canonical_spec(variant) == canonical_spec(base)

@@ -152,6 +152,35 @@ class TestRobustnessRules:
         assert exit_code(findings) == 0
 
 
+class TestSharedMemoryRule:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "sharedmem_violations.py")], select=["REP505"]
+        )
+        assert _hits(findings) == [
+            ("REP505", "sharedmem_violations.py", 9),
+            ("REP505", "sharedmem_violations.py", 15),
+        ]
+
+    def test_leaks_are_errors(self):
+        findings = run_checks(
+            [str(FIXTURES / "sharedmem_violations.py")], select=["REP505"]
+        )
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert exit_code(findings) == 1
+
+    def test_managed_segments_are_clean(self):
+        """try/finally and with-statement variants must not fire."""
+        findings = run_checks(
+            [str(FIXTURES / "sharedmem_violations.py")], select=["REP505"]
+        )
+        assert all(f.line in (9, 15) for f in findings)
+
+    def test_sharded_engine_is_rule_clean(self):
+        sharded = SRC / "repro" / "cluster" / "sharded.py"
+        assert run_checks([str(sharded)], select=["REP505"]) == []
+
+
 class TestEngine:
     def test_clean_fixture_has_no_findings(self):
         assert run_checks([str(FIXTURES / "clean.py")]) == []
