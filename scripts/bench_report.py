@@ -6,8 +6,9 @@ the discrete-event simulate sweep, cold/warm ``run_all`` through the
 artifact engine, multi-seed ensemble throughput, the columnar
 fleet engine (10k-server trace replay, both backends, plus a placement
 sweep), the sharded out-of-core tier (a million-server replay, run in
-a subprocess so its peak RSS is attributable), and the serve daemon's
-warm mixed-query throughput -- and writes the results to
+a subprocess so its peak RSS is attributable), the incremental
+``repro checks`` self-scan (cold vs fully-warm), and the serve
+daemon's warm mixed-query throughput -- and writes the results to
 ``BENCH_core.json`` at the repo root so the perf trajectory is tracked
 in-tree.  Fleet benchmarks record peak RSS (``resource.getrusage``)
 next to their timings.
@@ -52,7 +53,14 @@ CEILINGS = {
     "fleet_replay_10k_s": 30.0,
     "placement_sweep_s": 20.0,
     "fleet_replay_1m_s": 120.0,
+    "checks_src_s": 30.0,
 }
+
+#: Minimum cold/warm speedup --check demands on the incremental
+#: ``repro checks`` self-scan.  A fully-warm run skips parsing and
+#: every rule pass, so this is a property of the finding cache, not of
+#: runner speed (measured ~100-250x; required 5x).
+MIN_CHECKS_WARM_SPEEDUP = 5.0
 
 #: Fixed peak-RSS budget (MiB) for the million-server sharded replay.
 #: The windowed out-of-core design keeps residency at the spilled
@@ -286,6 +294,33 @@ def bench_serve(warm_rounds: int, timed_rounds: int):
     return qps, p50_ms, p99_ms
 
 
+def bench_checks():
+    """Cold vs fully-warm ``repro checks`` self-scan over ``src/``.
+
+    Both runs share one fresh cache directory: the first pays parsing
+    plus every rule pass, the second must be served entirely from the
+    fingerprint-keyed finding cache.  Raises if the self-scan is not
+    clean, so the bench doubles as a gate on the shipped tree.
+    """
+    from repro.checks import run_checks
+    from repro.checks.incremental import FindingCache
+
+    target = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory(prefix="bench_checks_") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        started = time.perf_counter()
+        findings = run_checks([target], cache=FindingCache(cache_dir))
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        run_checks([target], cache=FindingCache(cache_dir))
+        warm = time.perf_counter() - started
+    if findings:
+        raise RuntimeError(
+            f"repro checks self-scan is not clean: {len(findings)} findings"
+        )
+    return cold, warm
+
+
 def bench_ensemble(seeds: int, jobs: int):
     """Serial and parallel ensemble wall times over the same seeds."""
     from repro.core.ensemble import run_ensemble
@@ -370,6 +405,13 @@ def main(argv=None) -> int:
     mega_elapsed, mega_rss = bench_fleet_replay_1m(mega_servers, mega_steps)
     timings["fleet_replay_1m_s"] = mega_elapsed
     timings["fleet_replay_1m_rss_mb"] = mega_rss
+    print("benchmarking checks self-scan (cold vs warm) ...", flush=True)
+    checks_cold, checks_warm = bench_checks()
+    timings["checks_src_s"] = checks_cold
+    timings["checks_warm_s"] = checks_warm
+    timings["checks_warm_speedup"] = (
+        checks_cold / checks_warm if checks_warm > 0 else float("inf")
+    )
     print("benchmarking serve daemon ...", flush=True)
     serve_qps, serve_p50_ms, serve_p99_ms = bench_serve(
         serve_warm_rounds, serve_timed_rounds
@@ -426,6 +468,12 @@ def main(argv=None) -> int:
             breaches.append(
                 f"serve_p99_ms: {timings['serve_p99_ms']:.2f}ms "
                 f"> ceiling {MAX_SERVE_P99_MS:.0f}ms"
+            )
+        if timings["checks_warm_speedup"] < MIN_CHECKS_WARM_SPEEDUP:
+            breaches.append(
+                f"checks_warm_speedup: "
+                f"{timings['checks_warm_speedup']:.1f}x "
+                f"< required {MIN_CHECKS_WARM_SPEEDUP:.0f}x"
             )
         if timings["fleet_replay_1m_rss_mb"] > MAX_FLEET_1M_RSS_MB:
             breaches.append(

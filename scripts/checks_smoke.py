@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Smoke test for the incremental checks engine: cold vs warm self-scan.
+
+Runs ``repro checks`` over ``src/`` twice against a fresh cache
+directory.  The first (cold) run parses and analyses every file; the
+second (warm) run must be served entirely from the fingerprint-keyed
+finding cache.  The smoke asserts three properties:
+
+* the self-scan is clean (zero findings with the full rule set);
+* cold and warm runs report identical findings;
+* the warm run is at least 5x faster than the cold run (in practice
+  the fully-warm path skips parsing entirely and is ~100x faster).
+
+Usage::
+
+    PYTHONPATH=src python scripts/checks_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Required cold/warm speedup.  The fully-warm path re-reads and
+#: re-hashes sources but runs no parser and no rules, so anything
+#: under this floor means the cache is not actually being hit.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def main() -> int:
+    from repro.checks import run_checks
+    from repro.checks.incremental import FindingCache
+
+    target = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory(prefix="checks_smoke_") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        started = time.perf_counter()
+        cold_findings = run_checks([target], cache=FindingCache(cache_dir))
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm_findings = run_checks([target], cache=FindingCache(cache_dir))
+        warm_s = time.perf_counter() - started
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cold self-scan : {cold_s:8.3f}s ({len(cold_findings)} findings)")
+    print(f"warm self-scan : {warm_s:8.3f}s ({len(warm_findings)} findings)")
+    print(f"warm speedup   : {speedup:8.1f}x (required >= {MIN_WARM_SPEEDUP:.0f}x)")
+
+    failures = []
+    if cold_findings:
+        for found in cold_findings:
+            print(f"  {found.path}:{found.line}: {found.rule_id} {found.message}")
+        failures.append(f"self-scan is not clean: {len(cold_findings)} findings")
+    cold_dicts = [found.to_dict() for found in cold_findings]
+    warm_dicts = [found.to_dict() for found in warm_findings]
+    if cold_dicts != warm_dicts:
+        failures.append("warm findings differ from cold findings")
+    if speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm speedup {speedup:.1f}x below required {MIN_WARM_SPEEDUP:.0f}x"
+        )
+    if failures:
+        print("FAILED:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    print("checks smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

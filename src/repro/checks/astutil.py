@@ -11,6 +11,7 @@ call's attribute chain through that table.
 from __future__ import annotations
 
 import ast
+import functools
 import re
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -19,12 +20,19 @@ _IGNORE_RE = re.compile(r"repro-checks:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 _PARITY_RE = re.compile(r"#\s*parity:")
 
 
+@functools.lru_cache(maxsize=1024)
 def import_aliases(tree: ast.Module) -> Dict[str, str]:
     """Map every imported local name to its fully qualified prefix.
 
     ``import numpy as np`` yields ``{"np": "numpy"}``; ``from numpy
     import random`` yields ``{"random": "numpy.random"}``; a bare
     ``import numpy.random`` binds the root ``{"numpy": "numpy"}``.
+
+    Cached per tree object: every rule family asks for the same
+    file's table, and the cross-module passes ask per function —
+    re-walking the module each time dominated a cold run before the
+    cache.  Trees are parsed once per run and never mutated, so the
+    memo is safe; callers must treat the returned dict as read-only.
     """
     aliases: Dict[str, str] = {}
     for node in ast.walk(tree):

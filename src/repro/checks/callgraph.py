@@ -1,0 +1,241 @@
+"""Project-wide symbol table and call graph for cross-module rules.
+
+The file-scoped rule families (REP1xx determinism, REP50x robustness)
+see one module at a time, so the two failure modes that matter most at
+fleet scale — a seed laundered through a helper in another module, and
+a resource escaping its creating function — are exactly the ones they
+cannot express.  This module gives project-scoped rules the missing
+structure:
+
+* :func:`build_symbol_table` indexes every module-level function and
+  class method of the scanned set under its dotted qualified name
+  (``repro.dataset.synthesis.synthesize_jobs``,
+  ``repro.cluster.sharded.ShardedFleetEngine.replay``);
+* :func:`build_call_graph` resolves every call site whose target is a
+  project symbol — through the file's import aliases, through local
+  top-level defs, and through ``self.method()`` within a class — into
+  :class:`CallSite` edges carrying the argument binding, so a rule can
+  ask "which caller expression flows into parameter ``seed``?".
+
+Resolution is deliberately conservative: a call rooted at an
+unresolvable local (``engine.run()``) creates no edge, so dataflow
+rules never misfire on objects they cannot see.  The graph is built
+once per :class:`Project` and memoized on the instance
+(:func:`get_call_graph`), because several rule families share it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checks.astutil import dotted_name, import_aliases
+from repro.checks.model import Project, SourceFile
+
+FunctionNode = ast.FunctionDef  # AsyncFunctionDef shares the shape
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One addressable function of the project: a def plus its home."""
+
+    qualname: str
+    ctx: SourceFile
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # enclosing class name for methods
+
+    @property
+    def name(self) -> str:
+        return getattr(self.node, "name", "<lambda>")
+
+    def params(self) -> Tuple[str, ...]:
+        """Positional + keyword-only parameter names, in order."""
+        args = self.node.args  # type: ignore[attr-defined]
+        ordered = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        return tuple(arg.arg for arg in ordered)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at ``node``."""
+
+    ctx: SourceFile
+    caller: Optional[FunctionInfo]  # None for module-level calls
+    callee: FunctionInfo
+    node: ast.Call
+
+    def bound_args(self) -> Dict[str, ast.AST]:
+        """Map callee parameter names to the caller expressions passed.
+
+        Positional arguments bind in order (skipping ``self`` when the
+        call goes through an instance receiver), keywords bind by name;
+        ``*args``/``**kwargs`` at the call site end positional binding
+        early rather than guess.
+        """
+        params = list(self.callee.params())
+        if params and params[0] in ("self", "cls") and self._via_receiver():
+            params = params[1:]
+        bound: Dict[str, ast.AST] = {}
+        for index, arg in enumerate(self.node.args):
+            if isinstance(arg, ast.Starred) or index >= len(params):
+                break
+            bound[params[index]] = arg
+        for keyword in self.node.keywords:
+            if keyword.arg is not None:
+                bound[keyword.arg] = keyword.value
+        return bound
+
+    def _via_receiver(self) -> bool:
+        return self.callee.cls is not None and isinstance(
+            self.node.func, ast.Attribute
+        )
+
+
+@dataclass
+class CallGraph:
+    """Every resolved call edge of the project, indexed both ways."""
+
+    table: Dict[str, FunctionInfo]
+    sites: List[CallSite] = field(default_factory=list)
+    _callers: Dict[str, List[CallSite]] = field(default_factory=dict)
+    _callees: Dict[str, List[CallSite]] = field(default_factory=dict)
+
+    def add(self, site: CallSite) -> None:
+        """Record a resolved site and index it by caller and callee."""
+        self.sites.append(site)
+        self._callers.setdefault(site.callee.qualname, []).append(site)
+        if site.caller is not None:
+            self._callees.setdefault(site.caller.qualname, []).append(site)
+
+    def callers_of(self, qualname: str) -> List[CallSite]:
+        """Every resolved site that invokes ``qualname``."""
+        return self._callers.get(qualname, [])
+
+    def calls_in(self, qualname: str) -> List[CallSite]:
+        """Every resolved outgoing edge from inside ``qualname``."""
+        return self._callees.get(qualname, [])
+
+
+def build_symbol_table(project: Project) -> Dict[str, FunctionInfo]:
+    """Qualified name -> FunctionInfo for every def in the project."""
+    table: Dict[str, FunctionInfo] = {}
+    for ctx in project.files:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(f"{ctx.module}.{node.name}", ctx, node)
+                table[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info = FunctionInfo(
+                            f"{ctx.module}.{node.name}.{item.name}",
+                            ctx, item, cls=node.name,
+                        )
+                        table[info.qualname] = info
+    return table
+
+
+def _enclosing_functions(
+    tree: ast.Module,
+) -> List[Tuple[ast.AST, Optional[str], List[ast.Call]]]:
+    """(function or None, enclosing class, calls) per execution scope."""
+    scopes: List[Tuple[ast.AST, Optional[str], List[ast.Call]]] = []
+
+    def visit(node: ast.AST, func: Optional[ast.AST], cls: Optional[str],
+              calls: List[ast.Call]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner: List[ast.Call] = []
+                scopes.append((child, cls, inner))
+                visit(child, child, cls, inner)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, func, child.name, calls)
+            else:
+                if isinstance(child, ast.Call):
+                    calls.append(child)
+                visit(child, func, cls, calls)
+
+    module_calls: List[ast.Call] = []
+    visit(tree, None, None, module_calls)
+    scopes.append((tree, None, module_calls))
+    return scopes
+
+
+def _resolve_target(
+    call: ast.Call,
+    ctx: SourceFile,
+    cls: Optional[str],
+    aliases: Dict[str, str],
+    local_defs: Dict[str, str],
+    table: Dict[str, FunctionInfo],
+) -> Optional[FunctionInfo]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        qual = local_defs.get(func.id)
+        if qual is None and func.id in aliases:
+            qual = aliases[func.id]
+        if qual is not None:
+            return table.get(qual)
+        return None
+    parts = dotted_name(func)
+    if parts is None:
+        return None
+    root = parts[0]
+    if root in ("self", "cls") and cls is not None and len(parts) == 2:
+        return table.get(f"{ctx.module}.{cls}.{parts[1]}")
+    if root in aliases:
+        qual = ".".join([aliases[root]] + parts[1:])
+        return table.get(qual)
+    if root in local_defs and len(parts) == 2:
+        # Top-level class accessed unqualified: ``Maker.build``.
+        return table.get(f"{local_defs[root]}.{parts[1]}")
+    return None
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Resolve every project-internal call edge of the scanned set."""
+    table = build_symbol_table(project)
+    graph = CallGraph(table=table)
+    for ctx in project.files:
+        aliases = import_aliases(ctx.tree)
+        local_defs = {
+            node.name: f"{ctx.module}.{node.name}"
+            for node in ctx.tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        }
+        for scope, cls, calls in _enclosing_functions(ctx.tree):
+            caller: Optional[FunctionInfo] = None
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                prefix = f"{ctx.module}.{cls}." if cls else f"{ctx.module}."
+                caller = table.get(prefix + scope.name)
+            for call in calls:
+                callee = _resolve_target(
+                    call, ctx, cls, aliases, local_defs, table
+                )
+                if callee is not None:
+                    graph.add(
+                        CallSite(ctx=ctx, caller=caller, callee=callee,
+                                 node=call)
+                    )
+    return graph
+
+
+def get_call_graph(project: Project) -> CallGraph:
+    """The project's call graph, built once and memoized.
+
+    Several rule families (flow determinism, resource lifetimes, the
+    hot-path summaries) consult the graph in the same run; the memo
+    keeps the engine's cost one traversal, not one per family.
+    """
+    cached = getattr(project, "_repro_callgraph", None)
+    if cached is None:
+        cached = build_call_graph(project)
+        project._repro_callgraph = cached  # type: ignore[attr-defined]
+    return cached

@@ -13,7 +13,9 @@ from typing import IO, List, Optional
 
 from repro.checks.baseline import apply_baseline, load_baseline, write_baseline
 from repro.checks.engine import RULES, exit_code, run_checks
+from repro.checks.incremental import DEFAULT_CACHE_DIR, FindingCache
 from repro.checks.model import Finding, Severity
+from repro.checks.sarif import render_sarif
 
 
 def add_checks_parser(commands: argparse._SubParsersAction) -> None:
@@ -22,15 +24,18 @@ def add_checks_parser(commands: argparse._SubParsersAction) -> None:
         "checks",
         help=(
             "static analysis: determinism, registry, concurrency, "
-            "parity, robustness"
+            "parity, robustness, lifetimes, hot paths"
         ),
         description=(
             "AST-based enforcement of the repo's reproducibility "
-            "invariants: seeded-rng discipline (REP1xx), registry and "
+            "invariants: seeded-rng discipline (REP10x) and "
+            "cross-module seed flow (REP12x), registry and "
             "query-dispatch consistency (REP2xx), concurrency safety "
             "under the pooled executors (REP3xx), reference-kernel "
-            "parity (REP4xx), and failure-visibility robustness "
-            "(REP5xx)."
+            "parity (REP4xx), failure-visibility robustness (REP50x), "
+            "resource lifetimes through the call graph (REP51x), and "
+            "hot-path performance discipline in the batch/sharded "
+            "kernels (REP6xx)."
         ),
     )
     checks.add_argument(
@@ -46,8 +51,25 @@ def add_checks_parser(commands: argparse._SubParsersAction) -> None:
         help="comma-separated rule id prefixes to skip",
     )
     checks.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         dest="output_format", help="findings rendering (default: text)",
+    )
+    checks.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse and scan files across N processes (default: 1)",
+    )
+    checks.add_argument(
+        "--changed", action="store_true",
+        help="only report findings in files git sees as modified or "
+        "untracked (all rules still run; pre-commit entry point)",
+    )
+    checks.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental finding cache for this run",
+    )
+    checks.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"finding cache location (default: {DEFAULT_CACHE_DIR})",
     )
     checks.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -109,8 +131,17 @@ def cmd_checks(args: argparse.Namespace, out: IO[str]) -> int:
     """Run the checker per parsed CLI args; returns the exit code."""
     if args.list_rules:
         return _list_rules(out)
+    cache: Optional[FindingCache] = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None)
+        cache = FindingCache(Path(cache_dir) if cache_dir else None)
     findings = run_checks(
-        args.paths, select=_split(args.select), ignore=_split(args.ignore)
+        args.paths,
+        select=_split(args.select),
+        ignore=_split(args.ignore),
+        jobs=max(1, getattr(args, "jobs", 1) or 1),
+        changed=getattr(args, "changed", False),
+        cache=cache,
     )
     baseline_path = Path(args.baseline or ".repro_checks_baseline.json")
     if args.write_baseline:
@@ -128,6 +159,8 @@ def cmd_checks(args: argparse.Namespace, out: IO[str]) -> int:
         )
     if args.output_format == "json":
         _render_json(findings, suppressed, out)
+    elif args.output_format == "sarif":
+        print(render_sarif(findings, RULES), file=out)
     else:
         _render_text(findings, suppressed, out)
     return exit_code(findings)

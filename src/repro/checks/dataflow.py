@@ -1,0 +1,325 @@
+"""Lightweight dataflow lattices the cross-module rules share.
+
+Two abstract properties carry all three new rule families:
+
+* **taint** — "derived from a caller-supplied parameter".  The flow
+  determinism rules (REP12x) accept a ``default_rng(expr)`` only when
+  ``expr`` references at least one name traceable to a parameter of
+  the enclosing function (including ``self``-rooted attribute reads),
+  so a constant seed buried in a helper is visible as laundering.
+* **array-ness** — "bound to a numpy ndarray".  The hot-path rules
+  (REP6xx) flag Python-level loops and per-element conversions only
+  on values the analysis can prove array-like: numpy-call results,
+  ndarray-annotated parameters, propagated copies/slices/arithmetic,
+  and — through the call graph — results of project functions whose
+  return statements are themselves array-like.
+
+Both are forward fixpoints over *simple* assignments (``name = expr``
+and tuple unpacking).  Attribute stores, containers, and anything the
+lattice cannot prove stay out of the set, so the rules err toward
+silence, never toward false findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.astutil import import_aliases, resolve_call
+from repro.checks.callgraph import get_call_graph
+from repro.checks.model import Project, SourceFile
+
+
+def param_names(func: ast.AST) -> List[str]:
+    """Every parameter name of a def, in signature order."""
+    args = func.args  # type: ignore[attr-defined]
+    ordered = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    names = [arg.arg for arg in ordered]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def iter_scoped_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Set[str]]]:
+    """Every def of a module with the names its enclosing scopes bind.
+
+    Nested helpers inherit the parameters and locals of the functions
+    they close over, so a closure drawing on an outer ``seed`` is
+    still traceable.
+    """
+
+    def walk(node: ast.AST, inherited: Set[str]) -> Iterator[
+        Tuple[ast.AST, Set[str]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, set(inherited)
+                own = inherited | set(param_names(child)) | _stored_names(child)
+                yield from walk(child, own)
+            else:
+                yield from walk(child, inherited)
+
+    yield from walk(tree, set())
+
+
+def _stored_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def name_roots(expr: ast.AST) -> Set[str]:
+    """Every Name read anywhere inside ``expr`` (chain roots included)."""
+    roots: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            roots.add(node.id)
+    return roots
+
+
+def tainted_names(func: ast.AST, seeds: Set[str]) -> Set[str]:
+    """Names transitively derived from ``seeds`` via simple assigns."""
+    tainted = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            value = node.value
+            if value is None or not (name_roots(value) & tainted):
+                continue
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for name in _flatten_targets(target):
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return tainted
+
+
+def _flatten_targets(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+
+
+def expr_is_traceable(expr: ast.AST, tainted: Set[str]) -> bool:
+    """Whether ``expr`` references any parameter-derived name."""
+    return bool(name_roots(expr) & tainted)
+
+
+# ---------------------------------------------------------------------------
+# array-ness
+# ---------------------------------------------------------------------------
+
+#: numpy call leaves that return Python-side scalars/containers, not arrays.
+_NP_NON_ARRAY_LEAVES = {
+    "float64", "float32", "int64", "intp", "bool_", "isscalar", "ndim",
+    "shape", "size", "save", "savez", "seterr",
+}
+
+#: Array methods whose result is itself an array.
+_ARRAY_PRESERVING_METHODS = {
+    "copy", "astype", "reshape", "ravel", "flatten", "transpose", "clip",
+    "cumsum", "round", "take", "repeat", "view", "squeeze", "compress",
+}
+
+#: Array methods/conversions that leave array-land.
+_ARRAY_ESCAPING_METHODS = {"tolist", "item", "tobytes", "dump"}
+
+
+def _annotation_is_array(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return False
+    return "ndarray" in text or "NDArray" in text
+
+
+def _call_is_array_source(
+    node: ast.Call,
+    aliases: Dict[str, str],
+    summaries: Dict[str, bool],
+    local_calls: Dict[int, str],
+) -> bool:
+    path = resolve_call(node.func, aliases)
+    if path is not None and path.startswith("numpy."):
+        leaf = path.rsplit(".", 1)[-1]
+        return leaf not in _NP_NON_ARRAY_LEAVES
+    qual = local_calls.get(id(node))
+    if qual is not None:
+        return summaries.get(qual, False)
+    return False
+
+
+class ArrayEvaluator:
+    """Array-ness oracle for one function's expressions.
+
+    Construction runs the forward fixpoint over the function's simple
+    assignments; :meth:`is_array` then classifies arbitrary
+    expressions against the resulting bound-name set.  ``summaries``
+    maps project qualnames to "returns an array"; ``local_calls`` maps
+    ``id(call_node)`` to the resolved qualname, both produced by
+    :func:`array_summaries`.
+    """
+
+    def __init__(
+        self,
+        func: ast.AST,
+        ctx: SourceFile,
+        summaries: Optional[Dict[str, bool]] = None,
+        local_calls: Optional[Dict[int, str]] = None,
+    ):
+        self._aliases = import_aliases(ctx.tree)
+        self._summaries = summaries or {}
+        self._local_calls = local_calls or {}
+        self.bound: Set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if _annotation_is_array(arg.annotation):
+                self.bound.add(arg.arg)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                if node.value is None or not self.is_array(node.value):
+                    continue
+                targets = (
+                    list(node.targets)
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in self.bound
+                    ):
+                        self.bound.add(target.id)
+                        changed = True
+
+    def is_array(self, expr: ast.AST) -> bool:
+        """Whether ``expr`` provably evaluates to an ndarray."""
+        if isinstance(expr, ast.Name):
+            return expr.id in self.bound
+        if isinstance(expr, ast.Subscript):
+            return self.is_array(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return self.is_array(expr.left) or self.is_array(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.is_array(expr.operand)
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Attribute):
+                attr = expr.func.attr
+                if attr in _ARRAY_ESCAPING_METHODS:
+                    return False
+                if attr in _ARRAY_PRESERVING_METHODS:
+                    return self.is_array(expr.func.value)
+            return _call_is_array_source(
+                expr, self._aliases, self._summaries, self._local_calls
+            )
+        return False
+
+
+def array_bound_names(
+    func: ast.AST,
+    ctx: SourceFile,
+    summaries: Optional[Dict[str, bool]] = None,
+    local_calls: Optional[Dict[int, str]] = None,
+) -> Set[str]:
+    """Names provably bound to ndarrays inside ``func``."""
+    return ArrayEvaluator(func, ctx, summaries, local_calls).bound
+
+
+def array_summaries(
+    project: Project,
+) -> Tuple[Dict[str, bool], Dict[int, str]]:
+    """Project-wide "returns an ndarray" summaries plus call links.
+
+    Two passes: the first classifies each function from local evidence
+    only, the second folds the first pass's summaries back in through
+    the call graph, so a wrapper returning ``helper_returning_array()``
+    is classified too.  Memoized on the project instance.
+    """
+    cached = getattr(project, "_repro_array_summaries", None)
+    if cached is not None:
+        return cached
+    graph = get_call_graph(project)
+    local_calls: Dict[int, str] = {
+        id(site.node): site.callee.qualname for site in graph.sites
+    }
+    summaries: Dict[str, bool] = {}
+    for _ in range(2):
+        for qualname, info in graph.table.items():
+            bound = array_bound_names(
+                info.node, info.ctx, summaries, local_calls
+            )
+            summaries[qualname] = _returns_array(
+                info, bound, summaries, local_calls
+            )
+    result = (summaries, local_calls)
+    project._repro_array_summaries = result  # type: ignore[attr-defined]
+    return result
+
+
+def _returns_array(
+    info,
+    bound: Set[str],
+    summaries: Dict[str, bool],
+    local_calls: Dict[int, str],
+) -> bool:
+    aliases = import_aliases(info.ctx.tree)
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in bound:
+            return True
+        if isinstance(value, ast.Call) and _call_is_array_source(
+            value, aliases, summaries, local_calls
+        ):
+            return True
+        if _annotation_is_array(getattr(info.node, "returns", None)):
+            return True
+    return False
+
+
+def loops_in(func: ast.AST) -> Iterator[ast.AST]:
+    """Every for/while loop in a function's own body (nested defs cut)."""
+    stack: List[ast.AST] = list(func.body)  # type: ignore[attr-defined]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def nodes_under(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))

@@ -7,23 +7,54 @@ deliberately boring: parse every file once, hand each
 :class:`Project` to the project-scoped rules, then apply inline
 suppressions (``# repro-checks: ignore[REP104]``) and the
 ``--select``/``--ignore`` id filters.
+
+Three run modes layer on top of that core without changing it:
+
+* **incremental** — when given a :class:`FindingCache`, per-file
+  findings are keyed by source sha and the project pass by the sha of
+  the whole file set, so a warm rerun on an unchanged tree skips
+  parsing entirely (the cache stores post-suppression,
+  pre-``--select`` findings: one cache serves every flag combination);
+* **parallel** — ``jobs > 1`` fans the per-file parse+scan out over a
+  process pool; project-scoped rules still run in-process on the
+  assembled tree set;
+* **changed** — findings are filtered to files ``git status`` reports
+  as modified/untracked, for pre-commit-sized feedback loops (all
+  rules still run: a project rule may blame a changed file for an
+  edit elsewhere).
+
+Suppression scoping: a ``# repro-checks: ignore[...]`` comment on a
+``def`` line suppresses matching findings anywhere in that function's
+span — this is the documented escape hatch for project-scoped rules
+(a cross-module finding is *attributed* to the function but reported
+at a line the author may not control, e.g. a call site inside it).
+Any other line suppresses only findings reported on that exact line.
 """
 
 from __future__ import annotations
 
 import ast
+import subprocess
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.checks import (
     api_rules,
     concurrency,
     determinism,
+    flow_determinism,
+    hotpath,
+    lifetime,
     parity,
     registry_rules,
     robustness,
 )
 from repro.checks.astutil import suppressed_rules
+from repro.checks.incremental import (
+    FindingCache,
+    project_fingerprint,
+    source_fingerprint,
+)
 from repro.checks.model import (
     Finding,
     Project,
@@ -35,16 +66,28 @@ from repro.checks.model import (
 
 #: Every shipped rule, id -> Rule, in catalog order.
 RULES: Dict[str, Rule] = {}
-for family in (determinism, registry_rules, api_rules, concurrency, parity,
-               robustness):
+for family in (determinism, flow_determinism, registry_rules, api_rules,
+               concurrency, parity, robustness, lifetime, hotpath):
     RULES.update(family.RULES)
 
 #: Directories never scanned (caches, VCS metadata, build output).
 _SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", ".egg-info", "build"}
 
+#: Engine-synthesized finding ids that bypass --select (never in RULES).
+_SYNTHETIC_IDS = ("REP001", "REP002")
 
-def collect_files(paths: Sequence[str]) -> List[Path]:
-    """Every python file under the given files/directories, sorted."""
+
+def collect_files(
+    paths: Sequence[str],
+    warnings: Optional[List[Finding]] = None,
+) -> List[Path]:
+    """Every python file under the given files/directories, sorted.
+
+    An explicitly passed path that cannot be scanned — a non-``.py``
+    file, or a path that does not exist — is reported as a REP002
+    warning on ``warnings`` instead of being dropped silently (a typo
+    in a pre-commit hook's path list must not look like a clean run).
+    """
     collected: List[Path] = []
     for raw in paths:
         path = Path(raw)
@@ -54,8 +97,21 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
                 for candidate in sorted(path.rglob("*.py"))
                 if not _skipped(candidate)
             )
-        elif path.suffix == ".py":
+        elif path.suffix == ".py" and path.exists():
             collected.append(path)
+        elif warnings is not None:
+            reason = (
+                "path does not exist"
+                if not path.exists()
+                else "not a python file"
+            )
+            warnings.append(
+                Finding(
+                    "REP002", Severity.WARNING, str(path), 1, 0,
+                    f"explicitly passed path was not scanned: {reason}",
+                    hint="pass .py files or directories containing them",
+                )
+            )
     unique: List[Path] = []
     seen = set()
     for path in collected:
@@ -94,27 +150,11 @@ def load_project(paths: Sequence[str]) -> "LoadedProject":
                         f"unreadable file: {error}")
             )
             continue
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as error:
-            parse_errors.append(
-                Finding(
-                    "REP001", Severity.ERROR, rel,
-                    error.lineno or 1, error.offset or 0,
-                    f"syntax error: {error.msg}",
-                )
-            )
-            continue
-        files.append(
-            SourceFile(
-                path=path,
-                rel=rel,
-                module=module_name_for(path),
-                source=source,
-                tree=tree,
-                lines=tuple(source.splitlines()),
-            )
-        )
+        ctx, parse_error = _build_source_file(path, rel, source)
+        if parse_error is not None:
+            parse_errors.append(parse_error)
+        if ctx is not None:
+            files.append(ctx)
     return LoadedProject(Project(files=files), parse_errors)
 
 
@@ -124,6 +164,30 @@ class LoadedProject:
     def __init__(self, project: Project, parse_errors: List[Finding]):
         self.project = project
         self.parse_errors = parse_errors
+
+
+def _build_source_file(
+    path: Path, rel: str, source: str
+) -> Tuple[Optional[SourceFile], Optional[Finding]]:
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, Finding(
+            "REP001", Severity.ERROR, rel,
+            error.lineno or 1, error.offset or 0,
+            f"syntax error: {error.msg}",
+        )
+    return (
+        SourceFile(
+            path=path,
+            rel=rel,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        ),
+        None,
+    )
 
 
 def _matches(rule_id: str, prefixes: Optional[Sequence[str]]) -> bool:
@@ -144,6 +208,50 @@ def _selected(
     return True
 
 
+def _def_suppression_spans(
+    ctx: SourceFile,
+) -> List[Tuple[int, int, Set[str]]]:
+    """(start, end, rule ids) for every def-line suppression comment.
+
+    An empty id set means a blanket ``# repro-checks: ignore`` — every
+    rule is suppressed across the span.
+    """
+    spans: List[Tuple[int, int, Set[str]]] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not (1 <= node.lineno <= len(ctx.lines)):
+            continue
+        suppressed = suppressed_rules(ctx.lines[node.lineno - 1])
+        if suppressed is None:
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        spans.append((node.lineno, end, suppressed))
+    return spans
+
+
+def _suppress_for_file(
+    findings: Iterable[Finding], ctx: SourceFile
+) -> List[Finding]:
+    """Drop findings covered by same-line or def-line suppressions."""
+    spans = _def_suppression_spans(ctx)
+    surviving: List[Finding] = []
+    for item in findings:
+        if 1 <= item.line <= len(ctx.lines):
+            suppressed = suppressed_rules(ctx.lines[item.line - 1])
+            if suppressed is not None and (
+                not suppressed or item.rule_id in suppressed
+            ):
+                continue
+        if any(
+            lo <= item.line <= hi and (not ids or item.rule_id in ids)
+            for lo, hi, ids in spans
+        ):
+            continue
+        surviving.append(item)
+    return surviving
+
+
 def _apply_suppressions(
     findings: Iterable[Finding], project: Project
 ) -> List[Finding]:
@@ -151,52 +259,170 @@ def _apply_suppressions(
     surviving: List[Finding] = []
     for item in findings:
         ctx = by_rel.get(item.path)
-        if ctx is not None and 1 <= item.line <= len(ctx.lines):
-            suppressed = suppressed_rules(ctx.lines[item.line - 1])
-            if suppressed is not None and (
-                not suppressed or item.rule_id in suppressed
-            ):
-                continue
+        if ctx is not None and _suppress_for_file([item], ctx) == []:
+            continue
         surviving.append(item)
     return surviving
+
+
+def _scan_source_file(
+    ctx: Optional[SourceFile], parse_error: Optional[Finding]
+) -> List[Finding]:
+    """Every file-scoped rule over one parsed file, post-suppression."""
+    if ctx is None:
+        assert parse_error is not None
+        return [parse_error]
+    findings: List[Finding] = []
+    for rule in RULES.values():
+        if rule.scope == "file" and rule.file_checker is not None:
+            findings.extend(rule.file_checker(ctx))
+    return _suppress_for_file(findings, ctx)
+
+
+def _scan_payload(
+    payload: Tuple[str, str, str],
+) -> Tuple[str, List[Finding]]:
+    """Process-pool worker: parse one file and run the file rules.
+
+    Only findings travel back to the parent — AST trees pickle so
+    slowly that returning them costs more than the parent re-parsing
+    the file (the parent needs trees anyway for the project pass).
+    Findings come back post-suppression so they are cacheable as-is.
+    """
+    path_str, rel, source = payload
+    ctx, parse_error = _build_source_file(Path(path_str), rel, source)
+    return rel, _scan_source_file(ctx, parse_error)
+
+
+def _git_changed_rels() -> Set[str]:
+    """Files ``git status`` reports touched (modified, added, untracked).
+
+    Paths come back repo-root-relative, which matches the engine's
+    ``rel`` keys when the checker runs from the repo root (the
+    pre-commit and CI entry points both do).
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=30, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return set()
+    if proc.returncode != 0:
+        return set()
+    changed: Set[str] = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:  # rename: blame the new path
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        if entry.endswith(".py"):
+            changed.add(entry)
+    return changed
 
 
 def run_checks(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    changed: bool = False,
+    cache: Optional[FindingCache] = None,
 ) -> List[Finding]:
     """Run every (selected) rule over ``paths``; sorted findings."""
-    loaded = load_project(paths)
-    project = loaded.project
-    findings: List[Finding] = list(loaded.parse_errors)
+    warnings: List[Finding] = []
+    findings: List[Finding] = []
+    entries: List[Tuple[Path, str, str, str]] = []
+    for path in collect_files(paths, warnings=warnings):
+        rel = _rel(path)
+        try:
+            source = path.read_text()
+        except OSError as error:
+            findings.append(
+                Finding("REP001", Severity.ERROR, rel, 1, 0,
+                        f"unreadable file: {error}")
+            )
+            continue
+        entries.append((path, rel, source, source_fingerprint(source)))
+    findings.extend(warnings)
 
-    for rule in RULES.values():
-        if rule.scope == "file" and rule.file_checker is not None:
-            if not _selected(rule.rule_id, select, ignore):
-                continue
-            for ctx in project.files:
-                findings.extend(rule.file_checker(ctx))
-        elif rule.scope == "project" and rule.project_checker is not None:
-            # A project checker emits sibling ids from its whole family
-            # (REP401's checker also yields REP402/REP404), so run it when
-            # *any* rule in the family survives select/ignore; the emitted
-            # findings are re-filtered by exact id below.
-            family = rule.rule_id[:4]
-            if any(
-                _selected(rule_id, select, ignore)
-                for rule_id in RULES
-                if rule_id.startswith(family)
-            ):
-                findings.extend(rule.project_checker(project))
+    project_key = project_fingerprint(
+        [(rel, sha) for _, rel, _, sha in entries]
+    )
+    cached_project = (
+        cache.get_project(project_key) if cache is not None else None
+    )
+    file_hits: Dict[str, List[Finding]] = {}
+    if cache is not None:
+        for _, rel, _, sha in entries:
+            hit = cache.get_file(rel, sha)
+            if hit is not None:
+                file_hits[rel] = hit
 
-    # Project checkers emit sibling rule ids (e.g. the concurrency pass
-    # emits REP301-REP304); honor select/ignore on the emitted id too.
+    if cached_project is not None and len(file_hits) == len(entries):
+        # Fully warm: every per-file entry and the project entry hit,
+        # so nothing needs parsing at all.
+        for per_file in file_hits.values():
+            findings.extend(per_file)
+        findings.extend(cached_project)
+    else:
+        misses = [e for e in entries if e[1] not in file_hits]
+        fresh: Dict[str, List[Finding]] = {}
+        if jobs > 1 and len(misses) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payloads = [
+                (str(path), rel, source) for path, rel, source, _ in misses
+            ]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for rel, per_file in pool.map(
+                    _scan_payload, payloads, chunksize=4
+                ):
+                    fresh[rel] = per_file
+
+        files: List[SourceFile] = []
+        for path, rel, source, sha in entries:
+            ctx, parse_error = _build_source_file(path, rel, source)
+            if rel in file_hits:
+                per_file = file_hits[rel]
+            else:
+                per_file = fresh.get(rel)
+                if per_file is None:
+                    per_file = _scan_source_file(ctx, parse_error)
+                if cache is not None:
+                    cache.put_file(rel, sha, per_file)
+            findings.extend(per_file)
+            if ctx is not None:
+                files.append(ctx)
+
+        project = Project(files=files)
+        if cached_project is None:
+            project_findings: List[Finding] = []
+            for rule in RULES.values():
+                if rule.scope == "project" and rule.project_checker:
+                    project_findings.extend(rule.project_checker(project))
+            cached_project = _apply_suppressions(project_findings, project)
+            if cache is not None:
+                cache.put_project(project_key, cached_project)
+        findings.extend(cached_project)
+
+    if cache is not None:
+        cache.save()
+
     findings = [
         item for item in findings
-        if item.rule_id == "REP001" or _selected(item.rule_id, select, ignore)
+        if item.rule_id in _SYNTHETIC_IDS
+        or _selected(item.rule_id, select, ignore)
     ]
-    findings = _apply_suppressions(findings, project)
+    if changed:
+        touched = _git_changed_rels()
+        findings = [
+            item for item in findings
+            if item.path in touched or item.rule_id == "REP002"
+        ]
     return sorted(findings, key=Finding.sort_key)
 
 

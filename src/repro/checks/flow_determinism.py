@@ -1,0 +1,292 @@
+"""Flow determinism rules (REP12x): seeds must trace to callers.
+
+The REP10x family polices *syntactic* seeding discipline inside one
+file; this family polices the *flow* of seed authority across call
+boundaries, using the taint lattice in :mod:`repro.checks.dataflow`
+and the project call graph:
+
+* REP121 — a function creates ``default_rng(expr)`` where ``expr``
+  references none of its parameters: the seed is hardcoded inside a
+  helper, so callers cannot control (or even see) the stream —
+  cross-module seed laundering;
+* REP122 — a function that *receives* an rng-like parameter also
+  calls ``default_rng`` unconditionally: it consumes a caller stream
+  and reseeds behind the caller's back (the guarded
+  ``if rng is None:`` fallback is REP106's territory and stays
+  exempt);
+* REP123 — a call edge where the caller has a seed-like parameter of
+  its own but pins the callee's ``seed``/``rng`` argument to a
+  constant, collapsing every caller seed onto one substream
+  (project-scoped, resolved through the call graph);
+* REP124 — a module-level ``Generator`` binding: a process-global
+  stream whose state depends on import order and call history.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.checks.astutil import import_aliases, resolve_call
+from repro.checks.callgraph import get_call_graph
+from repro.checks.dataflow import (
+    expr_is_traceable,
+    iter_scoped_functions,
+    nodes_under,
+    param_names,
+    tainted_names,
+)
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    finding,
+)
+
+#: Parameter names that carry a generator or seed across a call.
+_RNG_PARAMS = {"rng", "generator"}
+_SEED_PARAMS = {"seed", "seeds"}
+
+_RNG_FACTORY = "numpy.random.default_rng"
+
+
+def _seedlike_params(func: ast.AST) -> Set[str]:
+    names = set()
+    for name in param_names(func):
+        if (
+            name in _RNG_PARAMS
+            or name in _SEED_PARAMS
+            or name.endswith("_seed")
+            or name.endswith("_rng")
+        ):
+            names.add(name)
+    return names
+
+
+def _rng_params(func: ast.AST) -> Set[str]:
+    return {
+        name
+        for name in param_names(func)
+        if name in _RNG_PARAMS or name.endswith("_rng")
+    }
+
+
+def _default_rng_calls(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Iterator[ast.Call]:
+    """default_rng calls in the function's own body (nested defs cut:
+    each nested function is analyzed against its own parameters)."""
+    for node in nodes_under(func):
+        if (
+            isinstance(node, ast.Call)
+            and resolve_call(node.func, aliases) == _RNG_FACTORY
+        ):
+            yield node
+
+
+def _seed_exprs(call: ast.Call) -> List[ast.AST]:
+    return list(call.args) + [kw.value for kw in call.keywords]
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """The REP105 shapes: no args, or a single literal ``None``."""
+    exprs = _seed_exprs(call)
+    if not exprs:
+        return True
+    return (
+        len(exprs) == 1
+        and isinstance(exprs[0], ast.Constant)
+        and exprs[0].value is None
+    )
+
+
+def _assigns_to(call: ast.Call, func: ast.AST, names: Set[str]) -> bool:
+    """Whether ``call`` is the RHS of an assignment to one of ``names``."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if node.value is not call:
+            continue
+        return any(
+            isinstance(t, ast.Name) and t.id in names for t in node.targets
+        )
+    return False
+
+
+def _statement_of(call: ast.Call, func: ast.AST) -> Optional[ast.stmt]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and any(
+            inner is call for inner in ast.walk(node)
+        ):
+            return node
+    return None
+
+
+def _guarded_by_param(call: ast.Call, func: ast.AST, rng_names: Set[str]) -> bool:
+    """Whether the call sits under an ``if rng is None:``-style guard.
+
+    A statement that itself reads the rng parameter (``rng = rng or
+    default_rng(seed)``) counts as guarded too: the caller's stream
+    still wins when supplied.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.If) and (
+            {n.id for n in ast.walk(node.test)
+             if isinstance(n, ast.Name)} & rng_names
+        ):
+            if any(inner is call for inner in ast.walk(node)):
+                return True
+    statement = _statement_of(call, func)
+    if statement is not None:
+        reads = {
+            n.id
+            for n in ast.walk(statement)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        if reads & rng_names:
+            return True
+    return False
+
+
+def _check_hardcoded_seed(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for func, inherited in iter_scoped_functions(ctx.tree):
+        tainted = tainted_names(func, set(param_names(func)) | inherited)
+        rng_names = _rng_params(func)
+        for call in _default_rng_calls(func, aliases):
+            if _is_unseeded(call):
+                continue  # REP105's finding
+            exprs = _seed_exprs(call)
+            if any(expr_is_traceable(e, tainted) for e in exprs):
+                continue
+            if rng_names and _assigns_to(call, func, rng_names):
+                continue  # the guarded-fallback shape: REP106's finding
+            yield finding(
+                RULES["REP121"], ctx.rel, call,
+                f"function {func.name!r} seeds default_rng() from a value "
+                "with no path to any of its parameters",
+                hint="accept a seed=/rng= parameter and derive the stream "
+                "from it (e.g. default_rng((seed, stream_index))) so "
+                "callers keep seed authority",
+            )
+
+
+def _check_consume_and_reseed(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for func, _inherited in iter_scoped_functions(ctx.tree):
+        rng_names = _rng_params(func)
+        if not rng_names:
+            continue
+        for call in _default_rng_calls(func, aliases):
+            if _guarded_by_param(call, func, rng_names):
+                continue
+            yield finding(
+                RULES["REP122"], ctx.rel, call,
+                f"function {func.name!r} receives {sorted(rng_names)!r} but "
+                "unconditionally builds its own generator, discarding the "
+                "caller's stream",
+                hint="draw from the passed rng, or guard the fallback with "
+                "'if rng is None:' so a supplied stream wins",
+            )
+
+
+def _constant_only(expr: ast.AST) -> bool:
+    """No names anywhere, and at least one non-None literal leaf."""
+    has_literal = False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            return False
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return False
+            has_literal = True
+        elif not isinstance(
+            node, (ast.Tuple, ast.List, ast.UnaryOp, ast.USub, ast.UAdd,
+                   ast.expr_context, ast.operator, ast.unaryop)
+        ):
+            return False
+    return has_literal
+
+
+def _pins_constant(expr: ast.AST, ctx: SourceFile) -> bool:
+    if isinstance(expr, ast.Call):
+        aliases = import_aliases(ctx.tree)
+        if resolve_call(expr.func, aliases) == _RNG_FACTORY:
+            exprs = _seed_exprs(expr)
+            return bool(exprs) and all(_constant_only(e) for e in exprs)
+        return False
+    return _constant_only(expr)
+
+
+def _check_seed_chain(project: Project) -> Iterator[Finding]:
+    graph = get_call_graph(project)
+    for site in graph.sites:
+        if site.caller is None:
+            continue
+        caller_seeds = _seedlike_params(site.caller.node)
+        if not caller_seeds:
+            continue
+        callee_seeds = _seedlike_params(site.callee.node)
+        if not callee_seeds:
+            continue
+        for param, expr in site.bound_args().items():
+            if param not in callee_seeds:
+                continue
+            if _pins_constant(expr, site.ctx):
+                yield finding(
+                    RULES["REP123"], site.ctx.rel, site.node,
+                    f"{site.caller.name!r} has seed parameter(s) "
+                    f"{sorted(caller_seeds)!r} but pins "
+                    f"{site.callee.name!r}'s {param}= to a constant, "
+                    "collapsing every caller seed onto one substream",
+                    hint="derive the argument from the caller's seed "
+                    "(e.g. seed=(seed, stream_index)) or thread the rng "
+                    "through",
+                )
+
+
+def _check_module_generator(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for node in nodes_under(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and resolve_call(value.func, aliases)
+            in (_RNG_FACTORY, "numpy.random.Generator")
+        ):
+            yield finding(
+                RULES["REP124"], ctx.rel, node,
+                "module-level Generator is process-global mutable state; "
+                "draw order couples every caller to import and call "
+                "history",
+                hint="construct generators inside the consuming function "
+                "from an explicit seed parameter",
+            )
+
+
+RULES = {
+    "REP121": Rule(
+        "REP121", "hardcoded-seed-in-helper", Severity.ERROR,
+        "default_rng seeded from values untraceable to any parameter",
+        scope="file", file_checker=_check_hardcoded_seed,
+    ),
+    "REP122": Rule(
+        "REP122", "consume-and-reseed", Severity.ERROR,
+        "functions that take an rng but unconditionally reseed",
+        scope="file", file_checker=_check_consume_and_reseed,
+    ),
+    "REP123": Rule(
+        "REP123", "seed-chain-break", Severity.ERROR,
+        "seeded callers pinning a callee's seed/rng to a constant",
+        scope="project", project_checker=_check_seed_chain,
+    ),
+    "REP124": Rule(
+        "REP124", "module-global-generator", Severity.ERROR,
+        "module-level numpy Generator bindings",
+        scope="file", file_checker=_check_module_generator,
+    ),
+}

@@ -1,0 +1,199 @@
+"""Fingerprint-keyed finding cache for incremental re-runs.
+
+The engine's cost is dominated by parsing and re-walking unchanged
+files, which on a warm tree is all of them.  This module keeps the
+PR-1 cache discipline (content-addressed keys, atomic writes, corrupt
+entries evicted silently, never trusted across versions):
+
+* each **file entry** is keyed by the sha256 of the file's source and
+  stores that file's post-suppression findings — file-scoped rules
+  only see one module, so source-identical means finding-identical
+  (suppression comments live in the same source, so edits to them
+  rotate the key too);
+* the single **project entry** is keyed by the sha256 over every
+  ``(rel, sha)`` pair of the run, because a project-scoped rule may
+  react to any file changing, appearing, or vanishing;
+* every entry embeds :data:`engine version <checks_version>` — the
+  sha256 of the ``repro.checks`` package's own sources — so editing
+  any rule invalidates the whole cache without a manual schema bump.
+
+Cached findings are pre-``--select``/``--ignore``: the cache always
+stores the full rule set's output and the engine filters afterwards,
+so one cache serves every flag combination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checks.model import Finding, Severity
+
+#: Default cache location, sibling to the corpus caches of PR 1.
+DEFAULT_CACHE_DIR = Path(".repro_cache") / "checks"
+
+_CACHE_BASENAME = "findings.json"
+
+_version_memo: Optional[str] = None
+
+
+def checks_version() -> str:
+    """sha256 over the checks package's own sources (memoized).
+
+    Any edit to any rule, the engine, or this module rotates the
+    version and silently drops every cached entry.
+    """
+    global _version_memo
+    if _version_memo is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _version_memo = digest.hexdigest()
+    return _version_memo
+
+
+def source_fingerprint(source: str) -> str:
+    """Content key of one file: sha256 of its exact source text."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def project_fingerprint(pairs: Sequence[Tuple[str, str]]) -> str:
+    """Key of the whole scanned set: every ``(rel, sha)``, in order."""
+    digest = hashlib.sha256()
+    for rel, sha in sorted(pairs):
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(sha.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _finding_to_entry(item: Finding) -> Dict[str, object]:
+    return {
+        "rule": item.rule_id,
+        "severity": item.severity.value,
+        "path": item.path,
+        "line": item.line,
+        "col": item.col,
+        "message": item.message,
+        "hint": item.hint,
+    }
+
+
+def _finding_from_entry(entry: Dict[str, object]) -> Finding:
+    return Finding(
+        rule_id=str(entry["rule"]),
+        severity=Severity(entry["severity"]),
+        path=str(entry["path"]),
+        line=int(entry["line"]),  # type: ignore[arg-type]
+        col=int(entry["col"]),  # type: ignore[arg-type]
+        message=str(entry["message"]),
+        hint=str(entry.get("hint", "")),
+    )
+
+
+class FindingCache:
+    """One run's view of the on-disk cache: load once, save once."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.path = self.root / _CACHE_BASENAME
+        self.version = checks_version()
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Optional[Dict[str, object]] = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return  # missing or corrupt: start cold
+        if not isinstance(raw, dict) or raw.get("version") != self.version:
+            return  # stale engine: every entry is suspect
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- file entries -----------------------------------------------------
+
+    def get_file(self, rel: str, sha: str) -> Optional[List[Finding]]:
+        """Cached file-scope findings for ``rel`` at ``sha``, or None."""
+        entry = self._files.get(rel)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            findings = entry.get("findings")
+            assert isinstance(findings, list)
+            return [_finding_from_entry(item) for item in findings]
+        except (KeyError, ValueError, TypeError, AssertionError):
+            self._files.pop(rel, None)  # corrupt entry: evict
+            self._dirty = True
+            return None
+
+    def put_file(self, rel: str, sha: str, findings: Sequence[Finding]) -> None:
+        """Store a file's findings under its content hash."""
+        self._files[rel] = {
+            "sha": sha,
+            "findings": [_finding_to_entry(item) for item in findings],
+        }
+        self._dirty = True
+
+    # -- the project entry ------------------------------------------------
+
+    def get_project(self, key: str) -> Optional[List[Finding]]:
+        """Cached project-scope findings for fingerprint ``key``."""
+        entry = self._project
+        if entry is None or entry.get("key") != key:
+            return None
+        try:
+            findings = entry.get("findings")
+            assert isinstance(findings, list)
+            return [_finding_from_entry(item) for item in findings]
+        except (KeyError, ValueError, TypeError, AssertionError):
+            self._project = None
+            self._dirty = True
+            return None
+
+    def put_project(self, key: str, findings: Sequence[Finding]) -> None:
+        """Store the project-scope findings under the set fingerprint."""
+        self._project = {
+            "key": key,
+            "findings": [_finding_to_entry(item) for item in findings],
+        }
+        self._dirty = True
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically persist (tmp + rename); no-op when unchanged."""
+        if not self._dirty:
+            return
+        document = {
+            "version": self.version,
+            "files": self._files,
+            "project": self._project,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.root, suffix=".tmp", delete=False
+        )
+        try:
+            with handle as stream:
+                json.dump(document, stream)
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+        self._dirty = False

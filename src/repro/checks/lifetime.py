@@ -1,0 +1,451 @@
+"""Resource-lifetime rules (REP51x): escapes must still reach close().
+
+REP505 pins the single-function case for ``SharedMemory``; this family
+generalizes the discipline to every kernel-visible resource the fleet
+tiers hold — shared-memory segments, memmaps, pool executors, file
+handles — and, through the call graph, to resources that *escape*
+their creating function:
+
+* REP511 — a function returns a resource it created (a *producer*);
+  every resolved caller must either reclaim the result (``with``,
+  ``try/finally``, an explicit ``.close()``/``.shutdown()``/
+  ``.unlink()``), hand it onward (return it, store it, pass it to
+  another function), or it owns a leak — flagged at the call site;
+* REP512 — a method stores a resource on ``self`` but no method of
+  the class ever reclaims that attribute: the object cannot be shut
+  down at all;
+* REP513 — a pool/file/memmap created in a scope is neither reclaimed
+  nor escapes it (the REP505 pattern for the non-SharedMemory kinds,
+  including the discarded ``open(p).read()`` shape).
+
+"Reaches a close on every path" is approximated the way REP505 does
+it: a ``with`` block or a reclaim call anywhere in the owning scope
+counts, handing the resource onward transfers the obligation, and
+anything the analysis cannot resolve stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.astutil import import_aliases, resolve_call
+from repro.checks.callgraph import CallSite, FunctionInfo, get_call_graph
+from repro.checks.dataflow import nodes_under
+from repro.checks.model import (
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceFile,
+    finding,
+)
+
+
+@dataclass(frozen=True)
+class ResourceKind:
+    """One tracked resource family and the calls that reclaim it."""
+
+    name: str
+    closers: frozenset
+
+    def describe_closers(self) -> str:
+        """The reclaiming call names, slash-joined for hints."""
+        return "/".join(sorted(self.closers))
+
+
+_SHARED_MEMORY = ResourceKind(
+    "SharedMemory segment", frozenset({"close", "unlink"})
+)
+_POOL = ResourceKind(
+    "pool executor", frozenset({"shutdown", "close", "terminate", "join"})
+)
+_FILE = ResourceKind("file handle", frozenset({"close"}))
+_MEMMAP = ResourceKind("memmap", frozenset({"close", "flush"}))
+
+#: Fully qualified factory paths -> the resource kind they create.
+_FACTORIES: Dict[str, ResourceKind] = {
+    "multiprocessing.shared_memory.SharedMemory": _SHARED_MEMORY,
+    "concurrent.futures.ProcessPoolExecutor": _POOL,
+    "concurrent.futures.ThreadPoolExecutor": _POOL,
+    "concurrent.futures.process.ProcessPoolExecutor": _POOL,
+    "concurrent.futures.thread.ThreadPoolExecutor": _POOL,
+    "multiprocessing.Pool": _POOL,
+    "multiprocessing.pool.Pool": _POOL,
+    "numpy.memmap": _MEMMAP,
+    "numpy.lib.format.open_memmap": _MEMMAP,
+}
+
+#: Kinds REP513 reports file-locally (SharedMemory stays REP505's).
+_LOCAL_KINDS = {_POOL, _FILE, _MEMMAP}
+
+_ALL_CLOSERS = frozenset().union(*(k.closers for k in _FACTORIES.values()))
+
+
+def resource_kind_of(
+    call: ast.Call, aliases: Dict[str, str], shadowed: Set[str]
+) -> Optional[ResourceKind]:
+    """The resource a call creates, or None for ordinary calls."""
+    path = resolve_call(call.func, aliases)
+    if path in _FACTORIES:
+        return _FACTORIES[path]
+    if (
+        isinstance(call.func, ast.Name)
+        and call.func.id == "open"
+        and "open" not in aliases
+        and "open" not in shadowed
+    ):
+        return _FILE
+    return None
+
+
+@dataclass
+class ScopeUse:
+    """How one scope treats the resources it sees."""
+
+    with_managed: Set[int]
+    reclaimed_names: Set[str]
+    escaped_names: Set[str]
+    escaped_calls: Set[int]
+    bound_to: Dict[int, List[str]]
+
+
+def _direct_names(expr: ast.AST) -> Set[str]:
+    """Names ``expr`` hands onward *as objects*, not reads through them.
+
+    ``return seg`` and ``return seg, view`` escape ``seg``;
+    ``return bytes(seg.buf[:4])`` merely reads through it — the
+    segment itself never leaves the scope, so the close obligation
+    stays local.
+    """
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, ast.Starred):
+        return _direct_names(expr.value)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in expr.elts:
+            names |= _direct_names(element)
+        return names
+    return set()
+
+
+def _direct_calls(expr: ast.AST) -> Set[int]:
+    """Call nodes ``expr`` hands onward directly (incl. tuple elements)."""
+    if isinstance(expr, ast.Call):
+        return {id(expr)}
+    if isinstance(expr, ast.Starred):
+        return _direct_calls(expr.value)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        ids: Set[int] = set()
+        for element in expr.elts:
+            ids |= _direct_calls(element)
+        return ids
+    return set()
+
+
+def analyze_scope(own: List[ast.AST]) -> ScopeUse:
+    """Classify bindings, reclaims, and escapes over a scope's nodes."""
+    with_managed: Set[int] = set()
+    reclaimed: Set[str] = set()
+    escaped_names: Set[str] = set()
+    escaped_calls: Set[int] = set()
+    bound_to: Dict[int, List[str]] = {}
+    for node in own:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for inner in ast.walk(item.context_expr):
+                    with_managed.add(id(inner))
+                    if isinstance(inner, ast.Name):
+                        # ``f = open(p)`` later entered via ``with f:``.
+                        reclaimed.add(inner.id)
+        elif isinstance(node, ast.Assign):
+            names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if isinstance(node.value, ast.Call):
+                bound_to.setdefault(id(node.value), []).extend(names)
+            if isinstance(node.value, ast.Name):
+                # Aliasing transfers the obligation to the alias.
+                escaped_names.add(node.value.id)
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    escaped_names |= _direct_names(node.value)
+                    escaped_calls |= _direct_calls(node.value)
+        elif isinstance(node, (ast.Return, ast.Expr)):
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Return):
+                value = node.value
+            elif isinstance(node.value, (ast.Yield, ast.YieldFrom)):
+                value = node.value.value
+            if value is not None:
+                escaped_names |= _direct_names(value)
+                escaped_calls |= _direct_calls(value)
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ALL_CLOSERS
+            ):
+                root = node.func.value
+                if isinstance(root, ast.Name):
+                    reclaimed.add(root.id)
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                escaped_names |= _direct_names(arg)
+                escaped_calls |= _direct_calls(arg)
+    return ScopeUse(with_managed, reclaimed, escaped_names, escaped_calls,
+                    bound_to)
+
+
+def _own_scope_nodes(body: List[ast.stmt]) -> List[ast.AST]:
+    """Every node of a scope's own body, nested defs excluded."""
+    collected: List[ast.AST] = []
+    stack: List[ast.AST] = [
+        node
+        for node in body
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    while stack:
+        node = stack.pop()
+        collected.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+    return collected
+
+
+def _scope_bodies(tree: ast.Module) -> Iterator[List[ast.stmt]]:
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _local_shadows(own: List[ast.AST]) -> Set[str]:
+    return {
+        node.id
+        for node in own
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
+
+
+def _check_local_leaks(ctx: SourceFile) -> Iterator[Finding]:
+    aliases = import_aliases(ctx.tree)
+    for body in _scope_bodies(ctx.tree):
+        own = _own_scope_nodes(body)
+        shadowed = _local_shadows(own)
+        creations = [
+            (node, resource_kind_of(node, aliases, shadowed))
+            for node in own
+            if isinstance(node, ast.Call)
+        ]
+        creations = [
+            (node, kind) for node, kind in creations
+            if kind is not None and kind in _LOCAL_KINDS
+        ]
+        if not creations:
+            continue
+        use = analyze_scope(own)
+        for call, kind in creations:
+            if id(call) in use.with_managed or id(call) in use.escaped_calls:
+                continue
+            names = use.bound_to.get(id(call), [])
+            if names:
+                if any(
+                    n in use.reclaimed_names or n in use.escaped_names
+                    for n in names
+                ):
+                    continue
+            yield finding(
+                RULES["REP513"], ctx.rel, call,
+                f"{kind.name} is neither reclaimed in this scope nor "
+                "handed to a caller",
+                hint=f"use a with-statement or call "
+                f"{kind.describe_closers()}() in a finally block",
+            )
+
+
+def _producers(project: Project) -> Dict[str, ResourceKind]:
+    """Functions that return a resource they created, by qualname.
+
+    Memoized on the project: REP511 and REP512 both consult it.
+    """
+    cached = getattr(project, "_repro_resource_producers", None)
+    if cached is not None:
+        return cached
+    graph = get_call_graph(project)
+    producers: Dict[str, ResourceKind] = {}
+    for qualname, info in graph.table.items():
+        aliases = import_aliases(info.ctx.tree)
+        own = _own_scope_nodes(info.node.body)  # type: ignore[attr-defined]
+        shadowed = _local_shadows(own)
+        created: Dict[int, ResourceKind] = {}
+        created_names: Dict[str, ResourceKind] = {}
+        use = analyze_scope(own)
+        for node in own:
+            if not isinstance(node, ast.Call):
+                continue
+            kind = resource_kind_of(node, aliases, shadowed)
+            if kind is None:
+                continue
+            created[id(node)] = kind
+            for name in use.bound_to.get(id(node), []):
+                created_names[name] = kind
+        if not created:
+            continue
+        for node in own:
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and id(value) in created:
+                producers[qualname] = created[id(value)]
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in created_names
+            ):
+                producers[qualname] = created_names[value.id]
+    project._repro_resource_producers = producers  # type: ignore[attr-defined]
+    return producers
+
+
+def _check_escaped_resources(project: Project) -> Iterator[Finding]:
+    graph = get_call_graph(project)
+    producers = _producers(project)
+    for qualname, kind in producers.items():
+        for site in graph.callers_of(qualname):
+            yield from _audit_call_site(site, qualname, kind)
+
+
+def _audit_call_site(
+    site: CallSite, producer: str, kind: ResourceKind
+) -> Iterator[Finding]:
+    scope: List[ast.stmt]
+    if site.caller is not None:
+        scope = site.caller.node.body  # type: ignore[attr-defined]
+    else:
+        scope = site.ctx.tree.body
+    own = _own_scope_nodes(scope)
+    use = analyze_scope(own)
+    call_id = id(site.node)
+    if call_id in use.with_managed or call_id in use.escaped_calls:
+        return
+    names = use.bound_to.get(call_id, [])
+    if names and any(
+        n in use.reclaimed_names or n in use.escaped_names for n in names
+    ):
+        return
+    where = (
+        f"{site.caller.name!r}" if site.caller is not None else "module scope"
+    )
+    short = producer.rsplit(".", 1)[-1]
+    if not names:
+        message = (
+            f"{where} discards the {kind.name} returned by {short}() "
+            "without reclaiming it"
+        )
+    else:
+        message = (
+            f"{where} binds the {kind.name} from {short}() but never "
+            f"calls {kind.describe_closers()}() on it"
+        )
+    yield Finding(
+        rule_id="REP511",
+        severity=RULES["REP511"].severity,
+        path=site.ctx.rel,
+        line=getattr(site.node, "lineno", 1),
+        col=getattr(site.node, "col_offset", 0),
+        message=message,
+        hint="reclaim in a finally/with, or hand the resource onward "
+        "(return it / store it on an owner with a close method)",
+    )
+
+
+def _check_self_stored(project: Project) -> Iterator[Finding]:
+    graph = get_call_graph(project)
+    producers = _producers(project)
+    local_calls = {id(site.node): site.callee.qualname for site in graph.sites}
+    for ctx in project.files:
+        aliases = import_aliases(ctx.tree)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from _audit_class(
+                    ctx, node, aliases, producers, local_calls
+                )
+
+
+def _audit_class(
+    ctx: SourceFile,
+    cls: ast.ClassDef,
+    aliases: Dict[str, str],
+    producers: Dict[str, ResourceKind],
+    local_calls: Dict[int, str],
+) -> Iterator[Finding]:
+    stored: List[Tuple[ast.Assign, str, ResourceKind]] = []
+    reclaimed_attrs: Set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                kind = resource_kind_of(node.value, aliases, set())
+                if kind is None:
+                    qual = local_calls.get(id(node.value))
+                    if qual is not None:
+                        kind = producers.get(qual)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        stored.append((node, target.attr, kind))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ALL_CLOSERS
+            ):
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    reclaimed_attrs.add(receiver.attr)
+    for assign, attr, kind in stored:
+        if attr in reclaimed_attrs:
+            continue
+        yield finding(
+            RULES["REP512"], ctx.rel, assign,
+            f"class {cls.name!r} stores a {kind.name} on self.{attr} but "
+            "no method ever reclaims it",
+            hint=f"add a close()/__exit__ that calls "
+            f"self.{attr}.{sorted(kind.closers)[0]}()",
+        )
+
+
+RULES = {
+    "REP511": Rule(
+        "REP511", "escaped-resource-unreclaimed", Severity.ERROR,
+        "resources returned by a producer and leaked by a caller",
+        scope="project", project_checker=_check_escaped_resources,
+    ),
+    "REP512": Rule(
+        "REP512", "unreclaimable-self-resource", Severity.ERROR,
+        "resources stored on self with no reclaiming method",
+        scope="project", project_checker=_check_self_stored,
+    ),
+    "REP513": Rule(
+        "REP513", "local-resource-leak", Severity.ERROR,
+        "pools/files/memmaps neither reclaimed nor escaping their scope",
+        scope="file", file_checker=_check_local_leaks,
+    ),
+}

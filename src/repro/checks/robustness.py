@@ -24,7 +24,11 @@ patterns that silently defeat it:
   created (or attached) outside a context manager, in a scope with no
   ``try``/``finally`` that calls ``.close()``/``.unlink()``, leaks a
   kernel object past the process: the sharded fleet engine's
-  broadcast/attach discipline is reclaim-on-every-path.
+  broadcast/attach discipline is reclaim-on-every-path.  A segment
+  that *escapes* its creating scope — returned, yielded, stored on
+  ``self``, or passed onward — is exempt here: the obligation moves
+  with it, and the REP51x lifetime family audits the receiving side
+  through the call graph.
 
 Builder/worker discovery for REP502 is shared with the concurrency
 family: builders are ``Study`` methods named by literal
@@ -202,7 +206,13 @@ _SHM_FINALIZERS = {"close", "unlink"}
 
 def _own_scope_nodes(body) -> Iterator[ast.AST]:
     """Every node of a scope's own body, not descending into nested defs."""
-    stack = list(body)
+    stack = [
+        node
+        for node in body
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
     while stack:
         node = stack.pop()
         yield node
@@ -239,6 +249,8 @@ def _scope_reclaims(own_nodes) -> bool:
 
 
 def _check_leaked_sharedmem(ctx: SourceFile) -> Iterator[Finding]:
+    from repro.checks.lifetime import analyze_scope
+
     aliases = import_aliases(ctx.tree)
     for body in _scope_bodies(ctx.tree):
         own = list(_own_scope_nodes(body))
@@ -256,9 +268,15 @@ def _check_leaked_sharedmem(ctx: SourceFile) -> Iterator[Finding]:
                 for item in node.items:
                     for inner in ast.walk(item.context_expr):
                         managed.add(id(inner))
+        use = analyze_scope(own)
         reclaimed = _scope_reclaims(own)
         for call in segments:
             if id(call) in managed or reclaimed:
+                continue
+            if id(call) in use.escaped_calls:
+                continue  # handed onward: the REP51x family's territory
+            names = use.bound_to.get(id(call), [])
+            if names and any(n in use.escaped_names for n in names):
                 continue
             yield finding(
                 RULES["REP505"], ctx.rel, call,

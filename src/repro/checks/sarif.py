@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 rendering of checker findings (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI systems ingest natively — GitHub code scanning, VS Code's
+SARIF viewer, and artifact archival all speak it.  One run object,
+one result per finding, the rule catalog embedded in the driver so a
+viewer can show the rule description next to each result without the
+repo checked out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.checks.model import Finding, Rule, Severity
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rules the engine emits outside the catalog (parse/path).
+_SYNTHETIC_RULES = {
+    "REP001": "file could not be read or parsed",
+    "REP002": "explicitly passed path was not scannable",
+}
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _driver_rules(
+    findings: Sequence[Finding], rules: Dict[str, Rule]
+) -> List[Dict[str, object]]:
+    used = sorted({item.rule_id for item in findings})
+    catalog: List[Dict[str, object]] = []
+    for rule_id in used:
+        rule = rules.get(rule_id)
+        if rule is not None:
+            catalog.append(
+                {
+                    "id": rule_id,
+                    "name": rule.name,
+                    "shortDescription": {"text": rule.description},
+                    "defaultConfiguration": {
+                        "level": _level(rule.severity)
+                    },
+                }
+            )
+        elif rule_id in _SYNTHETIC_RULES:
+            catalog.append(
+                {
+                    "id": rule_id,
+                    "shortDescription": {"text": _SYNTHETIC_RULES[rule_id]},
+                }
+            )
+    return catalog
+
+
+def _result(item: Finding) -> Dict[str, object]:
+    text = item.message
+    if item.hint:
+        text += f" (hint: {item.hint})"
+    return {
+        "ruleId": item.rule_id,
+        "level": _level(item.severity),
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": item.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(item.line, 1),
+                        "startColumn": max(item.col, 0) + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Dict[str, Rule]
+) -> Dict[str, object]:
+    """The findings as one SARIF 2.1.0 document (a JSON-able dict)."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-checks",
+                        "informationUri": (
+                            "https://example.invalid/repro-checks"
+                        ),
+                        "rules": _driver_rules(findings, rules),
+                    }
+                },
+                "results": [_result(item) for item in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Dict[str, Rule]
+) -> str:
+    """The SARIF document serialized with stable formatting."""
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)

@@ -274,7 +274,7 @@ class BatchServiceEngine:
 
     # parity: takes pre-materialized arrival arrays instead of the event
     # engine's iterator; pinned by tests/test_ssj_batch_engine.py.
-    def advance(
+    def advance(  # hot: REP6xx-linted; arrays convert once via .tolist()
         self,
         arrival_times: np.ndarray,
         work_factors: np.ndarray,

@@ -1,0 +1,18 @@
+"""Fixture: callers pinning a callee's seed across modules (REP123)."""
+
+import streams
+
+
+def replay(seed, count):
+    rng = streams.make_stream(seed=1234)  # REP123
+    return rng.normal(size=count)
+
+
+def threaded(seed, count):
+    rng = streams.make_stream(seed=seed)  # derived: clean
+    return rng.normal(size=count)
+
+
+def excused(seed, count):  # repro-checks: ignore[REP123]
+    rng = streams.make_stream(seed=4321)  # def-line suppression applies
+    return rng.normal(size=count)

@@ -1,0 +1,7 @@
+"""Fixture: callee module of the seed-chain tree (REP123)."""
+
+import numpy as np
+
+
+def make_stream(seed):
+    return np.random.default_rng(seed)

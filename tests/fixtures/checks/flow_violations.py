@@ -1,0 +1,26 @@
+"""Violation fixture for the REP12x flow-determinism rules."""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(1234)  # REP124
+
+
+def hidden_seed(count):
+    rng = np.random.default_rng(1234)  # REP121
+    return rng.normal(size=count)
+
+
+def derives_from_param(seed, count):
+    rng = np.random.default_rng((seed, 1))  # traceable: clean
+    return rng.normal(size=count)
+
+
+def reseeds(rng, seed, count):
+    fresh = np.random.default_rng(seed)  # REP122: discards the caller rng
+    return fresh.normal(size=count)
+
+
+def guarded_fallback(count, rng=None, seed=None):
+    if rng is None:
+        rng = np.random.default_rng(seed)  # guarded: clean
+    return rng.normal(size=count)

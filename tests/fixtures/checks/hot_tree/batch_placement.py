@@ -1,0 +1,19 @@
+"""Fixture: module-leaf hot scope (every function here is hot)."""
+
+import numpy as np
+
+import helpers
+
+
+def fold(col: np.ndarray) -> float:
+    acc = 0.0
+    for i in range(len(col)):  # REP601
+        acc = acc + float(col[i])  # REP602 + REP603 (assign form)
+    return acc
+
+
+def iterates_helper(n) -> float:
+    total = 0.0
+    for value in helpers.load_column(n):  # REP601 via call-graph summary
+        total = total + value
+    return total

@@ -1,0 +1,7 @@
+"""Fixture: cold helper whose return type flows into the hot module."""
+
+import numpy as np
+
+
+def load_column(n):
+    return np.zeros(n)

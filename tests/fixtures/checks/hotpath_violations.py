@@ -1,0 +1,49 @@
+"""Violation fixture for the REP6xx hot-path rules (marker scope)."""
+
+import numpy as np
+
+
+def loops_rows(table: np.ndarray) -> float:  # hot
+    total = 0.0
+    for _row in table:  # REP601
+        total = total + 1.0
+    return total
+
+
+def counts_index(col: np.ndarray) -> float:  # hot
+    acc = 0.0
+    for i in range(len(col)):  # REP601
+        acc += float(col[i])  # REP602 + REP603
+    return acc
+
+
+def grows(parts: np.ndarray) -> np.ndarray:  # hot
+    out = np.zeros(1)
+    for _part in parts:  # REP601
+        out = np.concatenate([out, out])  # REP604
+    return np.append(out, 1.0)  # REP604
+
+
+def copies(table: np.ndarray) -> np.ndarray:  # hot
+    return (table * 2.0).copy()  # REP605
+
+
+def item_boxing(col: np.ndarray, flags) -> float:  # hot
+    total = 0.0
+    for _flag in flags:
+        total = total + col.item()  # REP602
+    return total
+
+
+def excused(col: np.ndarray) -> float:  # hot  # repro-checks: ignore[REP601]
+    total = 0.0
+    for _value in col:  # suppressed by the def-line comment
+        total = total + 1.0
+    return total
+
+
+def cold_loop(table: np.ndarray) -> float:
+    total = 0.0
+    for _row in table:  # not hot: no marker, module not in the hot set
+        total = total + 1.0
+    return total

@@ -1,0 +1,48 @@
+"""Fixture: callers of resource producers (REP511/REP512)."""
+
+import pools
+
+
+def leaks_discarded(workers):
+    pools.make_pool(workers)  # REP511: result discarded
+
+
+def leaks_bound(workers, jobs):
+    pool = pools.make_pool(workers)  # REP511: never reclaimed
+    return [pool.submit(job) for job in jobs]
+
+
+def leaks_segment(n):
+    segment = pools.make_segment(n)  # REP511: never reclaimed
+    return bytes(segment.buf[:4])
+
+
+def reclaims(workers, jobs):
+    pool = pools.make_pool(workers)
+    try:
+        return [pool.submit(job) for job in jobs]
+    finally:
+        pool.shutdown()
+
+
+def hands_onward(workers):
+    return pools.make_pool(workers)  # obligation moves to our caller
+
+
+class FleetRunner:
+    def __init__(self, workers):
+        self.pool = pools.make_pool(workers)  # REP512: no closer method
+
+    def submit(self, job):
+        return self.pool.submit(job)
+
+
+class ManagedRunner:
+    def __init__(self, workers):
+        self.pool = pools.make_pool(workers)
+
+    def submit(self, job):
+        return self.pool.submit(job)
+
+    def close(self):
+        self.pool.shutdown()

@@ -1,0 +1,48 @@
+"""Violation fixture for REP513 local resource leaks."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def leaky_pool(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)  # REP513
+    return [pool.submit(job) for job in jobs]
+
+
+def leaky_file(path):
+    handle = open(path)  # REP513
+    return handle.read()
+
+
+def chained_read(path):
+    return open(path).read()  # REP513: the temporary can never be closed
+
+
+def leaky_memmap(path):
+    mm = np.memmap(path, dtype="uint8", mode="r")  # REP513
+    return int(mm[0])
+
+
+def managed_file(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def deferred_with(path):
+    handle = open(path)
+    with handle:
+        return handle.read()
+
+
+def reclaimed_pool(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(job) for job in jobs]
+    finally:
+        pool.shutdown()
+
+
+def handed_off(path):
+    handle = open(path)
+    return handle  # the close obligation moves to the caller

@@ -28,7 +28,7 @@ def _hits(findings):
 class TestRuleCatalog:
     def test_every_family_is_registered(self):
         families = {rule_id[:4] for rule_id in RULES}
-        assert families == {"REP1", "REP2", "REP3", "REP4", "REP5"}
+        assert families == {"REP1", "REP2", "REP3", "REP4", "REP5", "REP6"}
 
     def test_rules_are_documented(self):
         for rule in RULES.values():
@@ -41,7 +41,7 @@ class TestRuleCatalog:
             for rule_id, rule in RULES.items()
             if rule.severity is Severity.WARNING
         ]
-        assert warnings == ["REP305", "REP503", "REP504"]
+        assert warnings == ["REP305", "REP503", "REP504", "REP603", "REP605"]
 
 
 class TestDeterminismRules:
@@ -56,6 +56,8 @@ class TestDeterminismRules:
             ("REP104", "det_violations.py", 11),
             ("REP105", "det_violations.py", 12),
             ("REP106", "det_violations.py", 18),
+            # the module-level generator also trips the flow family
+            ("REP124", "det_violations.py", 12),
         ]
 
     def test_inline_suppression_respected(self):
@@ -201,6 +203,11 @@ class TestEngine:
         findings = run_checks(
             [str(FIXTURES / "det_violations.py")], ignore=["REP10"]
         )
+        # the REP10x prefix leaves the REP12x flow family running
+        assert [f.rule_id for f in findings] == ["REP124"]
+        findings = run_checks(
+            [str(FIXTURES / "det_violations.py")], ignore=["REP1"]
+        )
         assert findings == []
 
     def test_findings_are_sorted(self):
@@ -260,7 +267,7 @@ class TestChecksCli:
         )
         assert code == 1
         document = json.loads(capsys.readouterr().out)
-        assert document["errors"] == 6
+        assert document["errors"] == 7
         rules = {entry["rule"] for entry in document["findings"]}
         assert "REP101" in rules
 

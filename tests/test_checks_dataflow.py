@@ -1,0 +1,306 @@
+"""Tests for the cross-module dataflow tier of repro.checks.
+
+Covers the call graph and the two dataflow lattices, the three new
+rule families (REP12x flow determinism, REP51x resource lifetimes,
+REP6xx hot paths), and the engine's incremental/parallel/changed/SARIF
+modes, against violation fixtures with exact rule-id/line assertions.
+"""
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+from repro.checks import RULES, Severity, exit_code, run_checks
+from repro.checks import engine as engine_mod
+from repro.checks.callgraph import get_call_graph
+from repro.checks.dataflow import array_summaries, param_names, tainted_names
+from repro.checks.engine import collect_files, load_project
+from repro.checks.incremental import FindingCache
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "checks"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def _hits(findings):
+    return sorted((f.rule_id, Path(f.path).name, f.line) for f in findings)
+
+
+class TestCallGraph:
+    def test_cross_module_edges_resolve_with_bound_args(self):
+        project = load_project([str(FIXTURES / "flow_tree")]).project
+        graph = get_call_graph(project)
+        assert "streams.make_stream" in graph.table
+        sites = graph.callers_of("streams.make_stream")
+        assert sorted(s.caller.name for s in sites) == [
+            "excused", "replay", "threaded",
+        ]
+        replay_site = next(s for s in sites if s.caller.name == "replay")
+        bound = replay_site.bound_args()
+        assert isinstance(bound["seed"], ast.Constant)
+        assert bound["seed"].value == 1234
+
+    def test_graph_is_memoized_per_project(self):
+        project = load_project([str(FIXTURES / "flow_tree")]).project
+        assert get_call_graph(project) is get_call_graph(project)
+
+    def test_method_edges_via_self(self):
+        project = load_project([str(FIXTURES / "lifetime_tree")]).project
+        graph = get_call_graph(project)
+        assert "fleet_driver.FleetRunner.__init__" in graph.table
+        callers = graph.callers_of("pools.make_pool")
+        caller_names = {s.caller.qualname for s in callers}
+        assert "fleet_driver.FleetRunner.__init__" in caller_names
+
+
+class TestDataflowLattices:
+    def test_taint_propagates_through_simple_assigns(self):
+        func = ast.parse(
+            "def f(seed):\n"
+            "    base = seed + 1\n"
+            "    derived = (base, 2)\n"
+            "    untouched = 7\n"
+        ).body[0]
+        tainted = tainted_names(func, set(param_names(func)))
+        assert {"seed", "base", "derived"} <= tainted
+        assert "untouched" not in tainted
+
+    def test_array_summaries_cross_module(self):
+        project = load_project([str(FIXTURES / "hot_tree")]).project
+        summaries, _ = array_summaries(project)
+        assert summaries["helpers.load_column"] is True
+
+
+class TestFlowDeterminismRules:
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "flow_violations.py")], select=["REP12"]
+        )
+        assert _hits(findings) == [
+            ("REP121", "flow_violations.py", 9),
+            ("REP122", "flow_violations.py", 19),
+            ("REP124", "flow_violations.py", 5),
+        ]
+
+    def test_seed_chain_break_across_modules(self):
+        findings = run_checks(
+            [str(FIXTURES / "flow_tree")], select=["REP12"]
+        )
+        # replay fires; threaded derives from its own seed; excused is
+        # silenced by the def-line suppression (project-scoped finding).
+        assert _hits(findings) == [("REP123", "driver.py", 7)]
+
+
+class TestHotPathRules:
+    def test_exact_findings_marker_scope(self):
+        findings = run_checks(
+            [str(FIXTURES / "hotpath_violations.py")], select=["REP6"]
+        )
+        assert _hits(findings) == [
+            ("REP601", "hotpath_violations.py", 8),
+            ("REP601", "hotpath_violations.py", 15),
+            ("REP601", "hotpath_violations.py", 22),
+            ("REP602", "hotpath_violations.py", 16),
+            ("REP602", "hotpath_violations.py", 34),
+            ("REP603", "hotpath_violations.py", 16),
+            ("REP604", "hotpath_violations.py", 23),
+            ("REP604", "hotpath_violations.py", 24),
+            ("REP605", "hotpath_violations.py", 28),
+        ]
+
+    def test_exact_findings_module_scope(self):
+        findings = run_checks(
+            [str(FIXTURES / "hot_tree")], select=["REP6"]
+        )
+        # line 17 proves the cross-module "returns ndarray" summary:
+        # the iterated expression is a call into the cold helpers module.
+        assert _hits(findings) == [
+            ("REP601", "batch_placement.py", 10),
+            ("REP601", "batch_placement.py", 17),
+            ("REP602", "batch_placement.py", 11),
+            ("REP603", "batch_placement.py", 11),
+        ]
+
+    def test_warnings_do_not_fail_the_run(self):
+        findings = run_checks(
+            [str(FIXTURES / "hotpath_violations.py")],
+            select=["REP603", "REP605"],
+        )
+        assert findings
+        assert exit_code(findings) == 0
+
+
+class TestLifetimeRules:
+    def test_local_leaks_exact(self):
+        findings = run_checks(
+            [str(FIXTURES / "lifetime_violations.py")], select=["REP51"]
+        )
+        assert _hits(findings) == [
+            ("REP513", "lifetime_violations.py", 9),
+            ("REP513", "lifetime_violations.py", 14),
+            ("REP513", "lifetime_violations.py", 19),
+            ("REP513", "lifetime_violations.py", 23),
+        ]
+
+    def test_escapes_audited_through_call_graph(self):
+        findings = run_checks(
+            [str(FIXTURES / "lifetime_tree")], select=["REP5"]
+        )
+        # REP505 stays quiet on the escaping segment in pools.py; the
+        # REP51x family blames the callers that drop the resources.
+        assert _hits(findings) == [
+            ("REP511", "fleet_driver.py", 7),
+            ("REP511", "fleet_driver.py", 11),
+            ("REP511", "fleet_driver.py", 16),
+            ("REP512", "fleet_driver.py", 34),
+        ]
+
+
+class TestEngineSatellites:
+    def test_unscannable_paths_warn_instead_of_vanishing(self, tmp_path):
+        not_python = tmp_path / "notes.txt"
+        not_python.write_text("hello\n")
+        missing = tmp_path / "gone.py"
+        findings = run_checks([str(not_python), str(missing)])
+        assert [f.rule_id for f in findings] == ["REP002", "REP002"]
+        assert all(f.severity is Severity.WARNING for f in findings)
+        assert exit_code(findings) == 0
+
+    def test_collect_files_records_warnings(self, tmp_path):
+        bogus = tmp_path / "data.csv"
+        bogus.write_text("a,b\n")
+        warnings = []
+        collected = collect_files([str(bogus)], warnings=warnings)
+        assert collected == []
+        assert len(warnings) == 1 and warnings[0].rule_id == "REP002"
+
+    def test_def_line_suppression_covers_function_span(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def helper(count):  # repro-checks: ignore[REP121]\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.normal(size=count)\n"
+        )
+        assert run_checks([str(target)], select=["REP121"]) == []
+        # the same shape without the comment fires
+        target.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def helper(count):\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.normal(size=count)\n"
+        )
+        findings = run_checks([str(target)], select=["REP121"])
+        assert [f.rule_id for f in findings] == ["REP121"]
+
+
+class TestIncrementalEngine:
+    def _tree(self, tmp_path):
+        root = tmp_path / "proj"
+        root.mkdir()
+        shutil.copy(FIXTURES / "flow_violations.py", root / "flow.py")
+        shutil.copy(FIXTURES / "clean.py", root / "clean.py")
+        return root
+
+    def test_warm_run_matches_cold_and_skips_parsing(
+        self, tmp_path, monkeypatch
+    ):
+        root = self._tree(tmp_path)
+        cache = FindingCache(tmp_path / "cache")
+        cold = run_checks([str(root)], cache=cache)
+        assert cold  # the fixture violations
+        # A fully warm rerun must not parse anything: break the parser
+        # and the run still succeeds off the cache.
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm run parsed a file")
+
+        monkeypatch.setattr(engine_mod, "_build_source_file", boom)
+        warm_cache = FindingCache(tmp_path / "cache")
+        warm = run_checks([str(root)], cache=warm_cache)
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        before = run_checks([str(root)], cache=FindingCache(cache_dir))
+        target = root / "clean.py"
+        target.write_text(
+            target.read_text() + "\n\nimport numpy as np\n"
+            "EXTRA = np.random.default_rng(3)\n"
+        )
+        after = run_checks([str(root)], cache=FindingCache(cache_dir))
+        fresh = [f for f in after if f.path.endswith("clean.py")]
+        assert {f.rule_id for f in fresh} == {"REP124"}
+        assert len(after) == len(before) + 1
+
+    def test_corrupt_cache_is_evicted_silently(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_checks([str(root)], cache=FindingCache(cache_dir))
+        (cache_dir / "findings.json").write_text("{not json")
+        again = run_checks([str(root)], cache=FindingCache(cache_dir))
+        assert again == run_checks([str(root)])
+
+    def test_parallel_jobs_produce_identical_findings(self):
+        serial = run_checks([str(FIXTURES / "flow_tree")])
+        parallel = run_checks([str(FIXTURES / "flow_tree")], jobs=2)
+        assert [f.to_dict() for f in serial] == [
+            f.to_dict() for f in parallel
+        ]
+
+    def test_changed_mode_filters_by_git_status(self, monkeypatch):
+        target = FIXTURES / "det_violations.py"
+        rel = engine_mod._rel(target)
+        monkeypatch.setattr(
+            engine_mod, "_git_changed_rels", lambda: {rel}
+        )
+        findings = run_checks(
+            [str(target), str(FIXTURES / "flow_violations.py")],
+            changed=True,
+        )
+        assert findings and all(f.path == rel for f in findings)
+        monkeypatch.setattr(engine_mod, "_git_changed_rels", lambda: set())
+        assert run_checks([str(target)], changed=True) == []
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, capsys):
+        code = main(
+            [
+                "checks", str(FIXTURES / "det_violations.py"),
+                "--format", "sarif", "--no-cache",
+            ]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-checks"
+        results = run["results"]
+        assert results
+        rule_ids = {r["ruleId"] for r in results}
+        assert "REP101" in rule_ids
+        for result in results:
+            assert result["level"] in ("error", "warning")
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+        catalog = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids <= catalog
+
+
+class TestSelfScan:
+    def test_src_is_clean_under_the_full_rule_set(self):
+        findings = run_checks([str(SRC)], cache=FindingCache())
+        assert findings == []
+
+    def test_new_families_are_catalogued(self):
+        for rule_id in ("REP121", "REP122", "REP123", "REP124",
+                        "REP511", "REP512", "REP513",
+                        "REP601", "REP602", "REP603", "REP604", "REP605"):
+            assert rule_id in RULES
+            assert RULES[rule_id].description
