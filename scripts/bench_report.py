@@ -7,8 +7,10 @@ artifact engine, multi-seed ensemble throughput, the columnar
 fleet engine (10k-server trace replay, both backends, plus a placement
 sweep), the sharded out-of-core tier (a million-server replay, run in
 a subprocess so its peak RSS is attributable), the incremental
-``repro checks`` self-scan (cold vs fully-warm), and the serve
-daemon's warm mixed-query throughput -- and writes the results to
+``repro checks`` self-scan (cold vs fully-warm), the serve
+daemon's warm mixed-query throughput, and the serve overload path
+(shed-answer p99 and graceful-drain time under an injected burst) --
+and writes the results to
 ``BENCH_core.json`` at the repo root so the perf trajectory is tracked
 in-tree.  Fleet benchmarks record peak RSS (``resource.getrusage``)
 next to their timings.
@@ -54,6 +56,7 @@ CEILINGS = {
     "placement_sweep_s": 20.0,
     "fleet_replay_1m_s": 120.0,
     "checks_src_s": 30.0,
+    "serve_drain_s": 10.0,
 }
 
 #: Minimum cold/warm speedup --check demands on the incremental
@@ -80,6 +83,14 @@ MIN_FLEET_SPEEDUP = 10.0
 #: of engine speed, and only a gross regression trips them.
 MIN_SERVE_QPS = 1000.0
 MAX_SERVE_P99_MS = 100.0
+
+#: Ceiling on the p99 turnaround of a *shed* (503) answer while the
+#: daemon is saturated.  Shedding happens before any engine work, so
+#: its cost is one event-loop exchange (measured ~10 ms under a
+#: 4x-capacity burst); a breach means admission control is queueing
+#: behind the engine instead of failing fast.  The companion
+#: ``serve_drain_s`` ceiling lives in ``CEILINGS``.
+MAX_SERVE_SHED_P99_MS = 100.0
 
 
 def _peak_rss_mb() -> float:
@@ -294,6 +305,96 @@ def bench_serve(warm_rounds: int, timed_rounds: int):
     return qps, p50_ms, p99_ms
 
 
+def bench_serve_overload(clients: int = 32):
+    """Shed-path p99 and graceful-drain duration under overload.
+
+    Saturates a deliberately tiny daemon (4 slots + 4 queue places)
+    with a ``clients``-wide burst of distinct cold queries while the
+    engine carries injected latency (the ``serve.engine`` fault site),
+    and measures the p99 turnaround of the *shed* (503) answers --
+    shedding happens before engine work, so it must cost event-loop
+    exchanges, not engine seconds.  Then, with fresh queries still in
+    flight, stops the daemon and times the graceful drain.  Returns
+    ``(shed_p99_ms, drain_s)``.
+    """
+    import threading
+
+    from repro.core.faults import FaultPlan, FaultSpec, install
+    from repro.serve import (
+        ServeApp,
+        ServeClient,
+        ServeLimits,
+        start_daemon_thread,
+    )
+
+    def spec(index: int, base: float = 0.0):
+        lo = round(base + 0.01 * index, 3)
+        return {"family": "cdf", "metric": "ep", "lo": lo, "hi": lo + 0.005}
+
+    app = ServeApp(limits=ServeLimits(max_inflight=4, max_queue=4))
+    plan = FaultPlan(
+        [FaultSpec(site="serve.engine", mode="latency", delay_s=0.25)]
+    )
+    answers = [None] * clients
+    barrier = threading.Barrier(clients)
+    drain_workers = 4
+    drained = [None] * drain_workers
+    with install(plan):
+        handle = start_daemon_thread(app)
+
+        def burst(index):
+            client = ServeClient(port=handle.port, timeout_s=60)
+            try:
+                barrier.wait(timeout=30)
+                sent = time.perf_counter()
+                status, _doc = client.query(spec(index))
+                answers[index] = (status, time.perf_counter() - sent)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=burst, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        def worker(index):
+            client = ServeClient(port=handle.port, timeout_s=60)
+            try:
+                drained[index] = client.query(spec(index, base=0.9))[0]
+            finally:
+                client.close()
+
+        admitted_before = app.stats.admitted
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(drain_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        settle = time.monotonic() + 5.0
+        while (app.stats.admitted < admitted_before + drain_workers
+               and time.monotonic() < settle):
+            time.sleep(0.005)
+        started = time.perf_counter()
+        handle.stop(timeout_s=30)
+        drain_s = time.perf_counter() - started
+        for thread in threads:
+            thread.join(timeout=30)
+    shed = sorted(
+        latency for entry in answers if entry
+        for status, latency in [entry] if status == 503
+    )
+    if not shed:
+        raise RuntimeError("overload bench shed nothing; burst too small")
+    if any(status != 200 for status in drained):
+        raise RuntimeError(f"graceful drain lost requests: {drained}")
+    shed_p99_ms = shed[min(len(shed) - 1, int(len(shed) * 0.99))] * 1000.0
+    return shed_p99_ms, drain_s
+
+
 def bench_checks():
     """Cold vs fully-warm ``repro checks`` self-scan over ``src/``.
 
@@ -419,6 +520,10 @@ def main(argv=None) -> int:
     timings["serve_qps"] = serve_qps
     timings["serve_p50_ms"] = serve_p50_ms
     timings["serve_p99_ms"] = serve_p99_ms
+    print("benchmarking serve overload (shed + drain) ...", flush=True)
+    shed_p99_ms, drain_s = bench_serve_overload()
+    timings["serve_shed_p99_ms"] = shed_p99_ms
+    timings["serve_drain_s"] = drain_s
 
     payload = {
         "schema": 1,
@@ -468,6 +573,11 @@ def main(argv=None) -> int:
             breaches.append(
                 f"serve_p99_ms: {timings['serve_p99_ms']:.2f}ms "
                 f"> ceiling {MAX_SERVE_P99_MS:.0f}ms"
+            )
+        if timings["serve_shed_p99_ms"] > MAX_SERVE_SHED_P99_MS:
+            breaches.append(
+                f"serve_shed_p99_ms: {timings['serve_shed_p99_ms']:.2f}ms "
+                f"> ceiling {MAX_SERVE_SHED_P99_MS:.0f}ms"
             )
         if timings["checks_warm_speedup"] < MIN_CHECKS_WARM_SPEEDUP:
             breaches.append(

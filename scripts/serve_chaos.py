@@ -1,0 +1,387 @@
+"""Chaos harness for the serve daemon's overload-resilience layer.
+
+Drives the daemon through seeded fault-injection scenarios (the
+``serve.engine`` / ``serve.handler`` / ``serve.io`` sites of
+:mod:`repro.core.faults`) over real HTTP and asserts the overload
+contract deterministically:
+
+* **overload burst** -- a 4x-capacity burst of distinct queries sheds
+  cleanly: every connection gets an answer (zero hung, zero reset),
+  only 200/503 statuses appear, at least the admitted capacity
+  succeeds, sheds answer fast, and the p99 of *accepted* requests
+  stays within 5x the uncontended p99;
+* **deadline storm** -- every request carries a deadline far below the
+  injected engine latency: all answer 504 and the daemon is left with
+  an empty coalescer map, an empty response memo and an idle batch
+  window (abandoned flights are cancelled, not leaked), after which
+  the same specs succeed;
+* **drain under load** -- ``stop()`` while admitted queries are still
+  computing loses zero accepted requests, finishes inside the drain
+  budget, and the stopped port refuses new connections;
+* **circuit breaker** -- a spec that fails permanently trips open
+  after the configured failures, fails fast with 503 + Retry-After
+  during the cooldown, and recovers on schedule via the half-open
+  probe -- and a :class:`~repro.core.resilience.RetryPolicy` client
+  rides through the trip to the recovered answer.
+
+Prints ``serve_shed_p99_ms`` and ``serve_drain_s`` (the metrics
+``bench_report.py --check`` enforces) and exits non-zero on any
+violation.  Usage::
+
+    PYTHONPATH=src python scripts/serve_chaos.py
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.faults import FaultPlan, FaultSpec, install  # noqa: E402
+from repro.core.resilience import RetryPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeApp,
+    ServeClient,
+    ServeLimits,
+    start_daemon_thread,
+)
+
+#: Overload scenario shape: 4 slots + 4 queue places, hit with 4x that.
+BURST_INFLIGHT = 4
+BURST_QUEUE = 4
+BURST_CLIENTS = 4 * (BURST_INFLIGHT + BURST_QUEUE)
+ENGINE_LATENCY_S = 0.25
+
+STORM_CLIENTS = 16
+STORM_DEADLINE_MS = 50.0
+STORM_LATENCY_S = 0.5
+
+DRAIN_WORKERS = 4
+DRAIN_LATENCY_S = 0.4
+
+BREAKER_FAILURES = 3
+BREAKER_COOLDOWN_S = 0.5
+
+
+def cdf(index, base=0.0):
+    lo = round(base + 0.01 * index, 3)
+    return {"family": "cdf", "metric": "ep", "lo": lo, "hi": lo + 0.005}
+
+
+def run_threads(count, worker):
+    """Run ``worker(i)`` on ``count`` threads; returns the stragglers."""
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    return [thread for thread in threads if thread.is_alive()]
+
+
+def scenario_overload_burst(failures):
+    """4x-capacity burst: clean sheds, bounded accepted latency."""
+    app = ServeApp(
+        limits=ServeLimits(
+            max_inflight=BURST_INFLIGHT, max_queue=BURST_QUEUE,
+            retry_after_s=1.0,
+        )
+    )
+    plan = FaultPlan(
+        [FaultSpec(site="serve.engine", mode="latency",
+                   delay_s=ENGINE_LATENCY_S)]
+    )
+    answers = [None] * BURST_CLIENTS
+    errors = [None] * BURST_CLIENTS
+    barrier = threading.Barrier(BURST_CLIENTS)
+    with install(plan):
+        handle = start_daemon_thread(app)
+        try:
+            # uncontended baseline under the same injected engine latency
+            baseline_client = ServeClient(port=handle.port)
+            baseline_s = 0.0
+            for i in range(4):
+                sent = time.perf_counter()
+                status, _doc = baseline_client.query(cdf(i, base=0.9))
+                baseline_s = max(baseline_s, time.perf_counter() - sent)
+                if status != 200:
+                    failures.append(f"burst baseline query got {status}")
+            baseline_client.close()
+
+            def worker(index):
+                client = ServeClient(port=handle.port, timeout_s=60)
+                try:
+                    barrier.wait(timeout=30)
+                    sent = time.perf_counter()
+                    status, _doc = client.query(cdf(index))
+                    answers[index] = (status, time.perf_counter() - sent)
+                except Exception as exc:  # reset/hung connections are bugs
+                    errors[index] = exc
+                finally:
+                    client.close()
+
+            hung = run_threads(BURST_CLIENTS, worker)
+        finally:
+            handle.stop(timeout_s=30)
+    if hung:
+        failures.append(f"burst left {len(hung)} hung connection(s)")
+    dropped = [e for e in errors if e is not None]
+    if dropped:
+        failures.append(
+            f"burst reset {len(dropped)} connection(s): {dropped[0]!r}"
+        )
+    statuses = sorted(status for status, _lat in answers if answers)
+    if set(statuses) - {200, 503}:
+        failures.append(f"burst produced unexpected statuses: {statuses}")
+    accepted = [lat for status, lat in answers if status == 200]
+    shed = [lat for status, lat in answers if status == 503]
+    if len(accepted) < BURST_INFLIGHT + BURST_QUEUE:
+        failures.append(
+            f"burst accepted only {len(accepted)} "
+            f"(capacity {BURST_INFLIGHT + BURST_QUEUE})"
+        )
+    if not shed:
+        failures.append("4x-capacity burst shed nothing")
+    if app.stats.shed != len(shed):
+        failures.append(
+            f"shed counter {app.stats.shed} != shed responses {len(shed)}"
+        )
+    accepted.sort()
+    shed.sort()
+    accepted_p99_s = accepted[
+        min(len(accepted) - 1, int(len(accepted) * 0.99))
+    ]
+    shed_p99_ms = shed[min(len(shed) - 1, int(len(shed) * 0.99))] * 1000.0
+    if accepted_p99_s > 5.0 * baseline_s + 0.25:
+        failures.append(
+            f"accepted p99 {accepted_p99_s:.3f}s > 5x uncontended "
+            f"{baseline_s:.3f}s"
+        )
+    print(
+        f"  burst: {len(accepted)} accepted / {len(shed)} shed, "
+        f"accepted p99 {accepted_p99_s * 1000.0:.1f}ms "
+        f"(uncontended {baseline_s * 1000.0:.1f}ms), "
+        f"shed p99 {shed_p99_ms:.1f}ms"
+    )
+    return shed_p99_ms
+
+
+def scenario_deadline_storm(failures):
+    """Deadlines far below engine latency: 504s and no residue."""
+    app = ServeApp()
+    plan = FaultPlan(
+        [FaultSpec(site="serve.engine", mode="latency",
+                   delay_s=STORM_LATENCY_S, times=STORM_CLIENTS)]
+    )
+    answers = [None] * STORM_CLIENTS
+    barrier = threading.Barrier(STORM_CLIENTS)
+    with install(plan):
+        handle = start_daemon_thread(app)
+        try:
+            def worker(index):
+                client = ServeClient(port=handle.port, timeout_s=60)
+                try:
+                    barrier.wait(timeout=30)
+                    answers[index] = client.query(
+                        cdf(index), deadline_ms=STORM_DEADLINE_MS
+                    )[0]
+                finally:
+                    client.close()
+
+            hung = run_threads(STORM_CLIENTS, worker)
+            if hung:
+                failures.append(f"storm left {len(hung)} hung connection(s)")
+            if set(answers) != {504}:
+                failures.append(f"storm statuses {sorted(set(answers))}, "
+                                "expected all 504")
+            # abandoned flights must cancel and leave no residue behind
+            deadline = time.monotonic() + 10.0
+            while len(app._coalescer) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            if len(app._coalescer):
+                failures.append(
+                    f"coalescer still holds {len(app._coalescer)} flight(s)"
+                )
+            if len(app._memo):
+                failures.append(
+                    f"memo holds {len(app._memo)} entries for expired work"
+                )
+            if app._batch.pending:
+                failures.append(
+                    f"batch window still holds {app._batch.pending} rider(s)"
+                )
+            if app.stats.timeouts != STORM_CLIENTS:
+                failures.append(
+                    f"timeouts counter {app.stats.timeouts} != "
+                    f"{STORM_CLIENTS}"
+                )
+            # the same specs must succeed once the injected latency is spent
+            client = ServeClient(port=handle.port)
+            rerun = [client.query(cdf(i))[0] for i in range(STORM_CLIENTS)]
+            if set(rerun) != {200}:
+                failures.append(
+                    f"post-storm rerun statuses {sorted(set(rerun))}"
+                )
+            stats = client.stats()["stats"]
+            for counter in ("shed", "timeouts", "breaker_fastfail",
+                            "breaker_trips", "admitted"):
+                if counter not in stats:
+                    failures.append(f"/stats is missing {counter!r}")
+            client.close()
+        finally:
+            handle.stop(timeout_s=30)
+    print(
+        f"  storm: {STORM_CLIENTS} x {STORM_DEADLINE_MS:g}ms deadlines vs "
+        f"{STORM_LATENCY_S:g}s engine -> all 504, maps empty, rerun clean"
+    )
+
+
+def scenario_drain_under_load(failures):
+    """stop() with admitted work in flight loses zero requests."""
+    app = ServeApp(limits=ServeLimits(drain_s=10.0))
+    plan = FaultPlan(
+        [FaultSpec(site="serve.engine", mode="latency",
+                   delay_s=DRAIN_LATENCY_S, times=DRAIN_WORKERS)]
+    )
+    answers = [None] * DRAIN_WORKERS
+    with install(plan):
+        handle = start_daemon_thread(app)
+
+        def worker(index):
+            client = ServeClient(port=handle.port, timeout_s=60)
+            try:
+                answers[index] = client.query(cdf(index))
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(DRAIN_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        settle = time.monotonic() + 5.0
+        while app.stats.admitted < DRAIN_WORKERS and time.monotonic() < settle:
+            time.sleep(0.005)
+        if app.stats.admitted != DRAIN_WORKERS:
+            failures.append(
+                f"only {app.stats.admitted}/{DRAIN_WORKERS} queries "
+                "admitted before the drain"
+            )
+        started = time.perf_counter()
+        handle.stop(timeout_s=30)
+        drain_s = time.perf_counter() - started
+        for thread in threads:
+            thread.join(timeout=30)
+        if any(thread.is_alive() for thread in threads):
+            failures.append("drain left client threads hanging")
+    lost = [a for a in answers if a is None or a[0] != 200]
+    if lost:
+        failures.append(
+            f"drain lost {len(lost)} accepted request(s): "
+            f"{[a if a is None else a[0] for a in answers]}"
+        )
+    if drain_s > 10.0:
+        failures.append(f"drain took {drain_s:.2f}s > 10s budget")
+    try:
+        ServeClient(port=handle.port, timeout_s=2).healthz()
+        failures.append("stopped daemon still accepts connections")
+    except OSError:
+        pass
+    print(
+        f"  drain: {DRAIN_WORKERS} in-flight queries all answered 200, "
+        f"drained in {drain_s:.2f}s"
+    )
+    return drain_s
+
+
+def scenario_breaker(failures):
+    """Permanent failures trip the breaker; it recovers on schedule."""
+    app = ServeApp(
+        limits=ServeLimits(
+            breaker_failures=BREAKER_FAILURES,
+            breaker_cooldown_s=BREAKER_COOLDOWN_S,
+        )
+    )
+    plan = FaultPlan(
+        [FaultSpec(site="serve.engine", mode="fail-n", error="data",
+                   times=BREAKER_FAILURES)]
+    )
+    spec = cdf(0)
+    with install(plan):
+        handle = start_daemon_thread(app)
+        try:
+            client = ServeClient(port=handle.port)
+            for attempt in range(BREAKER_FAILURES):
+                status, _doc = client.query(dict(spec))
+                if status != 500:
+                    failures.append(
+                        f"injected failure {attempt} answered {status}, "
+                        "expected 500"
+                    )
+            status, _doc = client.query(dict(spec))
+            if status != 503:
+                failures.append(f"tripped spec answered {status}, not 503")
+            if client.last_headers.get("retry-after") is None:
+                failures.append("breaker 503 carried no Retry-After hint")
+            if app._breaker.trips != 1:
+                failures.append(f"breaker trips {app._breaker.trips} != 1")
+            if app.stats.breaker_fastfail < 1:
+                failures.append("breaker fast-fail counter did not move")
+            # recovery on schedule: a seeded-retry client waits out the
+            # cooldown (honoring Retry-After) and lands the probe
+            retry_client = ServeClient(
+                port=handle.port,
+                retry=RetryPolicy(attempts=4, base_delay_s=0.2,
+                                  max_delay_s=1.0, jitter=0.0),
+            )
+            status, document = retry_client.query(dict(spec))
+            if status != 200:
+                failures.append(
+                    f"breaker did not recover after cooldown: {status} "
+                    f"{document}"
+                )
+            if retry_client.retried_503 < 1:
+                failures.append("retry client never saw the tripped 503")
+            if app._breaker.open_keys() != 0:
+                failures.append("breaker still open after a good probe")
+            client.close()
+            retry_client.close()
+        finally:
+            handle.stop(timeout_s=30)
+    print(
+        f"  breaker: tripped after {BREAKER_FAILURES} permanent failures, "
+        f"failed fast with Retry-After, recovered after "
+        f"{BREAKER_COOLDOWN_S:g}s cooldown"
+    )
+
+
+def main() -> int:
+    failures = []
+    print("chaos: overload burst ...", flush=True)
+    shed_p99_ms = scenario_overload_burst(failures)
+    print("chaos: deadline storm ...", flush=True)
+    scenario_deadline_storm(failures)
+    print("chaos: drain under load ...", flush=True)
+    drain_s = scenario_drain_under_load(failures)
+    print("chaos: circuit breaker ...", flush=True)
+    scenario_breaker(failures)
+
+    print(f"serve_shed_p99_ms {shed_p99_ms:.2f}")
+    print(f"serve_drain_s {drain_s:.3f}")
+    if failures:
+        for failure in failures:
+            print(f"CHAOS FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos ok: shed clean, deadlines residue-free, drain lossless, "
+          "breaker recovered")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -427,6 +427,11 @@ FAMILIES: Dict[str, Type[QueryRequest]] = {
 #: fleet/engine per cohort).
 FLEET_FAMILIES = ("placement", "cap", "replay")
 
+#: Wire fields that address the *transport*, not the query: the serve
+#: layer strips these before strict decoding.  ``deadline_ms`` bounds
+#: one exchange and never participates in spec identity.
+TRANSPORT_FIELDS = ("deadline_ms",)
+
 
 def request_from_dict(payload: Dict[str, Any]) -> QueryRequest:
     """Build a request from its wire form; strict about field names."""
@@ -443,9 +448,15 @@ def request_from_dict(payload: Dict[str, Any]) -> QueryRequest:
     kwargs = {key: value for key, value in payload.items() if key != "family"}
     unknown = sorted(set(kwargs) - known)
     if unknown:
+        hint = ""
+        if any(name in TRANSPORT_FIELDS for name in unknown):
+            hint = (
+                " (transport fields like 'deadline_ms' are only understood "
+                "by the serve daemon)"
+            )
         raise ValueError(
             f"unknown field(s) {unknown} for query family {family!r}; "
-            f"known fields: {sorted(known)}"
+            f"known fields: {sorted(known)}{hint}"
         )
     return cls(**kwargs)
 

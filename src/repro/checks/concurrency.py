@@ -14,7 +14,12 @@ the writes that would break it:
 * REP304 — instance-state writes from a registered builder (the Study
   is shared by every concurrently running builder);
 * REP305 — mutable default arguments (shared across calls *and*
-  threads), reported tree-wide as a warning.
+  threads), reported tree-wide as a warning;
+* REP306 — an unbounded ``asyncio.Queue()`` in the serve path: with
+  no ``maxsize`` the queue absorbs every burst instead of pushing
+  back, so overload turns into unbounded memory growth and latency —
+  admission control (:mod:`repro.serve.resilience`) requires every
+  serve-side queue to carry an explicit bound.
 
 Builder discovery is cross-file: builder names come from the literal
 ``ArtifactSpec``/``_spec`` calls anywhere in the scanned set and are
@@ -30,9 +35,11 @@ import ast
 from typing import Iterator, List, Set, Tuple
 
 from repro.checks.astutil import (
+    import_aliases,
     local_bindings,
     module_level_classes,
     module_level_names,
+    resolve_call,
     root_name,
 )
 from repro.checks.model import (
@@ -279,6 +286,50 @@ def _check_mutable_defaults(ctx: SourceFile) -> Iterator[Finding]:
                 )
 
 
+#: asyncio queue factories that accept a ``maxsize`` bound.
+_ASYNC_QUEUES = {"asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue"}
+
+
+def in_serve_path(ctx: SourceFile) -> bool:
+    """Whether this file belongs to a serving layer (module or path)."""
+    if "serve" in ctx.module.split("."):
+        return True
+    normalized = ctx.rel.replace("\\", "/")
+    return any(part == "serve" for part in normalized.split("/"))
+
+
+def _queue_is_unbounded(node: ast.Call) -> bool:
+    """No maxsize, or an explicit literal 0 (asyncio's 'infinite')."""
+    bound = None
+    if node.args:
+        bound = node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "maxsize":
+            bound = keyword.value
+    if bound is None:
+        return True
+    return isinstance(bound, ast.Constant) and bound.value == 0
+
+
+def _check_unbounded_queues(ctx: SourceFile) -> Iterator[Finding]:
+    if not in_serve_path(ctx):
+        return
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = resolve_call(node.func, aliases)
+        if path in _ASYNC_QUEUES and _queue_is_unbounded(node):
+            name = path.rsplit(".", 1)[-1]
+            yield finding(
+                RULES["REP306"], ctx.rel, node,
+                f"asyncio.{name}() without a maxsize in the serve path "
+                "absorbs bursts instead of pushing back",
+                hint="give every serve-side queue an explicit bound "
+                "(maxsize=N) so overload sheds instead of growing memory",
+            )
+
+
 RULES = {
     "REP301": Rule(
         "REP301", "global-write", Severity.ERROR,
@@ -304,6 +355,11 @@ RULES = {
         "REP305", "mutable-default", Severity.WARNING,
         "mutable default arguments",
         scope="file", file_checker=_check_mutable_defaults,
+    ),
+    "REP306": Rule(
+        "REP306", "unbounded-serve-queue", Severity.ERROR,
+        "unbounded asyncio queues in the serve path",
+        scope="file", file_checker=_check_unbounded_queues,
     ),
 }
 

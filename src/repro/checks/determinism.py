@@ -66,6 +66,7 @@ _CLOCK_ALLOWLIST = {
     "repro.serve.app",
     "repro.serve.daemon",
     "repro.serve.client",
+    "repro.serve.resilience",
 }
 
 

@@ -20,6 +20,11 @@ patterns that silently defeat it:
   ``from`` drops the explicit cause chain the failure ledger records
   (``from err`` to chain, ``from None`` to suppress on purpose),
   reported as a warning;
+* REP506 — an unbounded socket wait in the serve path: ``await
+  x.drain()`` / ``await x.wait_closed()`` awaited directly (outside
+  ``asyncio.wait_for``) parks the daemon's connection handler forever
+  on one stuck peer, defeating the overload layer's promise that every
+  wait is bounded by a deadline or an I/O timeout;
 * REP505 — a ``multiprocessing.shared_memory.SharedMemory`` segment
   created (or attached) outside a context manager, in a scope with no
   ``try``/``finally`` that calls ``.close()``/``.unlink()``, leaks a
@@ -42,7 +47,11 @@ import ast
 from typing import Iterator, Optional
 
 from repro.checks.astutil import import_aliases, resolve_call
-from repro.checks.concurrency import _imports_pool, _pooled_functions
+from repro.checks.concurrency import (
+    _imports_pool,
+    _pooled_functions,
+    in_serve_path,
+)
 from repro.checks.model import (
     Finding,
     Project,
@@ -288,6 +297,32 @@ def _check_leaked_sharedmem(ctx: SourceFile) -> Iterator[Finding]:
             )
 
 
+#: Stream methods whose bare await can park a handler forever.
+_UNBOUNDED_STREAM_WAITS = {"drain", "wait_closed"}
+
+
+def _check_unbounded_stream_waits(ctx: SourceFile) -> Iterator[Finding]:
+    if not in_serve_path(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Await):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        if call.func.attr not in _UNBOUNDED_STREAM_WAITS:
+            continue
+        yield finding(
+            RULES["REP506"], ctx.rel, node,
+            f"bare 'await ....{call.func.attr}()' in the serve path can "
+            "park the connection handler forever on one stuck peer",
+            hint="bound it: await asyncio.wait_for("
+            f"x.{call.func.attr}(), _IO_TIMEOUT_S)",
+        )
+
+
 RULES = {
     "REP501": Rule(
         "REP501", "bare-except", Severity.ERROR,
@@ -314,5 +349,11 @@ RULES = {
         "SharedMemory segments without close()/unlink() in a finally "
         "block or context manager",
         scope="file", file_checker=_check_leaked_sharedmem,
+    ),
+    "REP506": Rule(
+        "REP506", "unbounded-stream-wait", Severity.ERROR,
+        "bare await drain()/wait_closed() in the serve path (no "
+        "enclosing asyncio.wait_for)",
+        scope="file", file_checker=_check_unbounded_stream_waits,
     ),
 }

@@ -21,7 +21,11 @@ Commands:
 * ``query <spec.json|{...}>`` -- execute any :mod:`repro.api` request
   given as JSON (inline or ``@file``) and print the result envelope;
 * ``serve --port P`` -- run the async query daemon
-  (:mod:`repro.serve`) in the foreground;
+  (:mod:`repro.serve`) in the foreground; ``--max-inflight``/
+  ``--max-queue`` bound admission (beyond them it sheds with 503),
+  ``--drain-s`` budgets the SIGTERM graceful drain, and
+  ``--breaker-failures``/``--breaker-cooldown-s`` tune the per-spec
+  circuit breaker;
 * ``checks [paths]`` -- run the domain-aware static analysis
   (determinism, registry, concurrency, parity and dispatch rules);
 * ``cache stats|clear`` -- inspect or empty the artifact cache.
@@ -251,6 +255,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=8631, help="TCP port (default 8631)"
     )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="concurrent query executions before queueing (default 64)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="queued queries before shedding with 503 (default 256)",
+    )
+    serve.add_argument(
+        "--drain-s", type=float, default=10.0, metavar="S",
+        help="graceful-drain budget on SIGTERM/SIGINT (default 10)",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=5, metavar="N",
+        help="consecutive permanent failures that trip a spec's "
+             "circuit breaker (default 5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-s", type=float, default=30.0, metavar="S",
+        help="how long a tripped spec fails fast before one probe "
+             "is allowed (default 30)",
+    )
 
     add_checks_parser(commands)
 
@@ -385,13 +411,26 @@ def _cmd_query(args, context: QueryContext, out) -> int:
 
 def _cmd_serve(args, context: QueryContext, out) -> int:
     from repro.serve.daemon import run_daemon
+    from repro.serve.resilience import ServeLimits
 
+    try:
+        limits = ServeLimits(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            drain_s=args.drain_s,
+            breaker_failures=args.breaker_failures,
+            breaker_cooldown_s=args.breaker_cooldown_s,
+        )
+    except ValueError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
     return run_daemon(
         host=args.host,
         port=args.port,
         seed=args.seed,
         cache_dir=args.cache_dir if (args.cache or args.cache_dir) else None,
         out=out,
+        limits=limits,
     )
 
 

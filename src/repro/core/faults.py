@@ -16,6 +16,9 @@ site                where it fires
 ``ensemble.worker``  on dispatch of one ensemble seed worker
 ``shard.worker``    on dispatch of one sharded replay step worker
 ``dataset.io``      inside :func:`load_corpus <repro.dataset.io.load_corpus>` / ``save_corpus``
+``serve.handler``   at the top of the daemon's query handler (event loop)
+``serve.engine``    just before the serve layer runs ``execute()`` for a query
+``serve.io``        before the daemon writes a response to a connection
 ==================  ============================================================
 
 Site patterns are matched with :mod:`fnmatch` globs, so a plan can say
@@ -68,6 +71,9 @@ KNOWN_SITES = (
     "ensemble.worker",
     "shard.worker",
     "dataset.io",
+    "serve.handler",
+    "serve.engine",
+    "serve.io",
 )
 
 
@@ -286,6 +292,24 @@ class FaultPlan:
             if spec.raises:
                 raise spec.build_error(site)
 
+    async def fire_async(self, site: str) -> None:
+        """:meth:`fire`, but latency triggers sleep on the event loop.
+
+        The serve daemon's handler sites run *on* the asyncio loop; a
+        ``time.sleep`` there would stall every connection, so latency
+        budget claimed at such a site is spent with ``asyncio.sleep``
+        instead.  Failure semantics are identical to :meth:`fire`.
+        """
+        import asyncio
+
+        claimed = self._consume(site, ("latency", "fail", "fail-once", "fail-n"))
+        for spec in claimed:
+            if spec.mode == "latency":
+                await asyncio.sleep(spec.delay_s)
+        for spec in claimed:
+            if spec.raises:
+                raise spec.build_error(site)
+
     def take(self, site: str) -> bool:
         """Claim one failure trigger without raising (dispatch decision).
 
@@ -348,6 +372,13 @@ def fire(site: str, plan: Optional[FaultPlan] = None) -> None:
     plan = plan if plan is not None else _ACTIVE
     if plan is not None:
         plan.fire(site)
+
+
+async def fire_async(site: str, plan: Optional[FaultPlan] = None) -> None:
+    """Async :func:`fire` against ``plan`` or the ambient plan."""
+    plan = plan if plan is not None else _ACTIVE
+    if plan is not None:
+        await plan.fire_async(site)
 
 
 def should_corrupt(site: str, plan: Optional[FaultPlan] = None) -> bool:

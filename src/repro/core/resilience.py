@@ -67,6 +67,23 @@ class BuildTimeout(TransientError):
         self.timeout_s = timeout_s
 
 
+class DeadlineExceeded(TransientError):
+    """A request outlived its caller-supplied deadline (transient:
+    the same request under less load would have finished in time).
+
+    Raised by the serve layer when a query's ``deadline_ms`` budget
+    expires while it is queued, coalesced, or executing; the daemon
+    answers it with ``504 Gateway Timeout``.
+    """
+
+    def __init__(self, site: str, deadline_ms: float):
+        super().__init__(
+            f"{site} missed its {deadline_ms:g}ms deadline"
+        )
+        self.site = site
+        self.deadline_ms = deadline_ms
+
+
 #: Taxonomy leaves in classification-priority order.  ``BuildTimeout``
 #: is a ``TransientError``; subclass checks respect that.
 TAXONOMY: Tuple[Type[ReproError], ...] = (

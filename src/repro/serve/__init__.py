@@ -15,15 +15,31 @@ dispatch table:
 ``python -m repro serve --port 8631`` starts it; POST a request JSON
 to ``/query`` and read back the :class:`~repro.api.QueryResult`
 envelope.
+
+The daemon stays *correct under overload* (:mod:`repro.serve.
+resilience`): bounded admission with 503 shedding, per-request
+deadlines answered with 504, a per-spec circuit breaker, and a
+graceful drain on SIGTERM/``stop()``.
 """
 
 from repro.serve.app import ServeApp, ServeStats
 from repro.serve.client import ServeClient
-from repro.serve.daemon import run_daemon, start_daemon_thread
+from repro.serve.daemon import DaemonHandle, run_daemon, start_daemon_thread
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    ServeLimits,
+)
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DaemonHandle",
+    "Deadline",
     "ServeApp",
     "ServeClient",
+    "ServeLimits",
     "ServeStats",
     "run_daemon",
     "start_daemon_thread",

@@ -18,11 +18,21 @@ query payloads.  The serving path, fastest first:
 
 All computation runs on the event loop's default thread-pool executor;
 the loop itself only routes.
+
+Under load the path is guarded by the :mod:`repro.serve.resilience`
+layer: memo hits always succeed, but a computation must pass the
+circuit breaker (``503`` + ``Retry-After`` while its spec key is
+tripped) and admission control (bounded in-flight slots plus a bounded
+accept queue; saturation sheds with ``503``).  A per-request deadline
+(``deadline_ms``) bounds every wait and answers ``504`` on expiry, and
+``begin_drain()`` flips the app to *draining*: new queries are refused
+while everything already admitted runs to completion.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -30,12 +40,24 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.api.dispatch import QueryContext, execute
 from repro.api.requests import (
     FLEET_FAMILIES,
+    TRANSPORT_FIELDS,
     QueryRequest,
     request_from_dict,
     spec_suffix,
 )
 from repro.api.result import QueryResult
+from repro.core import faults
 from repro.core.cache import ENGINE_VERSION, ArtifactCache, cache_key
+from repro.core.resilience import DeadlineExceeded, TransientError
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    ServeLimits,
+)
+
+#: Headers attached to every load-shedding (``503``) response.
+_NO_HEADERS: Dict[str, str] = {}
 
 
 @dataclass
@@ -48,6 +70,10 @@ class ServeStats:
     computations: int = 0
     disk_hits: int = 0
     errors: int = 0
+    admitted: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    breaker_fastfail: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, int]:
@@ -59,6 +85,10 @@ class ServeStats:
             "computations": self.computations,
             "disk_hits": self.disk_hits,
             "errors": self.errors,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "breaker_fastfail": self.breaker_fastfail,
         }
         payload.update(self.extra)
         return payload
@@ -73,6 +103,7 @@ class ServeApp:
         cache: Optional[ArtifactCache] = None,
         memo_size: int = 4096,
         window_s: float = 0.002,
+        limits: Optional[ServeLimits] = None,
     ) -> None:
         from repro.serve.batch import BatchWindow
         from repro.serve.coalesce import Coalescer
@@ -81,12 +112,23 @@ class ServeApp:
         self.context = QueryContext(cache=cache)
         self.stats = ServeStats()
         self.memo_size = memo_size
+        self.limits = limits if limits is not None else ServeLimits()
         self._memo: "OrderedDict[str, bytes]" = OrderedDict()
         self._fingerprints: Dict[int, str] = {}
         self._coalescer = Coalescer()
         self._batch = BatchWindow(
             self._execute_group, QueryContext.fleet_key, window_s
         )
+        self._admission = AdmissionController(
+            self.limits.max_inflight, self.limits.max_queue
+        )
+        self._breaker = CircuitBreaker(
+            self.limits.breaker_failures, self.limits.breaker_cooldown_s
+        )
+        self._state = "serving"
+        self._in_system = 0
+        # created lazily on the serving loop (see AdmissionController)
+        self._idle_event: Optional[asyncio.Event] = None
 
     # -- warm-up -----------------------------------------------------------------
 
@@ -96,17 +138,87 @@ class ServeApp:
         corpus.columns()
         self._fingerprints[self.seed] = corpus.fingerprint()
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``serving`` or ``draining``."""
+        return self._state
+
+    @property
+    def in_system(self) -> int:
+        """Accepted queries not yet answered (queued or executing)."""
+        return self._in_system
+
+    def begin_drain(self) -> None:
+        """Refuse new queries; everything already accepted runs on."""
+        self._state = "draining"
+
+    async def wait_idle(self, timeout_s: float) -> bool:
+        """Await the in-system count reaching zero; False on timeout."""
+        if self._in_system == 0:
+            return True
+        if self._idle_event is None:
+            self._idle_event = asyncio.Event()
+        if self._in_system == 0:  # settled while creating the event
+            return True
+        try:
+            await asyncio.wait_for(self._idle_event.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def _enter_system(self) -> None:
+        self._in_system += 1
+        if self._idle_event is not None:
+            self._idle_event.clear()
+
+    def _leave_system(self) -> None:
+        self._in_system -= 1
+        if self._in_system <= 0 and self._idle_event is not None:
+            self._idle_event.set()
+
     # -- serving -----------------------------------------------------------------
 
     async def handle_query(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
-        """Answer one decoded ``/query`` body.
+        """Answer one decoded ``/query`` body (header-free compatibility).
 
         Returns ``(http_status, response_bytes)``; the body is always a
         JSON document -- a :class:`~repro.api.result.QueryResult`
         envelope on success, an ``{"error": ...}`` object otherwise.
         """
+        status, body, _headers = await self.handle(payload)
+        return status, body
+
+    async def handle(
+        self,
+        payload: Dict[str, Any],
+        deadline_ms: Optional[object] = None,
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Answer one decoded ``/query`` body with response headers.
+
+        ``deadline_ms`` (also accepted as a ``deadline_ms`` field in
+        the payload; the header wins) bounds the whole exchange: on
+        expiry the answer is ``504`` and no further engine work runs on
+        this request's behalf.  Returns
+        ``(http_status, response_bytes, extra_headers)``.
+        """
         self.stats.queries += 1
         try:
+            await faults.fire_async("serve.handler")
+            payload = dict(payload)
+            for transport_field in TRANSPORT_FIELDS:
+                value = payload.pop(transport_field, None)
+                if transport_field == "deadline_ms" and deadline_ms is None:
+                    deadline_ms = value
+            deadline = Deadline.from_ms(deadline_ms)
+            if self._state != "serving":
+                self.stats.shed += 1
+                return (
+                    503,
+                    _error_body_named("daemon is draining"),
+                    self._retry_after(self.limits.drain_s),
+                )
             request = request_from_dict(payload)
             if not type(request).servable:
                 raise ValueError(
@@ -117,29 +229,83 @@ class ServeApp:
             memo = self._memo_get(key)
             if memo is not None:
                 self.stats.memo_hits += 1
-                return 200, memo
-            body, shared = await self._coalescer.run(
-                key, lambda: self._compute(request, key)
-            )
-            if shared:
-                self.stats.coalesced += 1
-            return 200, body
+                return 200, memo, _NO_HEADERS
+            retry_in = self._breaker.check(key)
+            if retry_in is not None:
+                self.stats.breaker_fastfail += 1
+                return (
+                    503,
+                    _error_body_named("spec is circuit-broken"),
+                    self._retry_after(retry_in),
+                )
+            return await self._admit_and_compute(request, key, deadline)
+        except DeadlineExceeded as exc:
+            self.stats.timeouts += 1
+            return 504, _error_body(exc), _NO_HEADERS
         except (ValueError, KeyError) as exc:
             self.stats.errors += 1
-            return 400, _error_body(exc)
-        except Exception as exc:  # pragma: no cover - defensive
+            return 400, _error_body(exc), _NO_HEADERS
+        except TransientError as exc:
+            # transient engine/handler failure: retryable, say so
             self.stats.errors += 1
-            return 500, _error_body(exc)
+            return 503, _error_body(exc), self._retry_after(
+                self.limits.retry_after_s
+            )
+        except Exception as exc:
+            self.stats.errors += 1
+            return 500, _error_body(exc), _NO_HEADERS
+
+    async def _admit_and_compute(
+        self,
+        request: QueryRequest,
+        key: str,
+        deadline: Optional[Deadline],
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """The guarded slow path: admission, coalescing, computation."""
+        self._enter_system()
+        try:
+            if not await self._admission.try_acquire(deadline):
+                self.stats.shed += 1
+                return (
+                    503,
+                    _error_body_named("server saturated"),
+                    self._retry_after(self.limits.retry_after_s),
+                )
+            try:
+                self.stats.admitted += 1
+                timeout_s: Optional[float] = None
+                if deadline is not None:
+                    timeout_s = deadline.remaining_s()
+                body, shared = await self._coalescer.run(
+                    key, lambda: self._compute(request, key), timeout_s
+                )
+                if shared:
+                    self.stats.coalesced += 1
+                return 200, body, _NO_HEADERS
+            finally:
+                self._admission.release()
+        finally:
+            self._leave_system()
+
+    def _retry_after(self, seconds: float) -> Dict[str, str]:
+        return {"Retry-After": str(max(1, math.ceil(seconds)))}
 
     async def _compute(self, request: QueryRequest, key: str) -> bytes:
-        if type(request).family in FLEET_FAMILIES:
-            result = await self._batch.submit(request)
-        else:
-            loop = asyncio.get_running_loop()
-            self.stats.computations += 1
-            result = await loop.run_in_executor(
-                None, execute, request, self.context
-            )
+        try:
+            if type(request).family in FLEET_FAMILIES:
+                result = await self._batch.submit(request)
+            else:
+                loop = asyncio.get_running_loop()
+                self.stats.computations += 1
+                result = await loop.run_in_executor(
+                    None, self._engine_call, request
+                )
+        except asyncio.CancelledError:
+            raise  # abandoned flight, not a verdict on the spec
+        except BaseException as exc:
+            self._breaker.record_failure(key, exc)
+            raise
+        self._breaker.record_success(key)
         if result.provenance.cache_hit:
             self.stats.disk_hits += 1
         body = (result.to_json() + "\n").encode("utf-8")
@@ -147,9 +313,15 @@ class ServeApp:
             self._memo_put(key, body)
         return body
 
+    def _engine_call(self, request: QueryRequest) -> QueryResult:
+        """One engine execution (runs on the executor thread pool)."""
+        faults.fire("serve.engine")
+        return execute(request, self.context)
+
     def _execute_group(self, requests: List[QueryRequest]) -> List[QueryResult]:
         """One batch group: every request against the shared context."""
         self.stats.computations += len(requests)
+        faults.fire("serve.engine")
         return [execute(request, self.context) for request in requests]
 
     # -- identity ----------------------------------------------------------------
@@ -189,17 +361,28 @@ class ServeApp:
         self.stats.extra = {
             "batched": self._batch.batched,
             "batch_groups": self._batch.groups,
+            "batch_pending": self._batch.pending,
             "memo_entries": len(self._memo),
+            "inflight": self._admission.active,
+            "queued": self._admission.waiting,
+            "in_system": self._in_system,
+            "coalescer_entries": len(self._coalescer),
+            "breaker_trips": self._breaker.trips,
+            "breaker_open_keys": self._breaker.open_keys(),
         }
         return {
             "seed": self.seed,
             "engine_version": ENGINE_VERSION,
+            "state": self._state,
             "stats": self.stats.to_dict(),
         }
 
 
 def _error_body(exc: BaseException) -> bytes:
+    return _error_body_named(str(exc) or type(exc).__name__)
+
+
+def _error_body_named(message: str) -> bytes:
     import json
 
-    message = str(exc) or type(exc).__name__
     return (json.dumps({"error": message}) + "\n").encode("utf-8")

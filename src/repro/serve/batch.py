@@ -9,12 +9,20 @@ each group as *one* job against the shared
 :class:`~repro.api.dispatch.QueryContext` -- the context's memoization
 means the group performs a single engine construction no matter how
 many queries rode the window.
+
+The window is deadline-aware: a waiter may bound its stay with
+``timeout_s`` (:class:`~repro.core.resilience.DeadlineExceeded` on
+expiry, which cancels only *its own* future), and the flush skips
+entries whose future is already settled or cancelled -- a deadline
+storm that expires every rider of a window executes zero engine work.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.resilience import DeadlineExceeded
 
 
 class BatchWindow:
@@ -42,21 +50,45 @@ class BatchWindow:
         #: Requests that shared a group with at least one other request.
         self.batched = 0
 
-    async def submit(self, request: Any) -> Any:
-        """Enqueue one request; resolves when its group has executed."""
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting for the window to flush."""
+        return len(self._pending)
+
+    async def submit(
+        self, request: Any, timeout_s: Optional[float] = None
+    ) -> Any:
+        """Enqueue one request; resolves when its group has executed.
+
+        With ``timeout_s`` the wait is bounded: on expiry this rider's
+        future is cancelled (the group, if it still runs, skips it) and
+        :class:`DeadlineExceeded` is raised.
+        """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
         self._pending.append((request, future))
         if self._flusher is None:
             self._flusher = loop.create_task(self._flush_after_window())
-        return await future
+        if timeout_s is None:
+            return await future
+        if timeout_s <= 0.0:
+            future.cancel()
+            raise DeadlineExceeded("serve.batch", 0.0)
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                "serve.batch", timeout_s * 1000.0
+            ) from None
 
     async def _flush_after_window(self) -> None:
         await asyncio.sleep(self.window_s)
         pending, self._pending = self._pending, []
         self._flusher = None
+        # deadline-expired riders cancelled their futures; drop them now
+        live = [entry for entry in pending if not entry[1].done()]
         groups: Dict[Tuple, List[Tuple[Any, "asyncio.Future[Any]"]]] = {}
-        for entry in pending:
+        for entry in live:
             groups.setdefault(self._group_key(entry[0]), []).append(entry)
         await asyncio.gather(
             *(self._run_group(group) for group in groups.values())

@@ -5,24 +5,44 @@ Used by the serve tests, the CI smoke job and the benchmark: one
 so a tight query loop measures the daemon, not TCP handshakes.
 :func:`mixed_query_payloads` is the canonical benchmark workload -- a
 deterministic rotation over every servable query family.
+
+The client understands the daemon's overload answers.  Pass a
+:class:`~repro.core.resilience.RetryPolicy` and a ``503`` (shed,
+draining, or circuit-broken) is retried with seeded exponential
+backoff, sleeping the server's ``Retry-After`` hint when it exceeds
+the policy's own delay; connection errors retry under the same policy.
+Without a policy the behavior is the historical one: a single fresh
+reconnect on a stale keep-alive socket, and every status returned
+as-is.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.resilience import RetryPolicy
 
 
 class ServeClient:
     """One persistent connection to a running daemon."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8631,
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retry = retry
+        self._sleep = sleep
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: Headers of the most recent response (lower-cased names).
+        self.last_headers: Dict[str, str] = {}
+        #: 503 answers retried under the policy (for tests/telemetry).
+        self.retried_503 = 0
 
     def _conn(self) -> http.client.HTTPConnection:
         if self._connection is None:
@@ -37,26 +57,66 @@ class ServeClient:
             self._connection.close()
             self._connection = None
 
-    def _exchange(self, method: str, target: str,
-                  body: Optional[bytes] = None) -> Tuple[int, Any]:
+    def _request_once(self, method: str, target: str,
+                      body: Optional[bytes],
+                      headers: Dict[str, str]) -> Tuple[int, Any]:
         connection = self._conn()
-        try:
-            connection.request(
-                method, target, body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            response = connection.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, OSError):
-            self.close()  # stale keep-alive socket: retry once, fresh
-            connection = self._conn()
-            connection.request(
-                method, target, body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            response = connection.getresponse()
-            raw = response.read()
+        connection.request(method, target, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        self.last_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
         return response.status, json.loads(raw.decode("utf-8"))
+
+    def _retry_after_s(self) -> Optional[float]:
+        value = self.last_headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return max(float(value), 0.0)
+        except ValueError:
+            return None
+
+    def _exchange(self, method: str, target: str,
+                  body: Optional[bytes] = None,
+                  extra_headers: Optional[Dict[str, str]] = None) -> Tuple[int, Any]:
+        headers: Dict[str, str] = {}
+        if body:
+            headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
+        if self.retry is None:
+            try:
+                return self._request_once(method, target, body, headers)
+            except (http.client.HTTPException, OSError):
+                self.close()  # stale keep-alive socket: retry once, fresh
+                return self._request_once(method, target, body, headers)
+        site = f"serve.client:{target}"
+        last_error: Optional[BaseException] = None
+        status, document = 0, None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                delay = self.retry.delay_s(site, attempt)
+                hint = self._retry_after_s()
+                if hint is not None:
+                    delay = max(delay, hint)
+                self._sleep(delay)
+            try:
+                status, document = self._request_once(
+                    method, target, body, headers
+                )
+            except (http.client.HTTPException, OSError) as exc:
+                last_error = exc
+                self.close()  # reconnect fresh on the next attempt
+                continue
+            last_error = None
+            if status != 503:
+                return status, document
+            self.retried_503 += 1
+        if last_error is not None:
+            raise last_error
+        return status, document
 
     def healthz(self) -> Dict[str, Any]:
         """The liveness document."""
@@ -70,10 +130,18 @@ class ServeClient:
         """The registry listing payload."""
         return self._exchange("GET", "/artifacts")[1]["payload"]
 
-    def query(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
-        """POST one request payload; returns (status, envelope-or-error)."""
+    def query(self, payload: Dict[str, Any],
+              deadline_ms: Optional[float] = None) -> Tuple[int, Dict[str, Any]]:
+        """POST one request payload; returns (status, envelope-or-error).
+
+        ``deadline_ms`` is sent as the ``X-Repro-Deadline-Ms`` header;
+        the daemon answers ``504`` when the budget expires.
+        """
         body = json.dumps(payload).encode("utf-8")
-        return self._exchange("POST", "/query", body)
+        extra: Optional[Dict[str, str]] = None
+        if deadline_ms is not None:
+            extra = {"X-Repro-Deadline-Ms": f"{deadline_ms:g}"}
+        return self._exchange("POST", "/query", body, extra)
 
 
 def mixed_query_payloads(servers: int = 30, steps: int = 8) -> List[Dict[str, Any]]:

@@ -8,35 +8,86 @@ asyncio task; every later arrival with the same key awaits that task
 and receives the same result object.  The map entry is removed the
 moment the task settles, so a failed computation is retried by the
 next request rather than caching the exception forever.
+
+Coalescing is **deadline-aware**: every waiter (leader included) may
+pass a ``timeout_s`` budget and is parked in ``asyncio.wait_for``
+around a *shielded* await, so a waiter that runs out of budget gets
+:class:`~repro.core.resilience.DeadlineExceeded` while the shared
+computation keeps running for everyone still waiting.  The flight
+counts its waiters; when the last one abandons it, the computation is
+cancelled — nobody is left to consume the answer, so the engine work
+is reclaimed and nothing is memoized.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, Tuple
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.core.resilience import DeadlineExceeded
+
+
+class _Flight:
+    """One in-flight computation plus its current audience."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: "asyncio.Task[Any]") -> None:
+        self.task = task
+        self.waiters = 0
 
 
 class Coalescer:
     """Single-flight execution of keyed async computations."""
 
     def __init__(self) -> None:
-        self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
+        self._inflight: Dict[str, _Flight] = {}
 
     def __len__(self) -> int:
         return len(self._inflight)
 
     async def run(
-        self, key: str, compute: Callable[[], Awaitable[Any]]
+        self,
+        key: str,
+        compute: Callable[[], Awaitable[Any]],
+        timeout_s: Optional[float] = None,
     ) -> Tuple[Any, bool]:
         """Run ``compute`` under ``key``, sharing in-flight work.
 
         Returns ``(result, shared)`` where ``shared`` is True when this
         call joined a computation another request had already started.
+        With a ``timeout_s`` budget the wait is bounded: on expiry this
+        waiter raises :class:`DeadlineExceeded` and leaves; the
+        computation is cancelled only when *no* waiter remains.
         """
-        task = self._inflight.get(key)
-        if task is not None:
-            return await asyncio.shield(task), True
-        task = asyncio.get_running_loop().create_task(compute())
-        self._inflight[key] = task
-        task.add_done_callback(lambda _t, _k=key: self._inflight.pop(_k, None))
-        return await asyncio.shield(task), False
+        flight = self._inflight.get(key)
+        shared = flight is not None
+        if flight is None:
+            task = asyncio.get_running_loop().create_task(compute())
+            task.add_done_callback(
+                lambda _t, _k=key: self._inflight.pop(_k, None)
+            )
+            flight = _Flight(task)
+            self._inflight[key] = flight
+        flight.waiters += 1
+        try:
+            if timeout_s is None:
+                return await asyncio.shield(flight.task), shared
+            if timeout_s <= 0.0:
+                raise DeadlineExceeded("serve.coalesce", 0.0)
+            try:
+                return (
+                    await asyncio.wait_for(
+                        asyncio.shield(flight.task), timeout_s
+                    ),
+                    shared,
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(
+                    "serve.coalesce", timeout_s * 1000.0
+                ) from None
+        finally:
+            flight.waiters -= 1
+            if flight.waiters <= 0 and not flight.task.done():
+                # last waiter gone: reclaim the now-unwanted computation
+                flight.task.cancel()

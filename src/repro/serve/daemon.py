@@ -3,41 +3,74 @@
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` --
 no framework, stdlib only.  Routes:
 
-* ``GET /healthz`` -- liveness probe;
+* ``GET /healthz`` -- liveness probe (``200 ok`` while serving,
+  ``503 draining`` once a drain has begun);
 * ``GET /stats`` -- serving counters (queries, memo hits, coalesced,
-  batch groups, computations, disk hits, errors);
+  batch groups, computations, disk hits, errors, sheds, timeouts,
+  breaker trips);
 * ``GET /artifacts`` -- the registry listing;
 * ``POST /query`` -- a :mod:`repro.api` request as JSON, answered
   with the full :class:`~repro.api.result.QueryResult` envelope.
+  An ``X-Repro-Deadline-Ms`` header (or ``deadline_ms`` body field)
+  bounds the exchange; expiry answers ``504``.  Saturation and tripped
+  circuit breakers answer ``503`` with a ``Retry-After`` hint.
 
 Connections are keep-alive with ``Content-Length`` framing, which is
 what lets a load generator push thousands of queries per second
-through a handful of sockets.  :func:`start_daemon_thread` runs the
-same server on a background thread for tests and benchmarks.
+through a handful of sockets.  Shutdown is a *drain*: stop accepting,
+finish (or deadline-expire) everything already admitted, then close
+the keep-alive connections -- wired to SIGTERM/SIGINT in the
+foreground daemon and to :meth:`DaemonHandle.stop` on the background
+thread.  :func:`start_daemon_thread` runs the same server on a
+background thread for tests and benchmarks.
+
+Every socket wait here is bounded (``asyncio.wait_for`` around
+``drain()``/``wait_closed()``); the REP506 robustness check keeps it
+that way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
-from typing import Any, Dict, Optional, Tuple
+import warnings
+from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.core import faults
+from repro.core.resilience import ReproError
 from repro.serve.app import ServeApp
+from repro.serve.resilience import ServeLimits
 
 _MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Ceiling on any single socket flush or close; a peer that cannot
+#: accept bytes for this long forfeits the connection.
+_IO_TIMEOUT_S = 30.0
+
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 500: "Internal Server Error"}
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
-def _response(status: int, body: bytes, keep_alive: bool) -> bytes:
+def _response(
+    status: int,
+    body: bytes,
+    keep_alive: bool,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     reason = _REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in sorted(headers.items()))
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: {connection}\r\n"
         f"\r\n"
     )
@@ -48,36 +81,109 @@ def _json_body(document: Dict[str, Any]) -> bytes:
     return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
 
 
+async def _flush(writer: asyncio.StreamWriter) -> None:
+    """Bounded ``drain()``: never parks forever on a stuck peer."""
+    await asyncio.wait_for(writer.drain(), _IO_TIMEOUT_S)
+
+
 async def _route(
-    app: ServeApp, method: str, target: str, body: bytes
-) -> Tuple[int, bytes]:
+    app: ServeApp,
+    method: str,
+    target: str,
+    body: bytes,
+    deadline_ms: Optional[str] = None,
+) -> Tuple[int, bytes, Dict[str, str]]:
     """Dispatch one HTTP exchange to the app."""
     target = target.split("?", 1)[0]
     if method == "GET" and target == "/healthz":
-        return 200, _json_body({"status": "ok"})
+        if app.state != "serving":
+            return 503, _json_body({"status": "draining"}), {}
+        return 200, _json_body({"status": "ok"}), {}
     if method == "GET" and target == "/stats":
-        return 200, _json_body(app.stats_payload())
+        return 200, _json_body(app.stats_payload()), {}
     if method == "GET" and target == "/artifacts":
-        return await app.handle_query({"family": "list"})
+        return await app.handle({"family": "list"}, deadline_ms)
     if method == "POST" and target == "/query":
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return 400, _json_body({"error": "request body is not valid JSON"})
+            return (
+                400,
+                _json_body({"error": "request body is not valid JSON"}),
+                {},
+            )
         if not isinstance(payload, dict):
-            return 400, _json_body({"error": "request body must be a JSON object"})
-        return await app.handle_query(payload)
+            return (
+                400,
+                _json_body({"error": "request body must be a JSON object"}),
+                {},
+            )
+        return await app.handle(payload, deadline_ms)
     if target in ("/healthz", "/stats", "/artifacts", "/query"):
-        return 405, _json_body({"error": f"{method} not allowed on {target}"})
-    return 404, _json_body({"error": f"no route for {target}"})
+        return 405, _json_body({"error": f"{method} not allowed on {target}"}), {}
+    return 404, _json_body({"error": f"no route for {target}"}), {}
+
+
+class _Connections:
+    """Live connections plus in-progress exchange accounting.
+
+    ``begin_exchange``/``end_exchange`` bracket the span from a fully
+    read request to its flushed response, so a drain that waits for
+    :meth:`wait_quiet` loses no *accepted* request -- even one whose
+    engine work finished but whose bytes were still in flight.
+    """
+
+    def __init__(self) -> None:
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._busy = 0
+        self._quiet: Optional[asyncio.Event] = None
+
+    def add(self, writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+
+    def remove(self, writer: asyncio.StreamWriter) -> None:
+        self._writers.discard(writer)
+
+    def begin_exchange(self) -> None:
+        self._busy += 1
+        if self._quiet is not None:
+            self._quiet.clear()
+
+    def end_exchange(self) -> None:
+        self._busy -= 1
+        if self._busy <= 0 and self._quiet is not None:
+            self._quiet.set()
+
+    async def wait_quiet(self, timeout_s: float) -> bool:
+        """Await zero in-progress exchanges; False on timeout."""
+        if self._busy == 0:
+            return True
+        if self._quiet is None:
+            self._quiet = asyncio.Event()
+        if self._busy == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._quiet.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def close_all(self) -> int:
+        """Close every tracked connection; returns how many."""
+        writers = list(self._writers)
+        for writer in writers:
+            writer.close()
+        return len(writers)
 
 
 async def _handle_connection(
     app: ServeApp,
+    conns: _Connections,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
     """Serve one keep-alive connection until EOF or ``Connection: close``."""
+    conns.add(writer)
     try:
         while True:
             request_line = await reader.readline()
@@ -88,7 +194,7 @@ async def _handle_connection(
                 writer.write(
                     _response(400, _json_body({"error": "bad request line"}), False)
                 )
-                await writer.drain()
+                await _flush(writer)
                 return
             method, target, _version = parts
             headers: Dict[str, str] = {}
@@ -103,20 +209,38 @@ async def _handle_connection(
                 writer.write(
                     _response(400, _json_body({"error": "body too large"}), False)
                 )
-                await writer.drain()
+                await _flush(writer)
                 return
             body = await reader.readexactly(length) if length else b""
-            status, payload = await _route(app, method, target, body)
-            keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-            writer.write(_response(status, payload, keep_alive))
-            await writer.drain()
+            conns.begin_exchange()
+            try:
+                status, payload, extra = await _route(
+                    app, method, target, body,
+                    headers.get("x-repro-deadline-ms"),
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and app.state == "serving"
+                )
+                await faults.fire_async("serve.io")
+                if faults.should_corrupt("serve.io") and payload:
+                    # same length, damaged first byte: framing survives,
+                    # the client sees a JSON parse failure
+                    payload = b"\x00" + payload[1:]
+                writer.write(_response(status, payload, keep_alive, extra))
+                await _flush(writer)
+            finally:
+                conns.end_exchange()
             if not keep_alive:
                 return
-    except (ConnectionError, asyncio.IncompleteReadError):
+    except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+        return
+    except ReproError:  # injected serve.io failure: drop the connection
         return
     except asyncio.CancelledError:  # loop shutdown while parked on a read
         return
     finally:
+        conns.remove(writer)
         writer.close()
 
 
@@ -134,9 +258,35 @@ class DaemonHandle:
         self._shutdown = shutdown
 
     def stop(self, timeout_s: float = 10.0) -> None:
-        """Ask the server loop to exit and join the thread (bounded)."""
-        self._loop.call_soon_threadsafe(self._shutdown.set)
+        """Drain the server and join its thread (bounded).
+
+        Triggers the graceful drain (stop accepting, finish admitted
+        work, close connections) and waits up to ``timeout_s`` for the
+        loop thread to exit.  A stop that does *not* finish in time is
+        loud: a ``RuntimeWarning`` names the still-pending loop tasks
+        instead of silently leaking the thread.
+        """
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._shutdown.set)
         self._thread.join(timeout=timeout_s)
+        if self._thread.is_alive():
+            names = self._pending_task_names()
+            warnings.warn(
+                f"repro serve daemon did not stop within {timeout_s:g}s; "
+                f"pending loop tasks: {names or '<unknown>'}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _pending_task_names(self) -> str:
+        # best effort from outside the loop thread; the task set is
+        # read-only here and a torn read only degrades the message
+        try:
+            tasks = asyncio.all_tasks(self._loop)
+        except RuntimeError:
+            return ""
+        names = sorted(task.get_name() for task in tasks if not task.done())
+        return ", ".join(names)
 
 
 async def _serve(
@@ -146,17 +296,26 @@ async def _serve(
     shutdown: asyncio.Event,
     on_ready: Optional[Any] = None,
 ) -> None:
-    """Bind, announce readiness, serve until ``shutdown`` is set."""
+    """Bind, announce readiness, serve until ``shutdown``, then drain."""
+    conns = _Connections()
     server = await asyncio.start_server(
-        lambda reader, writer: _handle_connection(app, reader, writer),
+        lambda reader, writer: _handle_connection(app, conns, reader, writer),
         host=host,
         port=port,
     )
     bound_port = server.sockets[0].getsockname()[1]
     if on_ready is not None:
         on_ready(bound_port, asyncio.get_running_loop())
-    async with server:
+    try:
         await shutdown.wait()
+    finally:
+        # graceful drain: no new sockets, no new queries, admitted work
+        # runs to completion (bounded), then the keep-alives close
+        server.close()
+        app.begin_drain()
+        await conns.wait_quiet(app.limits.drain_s)
+        conns.close_all()
+        await asyncio.wait_for(server.wait_closed(), _IO_TIMEOUT_S)
 
 
 def run_daemon(
@@ -165,12 +324,17 @@ def run_daemon(
     seed: int = 2016,
     cache_dir: Optional[str] = None,
     out: Optional[Any] = None,
+    limits: Optional[ServeLimits] = None,
 ) -> int:
-    """Warm an app and serve in the foreground until interrupted."""
+    """Warm an app and serve in the foreground until signalled.
+
+    SIGTERM and SIGINT both trigger the graceful drain rather than
+    killing in-flight work.
+    """
     from repro.core.cache import ArtifactCache
 
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
-    app = ServeApp(seed=seed, cache=cache)
+    app = ServeApp(seed=seed, cache=cache, limits=limits)
     app.warm()
 
     def announce(bound_port: int, _loop: asyncio.AbstractEventLoop) -> None:
@@ -179,7 +343,14 @@ def run_daemon(
                   file=out, flush=True)
 
     async def main() -> None:
-        await _serve(app, host, port, asyncio.Event(), announce)
+        shutdown: asyncio.Event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
+        await _serve(app, host, port, shutdown, announce)
 
     try:
         asyncio.run(main())

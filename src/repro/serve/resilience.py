@@ -1,0 +1,262 @@
+"""Overload-resilience primitives for the serve daemon.
+
+The daemon's fast path (memo -> coalesce -> batch -> engine) is only
+fast while the box is not saturated; these are the mechanisms that
+keep it *correct* when it is:
+
+* :class:`ServeLimits` — one frozen bundle of every knob (in-flight
+  bound, accept-queue bound, drain budget, breaker thresholds),
+  settable from the ``serve`` CLI flags;
+* :class:`AdmissionController` — a bounded in-flight semaphore plus a
+  bounded accept queue.  A request either gets a slot, waits its turn
+  in the queue (never past its own deadline), or is *shed* immediately
+  — the daemon answers a shed with ``503`` and a ``Retry-After`` hint
+  instead of letting latency grow without bound;
+* :class:`Deadline` — a per-request wall-clock budget parsed from the
+  ``X-Repro-Deadline-Ms`` header or ``deadline_ms`` body field, carried
+  through admission, coalescing and batching so every wait is bounded
+  by the *requester's* patience (``asyncio.wait_for`` everywhere);
+* :class:`CircuitBreaker` — per-spec-key failure accounting over the
+  PR 4 taxonomy (:func:`repro.core.resilience.classify`): transient
+  failures are the client's retry problem, but ``times`` consecutive
+  *permanent* (build/data) failures trip the key open and the daemon
+  fails fast with ``503`` for a cooldown window instead of burning
+  engine time on a spec that cannot succeed.  After the cooldown one
+  trial request probes the key (half-open) and a success closes it.
+
+Everything is event-loop-local (no locks needed: admission and breaker
+state are only touched from the daemon's loop) and deterministic under
+an injected clock, which is what the chaos harness pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.resilience import DeadlineExceeded, classify
+
+#: Taxonomy buckets that count toward tripping a breaker.  Transients
+#: are expected to clear on retry; cache failures already degrade to a
+#: rebuild inside the engine.
+PERMANENT_BUCKETS = ("build", "data")
+
+
+@dataclass(frozen=True)
+class ServeLimits:
+    """Every overload knob of the daemon, in one frozen bundle.
+
+    ``max_inflight`` bounds concurrently *executing* queries;
+    ``max_queue`` bounds how many more may wait for a slot before the
+    daemon starts shedding; ``retry_after_s`` is the hint sent with a
+    shed; ``drain_s`` is the budget ``stop()``/SIGTERM gives in-flight
+    work before closing connections; ``breaker_failures`` consecutive
+    permanent engine failures trip a spec key open for
+    ``breaker_cooldown_s`` seconds.
+    """
+
+    max_inflight: int = 64
+    max_queue: int = 256
+    retry_after_s: float = 1.0
+    drain_s: float = 10.0
+    breaker_failures: int = 5
+    breaker_cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.retry_after_s <= 0.0:
+            raise ValueError("retry_after_s must be positive")
+        if self.drain_s < 0.0:
+            raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown_s <= 0.0:
+            raise ValueError("breaker_cooldown_s must be positive")
+
+
+class Deadline:
+    """One request's wall-clock budget, in monotonic time."""
+
+    __slots__ = ("deadline_ms", "_expires_at")
+
+    def __init__(self, deadline_ms: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if deadline_ms <= 0.0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms:g}"
+            )
+        self.deadline_ms = float(deadline_ms)
+        self._expires_at = clock() + self.deadline_ms / 1000.0
+
+    @classmethod
+    def from_ms(cls, deadline_ms: Optional[object]) -> Optional["Deadline"]:
+        """Parse a header/field value; ``None``/absent means no deadline."""
+        if deadline_ms is None:
+            return None
+        try:
+            value = float(deadline_ms)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            ) from None
+        return cls(value)
+
+    def remaining_s(self, clock: Callable[[], float] = time.monotonic) -> float:
+        """Seconds of budget left (may be <= 0 once expired)."""
+        return self._expires_at - clock()
+
+    def expired(self, clock: Callable[[], float] = time.monotonic) -> bool:
+        """Whether the budget is already spent."""
+        return self.remaining_s(clock) <= 0.0
+
+    def error(self, site: str) -> DeadlineExceeded:
+        """The taxonomy error for missing this deadline at ``site``."""
+        return DeadlineExceeded(site, self.deadline_ms)
+
+
+class AdmissionController:
+    """Bounded in-flight slots plus a bounded FIFO accept queue.
+
+    ``try_acquire`` returns ``True`` with a slot held, ``False`` for an
+    immediate shed (queue full), and raises
+    :class:`~repro.core.resilience.DeadlineExceeded` when the caller's
+    deadline expires while queued.  Exactly one ``release()`` per
+    successful acquire.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        # created lazily on the serving loop: 3.9 binds primitives to the
+        # loop current at construction, and the app is built off-loop
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._active = 0
+        self._waiting = 0
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_inflight)
+        return self._slots
+
+    @property
+    def active(self) -> int:
+        """Slots currently held (executing queries)."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests parked in the accept queue."""
+        return self._waiting
+
+    @property
+    def saturated(self) -> bool:
+        """Whether a new arrival would have to queue or shed."""
+        return self._active >= self.max_inflight
+
+    async def try_acquire(self, deadline: Optional[Deadline] = None) -> bool:
+        """Take a slot, queue for one (bounded), or shed (``False``)."""
+        if self._active >= self.max_inflight and self._waiting >= self.max_queue:
+            return False
+        slots = self._semaphore()
+        self._waiting += 1
+        try:
+            if deadline is None:
+                await slots.acquire()
+            else:
+                budget = deadline.remaining_s()
+                if budget <= 0.0:
+                    raise deadline.error("serve.admission")
+                try:
+                    await asyncio.wait_for(slots.acquire(), budget)
+                except asyncio.TimeoutError:
+                    raise deadline.error("serve.admission") from None
+        finally:
+            self._waiting -= 1
+        self._active += 1
+        return True
+
+    def release(self) -> None:
+        """Return one slot (wakes the oldest queued request)."""
+        self._active -= 1
+        self._semaphore().release()
+
+
+class _KeyState:
+    """Per-spec-key breaker account: consecutive permanents + state."""
+
+    __slots__ = ("failures", "opened_at", "half_open")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.half_open = False
+
+
+class CircuitBreaker:
+    """Fail fast on spec keys that keep failing permanently.
+
+    ``check(key)`` returns ``None`` (closed: go compute) or the number
+    of seconds until the next probe is allowed (open: answer 503 with
+    that as the ``Retry-After`` hint).  Once the cooldown elapses the
+    key goes *half-open*: exactly one trial computation is let through,
+    and its outcome closes or re-opens the circuit.
+    """
+
+    def __init__(self, failures: int, cooldown_s: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.failures = int(failures)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._keys: Dict[str, _KeyState] = {}
+        #: Open transitions over this breaker's lifetime.
+        self.trips = 0
+
+    def check(self, key: str) -> Optional[float]:
+        """``None`` to proceed; else seconds until the next probe."""
+        state = self._keys.get(key)
+        if state is None or state.opened_at is None:
+            return None
+        elapsed = self._clock() - state.opened_at
+        if elapsed < self.cooldown_s:
+            return max(self.cooldown_s - elapsed, 0.001)
+        if state.half_open:
+            # one probe is already in flight; keep shedding until it lands
+            return self.cooldown_s
+        state.half_open = True  # this caller becomes the probe
+        return None
+
+    def record_success(self, key: str) -> None:
+        """A computation for ``key`` succeeded: close and forget it."""
+        self._keys.pop(key, None)
+
+    def record_failure(self, key: str, error: BaseException) -> None:
+        """Account one computation failure under the taxonomy."""
+        if classify(error) not in PERMANENT_BUCKETS:
+            return  # transient/cache: the retry path's problem
+        state = self._keys.setdefault(key, _KeyState())
+        if state.opened_at is not None:
+            # the half-open probe failed: re-open for a fresh cooldown
+            state.opened_at = self._clock()
+            state.half_open = False
+            self.trips += 1
+            return
+        state.failures += 1
+        if state.failures >= self.failures:
+            state.opened_at = self._clock()
+            state.half_open = False
+            self.trips += 1
+
+    def open_keys(self) -> int:
+        """How many spec keys are currently tripped open."""
+        return sum(
+            1 for state in self._keys.values() if state.opened_at is not None
+        )

@@ -1,0 +1,9 @@
+"""Fixture: the same patterns outside the serve path are not flagged."""
+
+import asyncio
+
+work = asyncio.Queue()  # not in a serve path: REP306 stays quiet
+
+
+async def flush(writer):
+    await writer.drain()  # not in a serve path: REP506 stays quiet

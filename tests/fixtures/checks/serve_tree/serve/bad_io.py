@@ -1,0 +1,19 @@
+"""Fixture: unbounded waits and queues inside a serve module."""
+
+import asyncio
+
+jobs = asyncio.Queue()  # REP306: unbounded
+lifo = asyncio.LifoQueue(maxsize=0)  # REP306: explicit infinite
+bounded = asyncio.Queue(maxsize=128)  # ok
+
+
+async def respond(writer):
+    writer.write(b"ok")
+    await writer.drain()  # REP506: can park forever
+    await asyncio.wait_for(writer.drain(), 5.0)  # ok: bounded
+
+
+async def close(writer):
+    writer.close()
+    await writer.wait_closed()  # REP506: can park forever
+    await asyncio.wait_for(writer.wait_closed(), 5.0)  # ok: bounded

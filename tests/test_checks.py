@@ -183,6 +183,41 @@ class TestSharedMemoryRule:
         assert run_checks([str(sharded)], select=["REP505"]) == []
 
 
+class TestServeOverloadRules:
+    """REP306/REP506: every serve-path wait and queue must be bounded."""
+
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "serve_tree")], select=["REP306", "REP506"]
+        )
+        assert _hits(findings) == [
+            ("REP306", "bad_io.py", 5),
+            ("REP306", "bad_io.py", 6),
+            ("REP506", "bad_io.py", 12),
+            ("REP506", "bad_io.py", 18),
+        ]
+
+    def test_rules_are_errors(self):
+        findings = run_checks(
+            [str(FIXTURES / "serve_tree")], select=["REP306", "REP506"]
+        )
+        assert findings and all(
+            f.severity is Severity.ERROR for f in findings
+        )
+        assert exit_code(findings) == 1
+
+    def test_outside_serve_path_is_quiet(self):
+        findings = run_checks(
+            [str(FIXTURES / "serve_tree" / "offline")],
+            select=["REP306", "REP506"],
+        )
+        assert findings == []
+
+    def test_serve_package_is_rule_clean(self):
+        serve = SRC / "repro" / "serve"
+        assert run_checks([str(serve)], select=["REP306", "REP506"]) == []
+
+
 class TestEngine:
     def test_clean_fixture_has_no_findings(self):
         assert run_checks([str(FIXTURES / "clean.py")]) == []

@@ -1,0 +1,608 @@
+"""Overload resilience: admission, deadlines, drain, breaker, retry.
+
+The daemon's contract under stress: saturation sheds with 503 (never
+hangs), deadlines answer 504 and leave no residue in the memo or the
+coalescer, a drain loses zero accepted requests, the circuit breaker
+fails fast on permanently broken specs and recovers on schedule, and
+the client retries 503s under a seeded policy honoring Retry-After.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultSpec, install
+from repro.core.resilience import (
+    BuildError,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransientError,
+)
+from repro.serve import (
+    DaemonHandle,
+    ServeApp,
+    ServeClient,
+    ServeLimits,
+    start_daemon_thread,
+)
+from repro.serve.batch import BatchWindow
+from repro.serve.daemon import _route
+from repro.serve.resilience import AdmissionController, CircuitBreaker, Deadline
+
+REPLAY = {"family": "replay", "servers": 30, "steps": 8}
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def cdf(index):
+    lo = round(0.05 * index, 2)
+    return {"family": "cdf", "metric": "ep", "lo": lo, "hi": lo + 0.05}
+
+
+def slow_engine(delay_s, times=None):
+    return FaultPlan(
+        [FaultSpec(site="serve.engine", mode="latency",
+                   delay_s=delay_s, times=times)]
+    )
+
+
+class TestServeLimits:
+    def test_defaults_are_valid(self):
+        limits = ServeLimits()
+        assert limits.max_inflight == 64
+        assert limits.max_queue == 256
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("max_inflight", 0),
+            ("max_queue", -1),
+            ("retry_after_s", 0.0),
+            ("drain_s", -1.0),
+            ("breaker_failures", 0),
+            ("breaker_cooldown_s", 0.0),
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ServeLimits(**{field: value})
+
+
+class TestDeadline:
+    def test_absent_means_none(self):
+        assert Deadline.from_ms(None) is None
+
+    @pytest.mark.parametrize("bad", ["soon", -5, 0, "", object()])
+    def test_invalid_values_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Deadline.from_ms(bad)
+
+    def test_budget_counts_down_on_the_clock(self):
+        ticks = {"t": 100.0}
+        deadline = Deadline(50.0, clock=lambda: ticks["t"])
+        assert deadline.remaining_s(lambda: ticks["t"]) == pytest.approx(0.05)
+        assert not deadline.expired(lambda: ticks["t"])
+        ticks["t"] += 0.051
+        assert deadline.expired(lambda: ticks["t"])
+
+    def test_error_carries_site_and_budget(self):
+        error = Deadline.from_ms("25").error("serve.batch")
+        assert isinstance(error, DeadlineExceeded)
+        assert isinstance(error, TransientError)
+        assert error.site == "serve.batch"
+        assert error.deadline_ms == 25.0
+
+
+class TestAdmissionController:
+    def test_sheds_immediately_when_queue_is_full(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            assert await admission.try_acquire() is True
+            assert admission.active == 1 and admission.saturated
+            assert await admission.try_acquire() is False
+            admission.release()
+            assert await admission.try_acquire() is True
+
+        run_async(scenario())
+
+    def test_queued_request_admits_after_release(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=1)
+            assert await admission.try_acquire() is True
+            queued = asyncio.get_running_loop().create_task(
+                admission.try_acquire()
+            )
+            await asyncio.sleep(0.01)
+            assert admission.waiting == 1 and not queued.done()
+            admission.release()
+            assert await queued is True
+            admission.release()
+
+        run_async(scenario())
+
+    def test_deadline_expires_while_queued(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=1)
+            assert await admission.try_acquire() is True
+            with pytest.raises(DeadlineExceeded) as info:
+                await admission.try_acquire(Deadline(30.0))
+            assert info.value.site == "serve.admission"
+            assert admission.waiting == 0
+            admission.release()
+
+        run_async(scenario())
+
+
+class TestCircuitBreaker:
+    def _breaker(self, failures=3, cooldown_s=10.0):
+        ticks = {"t": 0.0}
+        breaker = CircuitBreaker(failures, cooldown_s,
+                                 clock=lambda: ticks["t"])
+        return breaker, ticks
+
+    def test_transient_failures_never_trip(self):
+        breaker, _ticks = self._breaker()
+        for _ in range(10):
+            breaker.record_failure("k", TransientError("flaky io"))
+        assert breaker.check("k") is None
+        assert breaker.trips == 0
+
+    def test_permanent_failures_trip_at_threshold(self):
+        breaker, _ticks = self._breaker(failures=3)
+        for _ in range(2):
+            breaker.record_failure("k", BuildError("bad spec"))
+        assert breaker.check("k") is None
+        breaker.record_failure("k", BuildError("bad spec"))
+        assert breaker.check("k") == pytest.approx(10.0)
+        assert breaker.trips == 1 and breaker.open_keys() == 1
+
+    def test_success_resets_the_count(self):
+        breaker, _ticks = self._breaker(failures=2)
+        breaker.record_failure("k", BuildError("x"))
+        breaker.record_success("k")
+        breaker.record_failure("k", BuildError("x"))
+        assert breaker.check("k") is None
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker, ticks = self._breaker(failures=1, cooldown_s=5.0)
+        breaker.record_failure("k", BuildError("x"))
+        assert breaker.check("k") == pytest.approx(5.0)
+        ticks["t"] = 5.0
+        assert breaker.check("k") is None  # this caller is the probe
+        assert breaker.check("k") is not None  # others keep shedding
+        breaker.record_success("k")
+        assert breaker.check("k") is None and breaker.open_keys() == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, ticks = self._breaker(failures=1, cooldown_s=5.0)
+        breaker.record_failure("k", BuildError("x"))
+        ticks["t"] = 5.0
+        assert breaker.check("k") is None
+        breaker.record_failure("k", BuildError("still broken"))
+        assert breaker.check("k") == pytest.approx(5.0)
+        assert breaker.trips == 2
+
+    def test_keys_are_independent(self):
+        breaker, _ticks = self._breaker(failures=1)
+        breaker.record_failure("bad", BuildError("x"))
+        assert breaker.check("bad") is not None
+        assert breaker.check("good") is None
+
+
+class TestBatchDeadlines:
+    def test_expired_riders_run_no_engine_work(self):
+        calls = []
+
+        def execute_group(requests):
+            calls.append(len(requests))
+            return requests
+
+        async def scenario():
+            window = BatchWindow(execute_group, lambda r: "cohort",
+                                 window_s=0.05)
+            with pytest.raises(DeadlineExceeded):
+                await window.submit("a", timeout_s=0.005)
+            await asyncio.sleep(0.1)  # let the window flush
+
+        run_async(scenario())
+        assert calls == [] and True
+
+    def test_live_riders_survive_an_expired_one(self):
+        def execute_group(requests):
+            return [f"ran:{r}" for r in requests]
+
+        async def scenario():
+            window = BatchWindow(execute_group, lambda r: "cohort",
+                                 window_s=0.05)
+            doomed = asyncio.get_running_loop().create_task(
+                window.submit("doomed", timeout_s=0.005)
+            )
+            survivor = await window.submit("survivor")
+            with pytest.raises(DeadlineExceeded):
+                await doomed
+            return survivor
+
+        assert run_async(scenario()) == "ran:survivor"
+
+
+class TestAppOverload:
+    def test_saturation_sheds_with_retry_after(self):
+        app = ServeApp(
+            limits=ServeLimits(max_inflight=1, max_queue=0, retry_after_s=2.0)
+        )
+        app.warm()
+        payloads = [cdf(i) for i in range(4)]
+
+        async def burst():
+            return await asyncio.gather(
+                *(app.handle(dict(p)) for p in payloads)
+            )
+
+        with install(slow_engine(0.3, times=1)):
+            answers = run_async(burst())
+        statuses = sorted(status for status, _body, _headers in answers)
+        assert statuses == [200, 503, 503, 503]
+        assert app.stats.shed == 3 and app.stats.admitted == 1
+        shed_headers = [h for s, _b, h in answers if s == 503]
+        assert all(h.get("Retry-After") == "2" for h in shed_headers)
+
+    def test_bounded_queue_admits_in_turn(self):
+        app = ServeApp(limits=ServeLimits(max_inflight=1, max_queue=2))
+        app.warm()
+        payloads = [cdf(i) for i in range(4)]
+
+        async def burst():
+            return await asyncio.gather(
+                *(app.handle(dict(p)) for p in payloads)
+            )
+
+        with install(slow_engine(0.2, times=1)):
+            answers = run_async(burst())
+        statuses = sorted(status for status, _body, _headers in answers)
+        assert statuses == [200, 200, 200, 503]
+        assert app.stats.shed == 1 and app.stats.admitted == 3
+
+    def test_deadline_expiry_answers_504(self):
+        app = ServeApp()
+        app.warm()
+
+        async def scenario():
+            return await app.handle(cdf(0), deadline_ms=50)
+
+        with install(slow_engine(0.5, times=1)):
+            status, body, _headers = run_async(scenario())
+        assert status == 504
+        assert b"deadline" in body
+        assert app.stats.timeouts == 1
+
+    def test_deadline_storm_leaves_no_residue_then_recovers(self):
+        app = ServeApp()
+        app.warm()
+        payloads = [cdf(i) for i in range(8)]
+
+        async def storm():
+            answers = await asyncio.gather(
+                *(app.handle(dict(p), deadline_ms=40) for p in payloads)
+            )
+            for _ in range(200):  # let abandoned flights finish cancelling
+                if len(app._coalescer) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            return answers
+
+        with install(slow_engine(0.4, times=8)):
+            answers = run_async(storm())
+        assert {status for status, _b, _h in answers} == {504}
+        assert app.stats.timeouts == 8
+        assert len(app._coalescer) == 0
+        assert len(app._memo) == 0
+        assert app._batch.pending == 0
+
+        async def rerun():
+            return await asyncio.gather(
+                *(app.handle(dict(p)) for p in payloads)
+            )
+
+        answers = run_async(rerun())
+        assert {status for status, _b, _h in answers} == {200}
+
+    def test_breaker_trips_and_fails_fast(self):
+        app = ServeApp(
+            limits=ServeLimits(breaker_failures=2, breaker_cooldown_s=30.0)
+        )
+        app.warm()
+        plan = FaultPlan(
+            [FaultSpec(site="serve.engine", mode="fail-n", error="build",
+                       times=2)]
+        )
+
+        async def scenario():
+            first = await app.handle(cdf(0))
+            second = await app.handle(cdf(0))
+            third = await app.handle(cdf(0))
+            return first, second, third
+
+        with install(plan):
+            first, second, third = run_async(scenario())
+        assert first[0] == 500 and second[0] == 500
+        assert third[0] == 503
+        assert "Retry-After" in third[2]
+        assert app.stats.breaker_fastfail == 1
+        assert app._breaker.trips == 1
+
+    def test_transient_engine_failures_do_not_trip(self):
+        app = ServeApp(limits=ServeLimits(breaker_failures=2))
+        app.warm()
+        plan = FaultPlan(
+            [FaultSpec(site="serve.engine", mode="fail-n", error="transient",
+                       times=2)]
+        )
+
+        async def scenario():
+            first = await app.handle(cdf(0))
+            second = await app.handle(cdf(0))
+            third = await app.handle(cdf(0))
+            return first, second, third
+
+        with install(plan):
+            first, second, third = run_async(scenario())
+        assert first[0] == 503 and second[0] == 503  # retryable, hinted
+        assert third[0] == 200  # fault budget spent, spec still healthy
+        assert app._breaker.trips == 0
+
+    def test_draining_app_refuses_new_queries(self):
+        app = ServeApp()
+        app.warm()
+        app.begin_drain()
+        status, body, headers = run_async(app.handle(cdf(0)))
+        assert status == 503
+        assert b"draining" in body
+        assert "Retry-After" in headers
+        assert app.stats.shed == 1
+
+    def test_healthz_flips_to_draining(self):
+        app = ServeApp()
+
+        async def probe():
+            return await _route(app, "GET", "/healthz", b"")
+
+        status, body, _headers = run_async(probe())
+        assert status == 200 and b"ok" in body
+        app.begin_drain()
+        status, body, _headers = run_async(probe())
+        assert status == 503 and b"draining" in body
+
+    def test_handle_query_stays_two_tuple(self):
+        app = ServeApp()
+        app.warm()
+        status, body = run_async(app.handle_query(cdf(0)))
+        assert status == 200 and body.startswith(b"{")
+
+
+class TestCoalescerCancellation:
+    def test_expired_joiners_do_not_poison_the_leader(self):
+        """64 HTTP clients, 8 with tiny deadlines: the 8 get 504 while
+        the shared computation survives for the other 56."""
+        app = ServeApp()
+        handle = None
+        plan = slow_engine(1.5, times=1)
+        answers = [None] * 64
+        barrier = threading.Barrier(64)
+
+        def worker(index):
+            client = ServeClient(port=handle.port, timeout_s=60)
+            barrier.wait(timeout=30)
+            deadline_ms = 200 if index < 8 else None
+            answers[index] = client.query(dict(REPLAY),
+                                          deadline_ms=deadline_ms)
+            client.close()
+
+        with install(plan):
+            handle = start_daemon_thread(app)
+            try:
+                threads = [
+                    threading.Thread(target=worker, args=(i,))
+                    for i in range(64)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                assert not any(t.is_alive() for t in threads)
+            finally:
+                handle.stop(timeout_s=30)
+
+        expired = [answers[i] for i in range(8)]
+        served = [answers[i] for i in range(8, 64)]
+        assert {status for status, _doc in expired} == {504}
+        assert {status for status, _doc in served} == {200}
+        texts = {doc["text"] for _status, doc in served}
+        assert len(texts) == 1  # one shared computation, one answer
+        assert app.stats.computations == 1
+        assert app.stats.timeouts == 8
+        assert len(app._coalescer) == 0
+
+    def test_last_waiter_leaving_cancels_the_flight(self):
+        app = ServeApp()
+        app.warm()
+
+        async def scenario():
+            status, _body, _headers = await app.handle(cdf(0), deadline_ms=40)
+            for _ in range(200):
+                if len(app._coalescer) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            return status
+
+        with install(slow_engine(0.5, times=1)):
+            status = run_async(scenario())
+        assert status == 504
+        assert len(app._coalescer) == 0
+        assert len(app._memo) == 0  # the abandoned flight memoized nothing
+
+
+class TestGracefulDrain:
+    def test_drain_loses_zero_accepted_requests(self):
+        app = ServeApp(limits=ServeLimits(drain_s=10.0))
+        result = {}
+
+        def worker(port):
+            client = ServeClient(port=port, timeout_s=30)
+            result["answer"] = client.query(cdf(0))
+            client.close()
+
+        with install(slow_engine(0.5, times=1)):
+            handle = start_daemon_thread(app)
+            thread = threading.Thread(target=worker, args=(handle.port,))
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while app.stats.admitted < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert app.stats.admitted == 1  # the query is in the house
+            handle.stop(timeout_s=20)
+            thread.join(timeout=20)
+        assert not thread.is_alive()
+        status, document = result["answer"]
+        assert status == 200
+        assert document["family"] == "cdf"
+        assert app.state == "draining"
+
+    def test_stopped_daemon_refuses_connections(self):
+        handle = start_daemon_thread(ServeApp())
+        handle.stop(timeout_s=20)
+        with pytest.raises(OSError):
+            ServeClient(port=handle.port, timeout_s=2).healthz()
+
+    def test_stop_warns_with_stuck_task_names(self):
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def runner():
+            asyncio.set_event_loop(loop)
+
+            def arm():
+                loop.create_task(asyncio.sleep(60), name="stuck-flight")
+                started.set()
+
+            loop.call_soon(arm)
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        handle = DaemonHandle(
+            app=None, host="127.0.0.1", port=0,
+            thread=thread, loop=loop, shutdown=asyncio.Event(),
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="stuck-flight"):
+                handle.stop(timeout_s=0.2)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+
+class _ScriptedClient(ServeClient):
+    """A ServeClient whose exchanges are played from a script."""
+
+    def __init__(self, script, **kwargs):
+        self.script = list(script)
+        self.sleeps = []
+        super().__init__(sleep=self.sleeps.append, **kwargs)
+
+    def _request_once(self, method, target, body, headers):
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        status, response_headers = step
+        self.last_headers = dict(response_headers)
+        return status, {"status": status}
+
+
+class TestClientRetry:
+    def _policy(self, attempts=3):
+        return RetryPolicy(attempts=attempts, base_delay_s=0.05,
+                           jitter=0.0)
+
+    def test_no_policy_preserves_single_reconnect(self):
+        client = _ScriptedClient(
+            [ConnectionResetError("stale"), (200, {})]
+        )
+        status, _doc = client.query(cdf(0))
+        assert status == 200
+        assert client.sleeps == []
+
+    def test_503_retries_and_honors_retry_after(self):
+        client = _ScriptedClient(
+            [(503, {"retry-after": "0.2"}), (200, {})],
+            retry=self._policy(),
+        )
+        status, _doc = client.query(cdf(0))
+        assert status == 200
+        assert client.retried_503 == 1
+        assert len(client.sleeps) == 1
+        assert client.sleeps[0] >= 0.2  # server hint beats policy delay
+
+    def test_retry_delays_are_seeded_and_deterministic(self):
+        first = _ScriptedClient(
+            [(503, {}), (503, {}), (200, {})], retry=self._policy()
+        )
+        second = _ScriptedClient(
+            [(503, {}), (503, {}), (200, {})], retry=self._policy()
+        )
+        first.query(cdf(0))
+        second.query(cdf(0))
+        assert first.sleeps == second.sleeps
+        assert len(first.sleeps) == 2
+
+    def test_exhausted_attempts_return_last_503(self):
+        client = _ScriptedClient(
+            [(503, {}), (503, {}), (503, {})], retry=self._policy(attempts=3)
+        )
+        status, _doc = client.query(cdf(0))
+        assert status == 503
+        assert client.retried_503 == 3
+
+    def test_connection_errors_retry_under_policy(self):
+        client = _ScriptedClient(
+            [ConnectionResetError("x"), ConnectionResetError("y"), (200, {})],
+            retry=self._policy(),
+        )
+        status, _doc = client.query(cdf(0))
+        assert status == 200
+        assert len(client.sleeps) == 2
+
+    def test_persistent_connection_error_raises(self):
+        client = _ScriptedClient(
+            [ConnectionResetError("x")] * 3, retry=self._policy(attempts=3)
+        )
+        with pytest.raises(ConnectionResetError):
+            client.query(cdf(0))
+
+
+class TestDeadlineOverHttp:
+    def test_header_round_trip(self):
+        handle = start_daemon_thread(ServeApp())
+        try:
+            client = ServeClient(port=handle.port)
+            status, document = client.query(cdf(0), deadline_ms=30_000)
+            assert status == 200
+            assert document["family"] == "cdf"
+            status, document = client.query(cdf(0), deadline_ms=-5)
+            assert status == 400
+            assert "deadline_ms" in document["error"]
+            client.close()
+        finally:
+            handle.stop(timeout_s=20)
+
+    def test_body_field_is_stripped_before_decoding(self):
+        app = ServeApp()
+        app.warm()
+        payload = dict(cdf(0), deadline_ms=30_000)
+        status, _body, _headers = run_async(app.handle(payload))
+        assert status == 200
