@@ -265,6 +265,9 @@ class ServeApp:
         self._enter_system()
         try:
             if not await self._admission.try_acquire(deadline):
+                # if this request was the breaker's half-open probe, it
+                # just exited without a verdict: free the probe slot
+                self._breaker.probe_aborted(key)
                 self.stats.shed += 1
                 return (
                     503,
@@ -284,6 +287,12 @@ class ServeApp:
                 return 200, body, _NO_HEADERS
             finally:
                 self._admission.release()
+        except DeadlineExceeded:
+            # expired while queued or coalesced — no breaker verdict
+            # was reached on this request's behalf (the flight, if any,
+            # still reports its own); a probe must not stay armed
+            self._breaker.probe_aborted(key)
+            raise
         finally:
             self._leave_system()
 
@@ -301,7 +310,11 @@ class ServeApp:
                     None, self._engine_call, request
                 )
         except asyncio.CancelledError:
-            raise  # abandoned flight, not a verdict on the spec
+            # abandoned flight, not a verdict on the spec — but it may
+            # have been the half-open probe, so let the next request
+            # re-probe instead of wedging the key open
+            self._breaker.probe_aborted(key)
+            raise
         except BaseException as exc:
             self._breaker.record_failure(key, exc)
             raise

@@ -24,17 +24,23 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
-from repro.core.resilience import DeadlineExceeded
+from repro.core.resilience import DeadlineExceeded, TransientError
 
 
 class _Flight:
-    """One in-flight computation plus its current audience."""
+    """One in-flight computation plus its current audience.
 
-    __slots__ = ("task", "waiters")
+    ``abandoned`` flips the instant the last waiter cancels the task;
+    the map entry lingers until the task settles, so the flag is what
+    tells a later arrival the flight is doomed and must not be joined.
+    """
+
+    __slots__ = ("task", "waiters", "abandoned")
 
     def __init__(self, task: "asyncio.Task[Any]") -> None:
         self.task = task
         self.waiters = 0
+        self.abandoned = False
 
 
 class Coalescer:
@@ -45,6 +51,25 @@ class Coalescer:
 
     def __len__(self) -> int:
         return len(self._inflight)
+
+    def _discard(self, key: str, flight: _Flight) -> None:
+        # pop only our own entry: a replacement flight may already be
+        # registered under the key by the time an abandoned task settles
+        if self._inflight.get(key) is flight:
+            del self._inflight[key]
+
+    async def _join(self, key: str, flight: _Flight) -> Any:
+        try:
+            return await asyncio.shield(flight.task)
+        except asyncio.CancelledError:
+            if flight.task.cancelled() and flight.abandoned:
+                # the flight was torn down under us, not our own
+                # cancellation: surface a retryable error rather than
+                # letting CancelledError drop the connection silently
+                raise TransientError(
+                    "coalesced computation was abandoned; retry"
+                ) from None
+            raise
 
     async def run(
         self,
@@ -61,24 +86,26 @@ class Coalescer:
         computation is cancelled only when *no* waiter remains.
         """
         flight = self._inflight.get(key)
+        if flight is not None and flight.abandoned:
+            flight = None  # being cancelled: start fresh, do not join
         shared = flight is not None
         if flight is None:
             task = asyncio.get_running_loop().create_task(compute())
-            task.add_done_callback(
-                lambda _t, _k=key: self._inflight.pop(_k, None)
-            )
             flight = _Flight(task)
+            task.add_done_callback(
+                lambda _t, _k=key, _f=flight: self._discard(_k, _f)
+            )
             self._inflight[key] = flight
         flight.waiters += 1
         try:
             if timeout_s is None:
-                return await asyncio.shield(flight.task), shared
+                return await self._join(key, flight), shared
             if timeout_s <= 0.0:
                 raise DeadlineExceeded("serve.coalesce", 0.0)
             try:
                 return (
                     await asyncio.wait_for(
-                        asyncio.shield(flight.task), timeout_s
+                        self._join(key, flight), timeout_s
                     ),
                     shared,
                 )
@@ -90,4 +117,5 @@ class Coalescer:
             flight.waiters -= 1
             if flight.waiters <= 0 and not flight.task.done():
                 # last waiter gone: reclaim the now-unwanted computation
+                flight.abandoned = True
                 flight.task.cancel()

@@ -32,9 +32,11 @@ an injected clock, which is what the chaos harness pins.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.core.resilience import DeadlineExceeded, classify
 
@@ -90,11 +92,15 @@ class Deadline:
 
     def __init__(self, deadline_ms: float,
                  clock: Callable[[], float] = time.monotonic) -> None:
-        if deadline_ms <= 0.0:
+        deadline_ms = float(deadline_ms)
+        # not `<= 0`: NaN compares False both ways, and an inf budget
+        # would turn every wait_for into an unbounded park
+        if not math.isfinite(deadline_ms) or deadline_ms <= 0.0:
             raise ValueError(
-                f"deadline_ms must be positive, got {deadline_ms:g}"
+                "deadline_ms must be a positive finite number, "
+                f"got {deadline_ms:g}"
             )
-        self.deadline_ms = float(deadline_ms)
+        self.deadline_ms = deadline_ms
         self._expires_at = clock() + self.deadline_ms / 1000.0
 
     @classmethod
@@ -193,12 +199,13 @@ class AdmissionController:
 class _KeyState:
     """Per-spec-key breaker account: consecutive permanents + state."""
 
-    __slots__ = ("failures", "opened_at", "half_open")
+    __slots__ = ("failures", "opened_at", "probe_at", "last_failure")
 
     def __init__(self) -> None:
         self.failures = 0
         self.opened_at: Optional[float] = None
-        self.half_open = False
+        self.probe_at: Optional[float] = None
+        self.last_failure = 0.0
 
 
 class CircuitBreaker:
@@ -209,30 +216,70 @@ class CircuitBreaker:
     that as the ``Retry-After`` hint).  Once the cooldown elapses the
     key goes *half-open*: exactly one trial computation is let through,
     and its outcome closes or re-opens the circuit.
+
+    A probe can exit without ever reaching a verdict — shed by
+    admission, deadline-expired while queued, or riding a coalesced
+    flight whose last waiter abandoned it.  Two mechanisms keep that
+    from wedging the key open forever: the serving path reports such
+    exits via :meth:`probe_aborted` (a new probe may go at once), and
+    every armed probe carries a timestamp so one lost without *any*
+    notice goes stale after another cooldown and the next request
+    re-probes.
+
+    State is bounded: failure streaks that stay closed decay once they
+    go ``cooldown_s`` without a new failure, and the key map is capped
+    at ``max_keys`` entries (oldest closed streaks evicted first).
     """
 
     def __init__(self, failures: int, cooldown_s: float,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 max_keys: int = 1024) -> None:
         self.failures = int(failures)
         self.cooldown_s = float(cooldown_s)
+        self.max_keys = int(max_keys)
+        if self.max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys}")
         self._clock = clock
-        self._keys: Dict[str, _KeyState] = {}
+        self._keys: "OrderedDict[str, _KeyState]" = OrderedDict()
         #: Open transitions over this breaker's lifetime.
         self.trips = 0
 
     def check(self, key: str) -> Optional[float]:
         """``None`` to proceed; else seconds until the next probe."""
         state = self._keys.get(key)
-        if state is None or state.opened_at is None:
+        if state is None:
             return None
-        elapsed = self._clock() - state.opened_at
+        now = self._clock()
+        if state.opened_at is None:
+            if now - state.last_failure >= self.cooldown_s:
+                # the failure streak went cold without tripping: forget it
+                del self._keys[key]
+            return None
+        elapsed = now - state.opened_at
         if elapsed < self.cooldown_s:
             return max(self.cooldown_s - elapsed, 0.001)
-        if state.half_open:
-            # one probe is already in flight; keep shedding until it lands
-            return self.cooldown_s
-        state.half_open = True  # this caller becomes the probe
+        if state.probe_at is not None:
+            probe_age = now - state.probe_at
+            if probe_age < self.cooldown_s:
+                # one probe is in flight; keep shedding until it lands
+                return max(self.cooldown_s - probe_age, 0.001)
+            # the probe vanished without a verdict or an abort notice:
+            # it is stale now, so re-arm rather than stay open forever
+        state.probe_at = now  # this caller becomes the probe
         return None
+
+    def probe_aborted(self, key: str) -> None:
+        """The half-open probe exited without reaching a verdict.
+
+        Called by the serving path when a request that passed
+        :meth:`check` sheds, deadline-expires, or is cancelled before
+        its computation settles; a no-op unless ``key`` has an armed
+        probe.  Clears the probe slot so the next request re-probes
+        immediately instead of waiting out the staleness window.
+        """
+        state = self._keys.get(key)
+        if state is not None:
+            state.probe_at = None
 
     def record_success(self, key: str) -> None:
         """A computation for ``key`` succeeded: close and forget it."""
@@ -241,19 +288,42 @@ class CircuitBreaker:
     def record_failure(self, key: str, error: BaseException) -> None:
         """Account one computation failure under the taxonomy."""
         if classify(error) not in PERMANENT_BUCKETS:
-            return  # transient/cache: the retry path's problem
-        state = self._keys.setdefault(key, _KeyState())
+            # transient/cache: the retry path's problem — but a probe
+            # that failed transiently still reached no verdict on the
+            # spec, so free the slot for the next request to re-probe
+            self.probe_aborted(key)
+            return
+        now = self._clock()
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = _KeyState()
+        elif state.opened_at is None and (
+            now - state.last_failure >= self.cooldown_s
+        ):
+            state.failures = 0  # stale streak: restart the count
+        state.last_failure = now
+        self._keys.move_to_end(key)
         if state.opened_at is not None:
             # the half-open probe failed: re-open for a fresh cooldown
-            state.opened_at = self._clock()
-            state.half_open = False
+            state.opened_at = now
+            state.probe_at = None
             self.trips += 1
-            return
-        state.failures += 1
-        if state.failures >= self.failures:
-            state.opened_at = self._clock()
-            state.half_open = False
-            self.trips += 1
+        else:
+            state.failures += 1
+            if state.failures >= self.failures:
+                state.opened_at = now
+                state.probe_at = None
+                self.trips += 1
+        while len(self._keys) > self.max_keys:
+            victim = next(
+                (k for k, s in self._keys.items() if s.opened_at is None),
+                next(iter(self._keys)),
+            )
+            del self._keys[victim]
+
+    def tracked_keys(self) -> int:
+        """How many spec keys currently hold breaker state."""
+        return len(self._keys)
 
     def open_keys(self) -> int:
         """How many spec keys are currently tripped open."""

@@ -76,7 +76,11 @@ class TestDeadline:
     def test_absent_means_none(self):
         assert Deadline.from_ms(None) is None
 
-    @pytest.mark.parametrize("bad", ["soon", -5, 0, "", object()])
+    @pytest.mark.parametrize(
+        "bad",
+        ["soon", -5, 0, "", object(),
+         "nan", "inf", float("nan"), float("inf"), float("-inf")],
+    )
     def test_invalid_values_are_rejected(self, bad):
         with pytest.raises(ValueError):
             Deadline.from_ms(bad)
@@ -191,6 +195,62 @@ class TestCircuitBreaker:
         breaker.record_failure("bad", BuildError("x"))
         assert breaker.check("bad") is not None
         assert breaker.check("good") is None
+
+    def test_aborted_probe_re_arms_immediately(self):
+        breaker, ticks = self._breaker(failures=1, cooldown_s=5.0)
+        breaker.record_failure("k", BuildError("x"))
+        ticks["t"] = 5.0
+        assert breaker.check("k") is None  # this caller is the probe
+        breaker.probe_aborted("k")  # ...but it shed / expired unrun
+        assert breaker.check("k") is None  # a new probe may go at once
+        assert breaker.check("k") is not None  # still only one at a time
+        breaker.record_success("k")
+        assert breaker.check("k") is None and breaker.open_keys() == 0
+
+    def test_lost_probe_goes_stale_and_re_arms(self):
+        breaker, ticks = self._breaker(failures=1, cooldown_s=5.0)
+        breaker.record_failure("k", BuildError("x"))
+        ticks["t"] = 5.0
+        assert breaker.check("k") is None  # probe armed, then vanishes
+        ticks["t"] = 9.9
+        assert breaker.check("k") is not None  # still waiting on it
+        ticks["t"] = 10.0
+        assert breaker.check("k") is None  # stale probe: re-armed
+        breaker.record_success("k")
+        assert breaker.open_keys() == 0
+
+    def test_transient_probe_failure_frees_the_slot(self):
+        breaker, ticks = self._breaker(failures=1, cooldown_s=5.0)
+        breaker.record_failure("k", BuildError("x"))
+        ticks["t"] = 5.0
+        assert breaker.check("k") is None
+        breaker.record_failure("k", TransientError("flaky io"))
+        assert breaker.check("k") is None  # no verdict: probe again
+        assert breaker.trips == 1  # a transient never re-opens
+
+    def test_cold_failure_streaks_decay(self):
+        breaker, ticks = self._breaker(failures=2, cooldown_s=10.0)
+        breaker.record_failure("k", BuildError("x"))
+        ticks["t"] = 10.0
+        breaker.record_failure("k", BuildError("x"))
+        assert breaker.check("k") is None  # streak restarted, not tripped
+        ticks["t"] = 20.0
+        assert breaker.check("k") is None
+        assert breaker.tracked_keys() == 0  # cold entry forgotten
+
+    def test_key_states_are_bounded(self):
+        ticks = {"t": 0.0}
+        breaker = CircuitBreaker(3, 10.0, clock=lambda: ticks["t"],
+                                 max_keys=4)
+        for index in range(16):
+            breaker.record_failure(f"k{index}", BuildError("x"))
+        assert breaker.tracked_keys() == 4
+        for _ in range(3):
+            breaker.record_failure("tripped", BuildError("x"))
+        for index in range(16, 32):
+            breaker.record_failure(f"k{index}", BuildError("x"))
+        assert breaker.tracked_keys() == 4
+        assert breaker.check("tripped") is not None  # open keys survive
 
 
 class TestBatchDeadlines:
@@ -354,6 +414,42 @@ class TestAppOverload:
         assert third[0] == 200  # fault budget spent, spec still healthy
         assert app._breaker.trips == 0
 
+    def test_expired_probe_does_not_wedge_the_breaker(self):
+        """A half-open probe that deadline-expires (its flight cancelled
+        unjudged) must not leave the key 503'd until restart."""
+        app = ServeApp(
+            limits=ServeLimits(breaker_failures=1, breaker_cooldown_s=0.5)
+        )
+        app.warm()
+        trip = FaultPlan(
+            [FaultSpec(site="serve.engine", mode="fail-n", error="build",
+                       times=1)]
+        )
+
+        with install(trip):
+            status, _b, _h = run_async(app.handle(cdf(0)))
+        assert status == 500
+        status, _b, _h = run_async(app.handle(cdf(0)))
+        assert status == 503  # tripped open
+        time.sleep(0.6)  # cooldown elapses
+
+        async def expiring_probe():
+            status, _body, _headers = await app.handle(cdf(0),
+                                                       deadline_ms=30)
+            for _ in range(200):  # let the abandoned flight cancel
+                if len(app._coalescer) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            return status
+
+        with install(slow_engine(0.4, times=1)):
+            status = run_async(expiring_probe())
+        assert status == 504  # the probe expired without a verdict
+
+        status, _b, _h = run_async(app.handle(cdf(0)))
+        assert status == 200  # a fresh probe ran and closed the circuit
+        assert app._breaker.open_keys() == 0
+
     def test_draining_app_refuses_new_queries(self):
         app = ServeApp()
         app.warm()
@@ -426,6 +522,42 @@ class TestCoalescerCancellation:
         assert app.stats.timeouts == 8
         assert len(app._coalescer) == 0
 
+    def test_joiner_after_last_waiter_cancel_starts_fresh(self):
+        """A request landing on a flight whose cancel is in-flight must
+        start a new computation, not inherit the CancelledError."""
+        from repro.serve.coalesce import Coalescer
+
+        async def scenario():
+            coalescer = Coalescer()
+            starts = []
+            release = asyncio.Event()
+
+            async def compute():
+                starts.append(1)
+                await release.wait()
+                return b"ok"
+
+            with pytest.raises(DeadlineExceeded):
+                await coalescer.run("k", compute, timeout_s=0.01)
+            # the abandoned flight's cancel is issued but its task has
+            # not settled yet; the entry may still be in the map
+            joiner = asyncio.get_running_loop().create_task(
+                coalescer.run("k", compute)
+            )
+            await asyncio.sleep(0.05)
+            release.set()
+            result, shared = await joiner
+            assert result == b"ok"
+            assert shared is False  # a fresh flight, not the doomed one
+            assert len(starts) == 2
+            for _ in range(200):
+                if len(coalescer) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert len(coalescer) == 0
+
+        run_async(scenario())
+
     def test_last_waiter_leaving_cancels_the_flight(self):
         app = ServeApp()
         app.warm()
@@ -476,6 +608,27 @@ class TestGracefulDrain:
         handle.stop(timeout_s=20)
         with pytest.raises(OSError):
             ServeClient(port=handle.port, timeout_s=2).healthz()
+
+    def test_drain_overrun_warns_instead_of_crashing(self, monkeypatch):
+        """A wait_closed() that outlives the I/O ceiling (3.12+ waits on
+        stuck handlers) must warn and exit, not crash the loop thread."""
+        from repro.serve import daemon as daemon_module
+
+        async def never_closes(self):
+            await asyncio.sleep(60)
+
+        monkeypatch.setattr(daemon_module, "_IO_TIMEOUT_S", 0.05)
+        monkeypatch.setattr(
+            asyncio.base_events.Server, "wait_closed", never_closes
+        )
+
+        async def scenario():
+            shutdown = asyncio.Event()
+            shutdown.set()
+            await daemon_module._serve(ServeApp(), "127.0.0.1", 0, shutdown)
+
+        with pytest.warns(RuntimeWarning, match="drain overran"):
+            run_async(scenario())
 
     def test_stop_warns_with_stuck_task_names(self):
         loop = asyncio.new_event_loop()
