@@ -8,8 +8,11 @@ fleet engine (10k-server trace replay, both backends, plus a placement
 sweep), the sharded out-of-core tier (a million-server replay, run in
 a subprocess so its peak RSS is attributable), the incremental
 ``repro checks`` self-scan (cold vs fully-warm), the serve
-daemon's warm mixed-query throughput, and the serve overload path
-(shed-answer p99 and graceful-drain time under an injected burst) --
+daemon's warm mixed-query throughput, its cold compute scaling
+through the process-pool worker tier (all-distinct engine builds,
+``--workers 4`` vs the in-thread baseline), and the serve overload
+path (shed-answer p99 and graceful-drain time under an injected
+burst) --
 and writes the results to
 ``BENCH_core.json`` at the repo root so the perf trajectory is tracked
 in-tree.  Fleet benchmarks record peak RSS (``resource.getrusage``)
@@ -83,6 +86,18 @@ MIN_FLEET_SPEEDUP = 10.0
 #: of engine speed, and only a gross regression trips them.
 MIN_SERVE_QPS = 1000.0
 MAX_SERVE_P99_MS = 100.0
+
+#: Worker count for the serve compute-scaling benchmark, and the
+#: minimum throughput ratio --check demands over the --workers 0
+#: baseline on that pool.  The all-distinct workload is pure engine
+#: builds, so the ratio is a property of the worker tier (fork
+#: sharing + sticky routing), not of memo or batching.  Enforced only
+#: on machines with >= MIN_COMPUTE_CPUS cores: a 4-worker pool cannot
+#: beat 2.5x on fewer physical cores, so smaller boxes record the
+#: measured ratio (next to ``config.cpus``) without gating on it.
+SERVE_COMPUTE_WORKERS = 4
+MIN_SERVE_COMPUTE_SCALING = 2.5
+MIN_COMPUTE_CPUS = 4
 
 #: Ceiling on the p99 turnaround of a *shed* (503) answer while the
 #: daemon is saturated.  Shedding happens before any engine work, so
@@ -264,45 +279,157 @@ def bench_placement_sweep(n_servers: int, repeats: int) -> float:
     return _best_of(repeats, run)
 
 
-def bench_serve(warm_rounds: int, timed_rounds: int):
+#: Warm-up passes over the mixed workload before any serve timing.
+#: Pinned (never scaled down by --quick): the first rounds pay memo
+#: fills, TCP slow paths and branch-predictor warm-up, and letting
+#: --quick skip them is exactly the 3700-vs-3041 q/s drift the medians
+#: below are meant to kill.
+SERVE_WARM_ROUNDS = 5
+
+#: Independent timed trials per serve benchmark; the reported figure
+#: is the per-metric median, so one noisy trial (GC pause, cron tick)
+#: cannot move the recorded number.
+SERVE_TRIALS = 3
+
+
+def _median(values):
+    ranked = sorted(values)
+    return ranked[len(ranked) // 2]
+
+
+def bench_serve(timed_rounds: int):
     """Warm mixed-query throughput against an in-process daemon.
 
     Starts the serve daemon on a background thread, drives the stock
     mixed workload (every servable query family) through a persistent
-    HTTP client until the memo is warm, then times ``timed_rounds``
-    more passes.  Returns ``(qps, p50_ms, p99_ms)``.
+    HTTP client for :data:`SERVE_WARM_ROUNDS` passes, then runs
+    :data:`SERVE_TRIALS` timed trials of ``timed_rounds`` passes each
+    and reports the per-metric median.  Returns
+    ``(qps, p50_ms, p99_ms)``.
     """
     from repro.serve import ServeClient, start_daemon_thread
     from repro.serve.client import mixed_query_payloads
 
     payloads = mixed_query_payloads(servers=30, steps=8)
     handle = start_daemon_thread()
+    trials = []
     try:
         client = ServeClient(port=handle.port)
-        for _ in range(warm_rounds):
+        for _ in range(SERVE_WARM_ROUNDS):
             for payload in payloads:
                 status, document = client.query(dict(payload))
                 if status != 200:
                     raise RuntimeError(
                         f"serve returned {status} for {payload}: {document}"
                     )
-        latencies = []
-        started = time.perf_counter()
-        for _ in range(timed_rounds):
-            for payload in payloads:
-                sent = time.perf_counter()
-                client.query(dict(payload))
-                latencies.append(time.perf_counter() - sent)
-        elapsed = time.perf_counter() - started
+        for _trial in range(SERVE_TRIALS):
+            latencies = []
+            started = time.perf_counter()
+            for _ in range(timed_rounds):
+                for payload in payloads:
+                    sent = time.perf_counter()
+                    client.query(dict(payload))
+                    latencies.append(time.perf_counter() - sent)
+            elapsed = time.perf_counter() - started
+            latencies.sort()
+            count = len(latencies)
+            trials.append((
+                count / elapsed if elapsed > 0 else float("inf"),
+                latencies[count // 2] * 1000.0,
+                latencies[min(count - 1, int(count * 0.99))] * 1000.0,
+            ))
         client.close()
     finally:
         handle.stop()
-    latencies.sort()
-    count = len(latencies)
-    qps = count / elapsed if elapsed > 0 else float("inf")
-    p50_ms = latencies[count // 2] * 1000.0
-    p99_ms = latencies[min(count - 1, int(count * 0.99))] * 1000.0
-    return qps, p50_ms, p99_ms
+    return tuple(
+        _median([trial[i] for trial in trials]) for i in range(3)
+    )
+
+
+def _compute_payloads(queries: int):
+    """All-distinct compute-heavy placement queries.
+
+    Every payload differs in fleet size *and* demand level, so no two
+    share a spec key (memo and coalescer never collapse them) or a
+    fleet cohort (the batch window never groups them) -- each query is
+    one full engine build, the workload the worker pool parallelizes.
+    """
+    return [
+        {
+            # ~25 ms of engine build per query at this fleet size, so
+            # the per-exchange worker IPC cost (~1 ms) stays noise
+            "family": "placement",
+            "servers": 1600 + 7 * index,
+            "demand_fraction": round(0.25 + 0.5 * index / queries, 4),
+            "policy": "ep-aware",
+        }
+        for index in range(queries)
+    ]
+
+
+def bench_serve_compute(workers: int, queries: int, clients: int):
+    """Cold compute throughput through ``workers`` engine workers.
+
+    Drives ``queries`` all-distinct placement builds from ``clients``
+    concurrent HTTP clients against a daemon with ``workers`` engine
+    worker processes (0 = the in-thread fallback), repeated for
+    :data:`SERVE_TRIALS` trials of fresh payloads each, and returns
+    the median queries-per-second.  Distinct specs spread across
+    workers by sticky routing, so the figure measures multi-core
+    engine scaling, not memo or batching wins.
+    """
+    import queue as queue_module
+    import threading
+
+    from repro.serve import ServeApp, ServeClient, start_daemon_thread
+
+    app = ServeApp(workers=workers)
+    handle = start_daemon_thread(app)
+    rates = []
+    try:
+        # one distinct warm pass spins up every worker's first exchange
+        for trial in range(SERVE_TRIALS + 1):
+            payloads = _compute_payloads(queries)
+            # disjoint server counts per trial keep every query cold
+            for payload in payloads:
+                payload["servers"] += 7 * queries * trial
+            jobs = queue_module.Queue()
+            for payload in payloads:
+                jobs.put(payload)
+            failures = []
+
+            def drain():
+                client = ServeClient(port=handle.port, timeout_s=120)
+                try:
+                    while True:
+                        try:
+                            payload = jobs.get_nowait()
+                        except queue_module.Empty:
+                            return
+                        status, document = client.query(dict(payload))
+                        if status != 200:
+                            failures.append((status, document))
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=drain) for _ in range(clients)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            elapsed = time.perf_counter() - started
+            if failures:
+                raise RuntimeError(
+                    f"compute bench failed: {failures[:3]}"
+                )
+            if trial > 0:  # trial 0 is the warm pass
+                rates.append(queries / elapsed if elapsed > 0 else 0.0)
+    finally:
+        handle.stop()
+    return _median(rates)
 
 
 def bench_serve_overload(clients: int = 32):
@@ -469,8 +596,10 @@ def main(argv=None) -> int:
     placement_repeats = 1 if args.quick else 2
     mega_servers = 1_000_000
     mega_steps = 96 if args.quick else 672
-    serve_warm_rounds = 2
     serve_timed_rounds = 50 if args.quick else 200
+    compute_workers = SERVE_COMPUTE_WORKERS
+    compute_queries = 16 if args.quick else 48
+    compute_clients = 8
 
     timings = {}
     print("benchmarking corpus generation ...", flush=True)
@@ -514,12 +643,20 @@ def main(argv=None) -> int:
         checks_cold / checks_warm if checks_warm > 0 else float("inf")
     )
     print("benchmarking serve daemon ...", flush=True)
-    serve_qps, serve_p50_ms, serve_p99_ms = bench_serve(
-        serve_warm_rounds, serve_timed_rounds
-    )
+    serve_qps, serve_p50_ms, serve_p99_ms = bench_serve(serve_timed_rounds)
     timings["serve_qps"] = serve_qps
     timings["serve_p50_ms"] = serve_p50_ms
     timings["serve_p99_ms"] = serve_p99_ms
+    print("benchmarking serve compute scaling (worker pool) ...", flush=True)
+    base_qps = bench_serve_compute(0, compute_queries, compute_clients)
+    pool_qps = bench_serve_compute(
+        compute_workers, compute_queries, compute_clients
+    )
+    timings["serve_compute_base_qps"] = base_qps
+    timings["serve_compute_qps"] = pool_qps
+    timings["serve_compute_scaling"] = (
+        pool_qps / base_qps if base_qps > 0 else float("inf")
+    )
     print("benchmarking serve overload (shed + drain) ...", flush=True)
     shed_p99_ms, drain_s = bench_serve_overload()
     timings["serve_shed_p99_ms"] = shed_p99_ms
@@ -542,8 +679,13 @@ def main(argv=None) -> int:
             "placement_repeats": placement_repeats,
             "mega_servers": mega_servers,
             "mega_steps": mega_steps,
-            "serve_warm_rounds": serve_warm_rounds,
+            "serve_warm_rounds": SERVE_WARM_ROUNDS,
+            "serve_trials": SERVE_TRIALS,
             "serve_timed_rounds": serve_timed_rounds,
+            "compute_workers": compute_workers,
+            "compute_queries": compute_queries,
+            "compute_clients": compute_clients,
+            "cpus": os.cpu_count(),
         },
         "timings": {key: round(value, 4) for key, value in timings.items()},
     }
@@ -573,6 +715,16 @@ def main(argv=None) -> int:
             breaches.append(
                 f"serve_p99_ms: {timings['serve_p99_ms']:.2f}ms "
                 f"> ceiling {MAX_SERVE_P99_MS:.0f}ms"
+            )
+        cpus = os.cpu_count() or 1
+        if (cpus >= MIN_COMPUTE_CPUS
+                and timings["serve_compute_scaling"]
+                < MIN_SERVE_COMPUTE_SCALING):
+            breaches.append(
+                f"serve_compute_scaling: "
+                f"{timings['serve_compute_scaling']:.2f}x "
+                f"< required {MIN_SERVE_COMPUTE_SCALING:.1f}x "
+                f"on {cpus} cpus"
             )
         if timings["serve_shed_p99_ms"] > MAX_SERVE_SHED_P99_MS:
             breaches.append(

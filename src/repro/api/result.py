@@ -32,6 +32,11 @@ class Provenance:
     fleet_backend: str = "-"
     cache_hit: bool = False
     wall_time_ms: float = 0.0
+    #: Which serve worker executed the query: ``w<N>`` under the
+    #: process-pool tier, ``-`` for in-thread execution (and for
+    #: everything outside the daemon).  Excluded from byte-identity
+    #: comparisons across ``--workers`` settings.
+    worker: str = "-"
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON form of the provenance block."""
@@ -43,6 +48,7 @@ class Provenance:
             "fleet_backend": self.fleet_backend,
             "cache_hit": self.cache_hit,
             "wall_time_ms": self.wall_time_ms,
+            "worker": self.worker,
         }
 
 

@@ -19,7 +19,14 @@ the writes that would break it:
   no ``maxsize`` the queue absorbs every burst instead of pushing
   back, so overload turns into unbounded memory growth and latency —
   admission control (:mod:`repro.serve.resilience`) requires every
-  serve-side queue to carry an explicit bound.
+  serve-side queue to carry an explicit bound;
+* REP307 — an engine/builder entry point (``execute``,
+  ``build_artifact``) called directly in a coroutine's own scope in
+  the serve path: seconds of numpy work run on the event loop and
+  stall every concurrent request.  Engine calls must be dispatched
+  through ``run_in_executor`` or the worker pool
+  (:mod:`repro.serve.workers`); calls inside nested *sync* functions
+  and lambdas are exempt — those are the offload targets.
 
 Builder discovery is cross-file: builder names come from the literal
 ``ArtifactSpec``/``_spec`` calls anywhere in the scanned set and are
@@ -330,6 +337,55 @@ def _check_unbounded_queues(ctx: SourceFile) -> Iterator[Finding]:
             )
 
 
+#: Engine/builder entry points that block the event loop when called
+#: from a coroutine (each runs seconds of columnar numpy work).
+_ENGINE_CALLS = {
+    "repro.api.execute",
+    "repro.api.dispatch.execute",
+    "repro.api.build_artifact",
+    "repro.api.dispatch.build_artifact",
+}
+
+
+def _coroutine_scope_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes executed in the coroutine's own scope.
+
+    Nested sync functions, lambdas and nested coroutines are skipped:
+    the sync ones are the ``run_in_executor`` offload targets (where a
+    direct engine call is exactly right), and nested coroutines get
+    their own scan.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_loop_blocking_engine(ctx: SourceFile) -> Iterator[Finding]:
+    if not in_serve_path(ctx):
+        return
+    aliases = import_aliases(ctx.tree)
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _coroutine_scope_calls(func):
+            path = resolve_call(node.func, aliases)
+            if path in _ENGINE_CALLS:
+                name = path.rsplit(".", 1)[-1]
+                yield finding(
+                    RULES["REP307"], ctx.rel, node,
+                    f"coroutine {func.name!r} calls {name}() directly on "
+                    "the event loop; the engine blocks every concurrent "
+                    "request while it runs",
+                    hint="dispatch engine work through run_in_executor or "
+                    "the serve worker pool so the loop keeps answering",
+                )
+
+
 RULES = {
     "REP301": Rule(
         "REP301", "global-write", Severity.ERROR,
@@ -360,6 +416,11 @@ RULES = {
         "REP306", "unbounded-serve-queue", Severity.ERROR,
         "unbounded asyncio queues in the serve path",
         scope="file", file_checker=_check_unbounded_queues,
+    ),
+    "REP307": Rule(
+        "REP307", "loop-blocking-engine-call", Severity.ERROR,
+        "engine calls awaited directly on the serve event loop",
+        scope="file", file_checker=_check_loop_blocking_engine,
     ),
 }
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -256,6 +257,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8631, help="TCP port (default 8631)"
     )
     serve.add_argument(
+        "--workers", default="auto", metavar="N",
+        help="engine worker processes: an integer, or 'auto' for "
+             "cores-1 (default); 0 serves in-thread (bit-identity "
+             "fallback: no forked state, single-core compute)",
+    )
+    serve.add_argument(
         "--max-inflight", type=int, default=64, metavar="N",
         help="concurrent query executions before queueing (default 64)",
     )
@@ -409,11 +416,22 @@ def _cmd_query(args, context: QueryContext, out) -> int:
     return _emit(result, fmt, out)
 
 
+def _resolve_workers(value: str) -> int:
+    """Parse ``--workers``: 'auto' means cores-1, never negative."""
+    if value == "auto":
+        return max(0, (os.cpu_count() or 1) - 1)
+    workers = int(value)
+    if workers < 0:
+        raise ValueError(f"--workers must be >= 0 or 'auto', got {workers}")
+    return workers
+
+
 def _cmd_serve(args, context: QueryContext, out) -> int:
     from repro.serve.daemon import run_daemon
     from repro.serve.resilience import ServeLimits
 
     try:
+        workers = _resolve_workers(args.workers)
         limits = ServeLimits(
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
@@ -431,6 +449,7 @@ def _cmd_serve(args, context: QueryContext, out) -> int:
         cache_dir=args.cache_dir if (args.cache or args.cache_dir) else None,
         out=out,
         limits=limits,
+        workers=workers,
     )
 
 

@@ -544,52 +544,113 @@ def _layout_key(base: FleetArrays, count: int) -> str:
     return digest.hexdigest()[:32]
 
 
-@contextmanager
-def _attached_kernel(descriptor: Dict) -> Iterator[_ShardKernel]:
-    """Open a broadcast layout inside a pool worker, detach on exit.
+def publish_shm_arrays(
+    named: Dict[str, np.ndarray],
+) -> Tuple[Dict[str, Tuple[str, Tuple[int, ...], str]],
+           List[shared_memory.SharedMemory]]:
+    """Copy named arrays into fresh shared-memory segments.
 
-    ``shm`` descriptors attach the parent's shared-memory segments as
-    zero-copy array views; ``paths`` descriptors re-open the spill
-    store's column files as read-only memmaps (forked or spawned
-    workers share the same page-cache bytes).  The views are dropped
-    and every attached segment closed in the ``finally``, so a worker
-    can never leak a segment whatever the query does.
+    Returns ``(blocks, segments)``: ``blocks`` maps each name to the
+    ``(segment name, shape, dtype)`` triple that
+    :func:`attached_shm_arrays` re-opens zero-copy in another process,
+    and ``segments`` are the live handles the *caller* must close and
+    unlink when the audience is gone.  On a mid-publication failure
+    every already-created segment is reclaimed before the error
+    propagates, so a partial publish can never leak kernel objects.
+    """
+    blocks: Dict[str, Tuple[str, Tuple[int, ...], str]] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        for name, array in named.items():
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            segments.append(segment)
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[...] = array
+            del view
+            blocks[name] = (segment.name, array.shape, array.dtype.str)
+    except BaseException:
+        for segment in segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        raise
+    return blocks, segments
+
+
+@contextmanager
+def attached_shm_arrays(
+    blocks: Dict[str, Tuple[str, Tuple[int, ...], str]],
+) -> Iterator[Dict[str, np.ndarray]]:
+    """Attach published segments as named array views, detach on exit.
+
+    The inverse of :func:`publish_shm_arrays`, runnable in any process
+    that can see the segment names: yields zero-copy views over the
+    parent's pages and closes every attached segment in the
+    ``finally``, so an attaching worker can never leak one whatever
+    its work does.
     """
     segments: List[shared_memory.SharedMemory] = []
     arrays: Dict[str, np.ndarray] = {}
     try:
-        if descriptor["mode"] == "shm":
-            for name, (segment_name, shape, dtype) in descriptor[
-                "blocks"
-            ].items():
-                # Attaching re-registers the name with the resource
-                # tracker (a set add, so a no-op: pool workers share
-                # the parent's tracker and the parent registered the
-                # segment at creation); the parent's unlink unregisters
-                # it exactly once.
-                segment = shared_memory.SharedMemory(name=segment_name)
-                segments.append(segment)
-                arrays[name] = np.ndarray(
-                    shape, dtype=np.dtype(dtype), buffer=segment.buf
-                )
-        else:
-            for name, path in descriptor["paths"].items():
-                arrays[name] = np.load(
-                    path, mmap_mode="r", allow_pickle=False
-                )
-        yield _ShardKernel(
-            arrays,
-            descriptor["count"],
-            descriptor["base_count"],
-            descriptor["shard_size"],
-        )
+        for name, (segment_name, shape, dtype) in blocks.items():
+            # Attaching re-registers the name with the resource
+            # tracker (a set add, so a no-op: pool workers share
+            # the parent's tracker and the parent registered the
+            # segment at creation); the parent's unlink unregisters
+            # it exactly once.
+            segment = shared_memory.SharedMemory(name=segment_name)
+            segments.append(segment)
+            arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf
+            )
+        yield arrays
     finally:
         arrays.clear()
         for segment in segments:
             try:
                 segment.close()
-            except BufferError:  # a view outlived the kernel; leave it
+            except BufferError:  # a view outlived the scope; leave it
                 pass
+
+
+@contextmanager
+def _attached_kernel(descriptor: Dict) -> Iterator[_ShardKernel]:
+    """Open a broadcast layout inside a pool worker, detach on exit.
+
+    ``shm`` descriptors attach the parent's shared-memory segments as
+    zero-copy array views (:func:`attached_shm_arrays`); ``paths``
+    descriptors re-open the spill store's column files as read-only
+    memmaps (forked or spawned workers share the same page-cache
+    bytes).  Either way the views are dropped on exit, so a worker can
+    never leak a segment whatever the query does.
+    """
+    def _kernel(arrays: Dict[str, np.ndarray]) -> _ShardKernel:
+        return _ShardKernel(
+            arrays,
+            descriptor["count"],
+            descriptor["base_count"],
+            descriptor["shard_size"],
+        )
+
+    if descriptor["mode"] == "shm":
+        with attached_shm_arrays(descriptor["blocks"]) as arrays:
+            yield _kernel(arrays)
+        return
+    arrays = {
+        name: np.load(path, mmap_mode="r", allow_pickle=False)
+        for name, path in descriptor["paths"].items()
+    }
+    try:
+        yield _kernel(arrays)
+    finally:
+        arrays.clear()
 
 
 def _pooled_step(
@@ -824,21 +885,10 @@ class ShardedFleetEngine:
                 },
             )
             return
-        segments: List[shared_memory.SharedMemory] = []
+        blocks, segments = publish_shm_arrays(
+            {name: self.kernel.layout[name] for name in _LAYOUT_NAMES}
+        )
         try:
-            blocks = {}
-            for name in _LAYOUT_NAMES:
-                array = np.ascontiguousarray(self.kernel.layout[name])
-                segment = shared_memory.SharedMemory(
-                    create=True, size=max(1, array.nbytes)
-                )
-                segments.append(segment)
-                view = np.ndarray(
-                    array.shape, dtype=array.dtype, buffer=segment.buf
-                )
-                view[...] = array
-                del view
-                blocks[name] = (segment.name, array.shape, array.dtype.str)
             yield dict(meta, mode="shm", blocks=blocks)
         finally:
             for segment in segments:

@@ -18,6 +18,8 @@ site                where it fires
 ``dataset.io``      inside :func:`load_corpus <repro.dataset.io.load_corpus>` / ``save_corpus``
 ``serve.handler``   at the top of the daemon's query handler (event loop)
 ``serve.engine``    just before the serve layer runs ``execute()`` for a query
+``serve.worker``    on dispatch to a serve engine worker (the claimed budget
+                    kills that worker process mid-query)
 ``serve.io``        before the daemon writes a response to a connection
 ==================  ============================================================
 
@@ -73,6 +75,7 @@ KNOWN_SITES = (
     "dataset.io",
     "serve.handler",
     "serve.engine",
+    "serve.worker",
     "serve.io",
 )
 

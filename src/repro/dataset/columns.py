@@ -209,6 +209,48 @@ class CorpusColumns:
             for name, array in named.items()
         )
 
+    def adopt_matrices(self, named: Dict[str, np.ndarray]) -> None:
+        """Adopt externally shared curve matrices as this store's own.
+
+        The serve worker tier calls this with read-only memmaps (or
+        shared-memory views) published by its parent process, so a
+        worker's fleet path touches the parent's physical pages
+        instead of duplicating the matrices per process.  ``named``
+        must provide all of ``load_grid``/``power_matrix``/
+        ``ops_matrix``; values are write-protected and bit-identical
+        to what :meth:`load_grid` and friends would have built.
+        """
+        expected = ("load_grid", "power_matrix", "ops_matrix")
+        missing = [name for name in expected if name not in named]
+        if missing:
+            raise KeyError(
+                f"adopt_matrices needs {expected}; missing {missing}"
+            )
+        for name in expected:
+            array = named[name]
+            if array.flags.writeable:
+                array = array.view()
+                array.setflags(write=False)
+            self._arrays[name] = array
+
+    def attach_spilled(self, store: "ColumnSpillStore") -> bool:
+        """Attach this corpus' spilled curve matrices as memmaps.
+
+        The zero-copy half of :meth:`spill_matrices`: re-opens the
+        three matrices a parent process spilled under this corpus'
+        fingerprint as read-only memory maps, so every process that
+        attaches shares one set of page-cache bytes.  Returns ``False``
+        (leaving the in-RAM build path untouched) when any file is
+        absent.
+        """
+        names = ("load_grid", "power_matrix", "ops_matrix")
+        if not all(store.has(self._fingerprint, name) for name in names):
+            return False
+        self.adopt_matrices(
+            {name: store.load(self._fingerprint, name) for name in names}
+        )
+        return True
+
 
 class ColumnSpillStore:
     """Fingerprint-keyed ``.npy`` files: the out-of-core column tier.

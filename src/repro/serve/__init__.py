@@ -12,6 +12,12 @@ dispatch table:
   over the same cohort) arriving within a few-millisecond window are
   executed as one group against a shared columnar engine.
 
+Compute scales past one core through the process-pool worker tier
+(:mod:`repro.serve.workers`): ``--workers N`` pre-forks N engine
+workers that share the parent's warm corpus state zero-copy and serve
+bit-identical payloads, with sticky spec-key routing and
+restart-once crash recovery.
+
 ``python -m repro serve --port 8631`` starts it; POST a request JSON
 to ``/query`` and read back the :class:`~repro.api.QueryResult`
 envelope.
@@ -31,12 +37,14 @@ from repro.serve.resilience import (
     Deadline,
     ServeLimits,
 )
+from repro.serve.workers import EngineWorkerPool
 
 __all__ = [
     "AdmissionController",
     "CircuitBreaker",
     "DaemonHandle",
     "Deadline",
+    "EngineWorkerPool",
     "ServeApp",
     "ServeClient",
     "ServeLimits",

@@ -16,8 +16,13 @@ query payloads.  The serving path, fastest first:
 4. **dispatch** -- everything bottoms out in
    :func:`repro.api.execute`, disk cache included.
 
-All computation runs on the event loop's default thread-pool executor;
-the loop itself only routes.
+Computation never runs on the loop itself.  With ``workers=0`` engine
+executions ride the event loop's default thread-pool executor; with
+``workers=N`` they route to the pre-forked
+:class:`~repro.serve.workers.EngineWorkerPool` (sticky spec-key
+routing, zero-copy warm state, bit-identical payloads), while memo
+hits, validation errors and ``/healthz``/``/stats`` stay on the loop
+either way.
 
 Under load the path is guarded by the :mod:`repro.serve.resilience`
 layer: memo hits always succeed, but a computation must pass the
@@ -102,22 +107,41 @@ class ServeApp:
         seed: int = 2016,
         cache: Optional[ArtifactCache] = None,
         memo_size: int = 4096,
+        memo_bytes: int = 64 * 1024 * 1024,
         window_s: float = 0.002,
         limits: Optional[ServeLimits] = None,
+        workers: int = 0,
     ) -> None:
         from repro.serve.batch import BatchWindow
         from repro.serve.coalesce import Coalescer
 
+        if memo_bytes < 0:
+            raise ValueError(f"memo_bytes must be >= 0, got {memo_bytes}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self.seed = seed
         self.context = QueryContext(cache=cache)
         self.stats = ServeStats()
         self.memo_size = memo_size
+        self.memo_bytes = memo_bytes
         self.limits = limits if limits is not None else ServeLimits()
         self._memo: "OrderedDict[str, bytes]" = OrderedDict()
+        self._memo_total = 0
+        self.workers = workers
+        self._pool = None
+        if workers > 0:
+            from repro.serve.workers import EngineWorkerPool
+
+            self._pool = EngineWorkerPool(
+                self.context, seed=seed, size=workers
+            )
         self._fingerprints: Dict[int, str] = {}
         self._coalescer = Coalescer()
         self._batch = BatchWindow(
-            self._execute_group, QueryContext.fleet_key, window_s
+            self._execute_group_pooled if self._pool is not None
+            else self._execute_group,
+            QueryContext.fleet_key,
+            window_s,
         )
         self._admission = AdmissionController(
             self.limits.max_inflight, self.limits.max_queue
@@ -133,10 +157,23 @@ class ServeApp:
     # -- warm-up -----------------------------------------------------------------
 
     def warm(self) -> None:
-        """Load the corpus, column store and fingerprint once, up front."""
+        """Load the corpus, column store and fingerprint once, up front.
+
+        With ``workers > 0`` this also forks the engine worker pool —
+        after the corpus is warm, so every worker starts from the
+        parent's built state (copy-on-write plus the zero-copy spilled
+        matrices) instead of re-synthesizing its own.
+        """
         corpus = self.context.corpus(self.seed)
         corpus.columns()
         self._fingerprints[self.seed] = corpus.fingerprint()
+        if self._pool is not None:
+            self._pool.start()
+
+    def stop_workers(self, timeout_s: float = 5.0) -> None:
+        """Stop the engine worker pool, if one is running (idempotent)."""
+        if self._pool is not None:
+            self._pool.stop(timeout_s)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -303,6 +340,10 @@ class ServeApp:
         try:
             if type(request).family in FLEET_FAMILIES:
                 result = await self._batch.submit(request)
+            elif self._pool is not None:
+                self.stats.computations += 1
+                await faults.fire_async("serve.engine")
+                result = await self._pool.submit(request, key)
             else:
                 loop = asyncio.get_running_loop()
                 self.stats.computations += 1
@@ -337,6 +378,20 @@ class ServeApp:
         faults.fire("serve.engine")
         return [execute(request, self.context) for request in requests]
 
+    async def _execute_group_pooled(
+        self, requests: List[QueryRequest]
+    ) -> List[QueryResult]:
+        """One batch group on the worker pool, routed by cohort key.
+
+        Cohort-sticky routing keeps each cohort's shared engine warm
+        inside one worker, the same way spec-key routing keeps
+        non-fleet caches warm.
+        """
+        self.stats.computations += len(requests)
+        await faults.fire_async("serve.engine")
+        route = repr(QueryContext.fleet_key(requests[0]))
+        return await self._pool.submit_group(requests, route)
+
     # -- identity ----------------------------------------------------------------
 
     async def _spec_key(self, request: QueryRequest) -> str:
@@ -362,10 +417,22 @@ class ServeApp:
         return body
 
     def _memo_put(self, key: str, body: bytes) -> None:
+        previous = self._memo.get(key)
+        if previous is not None:
+            self._memo_total -= len(previous)
         self._memo[key] = body
+        self._memo_total += len(body)
         self._memo.move_to_end(key)
-        while len(self._memo) > self.memo_size:
-            self._memo.popitem(last=False)
+        # bounded twice over: entry count AND total bytes — one
+        # million-server fleet response must not pin unbounded memory
+        # behind a small-looking entry cap.  A body larger than the
+        # byte budget by itself is evicted immediately (never memoized).
+        while self._memo and (
+            len(self._memo) > self.memo_size
+            or self._memo_total > self.memo_bytes
+        ):
+            _evicted_key, evicted = self._memo.popitem(last=False)
+            self._memo_total -= len(evicted)
 
     # -- introspection -----------------------------------------------------------
 
@@ -376,19 +443,27 @@ class ServeApp:
             "batch_groups": self._batch.groups,
             "batch_pending": self._batch.pending,
             "memo_entries": len(self._memo),
+            "memo_bytes": self._memo_total,
             "inflight": self._admission.active,
             "queued": self._admission.waiting,
             "in_system": self._in_system,
             "coalescer_entries": len(self._coalescer),
             "breaker_trips": self._breaker.trips,
             "breaker_open_keys": self._breaker.open_keys(),
+            "worker_restarts": (
+                self._pool.restarts if self._pool is not None else 0
+            ),
         }
-        return {
+        document = {
             "seed": self.seed,
             "engine_version": ENGINE_VERSION,
             "state": self._state,
             "stats": self.stats.to_dict(),
+            "workers": (
+                self._pool.worker_stats() if self._pool is not None else []
+            ),
         }
+        return document
 
 
 def _error_body(exc: BaseException) -> bytes:

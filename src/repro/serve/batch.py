@@ -28,19 +28,22 @@ from repro.core.resilience import DeadlineExceeded
 class BatchWindow:
     """Collect compatible requests briefly, execute them as groups.
 
-    ``execute_group`` is a synchronous callable taking a list of
-    requests and returning the list of results in order; it runs on the
-    event loop's default executor so groups from one window proceed
-    concurrently with each other and with non-batched work.
+    ``execute_group`` takes a list of requests and returns the list of
+    results in order.  A synchronous callable runs on the event loop's
+    default executor; a coroutine function (the worker-pool path) is
+    awaited directly — the pool does its own off-loop dispatch.
+    Either way groups from one window proceed concurrently with each
+    other and with non-batched work.
     """
 
     def __init__(
         self,
-        execute_group: Callable[[List[Any]], List[Any]],
+        execute_group: Callable[[List[Any]], Any],
         group_key: Callable[[Any], Tuple],
         window_s: float = 0.002,
     ) -> None:
         self._execute_group = execute_group
+        self._execute_is_async = asyncio.iscoroutinefunction(execute_group)
         self._group_key = group_key
         self.window_s = window_s
         self._pending: List[Tuple[Any, "asyncio.Future[Any]"]] = []
@@ -103,9 +106,12 @@ class BatchWindow:
         requests = [request for request, _future in group]
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
-                None, self._execute_group, requests
-            )
+            if self._execute_is_async:
+                results = await self._execute_group(requests)
+            else:
+                results = await loop.run_in_executor(
+                    None, self._execute_group, requests
+                )
         except BaseException as exc:  # propagate to every waiter
             for _request, future in group:
                 if not future.done():

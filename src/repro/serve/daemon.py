@@ -315,6 +315,11 @@ async def _serve(
         app.begin_drain()
         await conns.wait_quiet(app.limits.drain_s)
         conns.close_all()
+        # admitted work has settled (or overran its budget): the engine
+        # worker processes can go now, off the loop
+        await asyncio.get_running_loop().run_in_executor(
+            None, app.stop_workers
+        )
         try:
             await asyncio.wait_for(server.wait_closed(), _IO_TIMEOUT_S)
         except asyncio.TimeoutError:
@@ -335,16 +340,19 @@ def run_daemon(
     cache_dir: Optional[str] = None,
     out: Optional[Any] = None,
     limits: Optional[ServeLimits] = None,
+    workers: int = 0,
 ) -> int:
     """Warm an app and serve in the foreground until signalled.
 
     SIGTERM and SIGINT both trigger the graceful drain rather than
-    killing in-flight work.
+    killing in-flight work.  ``workers=N`` forks the engine worker
+    pool after the warm-up; ``0`` keeps every engine execution on the
+    in-process thread pool.
     """
     from repro.core.cache import ArtifactCache
 
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
-    app = ServeApp(seed=seed, cache=cache, limits=limits)
+    app = ServeApp(seed=seed, cache=cache, limits=limits, workers=workers)
     app.warm()
 
     def announce(bound_port: int, _loop: asyncio.AbstractEventLoop) -> None:
@@ -366,6 +374,8 @@ def run_daemon(
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    finally:
+        app.stop_workers()  # idempotent: normally the drain already did
     return 0
 
 

@@ -2,8 +2,15 @@
 
 import asyncio
 
+from repro.api import execute
+
 work = asyncio.Queue()  # not in a serve path: REP306 stays quiet
 
 
 async def flush(writer):
     await writer.drain()  # not in a serve path: REP506 stays quiet
+
+
+async def batch(requests, context):
+    # not in a serve path: REP307 stays quiet
+    return [execute(request, context) for request in requests]

@@ -1,0 +1,34 @@
+"""Fixture: engine calls run directly in serve coroutines."""
+
+import asyncio
+
+from repro.api import build_artifact, execute
+from repro.api import dispatch
+
+
+async def answer(request, context):
+    return execute(request, context)  # REP307: blocks the loop
+
+
+async def figure(study, figure_id):
+    return build_artifact(study, figure_id)  # REP307: blocks the loop
+
+
+async def answer_qualified(request, context):
+    return dispatch.execute(request, context)  # REP307: blocks the loop
+
+
+async def offloaded(request, context):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(  # ok: lambda runs off-loop
+        None, lambda: execute(request, context)
+    )
+
+
+async def offloaded_named(request, context):
+    loop = asyncio.get_running_loop()
+
+    def job():
+        return execute(request, context)  # ok: sync offload target
+
+    return await loop.run_in_executor(None, job)

@@ -209,13 +209,38 @@ class TestServeOverloadRules:
     def test_outside_serve_path_is_quiet(self):
         findings = run_checks(
             [str(FIXTURES / "serve_tree" / "offline")],
-            select=["REP306", "REP506"],
+            select=["REP306", "REP307", "REP506"],
         )
         assert findings == []
 
     def test_serve_package_is_rule_clean(self):
         serve = SRC / "repro" / "serve"
-        assert run_checks([str(serve)], select=["REP306", "REP506"]) == []
+        assert run_checks(
+            [str(serve)], select=["REP306", "REP307", "REP506"]
+        ) == []
+
+
+class TestLoopBlockingEngineRule:
+    """REP307: serve coroutines must offload engine/builder calls."""
+
+    def test_exact_findings(self):
+        findings = run_checks(
+            [str(FIXTURES / "serve_tree")], select=["REP307"]
+        )
+        assert _hits(findings) == [
+            ("REP307", "bad_engine.py", 10),
+            ("REP307", "bad_engine.py", 14),
+            ("REP307", "bad_engine.py", 18),
+        ]
+
+    def test_is_an_error(self):
+        findings = run_checks(
+            [str(FIXTURES / "serve_tree")], select=["REP307"]
+        )
+        assert findings and all(
+            f.severity is Severity.ERROR for f in findings
+        )
+        assert exit_code(findings) == 1
 
 
 class TestEngine:

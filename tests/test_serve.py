@@ -67,6 +67,35 @@ class TestCoalescing:
         assert app._memo_get("a") is None
         assert app._memo_get("c") == b"3"
 
+    def test_memo_is_bounded_by_bytes(self):
+        app = ServeApp(memo_size=100, memo_bytes=10)
+        app._memo_put("a", b"xxxx")
+        app._memo_put("b", b"yyyy")
+        app._memo_put("c", b"zzzz")  # 12 bytes total: evict oldest
+        assert app._memo_get("a") is None
+        assert app._memo_get("b") == b"yyyy"
+        assert app._memo_get("c") == b"zzzz"
+        assert app._memo_total == 8
+
+    def test_memo_replacement_keeps_byte_count_exact(self):
+        app = ServeApp(memo_bytes=100)
+        app._memo_put("a", b"xxxx")
+        app._memo_put("a", b"yy")
+        assert app._memo_total == 2
+
+    def test_oversized_body_is_not_retained(self):
+        app = ServeApp(memo_bytes=4)
+        app._memo_put("a", b"way too large to memoize")
+        assert app._memo_get("a") is None
+        assert app._memo_total == 0
+
+    def test_stats_expose_memo_bytes(self):
+        app = ServeApp()
+        app._memo_put("a", b"xxxx")
+        extra = app.stats_payload()["stats"]
+        assert extra["memo_bytes"] == 4
+        assert extra["memo_entries"] == 1
+
 
 class TestBatching:
     def test_window_merges_compatible_queries_into_groups(self):

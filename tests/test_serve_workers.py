@@ -1,0 +1,153 @@
+"""The serve worker pool: forked workers, routing, crash recovery."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.serve import EngineWorkerPool, ServeApp
+
+REPLAY = {"family": "replay", "servers": 30, "steps": 8}
+STATS = {"family": "stats", "metric": "ep"}
+PLACEMENT = {"family": "placement", "servers": 48, "demand_fraction": 0.4}
+
+
+def drive(app, payloads):
+    async def go():
+        return [await app.handle_query(dict(p)) for p in payloads]
+
+    return asyncio.run(go())
+
+
+def pooled_app(workers=2, **kwargs):
+    app = ServeApp(workers=workers, **kwargs)
+    app.warm()
+    return app
+
+
+def normalized(body):
+    """Decode a response, dropping the volatile provenance fields."""
+    document = json.loads(body)
+    document["provenance"].pop("worker")
+    document["provenance"].pop("wall_time_ms")
+    return document
+
+
+class TestPoolExecution:
+    def test_responses_bit_identical_to_in_thread(self):
+        payloads = [REPLAY, STATS, PLACEMENT]
+        pooled = pooled_app(workers=2)
+        try:
+            pooled_answers = drive(pooled, payloads)
+        finally:
+            pooled.stop_workers()
+        baseline = pooled_app(workers=0)
+        baseline_answers = drive(baseline, payloads)
+        for (ps, pb), (bs, bb) in zip(pooled_answers, baseline_answers):
+            assert ps == bs == 200
+            assert normalized(pb) == normalized(bb)
+
+    def test_provenance_carries_worker_stamp(self):
+        app = pooled_app(workers=2)
+        try:
+            [(status, body)] = drive(app, [STATS])
+        finally:
+            app.stop_workers()
+        assert status == 200
+        worker = json.loads(body)["provenance"]["worker"]
+        assert worker in ("w0", "w1")
+
+    def test_in_thread_provenance_is_unstamped(self):
+        app = pooled_app(workers=0)
+        [(status, body)] = drive(app, [STATS])
+        assert status == 200
+        assert json.loads(body)["provenance"]["worker"] == "-"
+
+    def test_sticky_routing_is_deterministic(self):
+        pool = EngineWorkerPool(context=None, size=4)
+        first = pool.route_index("spec-key-a")
+        assert pool.route_index("spec-key-a") == first
+        routes = {pool.route_index(f"spec-key-{i}") for i in range(64)}
+        assert routes == {0, 1, 2, 3}  # distinct keys spread the pool
+
+    def test_worker_stats_count_served(self):
+        app = pooled_app(workers=2)
+        try:
+            answers = drive(app, [REPLAY, PLACEMENT, STATS])
+        finally:
+            app.stop_workers()
+        assert all(status == 200 for status, _body in answers)
+        document = app.stats_payload()
+        workers = document["workers"]
+        assert [entry["index"] for entry in workers] == [0, 1]
+        assert set(workers[0]) == {
+            "index", "pid", "alive", "inflight", "served", "restarts",
+        }
+        assert sum(entry["served"] for entry in workers) == len(answers)
+        assert document["stats"]["worker_restarts"] == 0
+
+
+class TestWorkerDeath:
+    def test_single_death_is_masked_bit_identically(self):
+        app = pooled_app(workers=2)
+        plan = FaultPlan(
+            [FaultSpec(site="serve.worker", mode="fail-once")], seed=7
+        )
+        try:
+            with faults.install(plan):
+                [(status, body)] = drive(app, [REPLAY])
+        finally:
+            app.stop_workers()
+        assert status == 200
+        assert app._pool.restarts == 1
+        clean = pooled_app(workers=0)
+        [(_status, clean_body)] = drive(clean, [REPLAY])
+        assert normalized(body) == normalized(clean_body)
+
+    def test_double_death_is_a_transient_503(self):
+        app = pooled_app(workers=2)
+        plan = FaultPlan(
+            [FaultSpec(site="serve.worker", mode="fail-n", times=2)], seed=7
+        )
+        try:
+            with faults.install(plan):
+                [(status, body)] = drive(app, [REPLAY])
+            assert status == 503
+            assert "died twice" in json.loads(body)["error"]
+            assert app._pool.restarts == 2
+            # worker death is transient: the breaker must NOT trip,
+            # and the respawned worker answers the retry normally
+            assert app.stats_payload()["stats"]["breaker_trips"] == 0
+            [(again, again_body)] = drive(app, [REPLAY])
+        finally:
+            app.stop_workers()
+        assert again == 200
+        assert json.loads(again_body)["payload"]
+
+    def test_stop_workers_is_idempotent(self):
+        app = pooled_app(workers=2)
+        app.stop_workers()
+        app.stop_workers()
+        pool = app._pool
+        assert all(not entry["alive"] for entry in pool.worker_stats())
+
+
+class TestPoolLifecycle:
+    def test_submit_before_start_raises(self):
+        pool = EngineWorkerPool(context=None, size=1)
+
+        async def go():
+            await pool.submit(object(), "key")
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(go())
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EngineWorkerPool(context=None, size=0)
+
+    def test_app_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ServeApp(workers=-1)
