@@ -30,7 +30,8 @@ like a standard inference server:
   the event loop;
 * **crash-isolated compute** — a worker death (the ``serve.worker``
   fault site, an OOM kill, a segfault) is detected on the pipe,
-  answered by *one* restart plus a seeded-backoff retry
+  answered by *one* restart (via the fork-safe ``spawn`` context — the
+  parent is multithreaded by then) plus a seeded-backoff retry
   (:class:`~repro.core.resilience.RetryPolicy`), and only a second
   death surfaces — as :class:`~repro.core.resilience.TransientError`,
   which the app maps to ``503`` and the PR 9 circuit breaker correctly
@@ -49,6 +50,7 @@ import asyncio
 import dataclasses
 import multiprocessing
 import os
+import threading
 import time
 import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -124,14 +126,16 @@ def _worker_main(
     """Entry point of one worker process.
 
     Forked workers receive the parent's warm ``QueryContext`` directly
-    (copy-on-write memory, never pickled); the spawn fallback rebuilds
-    one from the seed.  Either way the corpus curve matrices are then
-    swapped for the parent-published zero-copy representation before
-    the first query runs.
+    (copy-on-write memory, never pickled); spawned workers — spawn-only
+    platforms, and every post-death replacement (see
+    :meth:`EngineWorkerPool._respawn`) — rebuild one from the seed.
+    Either way the corpus curve matrices are then swapped for the
+    parent-published zero-copy representation before the first query
+    runs.
     """
     if warm_context is not None:
         context = warm_context
-    else:  # pragma: no cover - spawn platforms only
+    else:  # spawn platforms and respawned replacement workers
         cache = ArtifactCache(cache_dir) if cache_dir else None
         context = QueryContext(cache=cache)
     columns = context.corpus(seed).columns()
@@ -152,7 +156,7 @@ class _Worker:
 
     __slots__ = (
         "index", "process", "conn", "served", "restarts", "inflight",
-        "_lock", "_lock_loop",
+        "io_lock", "_lock", "_lock_loop",
     )
 
     def __init__(self, index: int, process: Any, conn: Any) -> None:
@@ -162,6 +166,12 @@ class _Worker:
         self.served = 0
         self.restarts = 0
         self.inflight = 0
+        #: Thread-level guard on the pipe: ``Connection`` is not
+        #: thread-safe, and an abandoned (deadline-cancelled) exchange
+        #: keeps running on its executor thread after the event-loop
+        #: lock moves on — every send/recv, including ``stop()``'s,
+        #: must hold this.
+        self.io_lock = threading.Lock()
         self._lock: Optional[asyncio.Lock] = None
         self._lock_loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -210,6 +220,11 @@ class EngineWorkerPool:
         self._mp = multiprocessing.get_context(
             "fork" if "fork" in start_methods else "spawn"
         )
+        # replacements after a worker death always come up via spawn:
+        # by then the parent has a live event loop and executor
+        # threads, and os.fork() from a multithreaded process can
+        # deadlock the child on locks other threads hold
+        self._respawn_mp = multiprocessing.get_context("spawn")
         self._workers: List[_Worker] = []
         self._segments: List[Any] = []
         self._transport: Tuple[str, Any] = ("spill", str(self.spill.root))
@@ -249,10 +264,11 @@ class EngineWorkerPool:
         self._workers = [self._spawn(index) for index in range(self.size)]
         self._started = True
 
-    def _spawn(self, index: int) -> _Worker:
-        parent_conn, child_conn = self._mp.Pipe(duplex=True)
-        warm = self.context if self._mp.get_start_method() == "fork" else None
-        process = self._mp.Process(
+    def _spawn(self, index: int, mp: Any = None) -> _Worker:
+        mp = mp if mp is not None else self._mp
+        parent_conn, child_conn = mp.Pipe(duplex=True)
+        warm = self.context if mp.get_start_method() == "fork" else None
+        process = mp.Process(
             target=_worker_main,
             args=(
                 child_conn, index, self.seed, warm,
@@ -273,10 +289,18 @@ class EngineWorkerPool:
             return
         self._started = False
         for worker in self._workers:
+            # never write the pipe while an abandoned exchange may
+            # still be mid send/recv on it from an executor thread —
+            # if the io lock can't be had quickly, skip the polite
+            # stop; join/terminate below still reaps the worker
+            if not worker.io_lock.acquire(timeout=0.25):
+                continue
             try:
                 worker.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass  # already dead: join below still reaps it
+            finally:
+                worker.io_lock.release()
         for worker in self._workers:
             worker.process.join(timeout=timeout_s)
             if worker.process.is_alive():
@@ -325,19 +349,32 @@ class EngineWorkerPool:
         lock = worker.lock_for(loop)
         await lock.acquire()
         worker.inflight += 1
-        future = loop.run_in_executor(
-            None, self._exchange_with_recovery, worker, requests
-        )
-
-        def _settle(_future: "asyncio.Future[Any]") -> None:
-            # runs on the loop when the pipe exchange finishes — even
-            # if this submit was cancelled, the lock is held until the
-            # worker's reply is consumed so the protocol stays in sync
+        try:
+            future = loop.run_in_executor(
+                None, self._exchange_with_recovery, worker, requests
+            )
+        except Exception:
+            # executor refused the job (shut down during drain):
+            # nothing touched the pipe, the worker is reusable
             worker.inflight -= 1
             lock.release()
+            raise
+
+        def _settle(_future: "asyncio.Future[Any]") -> None:
+            # fires when the exchange actually finishes (or the job
+            # was cancelled before its thread started) — never while
+            # it is still on the pipe: the await below is shielded,
+            # so cancelling this submit abandons the flight but the
+            # exchange runs on and the lock is released only here,
+            # once the worker's reply has been consumed and the
+            # protocol is back in sync
+            worker.inflight -= 1
+            lock.release()
+            if not _future.cancelled():
+                _future.exception()  # abandoned errors are settled
 
         future.add_done_callback(_settle)
-        results = await future
+        results = await asyncio.shield(future)
         worker.served += len(requests)
         return [self._stamp(result, worker) for result in results]
 
@@ -354,31 +391,46 @@ class EngineWorkerPool:
     ) -> List[QueryResult]:
         """Send/recv with restart-once recovery (PR 4 taxonomy).
 
-        A first worker death is masked: the worker is re-forked from
-        the parent's warm state and the request retried after one
+        A first worker death is masked: the worker is respawned from
+        the published warm state and the request retried after one
         seeded backoff delay.  A second death raises
         :class:`TransientError` — the app answers ``503`` and the
         breaker's transient bucket leaves the spec key closed.
+
+        The whole exchange holds the worker's thread-level ``io_lock``:
+        the event-loop lock alone cannot serialize pipe access, because
+        a deadline-cancelled submit abandons this thread mid-exchange
+        while the loop moves on.
         """
-        for attempt in (1, 2):
-            plan = faults.active_plan()
-            crash = plan.take("serve.worker") if plan is not None else False
-            try:
-                kind, value = self._exchange(worker, ("run", requests, crash))
-            except WorkerDied as death:
-                self.restarts += 1
-                worker.restarts += 1
-                self._respawn(worker)
-                if attempt == 1:
-                    time.sleep(self.retry.delay_s("serve.worker", attempt))
-                    continue
-                raise TransientError(
-                    f"serve worker w{worker.index} died twice executing "
-                    "one request; restart + retry exhausted"
-                ) from death
-            if kind == "err":
-                raise value
-            return value
+        with worker.io_lock:
+            for attempt in (1, 2):
+                plan = faults.active_plan()
+                crash = plan.take("serve.worker") if plan is not None else False
+                try:
+                    kind, value = self._exchange(
+                        worker, ("run", requests, crash)
+                    )
+                except WorkerDied as death:
+                    if not self._started:
+                        # pool is stopping: the pipe went away under
+                        # us — don't fork a replacement nobody reaps
+                        raise TransientError(
+                            f"serve worker w{worker.index} lost during "
+                            "pool shutdown"
+                        ) from death
+                    self.restarts += 1
+                    worker.restarts += 1
+                    self._respawn(worker)
+                    if attempt == 1:
+                        time.sleep(self.retry.delay_s("serve.worker", attempt))
+                        continue
+                    raise TransientError(
+                        f"serve worker w{worker.index} died twice executing "
+                        "one request; restart + retry exhausted"
+                    ) from death
+                if kind == "err":
+                    raise value
+                return value
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _exchange(self, worker: _Worker, payload: Tuple) -> Tuple[str, Any]:
@@ -394,10 +446,20 @@ class EngineWorkerPool:
             ) from exc
 
     def _respawn(self, worker: _Worker) -> None:
-        """Replace a dead worker's process and pipe in place."""
+        """Replace a dead worker's process and pipe in place.
+
+        Runs on an executor thread while the parent's event loop and
+        other executor threads are live, so it must not ``os.fork()``
+        here — a fork from a multithreaded process can deadlock the
+        child on locks other threads hold (malloc arenas, logging,
+        other workers' pipes).  Replacements come up through the
+        *spawn* context instead: the child rebuilds its context from
+        seed + cache and re-attaches the published matrices, exactly
+        like the spawn-platform fallback in :func:`_worker_main`.
+        """
         worker.conn.close()
         worker.process.join(timeout=1.0)
-        fresh = self._spawn(worker.index)
+        fresh = self._spawn(worker.index, mp=self._respawn_mp)
         worker.process = fresh.process
         worker.conn = fresh.conn
 

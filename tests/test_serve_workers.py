@@ -2,12 +2,14 @@
 
 import asyncio
 import json
+import threading
 
 import pytest
 
 from repro.core import faults
 from repro.core.faults import FaultPlan, FaultSpec
 from repro.serve import EngineWorkerPool, ServeApp
+from repro.serve.workers import _Worker
 
 REPLAY = {"family": "replay", "servers": 30, "steps": 8}
 STATS = {"family": "stats", "metric": "ep"}
@@ -126,12 +128,115 @@ class TestWorkerDeath:
         assert again == 200
         assert json.loads(again_body)["payload"]
 
+    def test_replacement_workers_come_up_via_spawn(self):
+        # respawn runs on an executor thread while the parent is
+        # multithreaded: forking there can deadlock the child, so
+        # replacements must use the spawn context
+        app = pooled_app(workers=2)
+        plan = FaultPlan(
+            [FaultSpec(site="serve.worker", mode="fail-once")], seed=7
+        )
+        try:
+            with faults.install(plan):
+                [(status, _body)] = drive(app, [REPLAY])
+            assert status == 200
+            replaced = [w for w in app._pool._workers if w.restarts]
+            assert replaced
+            assert all(
+                type(w.process).__name__ == "SpawnProcess" for w in replaced
+            )
+        finally:
+            app.stop_workers()
+
+    def test_stop_reaps_workers_without_touching_a_busy_pipe(self):
+        # an abandoned exchange may still own a worker's pipe at
+        # shutdown; stop() must skip the polite stop message (the
+        # Connection is not thread-safe) and still reap the worker
+        app = pooled_app(workers=1)
+        pool = app._pool
+        worker = pool._workers[0]
+        assert worker.io_lock.acquire(timeout=1.0)
+        try:
+            pool.stop(timeout_s=0.5)
+        finally:
+            worker.io_lock.release()
+        assert all(not entry["alive"] for entry in pool.worker_stats())
+
     def test_stop_workers_is_idempotent(self):
         app = pooled_app(workers=2)
         app.stop_workers()
         app.stop_workers()
         pool = app._pool
         assert all(not entry["alive"] for entry in pool.worker_stats())
+
+
+def gated_pool():
+    """A started pool whose (fake) pipe exchange blocks on an event.
+
+    White-box: replaces the exchange with a gate the test controls, so
+    cancellation-vs-lock ordering is asserted without racing real
+    compute times.
+    """
+    gate = threading.Event()
+    pool = EngineWorkerPool(context=None, size=1)
+    pool._exchange_with_recovery = lambda worker, requests: [
+        f"answer:{request}" for request in requests
+    ] if gate.wait(10.0) else None
+    pool._stamp = lambda result, worker: result
+    pool._workers = [_Worker(0, None, None)]
+    pool._started = True
+    return pool, gate
+
+
+class TestAbandonedExchange:
+    def test_cancelled_submit_holds_lock_until_exchange_done(self):
+        # a deadline-cancelled submit abandons the flight, but the
+        # executor thread is still on the pipe: the worker lock must
+        # stay held until the exchange finishes, or the next request
+        # would interleave with (and steal the reply of) the old one
+        pool, gate = gated_pool()
+        worker = pool._workers[0]
+
+        async def go():
+            lock = worker.lock_for(asyncio.get_running_loop())
+            first = asyncio.create_task(pool.submit("slow", "key"))
+            await asyncio.sleep(0.05)  # exchange thread is inside the gate
+            assert worker.inflight == 1
+            first.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await first
+            await asyncio.sleep(0)  # let any (buggy) done callback run
+            assert lock.locked(), "lock freed while exchange still running"
+            assert worker.inflight == 1
+            second = asyncio.create_task(pool.submit("fast", "key"))
+            await asyncio.sleep(0.05)
+            assert not second.done()  # queued behind the abandoned flight
+            gate.set()
+            return await second
+
+        assert asyncio.run(go()) == "answer:fast"
+        assert worker.inflight == 0
+
+    def test_executor_refusal_releases_lock(self):
+        # loop.run_in_executor raising synchronously (executor shut
+        # down during drain) must not wedge the worker's route
+        pool, gate = gated_pool()
+        gate.set()
+        worker = pool._workers[0]
+
+        async def go():
+            loop = asyncio.get_running_loop()
+
+            def refuse(executor, fn, *args):
+                raise RuntimeError("executor shut down")
+
+            loop.run_in_executor = refuse
+            with pytest.raises(RuntimeError):
+                await pool.submit("x", "key")
+            assert worker.inflight == 0
+            assert not worker.lock_for(loop).locked()
+
+        asyncio.run(go())
 
 
 class TestPoolLifecycle:
